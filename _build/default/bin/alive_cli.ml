@@ -1,0 +1,197 @@
+(* The alive command-line tool: verify transformations, render
+   counterexamples, infer attributes, and emit C++ — the workflow of the
+   paper's prototype, over .opt files in the Alive surface syntax. *)
+
+open Cmdliner
+
+let read_input = function
+  | "-" -> In_channel.input_all stdin
+  | path -> In_channel.with_open_text path In_channel.input_all
+
+let parse_widths = function
+  | None -> None
+  | Some s ->
+      Some
+        (String.split_on_char ',' s
+        |> List.map (fun w ->
+               match int_of_string_opt (String.trim w) with
+               | Some w when w >= 1 && w <= 64 -> w
+               | _ -> failwith ("bad width: " ^ w)))
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE" ~doc:"Input .opt file ('-' for stdin).")
+
+let widths_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "widths" ] ~docv:"W1,W2,..."
+        ~doc:
+          "Comma-separated width domain for type enumeration (default: all \
+           of 1-8, preferring 4 and 8).")
+
+let with_transforms file f =
+  match Alive.Parser.parse_file (read_input file) with
+  | exception Alive.Parser.Error (msg, line) ->
+      Printf.eprintf "parse error at line %d: %s\n" line msg;
+      1
+  | exception Alive.Lexer.Error (msg, line) ->
+      Printf.eprintf "lex error at line %d: %s\n" line msg;
+      1
+  | [] ->
+      Printf.eprintf "no transformations found\n";
+      1
+  | transforms -> f transforms
+
+let verify_cmd =
+  let run file widths quiet =
+    let widths = parse_widths widths in
+    with_transforms file (fun transforms ->
+        let failures = ref 0 in
+        List.iter
+          (fun t ->
+            let verdict = Alive.Refine.check ?widths t in
+            if not (Alive.Refine.is_valid_verdict verdict) then incr failures;
+            if quiet then
+              Format.printf "%s: %a@." t.Alive.Ast.name Alive.Refine.pp_verdict
+                verdict
+            else begin
+              Format.printf "----------------------------------------@.";
+              Format.printf "%a@.@." Alive.Ast.pp_transform t;
+              print_endline (Alive.Refine.render_verdict t verdict);
+              print_newline ()
+            end)
+          transforms;
+        if !failures = 0 then 0 else 1)
+  in
+  let quiet =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"One line per verdict.")
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Verify each transformation for all feasible types, printing \
+          counterexamples for incorrect ones (exit 1 if any fails).")
+    Term.(const run $ file_arg $ widths_arg $ quiet)
+
+let infer_cmd =
+  let run file widths =
+    let widths = parse_widths widths in
+    with_transforms file (fun transforms ->
+        List.iter
+          (fun t ->
+            Format.printf "%s:@." t.Alive.Ast.name;
+            match Alive.Attr_infer.infer ?widths t with
+            | None ->
+                Format.printf
+                  "  not correct under any attribute assignment@."
+            | Some o ->
+                let pp_positions ppf ps =
+                  if ps = [] then Format.pp_print_string ppf "(none)"
+                  else
+                    Format.pp_print_list
+                      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+                      Alive.Attr_infer.pp_position ppf ps
+                in
+                Format.printf "  weakest source attributes:  %a@." pp_positions
+                  o.weakest_source;
+                Format.printf "  strongest target attributes: %a@." pp_positions
+                  o.strongest_target;
+                if o.source_weakened then
+                  Format.printf "  => the precondition can be weakened@.";
+                if o.target_strengthened then
+                  Format.printf "  => the postcondition can be strengthened@.";
+                Format.printf "  optimized transformation:@.%a@."
+                  Alive.Ast.pp_transform
+                  (Alive.Attr_infer.apply t o.best))
+          transforms;
+        0)
+  in
+  Cmd.v
+    (Cmd.info "infer"
+       ~doc:
+         "Infer the weakest source and strongest target nsw/nuw/exact \
+          attribute assignment (§3.4 of the paper).")
+    Term.(const run $ file_arg $ widths_arg)
+
+let codegen_cmd =
+  let run file verify widths =
+    let widths = parse_widths widths in
+    with_transforms file (fun transforms ->
+        let ok =
+          List.filter
+            (fun t ->
+              (not verify)
+              || Alive.Refine.is_valid_verdict (Alive.Refine.check ?widths t))
+            transforms
+        in
+        if verify && List.length ok < List.length transforms then
+          Printf.eprintf "warning: %d transformation(s) failed verification and were skipped\n"
+            (List.length transforms - List.length ok);
+        print_string (Alive.Codegen.generate_pass ok);
+        0)
+  in
+  let verify =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:"Verify first and only emit code for correct transformations.")
+  in
+  Cmd.v
+    (Cmd.info "codegen"
+       ~doc:
+         "Emit InstCombine-style C++ for the transformations (§4 of the \
+          paper).")
+    Term.(const run $ file_arg $ verify $ widths_arg)
+
+let opt_cmd =
+  let run file show_stats =
+    let text = read_input file in
+    match Ir_parser.parse_module text with
+    | Error e ->
+        Printf.eprintf "parse error: %s\n" e;
+        1
+    | Ok funcs ->
+        let rules =
+          List.filter_map
+            (fun (e : Alive_suite.Entry.t) ->
+              if e.expected = Alive_suite.Entry.Expect_valid && e.canonical then
+                Result.to_option
+                  (Alive_opt.Matcher.rule_of_transform (Alive_suite.Entry.parse e))
+              else None)
+            Alive_suite.Registry.all
+        in
+        let optimized, stats = Alive_opt.Pass.run_module ~rules funcs in
+        List.iter (fun f -> Format.printf "%a@.@." Ir.pp_func f) optimized;
+        if show_stats then begin
+          Format.printf "; rules fired:@.";
+          List.iter (fun (n, c) -> Format.printf ";   %-45s x%d@." n c) stats
+        end;
+        0
+  in
+  let stats =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print firing counts afterwards.")
+  in
+  Cmd.v
+    (Cmd.info "opt"
+       ~doc:
+         "Optimize IR functions with the verified rule corpus (the runtime \
+          equivalent of linking the generated C++ into LLVM, \xc2\xa76.4).")
+    Term.(const run $ file_arg $ stats)
+
+let default =
+  Term.(ret (const (`Help (`Pager, None))))
+
+let () =
+  let info =
+    Cmd.info "alive" ~version:"1.0"
+      ~doc:
+        "Provably correct peephole optimizations (an OCaml reproduction of \
+         Lopes, Menendez, Nagarakatte and Regehr, PLDI 2015)."
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group ~default info [ verify_cmd; infer_cmd; codegen_cmd; opt_cmd ]))

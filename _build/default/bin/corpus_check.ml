@@ -1,0 +1,22 @@
+(* Verify every corpus entry against its expected verdict; a maintenance
+   tool for suite development (the test suite covers the same ground with
+   alcotest; the bench harness prints Table 3 from the same data). *)
+
+let () =
+  let bad = ref 0 in
+  List.iter
+    (fun (e : Alive_suite.Entry.t) ->
+      let t0 = Unix.gettimeofday () in
+      let r =
+        try
+          let t = Alive_suite.Entry.parse e in
+          let v = Alive.Refine.check ?widths:e.widths t in
+          let valid = Alive.Refine.is_valid_verdict v in
+          if valid = (e.expected = Alive_suite.Entry.Expect_valid) then "ok"
+          else begin incr bad; Format.asprintf "MISMATCH: %a" Alive.Refine.pp_verdict v end
+        with ex -> incr bad; "EXC: " ^ Printexc.to_string ex
+      in
+      let dt = Unix.gettimeofday () -. t0 in
+      if r <> "ok" || dt > 1.0 then Printf.printf "%-55s %6.2fs %s\n%!" e.name dt r)
+    Alive_suite.Registry.all;
+  Printf.printf "done: %d entries, %d bad\n" (List.length Alive_suite.Registry.all) !bad

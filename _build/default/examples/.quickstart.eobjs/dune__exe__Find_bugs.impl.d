@@ -1,0 +1,1 @@
+examples/find_bugs.ml: Alive Alive_suite Format List

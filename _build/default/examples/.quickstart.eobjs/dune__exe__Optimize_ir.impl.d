@@ -1,0 +1,1 @@
+examples/optimize_ir.ml: Alive_opt Alive_suite Bitvec Cost Format Interp Ir List Printf Result

@@ -1,0 +1,36 @@
+(* Attribute inference (§3.4): given a transformation, find the weakest
+   source nsw/nuw/exact requirements and the strongest attributes that can
+   safely be placed on the target — the feature that stops LLVM rewrites
+   from needlessly stripping wrap flags.
+
+   Run with: dune exec examples/infer_attrs.exe *)
+
+let show text =
+  let t = Alive.Parser.parse_transform text in
+  Format.printf "@.%a@." Alive.Ast.pp_transform t;
+  match Alive.Attr_infer.infer t with
+  | None -> print_endline "  -> not fixable by attributes"
+  | Some o ->
+      let pp ps =
+        if ps = [] then "(none)"
+        else
+          String.concat ", "
+            (List.map (Format.asprintf "%a" Alive.Attr_infer.pp_position) ps)
+      in
+      Printf.printf "  weakest source attributes:   %s\n" (pp o.weakest_source);
+      Printf.printf "  strongest target attributes: %s\n" (pp o.strongest_target);
+      Format.printf "  with inferred attributes:@.%a@." Alive.Ast.pp_transform
+        (Alive.Attr_infer.apply t o.best)
+
+let () =
+  (* add commutes: whatever wrap flags the source add carries can be kept on
+     the commuted target add. *)
+  show "Name: commute-add\n%r = add nsw nuw %x, %y\n=>\n%r = add %y, %x\n";
+  (* negation of a subtraction: the paper's PR20189 was wrong precisely
+     because a developer guessed nsw placement; inference computes where nsw
+     is actually sound. *)
+  show "Name: neg-of-sub\n%n = sub 0, %x\n%r = sub %y, %n\n=>\n%r = add %y, %x\n";
+  (* x+0 never needs the source nsw: the precondition can be weakened. *)
+  show "Name: needless-nsw\n%r = add nsw %x, 0\n=>\n%r = %x\n";
+  (* shl by zero: exact/nsw/nuw placement on a shift. *)
+  show "Name: shl-roundtrip\n%s = shl nuw %x, C\n%r = lshr %s, C\n=>\n%r = %x\n"

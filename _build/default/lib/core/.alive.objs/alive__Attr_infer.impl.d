@@ -1,0 +1,1 @@
+lib/core/attr_infer.ml: Ast Format Int List Refine String

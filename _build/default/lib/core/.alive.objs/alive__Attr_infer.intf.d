@@ -1,0 +1,1 @@
+lib/core/attr_infer.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/core/codegen.ml: Ast Buffer List Printf Result Scoping String

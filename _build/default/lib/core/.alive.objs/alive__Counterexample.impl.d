@@ -1,0 +1,1 @@
+lib/core/counterexample.ml: Alive_smt Ast Bitvec Buffer Format List String Typing Vcgen

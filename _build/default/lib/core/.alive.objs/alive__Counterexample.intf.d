@@ -1,0 +1,1 @@
+lib/core/counterexample.mli: Alive_smt Ast Typing Vcgen

@@ -1,0 +1,1 @@
+lib/core/lexer.ml: Format Int64 List Printf String

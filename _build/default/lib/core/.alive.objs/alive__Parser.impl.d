@@ -1,0 +1,1 @@
+lib/core/parser.ml: Array Ast Buffer Format Int64 Lexer List Option Printf String

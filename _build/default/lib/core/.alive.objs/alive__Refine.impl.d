@@ -1,0 +1,1 @@
+lib/core/refine.ml: Alive_smt Ast Counterexample Format List Printf Typing Vcgen

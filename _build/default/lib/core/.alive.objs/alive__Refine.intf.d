@@ -1,0 +1,1 @@
+lib/core/refine.mli: Ast Counterexample Format Typing Vcgen

@@ -1,0 +1,1 @@
+lib/core/scoping.ml: Ast Hashtbl List Printf Result String

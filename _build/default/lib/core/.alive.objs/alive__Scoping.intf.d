@@ -1,0 +1,1 @@
+lib/core/scoping.mli: Ast

@@ -1,0 +1,1 @@
+lib/core/typing.ml: Array Ast Format Hashtbl Int Int64 List Printf String

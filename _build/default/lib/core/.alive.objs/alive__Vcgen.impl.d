@@ -1,0 +1,1 @@
+lib/core/vcgen.ml: Alive_smt Ast Bitvec Format Int64 List Printf Scoping String Typing

@@ -1,0 +1,1 @@
+lib/core/vcgen.mli: Alive_smt Ast Typing

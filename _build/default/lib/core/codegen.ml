@@ -1,0 +1,470 @@
+open Ast
+
+let ( let* ) = Result.bind
+
+(* C++ identifiers for template values: '%t0' -> 't0', sanitized. *)
+let cpp_name name =
+  let base =
+    if String.length name > 0 && name.[0] = '%' then
+      String.sub name 1 (String.length name - 1)
+    else name
+  in
+  String.map (fun c -> if c = '.' || c = '-' then '_' else c) base
+
+(* --- APInt expressions for the constant language --- *)
+
+let rec apint_expr e =
+  match e with
+  | Cint n -> Ok (Printf.sprintf "APInt(W, %LdLL)" n)
+  | Cbool b -> Ok (Printf.sprintf "APInt(1, %d)" (if b then 1 else 0))
+  | Cabs c -> Ok (Printf.sprintf "%s->getValue()" (cpp_name c))
+  | Cval v -> Ok (Printf.sprintf "/* value */ %s" (cpp_name v))
+  | Cun (Cneg, a) ->
+      let* a = apint_expr a in
+      Ok (Printf.sprintf "(-%s)" a)
+  | Cun (Cnot, a) ->
+      let* a = apint_expr a in
+      Ok (Printf.sprintf "(~%s)" a)
+  | Cbin (op, a, b) -> (
+      let* a = apint_expr a in
+      let* b = apint_expr b in
+      match op with
+      | Cadd -> Ok (Printf.sprintf "(%s + %s)" a b)
+      | Csub -> Ok (Printf.sprintf "(%s - %s)" a b)
+      | Cmul -> Ok (Printf.sprintf "(%s * %s)" a b)
+      | Csdiv -> Ok (Printf.sprintf "%s.sdiv(%s)" a b)
+      | Cudiv -> Ok (Printf.sprintf "%s.udiv(%s)" a b)
+      | Csrem -> Ok (Printf.sprintf "%s.srem(%s)" a b)
+      | Curem -> Ok (Printf.sprintf "%s.urem(%s)" a b)
+      | Cshl -> Ok (Printf.sprintf "%s.shl(%s)" a b)
+      | Clshr -> Ok (Printf.sprintf "%s.lshr(%s)" a b)
+      | Cashr -> Ok (Printf.sprintf "%s.ashr(%s)" a b)
+      | Cand -> Ok (Printf.sprintf "(%s & %s)" a b)
+      | Cor -> Ok (Printf.sprintf "(%s | %s)" a b)
+      | Cxor -> Ok (Printf.sprintf "(%s ^ %s)" a b))
+  | Cfun ("abs", [ a ]) ->
+      let* a = apint_expr a in
+      Ok (Printf.sprintf "%s.abs()" a)
+  | Cfun ("log2", [ a ]) ->
+      let* a = apint_expr a in
+      Ok (Printf.sprintf "APInt(W, %s.logBase2())" a)
+  | Cfun ("width", [ a ]) ->
+      let* a = apint_expr a in
+      Ok (Printf.sprintf "APInt(W, %s.getBitWidth())" a)
+  | Cfun ("umax", [ a; b ]) ->
+      let* a = apint_expr a in
+      let* b = apint_expr b in
+      Ok (Printf.sprintf "APIntOps::umax(%s, %s)" a b)
+  | Cfun ("umin", [ a; b ]) ->
+      let* a = apint_expr a in
+      let* b = apint_expr b in
+      Ok (Printf.sprintf "APIntOps::umin(%s, %s)" a b)
+  | Cfun ("smax", [ a; b ]) ->
+      let* a = apint_expr a in
+      let* b = apint_expr b in
+      Ok (Printf.sprintf "APIntOps::smax(%s, %s)" a b)
+  | Cfun ("smin", [ a; b ]) ->
+      let* a = apint_expr a in
+      let* b = apint_expr b in
+      Ok (Printf.sprintf "APIntOps::smin(%s, %s)" a b)
+  | Cfun (f, _) -> Error (Printf.sprintf "constant function %s" f)
+
+(* --- Precondition --- *)
+
+let rec cpp_pred p =
+  match p with
+  | Ptrue -> Ok "true"
+  | Pnot a ->
+      let* a = cpp_pred a in
+      Ok (Printf.sprintf "!(%s)" a)
+  | Pand (a, b) ->
+      let* a = cpp_pred a in
+      let* b = cpp_pred b in
+      Ok (Printf.sprintf "%s && %s" a b)
+  | Por (a, b) ->
+      let* a = cpp_pred a in
+      let* b = cpp_pred b in
+      Ok (Printf.sprintf "(%s || %s)" a b)
+  | Pcmp (op, a, b) -> (
+      let* ea = apint_expr a in
+      let* eb = apint_expr b in
+      match op with
+      | Peq -> Ok (Printf.sprintf "%s == %s" ea eb)
+      | Pne -> Ok (Printf.sprintf "%s != %s" ea eb)
+      | Pslt -> Ok (Printf.sprintf "%s.slt(%s)" ea eb)
+      | Psle -> Ok (Printf.sprintf "%s.sle(%s)" ea eb)
+      | Psgt -> Ok (Printf.sprintf "%s.sgt(%s)" ea eb)
+      | Psge -> Ok (Printf.sprintf "%s.sge(%s)" ea eb)
+      | Pult -> Ok (Printf.sprintf "%s.ult(%s)" ea eb)
+      | Pule -> Ok (Printf.sprintf "%s.ule(%s)" ea eb)
+      | Pugt -> Ok (Printf.sprintf "%s.ugt(%s)" ea eb)
+      | Puge -> Ok (Printf.sprintf "%s.uge(%s)" ea eb))
+  | Pcall ("isPowerOf2", [ Cabs c ]) ->
+      Ok (Printf.sprintf "%s->getValue().isPowerOf2()" (cpp_name c))
+  | Pcall ("isPowerOf2", [ Cval v ]) ->
+      Ok (Printf.sprintf "isKnownToBeAPowerOfTwo(%s)" (cpp_name v))
+  | Pcall ("isSignBit", [ Cabs c ]) ->
+      Ok (Printf.sprintf "%s->getValue().isSignBit()" (cpp_name c))
+  | Pcall ("isShiftedMask", [ Cabs c ]) ->
+      Ok (Printf.sprintf "%s->getValue().isShiftedMask()" (cpp_name c))
+  | Pcall ("MaskedValueIsZero", [ Cval v; mask ]) ->
+      let* m = apint_expr mask in
+      Ok (Printf.sprintf "MaskedValueIsZero(%s, %s)" (cpp_name v) m)
+  | Pcall (("hasOneUse" | "OneUse"), [ Cval v ]) ->
+      Ok (Printf.sprintf "%s->hasOneUse()" (cpp_name v))
+  | Pcall (f, args)
+    when String.length f >= 15 && String.sub f 0 15 = "WillNotOverflow" -> (
+      match args with
+      | [ a; b ] ->
+          let* ea = apint_expr a in
+          let* eb = apint_expr b in
+          Ok (Printf.sprintf "%s(%s, %s, *I)" f ea eb)
+      | _ -> Error (f ^ ": bad arity"))
+  | Pcall (f, _) -> Error (Printf.sprintf "predicate %s" f)
+
+(* --- Source matching --- *)
+
+type bindings = {
+  mutable values : string list; (* bound Value* names *)
+  mutable consts : string list; (* bound ConstantInt* names *)
+  mutable clauses : string list; (* accumulated if-clauses, in order *)
+  mutable extra_decls : string list;
+}
+
+let m_constant_literal n =
+  if n = 0L then "m_Zero()"
+  else if n = 1L then "m_One()"
+  else if n = -1L then "m_AllOnes()"
+  else Printf.sprintf "m_SpecificInt(%LdLL)" n
+
+let matcher_of_binop = function
+  | Add -> "m_Add"
+  | Sub -> "m_Sub"
+  | Mul -> "m_Mul"
+  | UDiv -> "m_UDiv"
+  | SDiv -> "m_SDiv"
+  | URem -> "m_URem"
+  | SRem -> "m_SRem"
+  | Shl -> "m_Shl"
+  | LShr -> "m_LShr"
+  | AShr -> "m_AShr"
+  | And -> "m_And"
+  | Or -> "m_Or"
+  | Xor -> "m_Xor"
+
+let matcher_of_conv = function
+  | Zext -> "m_ZExt"
+  | Sext -> "m_SExt"
+  | Trunc -> "m_Trunc"
+  | Bitcast -> "m_BitCast"
+  | Ptrtoint -> "m_PtrToInt"
+  | Inttoptr -> "m_IntToPtr"
+
+let cond_predicate = function
+  | Ceq -> "ICmpInst::ICMP_EQ"
+  | Cne -> "ICmpInst::ICMP_NE"
+  | Cugt -> "ICmpInst::ICMP_UGT"
+  | Cuge -> "ICmpInst::ICMP_UGE"
+  | Cult -> "ICmpInst::ICMP_ULT"
+  | Cule -> "ICmpInst::ICMP_ULE"
+  | Csgt -> "ICmpInst::ICMP_SGT"
+  | Csge -> "ICmpInst::ICMP_SGE"
+  | Cslt -> "ICmpInst::ICMP_SLT"
+  | Csle -> "ICmpInst::ICMP_SLE"
+
+(* Pattern for one source operand. *)
+let operand_pattern b (src_defs : string list) { op; _ } =
+  match op with
+  | Var v when List.mem v src_defs || List.mem (cpp_name v) b.values ->
+      (* A temporary to be matched by a later clause, or a repeated input:
+         both become m_Value on first sight, m_Specific afterwards. *)
+      if List.mem (cpp_name v) b.values then
+        Ok (Printf.sprintf "m_Specific(%s)" (cpp_name v))
+      else begin
+        b.values <- cpp_name v :: b.values;
+        Ok (Printf.sprintf "m_Value(%s)" (cpp_name v))
+      end
+  | Var v ->
+      b.values <- cpp_name v :: b.values;
+      Ok (Printf.sprintf "m_Value(%s)" (cpp_name v))
+  | Undef -> Ok "m_Undef()"
+  | ConstOp (Cint n) -> Ok (m_constant_literal n)
+  | ConstOp (Cbool bv) -> Ok (if bv then "m_One()" else "m_Zero()")
+  | ConstOp (Cabs c) ->
+      if List.mem (cpp_name c) b.consts then
+        Ok (Printf.sprintf "m_Specific(%s)" (cpp_name c))
+      else begin
+        b.consts <- cpp_name c :: b.consts;
+        Ok (Printf.sprintf "m_ConstantInt(%s)" (cpp_name c))
+      end
+  | ConstOp e ->
+      (* A compound constant expression in the source: bind a fresh constant
+         and check equality separately. *)
+      let tmp = Printf.sprintf "CSrc%d" (List.length b.consts) in
+      b.consts <- tmp :: b.consts;
+      let* ae = apint_expr e in
+      b.clauses <-
+        (Printf.sprintf "%s->getValue() == %s" tmp ae) :: b.clauses;
+      Ok (Printf.sprintf "m_ConstantInt(%s)" tmp)
+
+let attr_checks holder attrs =
+  List.map
+    (fun a ->
+      match a with
+      | Nsw -> Printf.sprintf "cast<BinaryOperator>(%s)->hasNoSignedWrap()" holder
+      | Nuw -> Printf.sprintf "cast<BinaryOperator>(%s)->hasNoUnsignedWrap()" holder
+      | Exact -> Printf.sprintf "cast<BinaryOperator>(%s)->isExact()" holder)
+    attrs
+
+(* Emit match clauses for the source template, root first, then temporaries
+   in reverse definition order (each already bound by an earlier clause). *)
+let match_source b (t : transform) root =
+  let src_defs = defined_names t.src in
+  let inst_of name =
+    List.find_map
+      (function
+        | Def (n, _, i) when String.equal n name -> Some i
+        | Def _ | Store _ | Unreachable -> None)
+      t.src
+  in
+  let clause holder name =
+    match inst_of name with
+    | None -> Error (Printf.sprintf "no definition for %s" name)
+    | Some inst -> (
+        match inst with
+        | Binop (op, attrs, a, bb) ->
+            let* pa = operand_pattern b src_defs a in
+            let* pb = operand_pattern b src_defs bb in
+            b.clauses <-
+              List.rev_append
+                (attr_checks holder attrs)
+                (Printf.sprintf "match(%s, %s(%s, %s))" holder
+                   (matcher_of_binop op) pa pb
+                :: b.clauses);
+            Ok ()
+        | Conv (conv, a, _) ->
+            let* pa = operand_pattern b src_defs a in
+            b.clauses <-
+              Printf.sprintf "match(%s, %s(%s))" holder (matcher_of_conv conv) pa
+              :: b.clauses;
+            Ok ()
+        | Icmp (cond, a, bb) ->
+            let* pa = operand_pattern b src_defs a in
+            let* pb = operand_pattern b src_defs bb in
+            b.clauses <-
+              Printf.sprintf "match(%s, m_ICmp(%s, %s, %s))" holder
+                (cond_predicate cond) pa pb
+              :: b.clauses;
+            Ok ()
+        | Select (c, a, bb) ->
+            let* pc = operand_pattern b src_defs c in
+            let* pa = operand_pattern b src_defs a in
+            let* pb = operand_pattern b src_defs bb in
+            b.clauses <-
+              Printf.sprintf "match(%s, m_Select(%s, %s, %s))" holder pc pa pb
+              :: b.clauses;
+            Ok ()
+        | Copy _ -> Error "copy instruction in a source template"
+        | Alloca _ | Load _ | Gep _ -> Error "memory operation")
+  in
+  (* The clause order must bind a temporary before matching through it. *)
+  let* () = clause "I" root in
+  let rec remaining = function
+    | [] -> Ok ()
+    | name :: rest ->
+        if String.equal name root then remaining rest
+        else
+          let* () = clause (cpp_name name) name in
+          remaining rest
+  in
+  remaining (List.rev src_defs)
+
+(* --- Target construction --- *)
+
+let creator_of_binop op attrs =
+  let base =
+    match op with
+    | Add -> "CreateAdd"
+    | Sub -> "CreateSub"
+    | Mul -> "CreateMul"
+    | UDiv -> "CreateUDiv"
+    | SDiv -> "CreateSDiv"
+    | URem -> "CreateURem"
+    | SRem -> "CreateSRem"
+    | Shl -> "CreateShl"
+    | LShr -> "CreateLShr"
+    | AShr -> "CreateAShr"
+    | And -> "CreateAnd"
+    | Or -> "CreateOr"
+    | Xor -> "CreateXor"
+  in
+  let prefix =
+    if List.mem Nsw attrs then "CreateNSW"
+    else if List.mem Nuw attrs then "CreateNUW"
+    else "Create"
+  in
+  let exact = List.mem Exact attrs in
+  match op with
+  | Add | Sub | Mul when prefix <> "Create" ->
+      String.concat ""
+        [ prefix; String.sub base 6 (String.length base - 6) ]
+  | UDiv | SDiv | LShr | AShr when exact ->
+      "CreateExact" ^ String.sub base 6 (String.length base - 6)
+  | _ -> base
+
+type emit_state = {
+  mutable lines : string list; (* body lines, reversed *)
+  mutable const_counter : int;
+  b : bindings;
+}
+
+(* C++ expression for a target operand; constants may synthesize new
+   ConstantInt values, typed via a representative matched value (§4's type
+   unification: the representative's class contains the operand). *)
+let rec target_operand st ~type_rep { op; _ } =
+  match op with
+  | Var v -> Ok (cpp_name v)
+  | Undef -> Ok (Printf.sprintf "UndefValue::get(%s)" type_rep)
+  | ConstOp (Cabs c) -> Ok (cpp_name c)
+  | ConstOp e ->
+      let* ae = apint_expr e in
+      let id = st.const_counter in
+      st.const_counter <- id + 1;
+      let name = Printf.sprintf "C_t%d" id in
+      st.lines <-
+        Printf.sprintf "  Constant *%s = ConstantInt::get(%s, %s);" name
+          type_rep
+          (fix_width ae type_rep)
+        :: st.lines;
+      Ok name
+
+(* APInt expressions need a bitwidth [W]; take it from the representative
+   type. *)
+and fix_width expr type_rep =
+  if String.length expr >= 5 && String.sub expr 0 5 = "APInt" then
+    Printf.sprintf "[&]{ unsigned W = %s->getScalarSizeInBits(); return %s; }()"
+      type_rep expr
+  else expr
+
+let emit_target st (t : transform) root =
+  let src_defs = defined_names t.src in
+  let rec go = function
+    | [] -> Ok ()
+    | Def (name, _, inst) :: rest ->
+        let cname = if String.equal name root then "R" else cpp_name name in
+        let* () =
+          match inst with
+          | Copy top ->
+              let* e = target_operand st ~type_rep:"I->getType()" top in
+              st.lines <- Printf.sprintf "  Value *%s = %s;" cname e :: st.lines;
+              Ok ()
+          | Binop (op, attrs, a, bb) ->
+              let* ea = target_operand st ~type_rep:"I->getType()" a in
+              let* eb = target_operand st ~type_rep:"I->getType()" bb in
+              st.lines <-
+                Printf.sprintf "  BinaryOperator *%s = BinaryOperator::%s(%s, %s, \"\", I);"
+                  cname (creator_of_binop op attrs) ea eb
+                :: st.lines;
+              Ok ()
+          | Conv (conv, a, _) ->
+              let* ea = target_operand st ~type_rep:"I->getType()" a in
+              let creator =
+                match conv with
+                | Zext -> "CastInst::CreateZExtOrBitCast"
+                | Sext -> "CastInst::CreateSExtOrBitCast"
+                | Trunc -> "CastInst::CreateTruncOrBitCast"
+                | Bitcast -> "CastInst::CreateBitOrPointerCast"
+                | Ptrtoint | Inttoptr -> "CastInst::CreateBitOrPointerCast"
+              in
+              st.lines <-
+                Printf.sprintf "  Value *%s = %s(%s, I->getType(), \"\", I);"
+                  cname creator ea
+                :: st.lines;
+              Ok ()
+          | Icmp (cond, a, bb) ->
+              let* ea = target_operand st ~type_rep:"I->getType()" a in
+              let* eb = target_operand st ~type_rep:"I->getType()" bb in
+              st.lines <-
+                Printf.sprintf "  Value *%s = new ICmpInst(I, %s, %s, %s);"
+                  cname (cond_predicate cond) ea eb
+                :: st.lines;
+              Ok ()
+          | Select (c, a, bb) ->
+              let* ec = target_operand st ~type_rep:"I->getType()" c in
+              let* ea = target_operand st ~type_rep:"I->getType()" a in
+              let* eb = target_operand st ~type_rep:"I->getType()" bb in
+              st.lines <-
+                Printf.sprintf "  Value *%s = SelectInst::Create(%s, %s, %s, \"\", I);"
+                  cname ec ea eb
+                :: st.lines;
+              Ok ()
+          | Alloca _ | Load _ | Gep _ -> Error "memory operation"
+        in
+        (* Only materialize instructions that are new in the target; source
+           names that the target keeps are reused as-is (§4). *)
+        go rest
+    | (Store _ | Unreachable) :: _ -> Error "memory operation"
+  in
+  (* Skip target defs that simply name-match source instructions the rewrite
+     keeps (they are already bound by the matcher) — except the root. *)
+  let new_defs =
+    List.filter
+      (function
+        | Def (name, _, _) ->
+            String.equal name root || not (List.mem name src_defs)
+        | Store _ | Unreachable -> true)
+      t.tgt
+  in
+  let* () = go new_defs in
+  st.lines <- "  return R;" :: "  I->replaceAllUsesWith(R);" :: st.lines;
+  Ok ()
+
+let generate (t : transform) =
+  let* info = Scoping.check t in
+  let b = { values = []; consts = []; clauses = []; extra_decls = [] } in
+  let* root =
+    match info.root with
+    | Some r -> Ok r
+    | None -> Error "store-rooted transformations have no C++ generator"
+  in
+  let* () = match_source b t root in
+  let* pre = cpp_pred t.pre in
+  let st = { lines = []; const_counter = 0; b } in
+  let* () = emit_target st t root in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "// %s\n{\n" t.name);
+  if b.values <> [] then
+    Buffer.add_string buf
+      (Printf.sprintf "  Value *%s;\n" (String.concat ", *" (List.rev b.values)));
+  if b.consts <> [] then
+    Buffer.add_string buf
+      (Printf.sprintf "  ConstantInt *%s;\n"
+         (String.concat ", *" (List.rev b.consts)));
+  List.iter (fun d -> Buffer.add_string buf ("  " ^ d ^ "\n")) b.extra_decls;
+  let conditions = List.rev b.clauses @ (if pre = "true" then [] else [ pre ]) in
+  Buffer.add_string buf
+    (Printf.sprintf "  if (%s) {\n" (String.concat " &&\n      " conditions));
+  List.iter
+    (fun line -> Buffer.add_string buf ("  " ^ line ^ "\n"))
+    (List.rev st.lines);
+  Buffer.add_string buf "  }\n}\n";
+  Ok (Buffer.contents buf)
+
+let generate_pass transforms =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "// Generated by alive-ocaml. One fragment per verified transformation;\n\
+     // first match wins, mirroring InstCombine's visitor structure.\n\
+     Value *runOnInstruction(Instruction *I) {\n";
+  List.iter
+    (fun t ->
+      match generate t with
+      | Ok code ->
+          String.split_on_char '\n' code
+          |> List.iter (fun line -> Buffer.add_string buf ("  " ^ line ^ "\n"))
+      | Error e ->
+          Buffer.add_string buf
+            (Printf.sprintf "  // %s skipped: %s\n" t.name e))
+    transforms;
+  Buffer.add_string buf "  return nullptr;\n}\n";
+  Buffer.contents buf

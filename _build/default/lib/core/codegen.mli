@@ -1,0 +1,21 @@
+(** C++ code generation (§4, Fig. 7).
+
+    A verified transformation becomes an InstCombine-style C++ fragment:
+    an [if] whose condition matches the source DAG with LLVM's pattern
+    matching library ([match]/[m_Add]/[m_Value]/[m_ConstantInt]) and checks
+    the precondition, and whose body materializes the target instructions
+    and replaces all uses of the root.
+
+    Like the paper's generator, this is a faithful text generator: the
+    output is meant to drop into an LLVM pass; its semantics are executed
+    natively by {!Alive_opt} so the §6.4 experiments can run without LLVM. *)
+
+val generate : Ast.transform -> (string, string) result
+(** C++ text for one transformation; [Error] describes unsupported
+    constructs (memory operations, non-atomic constant expressions in the
+    source template). *)
+
+val generate_pass : Ast.transform list -> string
+(** A full optimization-pass skeleton: one [runOnInstruction] function
+    containing every transformation's fragment in order (first match wins),
+    mirroring how the paper links generated code into LLVM. *)

@@ -1,0 +1,71 @@
+module T = Alive_smt.Term
+module Model = Alive_smt.Model
+
+type kind = Not_defined | More_poison | Value_mismatch
+
+let describe = function
+  | Not_defined -> "Domain of definedness of Target is smaller than Source's"
+  | More_poison -> "Target is more poisonous than Source"
+  | Value_mismatch -> "Mismatch in values"
+
+type t = {
+  transform_name : string;
+  kind : kind;
+  at : string;
+  typing : Typing.env;
+  model : Alive_smt.Model.t;
+}
+
+let pp_value ppf = function
+  | T.Vbv c -> Bitvec.pp ppf c
+  | T.Vbool b -> Format.pp_print_bool ppf b
+
+let render (transform : Ast.transform) (vc : Vcgen.vc) cex =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  let root_ty =
+    try Format.asprintf "%a " Ast.pp_typ (Typing.typ_of_value cex.typing cex.at)
+    with Not_found -> ""
+  in
+  Format.fprintf ppf "ERROR: %s of %s%s@." (describe cex.kind) root_ty cex.at;
+  Format.fprintf ppf "@.Example:@.";
+  let show_binding name =
+    match Model.find cex.model name with
+    | Some v ->
+        let ty =
+          try Format.asprintf " %a" Ast.pp_typ (Typing.typ_of_value cex.typing name)
+          with Not_found -> ""
+        in
+        Format.fprintf ppf "%s%s = %a@." name ty pp_value v
+    | None -> ()
+  in
+  List.iter (fun (name, _) -> show_binding name) vc.inputs;
+  (* Intermediate source values, except the failing root itself. *)
+  List.iter
+    (fun (name, (iv : Vcgen.ival)) ->
+      if not (String.equal name cex.at) then
+        let v = Model.eval cex.model iv.value in
+        let ty =
+          try Format.asprintf " %a" Ast.pp_typ (Typing.typ_of_value cex.typing name)
+          with Not_found -> ""
+        in
+        Format.fprintf ppf "%s%s = %a@." name ty pp_value v)
+    vc.src.defs;
+  (match (cex.kind, List.assoc_opt cex.at vc.src.defs, List.assoc_opt cex.at vc.tgt.defs) with
+  | Value_mismatch, Some src_iv, Some tgt_iv ->
+      Format.fprintf ppf "Source value: %a@." pp_value
+        (Model.eval cex.model src_iv.value);
+      Format.fprintf ppf "Target value: %a@." pp_value
+        (Model.eval cex.model tgt_iv.value)
+  | Not_defined, Some src_iv, _ ->
+      Format.fprintf ppf "Source value: %a@." pp_value
+        (Model.eval cex.model src_iv.value);
+      Format.fprintf ppf "Target value: undefined behavior@."
+  | More_poison, Some src_iv, _ ->
+      Format.fprintf ppf "Source value: %a@." pp_value
+        (Model.eval cex.model src_iv.value);
+      Format.fprintf ppf "Target value: poison@."
+  | _ -> ());
+  ignore transform;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf

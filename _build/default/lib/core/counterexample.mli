@@ -1,0 +1,25 @@
+(** Counterexample rendering in the paper's Fig. 5 style: inputs and
+    abstract constants first, then intermediate source values, then the
+    source and target values of the instruction whose check failed. *)
+
+type kind =
+  | Not_defined
+      (** the target is undefined for inputs where the source is defined *)
+  | More_poison
+      (** the target produces poison for inputs where the source does not *)
+  | Value_mismatch  (** source and target compute different values *)
+
+val describe : kind -> string
+
+type t = {
+  transform_name : string;
+  kind : kind;
+  at : string;  (** name of the instruction whose check failed *)
+  typing : Typing.env;
+  model : Alive_smt.Model.t;
+}
+
+val render : Ast.transform -> Vcgen.vc -> t -> string
+(** Pretty, Fig. 5-shaped report. Intermediate source values are recomputed
+    by evaluating the verification-condition terms under the model (source
+    [undef] variables default to zero). *)

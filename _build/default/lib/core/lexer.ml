@@ -1,0 +1,227 @@
+type token =
+  | IDENT of string
+  | REG of string
+  | INT of int64
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | EQUALS
+  | ARROW
+  | STAR
+  | PLUS
+  | MINUS
+  | SLASH
+  | SLASH_U
+  | PERCENT_OP
+  | PERCENT_U
+  | SHL_OP
+  | ASHR_OP
+  | LSHR_OP
+  | AMP
+  | PIPE
+  | CARET
+  | TILDE
+  | BANG
+  | ANDAND
+  | OROR
+  | EQEQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | ULT
+  | ULE
+  | UGT
+  | UGE
+  | COLON
+  | NEWLINE
+  | EOF
+
+let pp_token ppf t =
+  Format.pp_print_string ppf
+    (match t with
+    | IDENT s -> Printf.sprintf "identifier %S" s
+    | REG s -> Printf.sprintf "register %S" s
+    | INT n -> Printf.sprintf "integer %Ld" n
+    | LPAREN -> "'('"
+    | RPAREN -> "')'"
+    | LBRACKET -> "'['"
+    | RBRACKET -> "']'"
+    | COMMA -> "','"
+    | EQUALS -> "'='"
+    | ARROW -> "'=>'"
+    | STAR -> "'*'"
+    | PLUS -> "'+'"
+    | MINUS -> "'-'"
+    | SLASH -> "'/'"
+    | SLASH_U -> "'/u'"
+    | PERCENT_OP -> "'%'"
+    | PERCENT_U -> "'%u'"
+    | SHL_OP -> "'<<'"
+    | ASHR_OP -> "'>>'"
+    | LSHR_OP -> "'u>>'"
+    | AMP -> "'&'"
+    | PIPE -> "'|'"
+    | CARET -> "'^'"
+    | TILDE -> "'~'"
+    | BANG -> "'!'"
+    | ANDAND -> "'&&'"
+    | OROR -> "'||'"
+    | EQEQ -> "'=='"
+    | NEQ -> "'!='"
+    | LT -> "'<'"
+    | LE -> "'<='"
+    | GT -> "'>'"
+    | GE -> "'>='"
+    | ULT -> "'u<'"
+    | ULE -> "'u<='"
+    | UGT -> "'u>'"
+    | UGE -> "'u>='"
+    | COLON -> "':'"
+    | NEWLINE -> "newline"
+    | EOF -> "end of input")
+
+exception Error of string * int
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '.'
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize text =
+  let n = String.length text in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let push t = tokens := (t, !line) :: !tokens in
+  let last_is_newline () =
+    match !tokens with (NEWLINE, _) :: _ | [] -> true | _ -> false
+  in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some text.[!i + k] else None in
+  while !i < n do
+    let c = text.[!i] in
+    let adv k = i := !i + k in
+    (match c with
+    | ' ' | '\t' | '\r' -> adv 1
+    | '\n' ->
+        if not (last_is_newline ()) then push NEWLINE;
+        incr line;
+        adv 1
+    | ';' ->
+        while !i < n && text.[!i] <> '\n' do
+          adv 1
+        done
+    | '(' -> push LPAREN; adv 1
+    | ')' -> push RPAREN; adv 1
+    | '[' -> push LBRACKET; adv 1
+    | ']' -> push RBRACKET; adv 1
+    | ',' -> push COMMA; adv 1
+    | ':' -> push COLON; adv 1
+    | '*' -> push STAR; adv 1
+    | '+' -> push PLUS; adv 1
+    | '-' -> push MINUS; adv 1
+    | '~' -> push TILDE; adv 1
+    | '^' -> push CARET; adv 1
+    | '=' -> (
+        match peek 1 with
+        | Some '>' -> push ARROW; adv 2
+        | Some '=' -> push EQEQ; adv 2
+        | _ -> push EQUALS; adv 1)
+    | '!' -> (
+        match peek 1 with
+        | Some '=' -> push NEQ; adv 2
+        | _ -> push BANG; adv 1)
+    | '&' -> (
+        match peek 1 with
+        | Some '&' -> push ANDAND; adv 2
+        | _ -> push AMP; adv 1)
+    | '|' -> (
+        match peek 1 with
+        | Some '|' -> push OROR; adv 2
+        | _ -> push PIPE; adv 1)
+    | '<' -> (
+        match peek 1 with
+        | Some '<' -> push SHL_OP; adv 2
+        | Some '=' -> push LE; adv 2
+        | _ -> push LT; adv 1)
+    | '>' -> (
+        match peek 1 with
+        | Some '>' -> push ASHR_OP; adv 2
+        | Some '=' -> push GE; adv 2
+        | _ -> push GT; adv 1)
+    | '/' -> (
+        match peek 1 with
+        | Some 'u' -> push SLASH_U; adv 2
+        | _ -> push SLASH; adv 1)
+    | '%' -> (
+        (* "%u" is ambiguous: the urem operator or a register named %u. It
+           is the operator exactly when the previous token could end a
+           constant expression. *)
+        let after_expression =
+          match !tokens with
+          | (INT _, _) :: _ | (RPAREN, _) :: _ | (IDENT _, _) :: _ -> true
+          | _ -> false
+        in
+        match peek 1 with
+        | Some 'u'
+          when after_expression
+               && not
+                    (match peek 2 with
+                    | Some c2 -> is_ident_char c2
+                    | None -> false) ->
+            push PERCENT_U;
+            adv 2
+        | Some c1 when is_ident_start c1 || is_digit c1 ->
+            let start = !i in
+            adv 1;
+            while !i < n && is_ident_char text.[!i] do
+              adv 1
+            done;
+            push (REG (String.sub text start (!i - start)))
+        | Some 'u' -> push PERCENT_U; adv 2
+        | _ -> push PERCENT_OP; adv 1)
+    | '0' when peek 1 = Some 'x' || peek 1 = Some 'X' ->
+        let start = !i in
+        adv 2;
+        while
+          !i < n
+          &&
+          let c = text.[!i] in
+          is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+        do
+          adv 1
+        done;
+        let s = String.sub text start (!i - start) in
+        push (INT (Int64.of_string s))
+    | c when is_digit c ->
+        let start = !i in
+        while !i < n && is_digit text.[!i] do
+          adv 1
+        done;
+        push (INT (Int64.of_string (String.sub text start (!i - start))))
+    | 'u' when peek 1 = Some '>' && peek 2 = Some '>' ->
+        push LSHR_OP;
+        adv 3
+    | 'u' when peek 1 = Some '<' || peek 1 = Some '>' -> (
+        match (peek 1, peek 2) with
+        | Some '<', Some '=' -> push ULE; adv 3
+        | Some '<', _ -> push ULT; adv 2
+        | Some '>', Some '=' -> push UGE; adv 3
+        | Some '>', _ -> push UGT; adv 2
+        | _ -> assert false)
+    | c when is_ident_start c ->
+        let start = !i in
+        while !i < n && is_ident_char text.[!i] do
+          adv 1
+        done;
+        push (IDENT (String.sub text start (!i - start)))
+    | c -> raise (Error (Printf.sprintf "unexpected character %C" c, !line)));
+    ()
+  done;
+  if not (last_is_newline ()) then push NEWLINE;
+  push EOF;
+  List.rev !tokens

@@ -1,0 +1,53 @@
+(** Tokenizer for the Alive surface syntax. Newlines are significant
+    (statements are line-separated), so the lexer emits [NEWLINE] tokens;
+    [;] comments run to end of line. *)
+
+type token =
+  | IDENT of string (** bare identifier: opcodes, predicates, [C1], [i8]… *)
+  | REG of string (** [%name], with the percent sign kept *)
+  | INT of int64
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | EQUALS (** [=] *)
+  | ARROW (** [=>] *)
+  | STAR (** [*] *)
+  | PLUS
+  | MINUS
+  | SLASH (** [/] *)
+  | SLASH_U (** [/u] *)
+  | PERCENT_OP (** [%] as the srem operator *)
+  | PERCENT_U (** [%u] *)
+  | SHL_OP (** [<<] *)
+  | ASHR_OP (** [>>] *)
+  | LSHR_OP (** [u>>] *)
+  | AMP (** [&] *)
+  | PIPE (** [|] *)
+  | CARET (** [^] *)
+  | TILDE (** [~] *)
+  | BANG (** [!] *)
+  | ANDAND
+  | OROR
+  | EQEQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | ULT
+  | ULE
+  | UGT
+  | UGE
+  | COLON
+  | NEWLINE
+  | EOF
+
+val pp_token : Format.formatter -> token -> unit
+
+exception Error of string * int (** message, line number *)
+
+val tokenize : string -> (token * int) list
+(** Token stream with line numbers. Consecutive NEWLINEs are collapsed.
+    @raise Error on an unrecognized character. *)

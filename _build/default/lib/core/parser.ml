@@ -1,0 +1,569 @@
+open Ast
+
+exception Error of string * int
+
+type state = { toks : (Lexer.token * int) array; mutable pos : int }
+
+let peek st = fst st.toks.(st.pos)
+let peek2 st = if st.pos + 1 < Array.length st.toks then fst st.toks.(st.pos + 1) else Lexer.EOF
+let line st = snd st.toks.(st.pos)
+let advance st = if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
+
+let fail st msg =
+  raise (Error (Format.asprintf "%s (found %a)" msg Lexer.pp_token (peek st), line st))
+
+let expect st tok msg =
+  if peek st = tok then advance st else fail st msg
+
+let skip_newlines st =
+  while peek st = Lexer.NEWLINE do
+    advance st
+  done
+
+let is_int_type_name s =
+  String.length s >= 2
+  && s.[0] = 'i'
+  && String.for_all (fun c -> c >= '0' && c <= '9') (String.sub s 1 (String.length s - 1))
+
+let int_type_width s = int_of_string (String.sub s 1 (String.length s - 1))
+
+(* --- Types --- *)
+
+let rec parse_typ st =
+  let base =
+    match peek st with
+    | Lexer.IDENT s when is_int_type_name s ->
+        advance st;
+        Int (int_type_width s)
+    | Lexer.LBRACKET -> (
+        advance st;
+        match peek st with
+        | Lexer.INT n -> (
+            advance st;
+            match peek st with
+            | Lexer.IDENT "x" ->
+                advance st;
+                let elem = parse_typ st in
+                expect st Lexer.RBRACKET "expected ']' after array type";
+                Arr (Int64.to_int n, elem)
+            | _ -> fail st "expected 'x' in array type")
+        | _ -> fail st "expected array length")
+    | _ -> fail st "expected a type"
+  in
+  let rec stars t =
+    if peek st = Lexer.STAR then begin
+      advance st;
+      stars (Ptr t)
+    end
+    else t
+  in
+  stars base
+
+let looks_like_typ st =
+  match peek st with
+  | Lexer.IDENT s when is_int_type_name s -> true
+  | Lexer.LBRACKET -> true
+  | _ -> false
+
+(* --- Constant expressions (precedence climbing) --- *)
+
+let rec parse_cexpr st = parse_bor st
+
+and parse_bor st =
+  let rec go acc =
+    if peek st = Lexer.PIPE then begin
+      advance st;
+      go (Cbin (Cor, acc, parse_bxor st))
+    end
+    else acc
+  in
+  go (parse_bxor st)
+
+and parse_bxor st =
+  let rec go acc =
+    if peek st = Lexer.CARET then begin
+      advance st;
+      go (Cbin (Cxor, acc, parse_band st))
+    end
+    else acc
+  in
+  go (parse_band st)
+
+and parse_band st =
+  let rec go acc =
+    if peek st = Lexer.AMP then begin
+      advance st;
+      go (Cbin (Cand, acc, parse_shift st))
+    end
+    else acc
+  in
+  go (parse_shift st)
+
+and parse_shift st =
+  let rec go acc =
+    match peek st with
+    | Lexer.SHL_OP ->
+        advance st;
+        go (Cbin (Cshl, acc, parse_addsub st))
+    | Lexer.ASHR_OP ->
+        advance st;
+        go (Cbin (Cashr, acc, parse_addsub st))
+    | Lexer.LSHR_OP ->
+        advance st;
+        go (Cbin (Clshr, acc, parse_addsub st))
+    | _ -> acc
+  in
+  go (parse_addsub st)
+
+and parse_addsub st =
+  let rec go acc =
+    match peek st with
+    | Lexer.PLUS ->
+        advance st;
+        go (Cbin (Cadd, acc, parse_muldiv st))
+    | Lexer.MINUS ->
+        advance st;
+        go (Cbin (Csub, acc, parse_muldiv st))
+    | _ -> acc
+  in
+  go (parse_muldiv st)
+
+and parse_muldiv st =
+  let rec go acc =
+    match peek st with
+    | Lexer.STAR ->
+        advance st;
+        go (Cbin (Cmul, acc, parse_cunary st))
+    | Lexer.SLASH ->
+        advance st;
+        go (Cbin (Csdiv, acc, parse_cunary st))
+    | Lexer.SLASH_U ->
+        advance st;
+        go (Cbin (Cudiv, acc, parse_cunary st))
+    | Lexer.PERCENT_OP ->
+        advance st;
+        go (Cbin (Csrem, acc, parse_cunary st))
+    | Lexer.PERCENT_U ->
+        advance st;
+        go (Cbin (Curem, acc, parse_cunary st))
+    | _ -> acc
+  in
+  go (parse_cunary st)
+
+and parse_cunary st =
+  match peek st with
+  | Lexer.MINUS -> (
+      advance st;
+      match parse_cunary st with
+      | Cint n -> Cint (Int64.neg n)
+      | e -> Cun (Cneg, e))
+  | Lexer.TILDE ->
+      advance st;
+      Cun (Cnot, parse_cunary st)
+  | _ -> parse_catom st
+
+and parse_catom st =
+  match peek st with
+  | Lexer.INT n ->
+      advance st;
+      Cint n
+  | Lexer.REG r ->
+      advance st;
+      Cval r
+  | Lexer.LPAREN ->
+      advance st;
+      let e = parse_cexpr st in
+      expect st Lexer.RPAREN "expected ')'";
+      e
+  | Lexer.IDENT "true" when peek2 st <> Lexer.LPAREN ->
+      advance st;
+      Cbool true
+  | Lexer.IDENT "false" when peek2 st <> Lexer.LPAREN ->
+      advance st;
+      Cbool false
+  | Lexer.IDENT name -> (
+      advance st;
+      match peek st with
+      | Lexer.LPAREN ->
+          advance st;
+          let args =
+            if peek st = Lexer.RPAREN then []
+            else
+              let rec go acc =
+                let e = parse_cexpr st in
+                if peek st = Lexer.COMMA then begin
+                  advance st;
+                  go (e :: acc)
+                end
+                else List.rev (e :: acc)
+              in
+              go []
+          in
+          expect st Lexer.RPAREN "expected ')' after arguments";
+          Cfun (name, args)
+      | _ -> Cabs name)
+  | _ -> fail st "expected a constant expression"
+
+(* --- Preconditions --- *)
+
+let cmp_of_token = function
+  | Lexer.EQEQ -> Some Peq
+  | Lexer.NEQ -> Some Pne
+  | Lexer.LT -> Some Pslt
+  | Lexer.LE -> Some Psle
+  | Lexer.GT -> Some Psgt
+  | Lexer.GE -> Some Psge
+  | Lexer.ULT -> Some Pult
+  | Lexer.ULE -> Some Pule
+  | Lexer.UGT -> Some Pugt
+  | Lexer.UGE -> Some Puge
+  | _ -> None
+
+let rec parse_pred_expr st = parse_por st
+
+and parse_por st =
+  let rec go acc =
+    if peek st = Lexer.OROR then begin
+      advance st;
+      go (Por (acc, parse_pand st))
+    end
+    else acc
+  in
+  go (parse_pand st)
+
+and parse_pand st =
+  let rec go acc =
+    if peek st = Lexer.ANDAND then begin
+      advance st;
+      go (Pand (acc, parse_patom st))
+    end
+    else acc
+  in
+  go (parse_patom st)
+
+and parse_patom st =
+  match peek st with
+  | Lexer.BANG ->
+      advance st;
+      Pnot (parse_patom st)
+  | Lexer.IDENT "true" when peek2 st <> Lexer.LPAREN ->
+      advance st;
+      Ptrue
+  | Lexer.LPAREN -> (
+      (* Could be a parenthesized predicate or a parenthesized constant
+         expression starting a comparison; backtrack on failure. *)
+      let save = st.pos in
+      try
+        advance st;
+        let p = parse_pred_expr st in
+        expect st Lexer.RPAREN "expected ')'";
+        match cmp_of_token (peek st) with
+        | Some _ -> raise Exit (* it was a cexpr comparison after all *)
+        | None -> p
+      with Error _ | Exit ->
+        st.pos <- save;
+        parse_cmp st)
+  | _ -> parse_cmp st
+
+and parse_cmp st =
+  let lhs = parse_cexpr st in
+  match cmp_of_token (peek st) with
+  | Some op ->
+      advance st;
+      let rhs = parse_cexpr st in
+      Pcmp (op, lhs, rhs)
+  | None -> (
+      (* A bare function application is a built-in predicate call. *)
+      match lhs with
+      | Cfun (name, args) -> Pcall (name, args)
+      | _ -> fail st "expected a comparison or predicate call")
+
+(* --- Operands and instructions --- *)
+
+let parse_operand st =
+  match peek st with
+  | Lexer.REG r ->
+      advance st;
+      Var r
+  | Lexer.IDENT "undef" ->
+      advance st;
+      Undef
+  | _ -> ConstOp (parse_cexpr st)
+
+let parse_toperand st =
+  let ty = if looks_like_typ st then Some (parse_typ st) else None in
+  let op = parse_operand st in
+  { op; ty }
+
+let binop_of_name = function
+  | "add" -> Some Add
+  | "sub" -> Some Sub
+  | "mul" -> Some Mul
+  | "udiv" -> Some UDiv
+  | "sdiv" -> Some SDiv
+  | "urem" -> Some URem
+  | "srem" -> Some SRem
+  | "shl" -> Some Shl
+  | "lshr" -> Some LShr
+  | "ashr" -> Some AShr
+  | "and" -> Some And
+  | "or" -> Some Or
+  | "xor" -> Some Xor
+  | _ -> None
+
+let conv_of_name = function
+  | "zext" -> Some Zext
+  | "sext" -> Some Sext
+  | "trunc" -> Some Trunc
+  | "bitcast" -> Some Bitcast
+  | "ptrtoint" -> Some Ptrtoint
+  | "inttoptr" -> Some Inttoptr
+  | _ -> None
+
+let cond_of_name = function
+  | "eq" -> Some Ceq
+  | "ne" -> Some Cne
+  | "ugt" -> Some Cugt
+  | "uge" -> Some Cuge
+  | "ult" -> Some Cult
+  | "ule" -> Some Cule
+  | "sgt" -> Some Csgt
+  | "sge" -> Some Csge
+  | "slt" -> Some Cslt
+  | "sle" -> Some Csle
+  | _ -> None
+
+let attr_of_name = function
+  | "nsw" -> Some Nsw
+  | "nuw" -> Some Nuw
+  | "exact" -> Some Exact
+  | _ -> None
+
+let parse_inst st =
+  match peek st with
+  | Lexer.IDENT name when binop_of_name name <> None && peek2 st <> Lexer.LPAREN
+    ->
+      let op = Option.get (binop_of_name name) in
+      advance st;
+      let rec attrs acc =
+        match peek st with
+        | Lexer.IDENT a when attr_of_name a <> None ->
+            advance st;
+            attrs (Option.get (attr_of_name a) :: acc)
+        | _ -> List.rev acc
+      in
+      let attrs = attrs [] in
+      let a = parse_toperand st in
+      expect st Lexer.COMMA "expected ',' between operands";
+      let b = parse_toperand st in
+      Binop (op, attrs, a, b)
+  | Lexer.IDENT name when conv_of_name name <> None && peek2 st <> Lexer.LPAREN
+    ->
+      let c = Option.get (conv_of_name name) in
+      advance st;
+      let a = parse_toperand st in
+      let to_ty =
+        if peek st = Lexer.IDENT "to" then begin
+          advance st;
+          Some (parse_typ st)
+        end
+        else None
+      in
+      Conv (c, a, to_ty)
+  | Lexer.IDENT "select" when peek2 st <> Lexer.LPAREN ->
+      advance st;
+      let c = parse_toperand st in
+      expect st Lexer.COMMA "expected ',' after select condition";
+      let a = parse_toperand st in
+      expect st Lexer.COMMA "expected ',' between select values";
+      let b = parse_toperand st in
+      Select (c, a, b)
+  | Lexer.IDENT "icmp" -> (
+      advance st;
+      match peek st with
+      | Lexer.IDENT cname when cond_of_name cname <> None ->
+          advance st;
+          let a = parse_toperand st in
+          expect st Lexer.COMMA "expected ',' between icmp operands";
+          let b = parse_toperand st in
+          Icmp (Option.get (cond_of_name cname), a, b)
+      | _ -> fail st "expected an icmp condition")
+  | Lexer.IDENT "alloca" ->
+      advance st;
+      let ty = if looks_like_typ st then Some (parse_typ st) else None in
+      let count =
+        if peek st = Lexer.COMMA then begin
+          advance st;
+          parse_toperand st
+        end
+        else { op = ConstOp (Cint 1L); ty = None }
+      in
+      Alloca (ty, count)
+  | Lexer.IDENT "load" ->
+      advance st;
+      Load (parse_toperand st)
+  | Lexer.IDENT "getelementptr" ->
+      advance st;
+      let base = parse_toperand st in
+      let rec indices acc =
+        if peek st = Lexer.COMMA then begin
+          advance st;
+          indices (parse_toperand st :: acc)
+        end
+        else List.rev acc
+      in
+      Gep (base, indices [])
+  | _ -> Copy (parse_toperand st)
+
+let parse_stmt st =
+  match peek st with
+  | Lexer.REG name -> (
+      advance st;
+      expect st Lexer.EQUALS "expected '=' after register";
+      (* A leading type annotates the result: %r = i8 add %x, %y — but the
+         common form puts the type after the opcode, which parse_toperand
+         handles. Peek for "type then opcode" is rare; treat a leading type
+         followed by an instruction keyword as a result annotation. *)
+      match peek st with
+      | Lexer.IDENT s
+        when is_int_type_name s
+             &&
+             match peek2 st with
+             | Lexer.IDENT k ->
+                 binop_of_name k <> None || conv_of_name k <> None
+                 || List.mem k [ "select"; "icmp"; "alloca"; "load"; "getelementptr" ]
+             | _ -> false ->
+          advance st;
+          Def (name, Some (Int (int_type_width s)), parse_inst st)
+      | _ -> Def (name, None, parse_inst st))
+  | Lexer.IDENT "store" ->
+      advance st;
+      let v = parse_toperand st in
+      expect st Lexer.COMMA "expected ',' in store";
+      let p = parse_toperand st in
+      Store (v, p)
+  | Lexer.IDENT "unreachable" ->
+      advance st;
+      Unreachable
+  | _ -> fail st "expected a statement"
+
+(* --- Transformations --- *)
+
+let at_name_line st =
+  match (peek st, peek2 st) with
+  | Lexer.IDENT "Name", Lexer.COLON -> true
+  | _ -> false
+
+let token_text = function
+  | Lexer.IDENT s -> s
+  | Lexer.REG s -> s
+  | Lexer.INT n -> Int64.to_string n
+  | Lexer.COLON -> ":"
+  | Lexer.MINUS -> "-"
+  | Lexer.SLASH -> "/"
+  | Lexer.COMMA -> ","
+  | Lexer.LPAREN -> "("
+  | Lexer.RPAREN -> ")"
+  | Lexer.STAR -> "*"
+  | Lexer.PLUS -> "+"
+  | Lexer.EQUALS -> "="
+  | _ -> "_"
+
+let parse_name_line st =
+  advance st;
+  (* Name *)
+  advance st;
+  (* : *)
+  let buf = Buffer.create 16 in
+  let is_word = function
+    | Lexer.IDENT _ | Lexer.REG _ | Lexer.INT _ -> true
+    | _ -> false
+  in
+  let prev_word = ref false in
+  while peek st <> Lexer.NEWLINE && peek st <> Lexer.EOF do
+    (* Separate adjacent words by a space; glue punctuation tightly. *)
+    if Buffer.length buf > 0 && !prev_word && is_word (peek st) then
+      Buffer.add_char buf ' ';
+    prev_word := is_word (peek st);
+    Buffer.add_string buf (token_text (peek st));
+    advance st
+  done;
+  skip_newlines st;
+  Buffer.contents buf
+
+let parse_one st ~index =
+  skip_newlines st;
+  let name =
+    if at_name_line st then parse_name_line st
+    else Printf.sprintf "anonymous-%d" index
+  in
+  skip_newlines st;
+  let pre =
+    match (peek st, peek2 st) with
+    | Lexer.IDENT "Pre", Lexer.COLON ->
+        advance st;
+        advance st;
+        let p = parse_pred_expr st in
+        expect st Lexer.NEWLINE "expected end of line after precondition";
+        skip_newlines st;
+        p
+    | _ -> Ptrue
+  in
+  let rec stmts acc =
+    skip_newlines st;
+    if peek st = Lexer.ARROW || peek st = Lexer.EOF || at_name_line st then
+      List.rev acc
+    else begin
+      let s = parse_stmt st in
+      (match peek st with
+      | Lexer.NEWLINE -> advance st
+      | Lexer.EOF -> ()
+      | _ -> fail st "expected end of line after statement");
+      stmts (s :: acc)
+    end
+  in
+  let src = stmts [] in
+  expect st Lexer.ARROW "expected '=>' between source and target";
+  (match peek st with Lexer.NEWLINE -> advance st | _ -> ());
+  let rec tgt_stmts acc =
+    skip_newlines st;
+    if peek st = Lexer.EOF || at_name_line st then List.rev acc
+    else begin
+      let s = parse_stmt st in
+      (match peek st with
+      | Lexer.NEWLINE -> advance st
+      | Lexer.EOF -> ()
+      | _ -> fail st "expected end of line after statement");
+      tgt_stmts (s :: acc)
+    end
+  in
+  let tgt = tgt_stmts [] in
+  if src = [] then raise (Error ("empty source template", line st));
+  if tgt = [] then raise (Error ("empty target template", line st));
+  { name; pre; src; tgt }
+
+let make_state text =
+  { toks = Array.of_list (Lexer.tokenize text); pos = 0 }
+
+let parse_transform text =
+  let st = make_state text in
+  let t = parse_one st ~index:0 in
+  skip_newlines st;
+  if peek st <> Lexer.EOF then fail st "trailing input after transformation";
+  t
+
+let parse_file text =
+  let st = make_state text in
+  let rec go acc i =
+    skip_newlines st;
+    if peek st = Lexer.EOF then List.rev acc
+    else go (parse_one st ~index:i :: acc) (i + 1)
+  in
+  go [] 0
+
+let parse_pred text =
+  let st = make_state text in
+  let p = parse_pred_expr st in
+  skip_newlines st;
+  if peek st <> Lexer.EOF then fail st "trailing input after predicate";
+  p

@@ -1,0 +1,30 @@
+(** Recursive-descent parser for Alive transformations.
+
+    The surface syntax follows the paper:
+
+    {v
+    Name: PR21245
+    Pre: C2 % (1 << C1) == 0
+    %s = shl nsw %X, C1
+    %r = sdiv %s, C2
+    =>
+    %r = sdiv %X, C2 / (1 << C1)
+    v}
+
+    [Name:] is optional for a single transformation; a file may contain many
+    transformations, each introduced by [Name:]. Types may be annotated on
+    results ([%r = sdiv i8 ...]) and operands ([select undef, i4 -1, 0]).
+    Comments start with [;]. *)
+
+exception Error of string * int (** message, line *)
+
+val parse_transform : string -> Ast.transform
+(** Parse exactly one transformation.
+    @raise Error on syntax errors or trailing input. *)
+
+val parse_file : string -> Ast.transform list
+(** Parse a sequence of transformations.
+    @raise Error on syntax errors. *)
+
+val parse_pred : string -> Ast.pred
+(** Parse a precondition expression on its own (used by tests). *)

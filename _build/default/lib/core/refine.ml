@@ -1,0 +1,127 @@
+module T = Alive_smt.Term
+module Solve = Alive_smt.Solve
+
+type verdict =
+  | Valid of { typings_checked : int }
+  | Invalid of Counterexample.t
+  | Type_error of Typing.error
+  | Unsupported_feature of string
+
+let pp_verdict ppf = function
+  | Valid { typings_checked } ->
+      Format.fprintf ppf "valid (%d typings)" typings_checked
+  | Invalid cex ->
+      Format.fprintf ppf "INVALID: %s at %s" (Counterexample.describe cex.kind)
+        cex.at
+  | Type_error e -> Typing.pp_error ppf e
+  | Unsupported_feature msg -> Format.fprintf ppf "unsupported: %s" msg
+
+let is_valid_verdict = function
+  | Valid _ -> true
+  | Invalid _ | Type_error _ | Unsupported_feature _ -> false
+
+(* Instruction names to check: defined on both sides (the root always is,
+   by the scoping rules). Checked in target order. *)
+let checked_names (vc : Vcgen.vc) =
+  List.filter_map
+    (fun (name, _) ->
+      if List.mem_assoc name vc.src.defs then Some name else None)
+    vc.tgt.defs
+
+let check_typing ?share_memory_reads (t : Ast.transform) typing =
+  let vc = Vcgen.run ?share_memory_reads typing t in
+  let exists = vc.src.undefs in
+  let failure = ref None in
+  (* Memory constraints: α from allocas plus the Ackermann congruence facts
+     for initial-memory reads. Both are definitional and must back every
+     check, not only criterion 4 — two loads through structurally different
+     but equal addresses are related only by the congruence constraints. *)
+  let memory_facts () =
+    match vc.memory with
+    | Some m -> m.alloca @ m.congruence ()
+    | None -> []
+  in
+  let psi_for name =
+    let src_iv = List.assoc name vc.src.defs in
+    T.and_
+      (vc.precondition :: src_iv.defined :: src_iv.poison_free
+     :: (vc.side_constraints @ memory_facts ()))
+  in
+  let run_check name kind formula =
+    if !failure = None then
+      match Solve.check_valid_ef ~exists formula with
+      | `Valid -> ()
+      | `Invalid model ->
+          failure :=
+            Some
+              {
+                Counterexample.transform_name = t.name;
+                kind;
+                at = name;
+                typing;
+                model;
+              }
+  in
+  List.iter
+    (fun name ->
+      let psi = psi_for name in
+      let src_iv = List.assoc name vc.src.defs in
+      let tgt_iv = List.assoc name vc.tgt.defs in
+      run_check name Counterexample.Not_defined (T.implies psi tgt_iv.defined);
+      run_check name Counterexample.More_poison
+        (T.implies psi tgt_iv.poison_free);
+      run_check name Counterexample.Value_mismatch
+        (T.implies psi (T.eq src_iv.value tgt_iv.value)))
+    (checked_names vc);
+  (* Criterion 4 (§3.3.2): the final memories agree at every address. The
+     probe address is a fresh universal variable; congruence constraints are
+     collected after both reads so they cover the probe. *)
+  (match vc.memory with
+  | None -> ()
+  | Some m ->
+      let probe = T.var "%addr.probe" (T.Bv 32) in
+      let src_byte = m.src_read probe and tgt_byte = m.tgt_read probe in
+      let psi4 =
+        T.and_
+          ((vc.precondition :: vc.side_constraints) @ m.alloca @ m.congruence ())
+      in
+      run_check "memory" Counterexample.Value_mismatch
+        (T.implies psi4 (T.eq src_byte tgt_byte)));
+  match !failure with None -> Ok () | Some cex -> Error (cex, vc)
+
+let check_with_vc ?widths ?max_typings ?share_memory_reads (t : Ast.transform) =
+  match Typing.enumerate ?widths ?max_typings t with
+  | Error e -> (Type_error e, None)
+  | Ok [] ->
+      ( Type_error
+          { message = "no feasible typing in the width domain"; transform = t.name },
+        None )
+  | Ok typings -> (
+      try
+        let rec go checked = function
+          | [] -> (Valid { typings_checked = checked }, None)
+          | typing :: rest -> (
+              match check_typing ?share_memory_reads t typing with
+              | Ok () -> go (checked + 1) rest
+              | Error (cex, vc) -> (Invalid cex, Some (typing, vc)))
+        in
+        go 0 typings
+      with Vcgen.Unsupported msg -> (Unsupported_feature msg, None))
+
+let check ?widths ?max_typings ?share_memory_reads t =
+  fst (check_with_vc ?widths ?max_typings ?share_memory_reads t)
+
+let render_verdict t verdict =
+  match verdict with
+  | Valid { typings_checked } ->
+      Printf.sprintf "Optimization %s is correct (%d typings checked)" t.Ast.name
+        typings_checked
+  | Invalid cex -> (
+      (* Re-derive the VC for rendering. *)
+      match
+        try Some (Vcgen.run cex.typing t) with Vcgen.Unsupported _ -> None
+      with
+      | Some vc -> Counterexample.render t vc cex
+      | None -> "ERROR: " ^ Counterexample.describe cex.kind)
+  | Type_error e -> Format.asprintf "%a" Typing.pp_error e
+  | Unsupported_feature msg -> "unsupported: " ^ msg

@@ -1,0 +1,46 @@
+(** Refinement checking (§3.1.2).
+
+    For every feasible typing and every instruction name defined in both the
+    source and the target, with [ψ = φ ∧ side ∧ δ_src ∧ ρ_src]:
+
+    + the target must be defined when the source is: [ψ ⇒ δ_tgt];
+    + the target must be poison-free when the source is: [ψ ⇒ ρ_tgt];
+    + values must agree: [ψ ⇒ ι_src = ι_tgt].
+
+    All three are universally quantified over inputs, abstract constants,
+    analysis variables, and target [undef] variables, and existentially over
+    source [undef] variables (decided by the CEGAR loop in {!Alive_smt.Solve}).
+    A transformation is correct iff every check holds for every feasible
+    typing (Theorem 1); bounded by the width domain as in the paper. *)
+
+type verdict =
+  | Valid of { typings_checked : int }
+  | Invalid of Counterexample.t
+  | Type_error of Typing.error
+  | Unsupported_feature of string
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val is_valid_verdict : verdict -> bool
+
+val check :
+  ?widths:int list ->
+  ?max_typings:int ->
+  ?share_memory_reads:bool ->
+  Ast.transform ->
+  verdict
+(** [share_memory_reads] selects the §3.3.3 memory encoding variant; see
+    {!Vcgen.run}. *)
+
+val check_with_vc :
+  ?widths:int list ->
+  ?max_typings:int ->
+  ?share_memory_reads:bool ->
+  Ast.transform ->
+  verdict * (Typing.env * Vcgen.vc) option
+(** Like {!check}, also returning the typing and VC of the counterexample
+    (for rendering) when invalid. *)
+
+val render_verdict : Ast.transform -> verdict -> string
+(** Human-readable report; for invalid transformations this is the Fig. 5
+    counterexample format. *)

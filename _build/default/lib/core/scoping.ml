@@ -1,0 +1,193 @@
+open Ast
+
+type info = {
+  root : string option;
+  inputs : string list;
+  source_defs : string list;
+  target_defs : string list;
+  constants : string list;
+}
+
+let ( let* ) = Result.bind
+
+let operand_names inst =
+  List.filter_map
+    (fun { op; _ } -> match op with Var n -> Some n | ConstOp _ | Undef -> None)
+    (operands_of_inst inst)
+
+(* Variables referenced by a statement, including via store operands. *)
+let stmt_uses = function
+  | Def (_, _, inst) -> operand_names inst
+  | Store (v, p) ->
+      List.filter_map
+        (fun { op; _ } ->
+          match op with Var n -> Some n | ConstOp _ | Undef -> None)
+        [ v; p ]
+  | Unreachable -> []
+
+let rec pred_value_refs = function
+  | Ptrue -> []
+  | Pcmp (_, a, b) -> cexpr_value_refs a @ cexpr_value_refs b
+  | Pcall (_, args) -> List.concat_map cexpr_value_refs args
+  | Pand (a, b) | Por (a, b) -> pred_value_refs a @ pred_value_refs b
+  | Pnot a -> pred_value_refs a
+
+and cexpr_value_refs = function
+  | Cint _ | Cbool _ | Cabs _ -> []
+  | Cval n -> [ n ]
+  | Cun (_, e) -> cexpr_value_refs e
+  | Cbin (_, a, b) -> cexpr_value_refs a @ cexpr_value_refs b
+  | Cfun (_, args) -> List.concat_map cexpr_value_refs args
+
+(* No double definitions within a template. Returns the names the template
+   defines, in order. *)
+let check_template ~what stmts =
+  let rec go defined = function
+    | [] -> Ok (List.rev defined)
+    | s :: rest -> (
+        match s with
+        | Def (n, _, _) ->
+            if List.mem n defined then
+              Error (Printf.sprintf "%s: %s is defined twice" what n)
+            else go (n :: defined) rest
+        | Store _ | Unreachable -> go defined rest)
+  in
+  go [] stmts
+
+let first_use_order stmts =
+  let seen = Hashtbl.create 16 in
+  List.concat_map stmt_uses stmts
+  |> List.filter (fun n ->
+         if Hashtbl.mem seen n then false
+         else begin
+           Hashtbl.add seen n ();
+           true
+         end)
+
+let check (t : transform) =
+  let* src_defs = check_template ~what:"source" t.src in
+  let* tgt_defs = check_template ~what:"target" t.tgt in
+  let src_uses = first_use_order t.src in
+  let inputs = List.filter (fun n -> not (List.mem n src_defs)) src_uses in
+  (* Root agreement: both templates compute the same value, or neither
+     computes one (store-rooted memory transforms). *)
+  let ends_in_store stmts =
+    match List.rev stmts with Store _ :: _ -> true | _ -> false
+  in
+  let* root =
+    match (root_of t.src, root_of t.tgt) with
+    | Some r, Some r' when String.equal r r' -> Ok (Some r)
+    | None, None when ends_in_store t.src && ends_in_store t.tgt -> Ok None
+    | Some _, None when ends_in_store t.src && ends_in_store t.tgt -> Ok None
+    | None, _ when not (ends_in_store t.src) -> Error "source defines no value"
+    | _, None when not (ends_in_store t.tgt) -> Error "target defines no value"
+    | Some r, Some r' ->
+        Error
+          (Printf.sprintf "root mismatch: source computes %s, target computes %s"
+             r r')
+    | _ -> Error "store-rooted templates must both end in a store"
+  in
+  (* Use-before-def within each template. *)
+  let check_order what stmts defs =
+    let rec walk available = function
+      | [] -> Ok ()
+      | s :: rest -> (
+          let uses = stmt_uses s in
+          match
+            List.find_opt
+              (fun n -> List.mem n defs && not (List.mem n available))
+              uses
+          with
+          | Some n ->
+              Error
+                (Printf.sprintf "%s: %s is used before its definition" what n)
+          | None -> (
+              match s with
+              | Def (n, _, _) -> walk (n :: available) rest
+              | Store _ | Unreachable -> walk available rest))
+    in
+    walk [] stmts
+  in
+  let* () = check_order "source" t.src src_defs in
+  (* In the target, source temporaries may be referenced only if they are
+     inputs to the rewrite (always available) — they are computed values, so
+     any reference is fine; only target-defined names need ordering. *)
+  let tgt_only_defs = List.filter (fun n -> not (List.mem n src_defs)) tgt_defs in
+  let* () = check_order "target" t.tgt tgt_only_defs in
+  (* The target must not define a source input. *)
+  let* () =
+    match List.find_opt (fun n -> List.mem n inputs) tgt_defs with
+    | Some n -> Error (Printf.sprintf "target redefines input %s" n)
+    | None -> Ok ()
+  in
+  (* Every source temporary must be used later in the source, used in the
+     target, or overwritten by the target. *)
+  let tgt_uses = first_use_order t.tgt in
+  let* () =
+    let rec walk = function
+      | [] -> Ok ()
+      | Def (n, _, _) :: rest ->
+          let used_later_in_src =
+            List.exists (fun s -> List.mem n (stmt_uses s)) rest
+          in
+          if
+            used_later_in_src || List.mem n tgt_uses || List.mem n tgt_defs
+            || root = Some n
+          then walk rest
+          else
+            Error
+              (Printf.sprintf
+                 "source temporary %s is never used nor overwritten" n)
+      | (Store _ | Unreachable) :: rest -> walk rest
+    in
+    walk t.src
+  in
+  (* Every target definition must be used later in the target or overwrite a
+     source definition. *)
+  let* () =
+    let rec walk = function
+      | [] -> Ok ()
+      | Def (n, _, _) :: rest ->
+          let used_later =
+            List.exists (fun s -> List.mem n (stmt_uses s)) rest
+          in
+          if used_later || List.mem n src_defs || root = Some n then
+            walk rest
+          else
+            Error
+              (Printf.sprintf
+                 "target instruction %s is never used and overwrites nothing" n)
+      | (Store _ | Unreachable) :: rest -> walk rest
+    in
+    walk t.tgt
+  in
+  (* Precondition scope: inputs, source temporaries. *)
+  let* () =
+    match
+      List.find_opt
+        (fun n -> not (List.mem n inputs || List.mem n src_defs))
+        (pred_value_refs t.pre)
+    with
+    | Some n ->
+        Error (Printf.sprintf "precondition references unknown value %s" n)
+    | None -> Ok ()
+  in
+  (* Target operands must be inputs, source defs, or target defs. *)
+  let* () =
+    match
+      List.find_opt
+        (fun n ->
+          not (List.mem n inputs || List.mem n src_defs || List.mem n tgt_defs))
+        tgt_uses
+    with
+    | Some n -> Error (Printf.sprintf "target references unknown value %s" n)
+    | None -> Ok ()
+  in
+  Ok
+    {
+      root;
+      inputs;
+      source_defs = src_defs;
+      target_defs = tgt_defs;
+      constants = abstract_constants t;
+    }

@@ -1,0 +1,26 @@
+(** Static well-formedness checks on transformations (§2.1).
+
+    Checks performed:
+    - the source and target share the same root variable;
+    - no variable is defined twice within a template;
+    - every operand variable is an input or a previously defined temporary
+      (templates are DAGs in SSA form);
+    - the target does not (re)define a source {e input};
+    - every source temporary is used by a later source instruction or
+      overwritten in the target ("to help catch errors", §2.1);
+    - every target definition is used by a later target instruction or
+      overwrites a source definition;
+    - the precondition only references inputs, source temporaries, and
+      abstract constants. *)
+
+type info = {
+  root : string option;
+      (** common root variable; [None] for store-rooted templates whose
+          only effect is on memory (§3.3) *)
+  inputs : string list;  (** used but never defined, in first-use order *)
+  source_defs : string list;  (** defined in the source, in order *)
+  target_defs : string list;  (** defined in the target, in order *)
+  constants : string list;  (** abstract constant names *)
+}
+
+val check : Ast.transform -> (info, string) result

@@ -1,0 +1,709 @@
+open Ast
+module T = Alive_smt.Term
+
+exception Unsupported of string
+
+type ival = { value : T.t; defined : T.t; poison_free : T.t }
+
+type side_vc = {
+  defs : (string * ival) list;
+  undefs : (string * T.sort) list;
+}
+
+type memory_vc = {
+  src_read : T.t -> T.t; (* final source memory, one byte at an address *)
+  tgt_read : T.t -> T.t;
+  alloca : T.t list; (* the α constraints of §3.3.1 *)
+  congruence : unit -> T.t list;
+      (* Ackermann congruence side constraints; thunked because reads may be
+         generated after [run] returns (criterion 4 probes memory) *)
+}
+
+type vc = {
+  src : side_vc;
+  tgt : side_vc;
+  precondition : T.t;
+  side_constraints : T.t list;
+  analysis_vars : (string * T.sort) list;
+  inputs : (string * T.sort) list;
+  memory : memory_vc option;
+}
+
+let input_var name width = T.var name (T.Bv width)
+
+(* --- Constant expressions --- *)
+
+let log2_term x =
+  (* Position of the highest set bit; scans upward so later bits win. *)
+  let w = T.width x in
+  let rec go i acc =
+    if i = w then acc
+    else
+      go (i + 1)
+        (T.ite
+           (T.eq (T.extract ~hi:i ~lo:i x) (T.one 1))
+           (T.const_int ~width:w i) acc)
+  in
+  go 0 (T.zero w)
+
+let abs_term x =
+  let w = T.width x in
+  T.ite (T.slt x (T.zero w)) (T.bneg x) x
+
+let rec cexpr_term env ~lookup ~width e =
+  let recur = cexpr_term env ~lookup ~width in
+  match e with
+  | Cint n -> T.const (Bitvec.make ~width n)
+  | Cbool b -> T.const_int ~width (if b then 1 else 0)
+  | Cabs name -> input_var name (Typing.width_of_const env name)
+  | Cval name -> lookup name
+  | Cun (Cneg, e) -> T.bneg (recur e)
+  | Cun (Cnot, e) -> T.bnot (recur e)
+  | Cbin (op, a, b) ->
+      let a = recur a and b = recur b in
+      let f =
+        match op with
+        | Cadd -> T.add
+        | Csub -> T.sub
+        | Cmul -> T.mul
+        | Csdiv -> T.sdiv
+        | Cudiv -> T.udiv
+        | Csrem -> T.srem
+        | Curem -> T.urem
+        | Cshl -> T.shl
+        | Clshr -> T.lshr
+        | Cashr -> T.ashr
+        | Cand -> T.band
+        | Cor -> T.bor
+        | Cxor -> T.bxor
+      in
+      f a b
+  | Cfun ("abs", [ a ]) -> abs_term (recur a)
+  | Cfun ("log2", [ a ]) -> log2_term (recur a)
+  | Cfun ("umax", [ a; b ]) ->
+      let a = recur a and b = recur b in
+      T.ite (T.ult a b) b a
+  | Cfun ("umin", [ a; b ]) ->
+      let a = recur a and b = recur b in
+      T.ite (T.ult a b) a b
+  | Cfun ("smax", [ a; b ]) ->
+      let a = recur a and b = recur b in
+      T.ite (T.slt a b) b a
+  | Cfun ("smin", [ a; b ]) ->
+      let a = recur a and b = recur b in
+      T.ite (T.slt a b) a b
+  | Cfun ("width", [ a ]) ->
+      (* The bitwidth of the argument, as a constant at the context width. *)
+      let arg_width = cexpr_width env a in
+      T.const_int ~width arg_width
+  | Cfun (f, args) ->
+      raise
+        (Unsupported
+           (Printf.sprintf "constant function %s/%d" f (List.length args)))
+
+(* Width of a constant expression, resolved through its named leaves. *)
+and cexpr_width env e =
+  let rec leaves = function
+    | Cint _ | Cbool _ -> []
+    | Cabs n | Cval n -> [ n ]
+    | Cun (_, e) -> leaves e
+    | Cbin (_, a, b) -> leaves a @ leaves b
+    | Cfun ("width", _) -> []
+    | Cfun (_, args) -> List.concat_map leaves args
+  in
+  match leaves e with
+  | n :: _ -> Typing.width_of_value env n
+  | [] ->
+      raise
+        (Unsupported
+           "cannot determine the width of a fully literal expression in this \
+            context")
+
+(* --- Preconditions --- *)
+
+(* Is every leaf of the expression a compile-time constant? Such predicate
+   applications are encoded precisely (§3.1.1). *)
+let rec all_constant = function
+  | Cint _ | Cbool _ | Cabs _ -> true
+  | Cval _ -> false
+  | Cun (_, e) -> all_constant e
+  | Cbin (_, a, b) -> all_constant a && all_constant b
+  | Cfun ("width", _) -> true
+  | Cfun (_, args) -> List.for_all all_constant args
+
+type pre_state = {
+  mutable analysis_vars : (string * T.sort) list;
+  mutable side : T.t list;
+  mutable counter : int;
+}
+
+let fresh_analysis_var st name =
+  let v = Printf.sprintf "%%analysis.%s.%d" name st.counter in
+  st.counter <- st.counter + 1;
+  st.analysis_vars <- (v, T.Bool) :: st.analysis_vars;
+  T.var v T.Bool
+
+(* The precise fact underlying each built-in predicate. *)
+let predicate_fact env ~lookup name (args : cexpr list) =
+  let term ?w e =
+    let width = match w with Some w -> w | None -> cexpr_width env e in
+    cexpr_term env ~lookup ~width e
+  in
+  match (name, args) with
+  | "isPowerOf2", [ a ] -> T.is_power_of_two (term a)
+  | "isPowerOf2OrZero", [ a ] ->
+      let x = term a in
+      let w = T.width x in
+      T.is_zero (T.band x (T.sub x (T.one w)))
+  | "isSignBit", [ a ] ->
+      let x = term a in
+      T.eq x (T.const (Bitvec.min_signed (T.width x)))
+  | "isShiftedMask", [ a ] ->
+      (* A non-empty run of contiguous ones: x ≠ 0 and (x | (x-1)) + 1 has at
+         most one bit set. *)
+      let x = term a in
+      let w = T.width x in
+      let filled = T.bor x (T.sub x (T.one w)) in
+      let succ = T.add filled (T.one w) in
+      T.and_
+        [ T.not_ (T.is_zero x); T.is_zero (T.band succ (T.sub succ (T.one w))) ]
+  | "MaskedValueIsZero", [ v; mask ] ->
+      let mv = term v in
+      let mm = cexpr_term env ~lookup ~width:(T.width mv) mask in
+      T.is_zero (T.band mv mm)
+  | "WillNotOverflowSignedAdd", [ a; b ] ->
+      T.not_ (T.add_overflows_signed (term a) (term b))
+  | "WillNotOverflowUnsignedAdd", [ a; b ] ->
+      T.not_ (T.add_overflows_unsigned (term a) (term b))
+  | "WillNotOverflowSignedSub", [ a; b ] ->
+      T.not_ (T.sub_overflows_signed (term a) (term b))
+  | "WillNotOverflowUnsignedSub", [ a; b ] ->
+      T.not_ (T.sub_overflows_unsigned (term a) (term b))
+  | "WillNotOverflowSignedMul", [ a; b ] ->
+      T.not_ (T.mul_overflows_signed (term a) (term b))
+  | "WillNotOverflowUnsignedMul", [ a; b ] ->
+      T.not_ (T.mul_overflows_unsigned (term a) (term b))
+  | ("hasOneUse" | "OneUse"), [ _ ] ->
+      (* A profitability hint, not a correctness fact (§2.3). *)
+      T.tru
+  | _ ->
+      raise
+        (Unsupported
+           (Printf.sprintf "predicate %s/%d" name (List.length args)))
+
+(* Predicates encoded with a fresh variable even on constant inputs would be
+   vacuously unverifiable; the paper encodes constant applications precisely
+   and must-analyses as [p ⇒ fact]. [hasOneUse] is always [true]. *)
+let rec pred_term env ~lookup st p =
+  match p with
+  | Ptrue -> T.tru
+  | Pcmp (op, a, b) ->
+      let width =
+        try cexpr_width env a with Unsupported _ -> cexpr_width env b
+      in
+      let ta = cexpr_term env ~lookup ~width a
+      and tb = cexpr_term env ~lookup ~width b in
+      let f =
+        match op with
+        | Peq -> T.eq
+        | Pne -> T.distinct
+        | Pslt -> T.slt
+        | Psle -> T.sle
+        | Psgt -> T.sgt
+        | Psge -> T.sge
+        | Pult -> T.ult
+        | Pule -> T.ule
+        | Pugt -> T.ugt
+        | Puge -> T.uge
+      in
+      f ta tb
+  | Pcall (name, args) ->
+      let fact = predicate_fact env ~lookup name args in
+      if
+        List.for_all all_constant args
+        || name = "hasOneUse" || name = "OneUse"
+      then fact
+      else begin
+        let p = fresh_analysis_var st name in
+        st.side <- T.implies p fact :: st.side;
+        p
+      end
+  | Pand (a, b) -> T.and_ [ pred_term env ~lookup st a; pred_term env ~lookup st b ]
+  | Por (a, b) -> T.or_ [ pred_term env ~lookup st a; pred_term env ~lookup st b ]
+  | Pnot a -> T.not_ (pred_term env ~lookup st a)
+
+(* --- Instruction semantics --- *)
+
+(* --- Memory (§3.3) --- *)
+
+(* Pointers are 32-bit; verification is parametric on the ABI in the paper,
+   fixed here for tractability (documented in DESIGN.md). *)
+let pointer_bits = 32
+
+let value_bits env name =
+  match Typing.typ_of_value env name with
+  | Int w -> w
+  | Ptr _ -> pointer_bits
+  | Arr _ as t ->
+      raise (Unsupported (Format.asprintf "value of array type %a" Ast.pp_typ t))
+
+let rec byte_size = function
+  | Int w -> (w + 7) / 8
+  | Ptr _ -> pointer_bits / 8
+  | Arr (n, t) -> n * byte_size t
+
+(* The initial memory, shared by source and target, Ackermannized eagerly
+   (§3.3.3): each syntactically distinct read address gets a fresh variable,
+   with congruence side constraints between every pair. *)
+type mem_ctx = {
+  mutable base_reads : (T.t * T.t) list; (* address, value variable *)
+  mutable read_counter : int;
+  mutable congruence : T.t list;
+  mutable allocas : (string * T.t * int) list; (* name, pointer var, bytes *)
+  share_reads : bool;
+      (* true: eager encoding — identical read addresses share one variable
+         (no extra variables, §3.3.3). false: the classical Ackermann
+         expansion with a fresh variable per read and quadratic congruence
+         constraints, for the encoding ablation benchmark. *)
+}
+
+let fresh_mem_ctx ~share_reads =
+  { base_reads = []; read_counter = 0; congruence = []; allocas = [];
+    share_reads }
+
+let base_read ctx addr =
+  match
+    if ctx.share_reads then
+      List.find_opt (fun (a, _) -> T.equal a addr) ctx.base_reads
+    else None
+  with
+  | Some (_, v) -> v
+  | None ->
+      let v = T.var (Printf.sprintf "%%mem0.%d" ctx.read_counter) (T.Bv 8) in
+      ctx.read_counter <- ctx.read_counter + 1;
+      List.iter
+        (fun (a, v') ->
+          ctx.congruence <- T.implies (T.eq addr a) (T.eq v v') :: ctx.congruence)
+        ctx.base_reads;
+      ctx.base_reads <- (addr, v) :: ctx.base_reads;
+      v
+
+(* --- Instruction semantics --- *)
+
+type builder = {
+  env : Typing.env;
+  side_tag : string; (* "src" or "tgt", used to name undef variables *)
+  mem : mem_ctx; (* shared between both sides *)
+  mutable values : (string * ival) list; (* newest first *)
+  mutable undefs : (string * T.sort) list;
+  mutable undef_counter : int;
+  (* This side's memory: guarded byte stores, newest first. A load walks the
+     chain with ite and bottoms out in the shared initial memory. *)
+  mutable stores : (T.t * T.t * T.t) list; (* guard, address, byte *)
+  mutable seq_def : T.t; (* definedness accumulated at sequence points *)
+  mutable used_memory : bool;
+  (* Values inherited from the source when building the target. *)
+  base : (string * ival) list;
+}
+
+let find_value b name =
+  match List.assoc_opt name b.values with
+  | Some iv -> Some iv
+  | None -> List.assoc_opt name b.base
+
+let lookup_value b name =
+  match find_value b name with
+  | Some iv -> iv
+  | None ->
+      (* An input: a fresh universally quantified variable. *)
+      let w = value_bits b.env name in
+      { value = input_var name w; defined = T.tru; poison_free = T.tru }
+
+let fresh_undef b width =
+  let name = Printf.sprintf "%%undef.%s.%d" b.side_tag b.undef_counter in
+  b.undef_counter <- b.undef_counter + 1;
+  let sort = T.Bv width in
+  b.undefs <- (name, sort) :: b.undefs;
+  T.var name sort
+
+let operand_ival b ~width { op; ty = _ } =
+  match op with
+  | Var name -> lookup_value b name
+  | Undef -> { value = fresh_undef b width; defined = T.tru; poison_free = T.tru }
+  | ConstOp e ->
+      let lookup name = (lookup_value b name).value in
+      {
+        value = cexpr_term b.env ~lookup ~width e;
+        defined = T.tru;
+        poison_free = T.tru;
+      }
+
+(* Width of an instruction's operands given the result width (equal for all
+   implemented integer instructions except conversions and icmp/select). *)
+let operand_width b top ~fallback =
+  match top.ty with
+  | Some (Int w) -> w
+  | Some (Ptr _) -> pointer_bits
+  | Some t ->
+      raise (Unsupported (Format.asprintf "operand of type %a" Ast.pp_typ t))
+  | None -> (
+      match top.op with
+      | Var name -> value_bits b.env name
+      | ConstOp e -> (
+          try cexpr_width b.env e with Unsupported _ -> fallback ())
+      | Undef -> fallback ())
+
+let no_fallback what () =
+  raise
+    (Unsupported
+       (Printf.sprintf "cannot infer the width of a %s operand; annotate it"
+          what))
+
+(* Local definedness per Table 1. *)
+let local_defined op a b =
+  let w = T.width a.value in
+  match op with
+  | UDiv | URem -> T.not_ (T.is_zero b.value)
+  | SDiv | SRem ->
+      T.and_
+        [
+          T.not_ (T.is_zero b.value);
+          T.or_
+            [
+              T.distinct a.value (T.const (Bitvec.min_signed w));
+              T.distinct b.value (T.all_ones w);
+            ];
+        ]
+  | Shl | LShr | AShr -> T.ult b.value (T.const_int ~width:w w)
+  | Add | Sub | Mul | And | Or | Xor -> T.tru
+
+(* Local poison-freedom per Table 2, conditional on the attributes present. *)
+let local_poison op attrs a b =
+  let x = a.value and y = b.value in
+  let for_attr attr =
+    match (op, attr) with
+    | Add, Nsw -> T.not_ (T.add_overflows_signed x y)
+    | Add, Nuw -> T.not_ (T.add_overflows_unsigned x y)
+    | Sub, Nsw -> T.not_ (T.sub_overflows_signed x y)
+    | Sub, Nuw -> T.not_ (T.sub_overflows_unsigned x y)
+    | Mul, Nsw -> T.not_ (T.mul_overflows_signed x y)
+    | Mul, Nuw -> T.not_ (T.mul_overflows_unsigned x y)
+    | Shl, Nsw -> T.eq (T.ashr (T.shl x y) y) x
+    | Shl, Nuw -> T.eq (T.lshr (T.shl x y) y) x
+    | SDiv, Exact -> T.eq (T.mul (T.sdiv x y) y) x
+    | UDiv, Exact -> T.eq (T.mul (T.udiv x y) y) x
+    | AShr, Exact -> T.eq (T.shl (T.ashr x y) y) x
+    | LShr, Exact -> T.eq (T.shl (T.lshr x y) y) x
+    | _ ->
+        raise
+          (Unsupported
+             (Printf.sprintf "attribute %s on %s" (attr_name attr)
+                (binop_name op)))
+  in
+  T.and_ (List.map for_attr attrs)
+
+let binop_value op a b =
+  let f =
+    match op with
+    | Add -> T.add
+    | Sub -> T.sub
+    | Mul -> T.mul
+    | UDiv -> T.udiv
+    | SDiv -> T.sdiv
+    | URem -> T.urem
+    | SRem -> T.srem
+    | Shl -> T.shl
+    | LShr -> T.lshr
+    | AShr -> T.ashr
+    | And -> T.band
+    | Or -> T.bor
+    | Xor -> T.bxor
+  in
+  f a b
+
+let icmp_value cond a b =
+  let p =
+    match cond with
+    | Ceq -> T.eq a b
+    | Cne -> T.distinct a b
+    | Cugt -> T.ugt a b
+    | Cuge -> T.uge a b
+    | Cult -> T.ult a b
+    | Cule -> T.ule a b
+    | Csgt -> T.sgt a b
+    | Csge -> T.sge a b
+    | Cslt -> T.slt a b
+    | Csle -> T.sle a b
+  in
+  T.ite p (T.one 1) (T.zero 1)
+
+(* Read one byte through this side's store chain, eagerly Ackermannized:
+   nested ite over guarded stores, bottoming out in the shared initial
+   memory (§3.3.3). *)
+let read_byte_through stores mem addr =
+  List.fold_left
+    (fun rest (guard, a, byte) ->
+      T.ite (T.and_ [ guard; T.eq addr a ]) byte rest)
+    (base_read mem addr)
+    (List.rev stores)
+
+let offset_addr ptr k = T.add ptr (T.const_int ~width:pointer_bits k)
+
+let load_bytes b ptr ~width =
+  b.used_memory <- true;
+  let nb = (width + 7) / 8 in
+  let bytes =
+    List.init nb (fun k -> read_byte_through b.stores b.mem (offset_addr ptr k))
+  in
+  let full =
+    match bytes with
+    | [] -> assert false
+    | b0 :: rest -> List.fold_left (fun acc byte -> T.concat byte acc) b0 rest
+  in
+  T.trunc full width
+
+let store_bytes b ~guard ptr value =
+  b.used_memory <- true;
+  let w = T.width value in
+  let nb = (w + 7) / 8 in
+  let padded = T.zext value (nb * 8) in
+  for k = 0 to nb - 1 do
+    let byte = T.extract ~hi:((8 * k) + 7) ~lo:(8 * k) padded in
+    b.stores <- (guard, offset_addr ptr k, byte) :: b.stores
+  done
+
+(* Alloca pointer variables are shared across sides by template name, so a
+   target that keeps an alloca refers to the same block. *)
+let alloca_ptr b name ~bytes =
+  let v = input_var ("%alloca." ^ name) pointer_bits in
+  if not (List.exists (fun (n, _, _) -> String.equal n name) b.mem.allocas) then
+    b.mem.allocas <- (name, v, bytes) :: b.mem.allocas;
+  v
+
+let not_null p = T.distinct p (T.zero pointer_bits)
+
+let build_inst b name inst =
+  let result_width = value_bits b.env name in
+  match inst with
+  | Binop (op, attrs, ta, tb) ->
+      let a = operand_ival b ~width:result_width ta in
+      let bb = operand_ival b ~width:result_width tb in
+      {
+        value = binop_value op a.value bb.value;
+        defined = T.and_ [ local_defined op a bb; a.defined; bb.defined ];
+        poison_free =
+          T.and_ [ local_poison op attrs a bb; a.poison_free; bb.poison_free ];
+      }
+  | Icmp (cond, ta, tb) ->
+      let w =
+        operand_width b ta ~fallback:(fun () ->
+            operand_width b tb ~fallback:(no_fallback "icmp"))
+      in
+      let a = operand_ival b ~width:w ta and bb = operand_ival b ~width:w tb in
+      {
+        value = icmp_value cond a.value bb.value;
+        defined = T.and_ [ a.defined; bb.defined ];
+        poison_free = T.and_ [ a.poison_free; bb.poison_free ];
+      }
+  | Select (tc, ta, tb) ->
+      let c = operand_ival b ~width:1 tc in
+      let a = operand_ival b ~width:result_width ta in
+      let bb = operand_ival b ~width:result_width tb in
+      {
+        value = T.ite (T.eq c.value (T.one 1)) a.value bb.value;
+        defined = T.and_ [ c.defined; a.defined; bb.defined ];
+        poison_free = T.and_ [ c.poison_free; a.poison_free; bb.poison_free ];
+      }
+  | Conv (conv, ta, _) ->
+      let aw = operand_width b ta ~fallback:(no_fallback "conversion") in
+      let a = operand_ival b ~width:aw ta in
+      let value =
+        match conv with
+        | Zext -> T.zext a.value result_width
+        | Sext -> T.sext a.value result_width
+        | Trunc -> T.trunc a.value result_width
+        | Bitcast -> a.value
+        | Ptrtoint ->
+            if result_width <= pointer_bits then T.trunc a.value result_width
+            else T.zext a.value result_width
+        | Inttoptr ->
+            if aw <= pointer_bits then T.zext a.value pointer_bits
+            else T.trunc a.value pointer_bits
+      in
+      { value; defined = a.defined; poison_free = a.poison_free }
+  | Copy ta -> operand_ival b ~width:result_width ta
+  | Alloca (_, count) ->
+      let elems =
+        match count.op with
+        | ConstOp (Cint n) when n > 0L && n < 1024L -> Int64.to_int n
+        | _ -> raise (Unsupported "alloca needs a literal element count")
+      in
+      let elem_ty =
+        match Typing.typ_of_value b.env name with
+        | Ptr t -> t
+        | t ->
+            raise
+              (Unsupported
+                 (Format.asprintf "alloca of non-pointer type %a" Ast.pp_typ t))
+      in
+      let bytes = elems * byte_size elem_ty in
+      let ptr = alloca_ptr b name ~bytes in
+      (* The block starts uninitialized: reading it yields undef (paper:
+         fresh variables added to U). *)
+      for k = 0 to bytes - 1 do
+        b.stores <- (T.tru, offset_addr ptr k, fresh_undef b 8) :: b.stores
+      done;
+      { value = ptr; defined = T.tru; poison_free = T.tru }
+  | Load tp ->
+      let p = operand_ival b ~width:pointer_bits tp in
+      {
+        value = load_bytes b p.value ~width:result_width;
+        defined = T.and_ [ not_null p.value; p.defined ];
+        poison_free = p.poison_free;
+      }
+  | Gep (tbase, tidxs) ->
+      let base = operand_ival b ~width:pointer_bits tbase in
+      let elem_ty =
+        match Typing.typ_of_value b.env name with
+        | Ptr t -> t
+        | t ->
+            raise
+              (Unsupported
+                 (Format.asprintf "gep of non-pointer type %a" Ast.pp_typ t))
+      in
+      let stride = byte_size elem_ty in
+      let idxs =
+        List.map
+          (fun ti ->
+            let w = operand_width b ti ~fallback:(fun () -> pointer_bits) in
+            operand_ival b ~width:w ti)
+          tidxs
+      in
+      let addr =
+        List.fold_left
+          (fun acc idx ->
+            let wide =
+              if T.width idx.value <= pointer_bits then
+                T.sext idx.value pointer_bits
+              else T.trunc idx.value pointer_bits
+            in
+            T.add acc (T.mul wide (T.const_int ~width:pointer_bits stride)))
+          base.value idxs
+      in
+      {
+        value = addr;
+        defined = T.and_ (base.defined :: List.map (fun i -> i.defined) idxs);
+        poison_free =
+          T.and_ (base.poison_free :: List.map (fun i -> i.poison_free) idxs);
+      }
+
+let build_store b tv tp =
+  let p = operand_ival b ~width:pointer_bits tp in
+  let vw = operand_width b tv ~fallback:(no_fallback "store value") in
+  let v = operand_ival b ~width:vw tv in
+  (* A store is a sequence point: it updates memory only when everything so
+     far is defined and poison-free (paper: stores of poison are UB and an
+     already-undefined execution leaves memory arbitrary). *)
+  let guard =
+    T.and_
+      [ b.seq_def; v.defined; p.defined; v.poison_free; p.poison_free;
+        not_null p.value ]
+  in
+  b.seq_def <- guard;
+  store_bytes b ~guard p.value v.value
+
+let build_side env ~side_tag ~base ~mem stmts =
+  let b =
+    {
+      env;
+      side_tag;
+      mem;
+      values = [];
+      undefs = [];
+      undef_counter = 0;
+      stores = [];
+      seq_def = T.tru;
+      used_memory = false;
+      base;
+    }
+  in
+  List.iter
+    (fun s ->
+      match s with
+      | Def (name, _, inst) ->
+          let iv = build_inst b name inst in
+          b.values <- (name, iv) :: b.values
+      | Store (v, p) -> build_store b v p
+      | Unreachable -> raise (Unsupported "unreachable"))
+    stmts;
+  (b, { defs = List.rev b.values; undefs = List.rev b.undefs })
+
+(* Constraints α for stack allocations (§3.3.1): non-null, no wraparound,
+   and pairwise disjointness. *)
+let alloca_constraints mem =
+  let block_ok (_, p, size) =
+    let size_t = T.const_int ~width:pointer_bits size in
+    T.and_ [ T.distinct p (T.zero pointer_bits); T.ule p (T.add p size_t) ]
+  in
+  let rec disjoint = function
+    | [] -> []
+    | (_, p, sp) :: rest ->
+        List.map
+          (fun (_, q, sq) ->
+            T.or_
+              [
+                T.ule (T.add p (T.const_int ~width:pointer_bits sp)) q;
+                T.ule (T.add q (T.const_int ~width:pointer_bits sq)) p;
+              ])
+          rest
+        @ disjoint rest
+  in
+  List.map block_ok mem.allocas @ disjoint mem.allocas
+
+let run ?(share_memory_reads = true) env (t : transform) =
+  let mem = fresh_mem_ctx ~share_reads:share_memory_reads in
+  let src_builder, src = build_side env ~side_tag:"src" ~base:[] ~mem t.src in
+  (* A target operand naming a source temporary denotes the value the source
+     computed (the instruction stays in the IR), conditions included; a
+     target definition of the same name shadows it for later target uses. *)
+  let tgt_builder, tgt =
+    build_side env ~side_tag:"tgt" ~base:src_builder.values ~mem t.tgt
+  in
+  let st = { analysis_vars = []; side = []; counter = 0 } in
+  let lookup name =
+    match List.assoc_opt name src_builder.values with
+    | Some iv -> iv.value
+    | None -> input_var name (value_bits env name)
+  in
+  let precondition = pred_term env ~lookup st t.pre in
+  (* The input set I: program inputs and abstract constants. *)
+  let info =
+    match Scoping.check t with
+    | Ok info -> info
+    | Error msg -> raise (Unsupported ("scoping: " ^ msg))
+  in
+  let inputs =
+    List.map (fun n -> (n, T.Bv (value_bits env n))) (info.inputs @ info.constants)
+  in
+  let memory =
+    if src_builder.used_memory || tgt_builder.used_memory
+       || mem.allocas <> []
+    then
+      Some
+        {
+          src_read = (fun addr -> read_byte_through src_builder.stores mem addr);
+          tgt_read = (fun addr -> read_byte_through tgt_builder.stores mem addr);
+          alloca = alloca_constraints mem;
+          congruence = (fun () -> mem.congruence);
+        }
+    else None
+  in
+  {
+    src;
+    tgt;
+    precondition;
+    side_constraints = st.side;
+    analysis_vars = st.analysis_vars;
+    inputs;
+    memory;
+  }

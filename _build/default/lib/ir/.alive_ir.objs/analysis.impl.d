@@ -1,0 +1,1 @@
+lib/ir/analysis.ml: Bitvec Hashtbl Ir List

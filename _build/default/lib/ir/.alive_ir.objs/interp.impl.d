@@ -1,0 +1,1 @@
+lib/ir/interp.ml: Bitvec Hashtbl Int64 Ir List Random

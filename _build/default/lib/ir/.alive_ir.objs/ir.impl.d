@@ -1,0 +1,1 @@
+lib/ir/ir.ml: Bitvec Format Hashtbl List Option Printf String

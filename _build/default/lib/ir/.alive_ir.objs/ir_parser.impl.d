@@ -1,0 +1,1 @@
+lib/ir/ir_parser.ml: Array Bitvec Hashtbl Int64 Ir List Option Printf Result String

@@ -1,0 +1,160 @@
+open Ir
+
+type known_bits = { zeros : Bitvec.t; ones : Bitvec.t }
+
+let unknown w = { zeros = Bitvec.zero w; ones = Bitvec.zero w }
+
+let of_const c =
+  { zeros = Bitvec.lognot c; ones = c }
+
+(* Known bits of a binary operation from the operands' known bits. Only the
+   cheap, obviously sound transfer functions are implemented; everything
+   else degrades to unknown, as a must-analysis may. *)
+let transfer_binop op w a b =
+  match op with
+  | And ->
+      {
+        zeros = Bitvec.logor a.zeros b.zeros;
+        ones = Bitvec.logand a.ones b.ones;
+      }
+  | Or ->
+      {
+        zeros = Bitvec.logand a.zeros b.zeros;
+        ones = Bitvec.logor a.ones b.ones;
+      }
+  | Xor ->
+      let known = Bitvec.logand (Bitvec.logor a.zeros a.ones) (Bitvec.logor b.zeros b.ones) in
+      let value = Bitvec.logxor a.ones b.ones in
+      {
+        zeros = Bitvec.logand known (Bitvec.lognot value);
+        ones = Bitvec.logand known value;
+      }
+  | Shl -> (
+      (* Constant shift amounts shift the known masks. *)
+      match if Bitvec.is_all_ones (Bitvec.logor b.zeros b.ones) then Some b.ones else None with
+      | Some amount when Bitvec.ult amount (Bitvec.of_int ~width:w w) ->
+          {
+            zeros =
+              Bitvec.logor (Bitvec.shl a.zeros amount)
+                (Bitvec.lognot (Bitvec.shl (Bitvec.all_ones w) amount));
+            ones = Bitvec.shl a.ones amount;
+          }
+      | _ -> unknown w)
+  | Lshr -> (
+      match if Bitvec.is_all_ones (Bitvec.logor b.zeros b.ones) then Some b.ones else None with
+      | Some amount when Bitvec.ult amount (Bitvec.of_int ~width:w w) ->
+          {
+            zeros =
+              Bitvec.logor (Bitvec.lshr a.zeros amount)
+                (Bitvec.lognot (Bitvec.lshr (Bitvec.all_ones w) amount));
+            ones = Bitvec.lshr a.ones amount;
+          }
+      | _ -> unknown w)
+  | Udiv | Sdiv | Urem | Srem | Ashr | Add | Sub | Mul -> unknown w
+
+let known_bits f v =
+  let memo : (string, known_bits) Hashtbl.t = Hashtbl.create 16 in
+  let rec go v =
+    match v with
+    | Const c -> of_const c
+    | Undef w -> unknown w
+    | Var name -> (
+        match Hashtbl.find_opt memo name with
+        | Some kb -> kb
+        | None ->
+            let kb =
+              match def_of f name with
+              | None -> unknown (value_width f v)
+              | Some d -> (
+                  match d.inst with
+                  | Binop (op, _, a, b) -> transfer_binop op d.width (go a) (go b)
+                  | Icmp _ ->
+                      (* i1 result: nothing known without relational info. *)
+                      unknown 1
+                  | Select (_, a, b) ->
+                      let ka = go a and kb = go b in
+                      {
+                        zeros = Bitvec.logand ka.zeros kb.zeros;
+                        ones = Bitvec.logand ka.ones kb.ones;
+                      }
+                  | Conv (Zext, a) ->
+                      let ka = go a in
+                      let aw = value_width f a in
+                      {
+                        zeros =
+                          Bitvec.logor
+                            (Bitvec.zext ka.zeros d.width)
+                            (Bitvec.shl (Bitvec.all_ones d.width)
+                               (Bitvec.of_int ~width:d.width aw));
+                        ones = Bitvec.zext ka.ones d.width;
+                      }
+                  | Conv (Sext, a) ->
+                      let ka = go a in
+                      (* Sound only for bits below the original sign bit. *)
+                      let aw = value_width f a in
+                      let low = Bitvec.lshr (Bitvec.all_ones d.width)
+                          (Bitvec.of_int ~width:d.width (d.width - aw + 1)) in
+                      {
+                        zeros = Bitvec.logand (Bitvec.zext ka.zeros d.width) low;
+                        ones = Bitvec.logand (Bitvec.zext ka.ones d.width) low;
+                      }
+                  | Conv (Trunc, a) ->
+                      let ka = go a in
+                      {
+                        zeros = Bitvec.trunc ka.zeros d.width;
+                        ones = Bitvec.trunc ka.ones d.width;
+                      }
+                  | Freeze a -> go a)
+            in
+            Hashtbl.replace memo name kb;
+            kb)
+  in
+  go v
+
+let masked_value_is_zero f v mask =
+  let kb = known_bits f v in
+  Bitvec.is_zero (Bitvec.logand (Bitvec.lognot kb.zeros) mask)
+
+let rec is_known_power_of_two f v =
+  match v with
+  | Const c -> Bitvec.is_power_of_two c
+  | Undef _ -> false
+  | Var name -> (
+      match def_of f name with
+      | None -> false
+      | Some d -> (
+          match d.inst with
+          | Binop (Shl, _, Const one, _) when Bitvec.equal one (Bitvec.one d.width)
+            ->
+              (* 1 << x is a power of two whenever it is defined, and UB
+                 otherwise — InstCombine's isKnownToBeAPowerOfTwo makes the
+                 same assumption. *)
+              true
+          | Binop (Shl, attrs, a, _) when List.mem Nuw attrs ->
+              is_known_power_of_two f a
+          | _ -> false))
+
+let is_known_non_negative f v =
+  let w = value_width f v in
+  let kb = known_bits f v in
+  Bitvec.bit kb.zeros (w - 1)
+
+let will_not_overflow f op ~signed a b =
+  (* Decide via the extremal values compatible with the known bits. *)
+  let w = value_width f a in
+  let ka = known_bits f a and kb = known_bits f b in
+  let min_of k = k.ones in
+  let max_of k = Bitvec.lognot k.zeros in
+  if signed then
+    (* Only the easy case: both provably non-negative with headroom. *)
+    match op with
+    | `Add ->
+        Bitvec.bit ka.zeros (w - 1)
+        && Bitvec.bit kb.zeros (w - 1)
+        && not (Bitvec.add_overflows_signed (max_of ka) (max_of kb))
+    | `Sub | `Mul -> false
+  else
+    match op with
+    | `Add -> not (Bitvec.add_overflows_unsigned (max_of ka) (max_of kb))
+    | `Sub -> Bitvec.ule (max_of kb) (min_of ka)
+    | `Mul -> not (Bitvec.mul_overflows_unsigned (max_of ka) (max_of kb))

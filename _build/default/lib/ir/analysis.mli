@@ -1,0 +1,27 @@
+(** Dataflow analyses over IR functions — the "trusted analyses" whose
+    results Alive's built-in predicates consume (§2.3). The optimizer uses
+    them to evaluate preconditions like [MaskedValueIsZero] and
+    [isPowerOf2] on concrete code, exactly as InstCombine queries
+    [computeKnownBits]. All analyses are must-analyses: they may return
+    "don't know" but never a wrong fact. *)
+
+(** Bits proven zero / proven one. Invariant: [zeros land ones = 0]. *)
+type known_bits = { zeros : Bitvec.t; ones : Bitvec.t }
+
+val known_bits : Ir.func -> Ir.value -> known_bits
+(** Forward propagation through the def-use graph. Constants are fully
+    known; parameters and [undef] are unknown. *)
+
+val masked_value_is_zero : Ir.func -> Ir.value -> Bitvec.t -> bool
+(** [masked_value_is_zero f v mask]: is [v land mask] provably zero? *)
+
+val is_known_power_of_two : Ir.func -> Ir.value -> bool
+(** Conservative: true only when provable (e.g. [1 shl x], or a constant
+    power of two, or [and] with a single possible set bit pattern). *)
+
+val is_known_non_negative : Ir.func -> Ir.value -> bool
+
+val will_not_overflow :
+  Ir.func -> [ `Add | `Sub | `Mul ] -> signed:bool -> Ir.value -> Ir.value -> bool
+(** Overflow impossibility from known bits (used by the
+    [WillNotOverflow*] predicates). *)

@@ -1,0 +1,14 @@
+open Ir
+
+(* Relative latencies in the spirit of LLVM's TargetTransformInfo defaults:
+   bitwise and addition 1, multiplication 4, division and remainder 20. *)
+let inst_cost = function
+  | Binop ((Add | Sub | And | Or | Xor | Shl | Lshr | Ashr), _, _, _) -> 1
+  | Binop (Mul, _, _, _) -> 4
+  | Binop ((Udiv | Sdiv | Urem | Srem), _, _, _) -> 20
+  | Icmp _ -> 1
+  | Select _ -> 1
+  | Conv _ -> 1
+  | Freeze _ -> 0
+
+let func_cost f = List.fold_left (fun acc d -> acc + inst_cost d.inst) 0 f.body

@@ -1,0 +1,157 @@
+open Ir
+
+type scalar = Poison | Val of Bitvec.t
+type outcome = Ub | Ret of scalar
+type undef_policy = Zero | Random of Random.State.t
+
+exception Hit_ub
+
+let resolve_undef policy w =
+  match policy with
+  | Zero -> Bitvec.zero w
+  | Random st -> Bitvec.make ~width:w (Random.State.int64 st Int64.max_int)
+
+let run ?(policy = Zero) f args =
+  if List.length args <> List.length f.params then
+    Error "argument count mismatch"
+  else if
+    not
+      (List.for_all2 (fun (_, w) a -> Bitvec.width a = w) f.params args)
+  then Error "argument width mismatch"
+  else
+    match validate f with
+    | Error e -> Error e
+    | Ok () ->
+        let env : (string, scalar) Hashtbl.t = Hashtbl.create 16 in
+        List.iter2
+          (fun (n, _) a -> Hashtbl.replace env n (Val a))
+          f.params args;
+        let value v =
+          match v with
+          | Const c -> Val c
+          | Undef w -> Val (resolve_undef policy w)
+          | Var n -> Hashtbl.find env n
+        in
+        let bv v = match value v with Poison -> None | Val c -> Some c in
+        let eval_def d =
+          match d.inst with
+          | Binop (op, attrs, a, b) -> (
+              match (bv a, bv b) with
+              | Some x, Some y ->
+                  let w = d.width in
+                  (* True UB per Table 1. *)
+                  (match op with
+                  | Udiv | Urem -> if Bitvec.is_zero y then raise Hit_ub
+                  | Sdiv | Srem ->
+                      if
+                        Bitvec.is_zero y
+                        || Bitvec.equal x (Bitvec.min_signed w)
+                           && Bitvec.is_all_ones y
+                      then raise Hit_ub
+                  | Shl | Lshr | Ashr ->
+                      if not (Bitvec.ult y (Bitvec.of_int ~width:w w)) then
+                        raise Hit_ub
+                  | Add | Sub | Mul | And | Or | Xor -> ());
+                  (* Poison per Table 2. *)
+                  let poisoned =
+                    List.exists
+                      (fun attr ->
+                        match (op, attr) with
+                        | Add, Nsw -> Bitvec.add_overflows_signed x y
+                        | Add, Nuw -> Bitvec.add_overflows_unsigned x y
+                        | Sub, Nsw -> Bitvec.sub_overflows_signed x y
+                        | Sub, Nuw -> Bitvec.sub_overflows_unsigned x y
+                        | Mul, Nsw -> Bitvec.mul_overflows_signed x y
+                        | Mul, Nuw -> Bitvec.mul_overflows_unsigned x y
+                        | Shl, Nsw ->
+                            not
+                              (Bitvec.equal (Bitvec.ashr (Bitvec.shl x y) y) x)
+                        | Shl, Nuw ->
+                            not
+                              (Bitvec.equal (Bitvec.lshr (Bitvec.shl x y) y) x)
+                        | (Sdiv | Udiv), Exact ->
+                            let q =
+                              if op = Sdiv then Bitvec.sdiv x y
+                              else Bitvec.udiv x y
+                            in
+                            not (Bitvec.equal (Bitvec.mul q y) x)
+                        | Ashr, Exact ->
+                            not
+                              (Bitvec.equal (Bitvec.shl (Bitvec.ashr x y) y) x)
+                        | Lshr, Exact ->
+                            not
+                              (Bitvec.equal (Bitvec.shl (Bitvec.lshr x y) y) x)
+                        | _ -> false)
+                      attrs
+                  in
+                  if poisoned then Poison
+                  else
+                    let op_fn =
+                      match op with
+                      | Add -> Bitvec.add
+                      | Sub -> Bitvec.sub
+                      | Mul -> Bitvec.mul
+                      | Udiv -> Bitvec.udiv
+                      | Sdiv -> Bitvec.sdiv
+                      | Urem -> Bitvec.urem
+                      | Srem -> Bitvec.srem
+                      | Shl -> Bitvec.shl
+                      | Lshr -> Bitvec.lshr
+                      | Ashr -> Bitvec.ashr
+                      | And -> Bitvec.logand
+                      | Or -> Bitvec.logor
+                      | Xor -> Bitvec.logxor
+                    in
+                    Val (op_fn x y)
+              | _ -> Poison)
+          | Icmp (c, a, b) -> (
+              match (bv a, bv b) with
+              | Some x, Some y ->
+                  let r =
+                    match c with
+                    | Eq -> Bitvec.equal x y
+                    | Ne -> not (Bitvec.equal x y)
+                    | Ugt -> Bitvec.ult y x
+                    | Uge -> Bitvec.ule y x
+                    | Ult -> Bitvec.ult x y
+                    | Ule -> Bitvec.ule x y
+                    | Sgt -> Bitvec.slt y x
+                    | Sge -> Bitvec.sle y x
+                    | Slt -> Bitvec.slt x y
+                    | Sle -> Bitvec.sle x y
+                  in
+                  Val (Bitvec.of_bool r)
+              | _ -> Poison)
+          | Select (c, a, b) -> (
+              match bv c with
+              | None -> Poison
+              | Some cv -> (
+                  let chosen = if Bitvec.is_true cv then a else b in
+                  match value chosen with Poison -> Poison | v -> v))
+          | Conv (conv, a) -> (
+              match bv a with
+              | None -> Poison
+              | Some x ->
+                  Val
+                    (match conv with
+                    | Zext -> Bitvec.zext x d.width
+                    | Sext -> Bitvec.sext x d.width
+                    | Trunc -> Bitvec.trunc x d.width))
+          | Freeze a -> (
+              match value a with
+              | Poison -> Val (Bitvec.zero d.width)
+              | v -> v)
+        in
+        (try
+           List.iter (fun d -> Hashtbl.replace env d.name (eval_def d)) f.body;
+           Ok (Ret (value f.ret))
+         with Hit_ub -> Ok Ub)
+
+let refines src tgt =
+  match (src, tgt) with
+  | Ub, _ -> true
+  | Ret Poison, Ret _ -> true
+  | Ret Poison, Ub -> false
+  | Ret (Val _), Ub -> false
+  | Ret (Val x), Ret (Val y) -> Bitvec.equal x y
+  | Ret (Val _), Ret Poison -> false

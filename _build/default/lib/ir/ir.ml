@@ -1,0 +1,192 @@
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Udiv
+  | Sdiv
+  | Urem
+  | Srem
+  | Shl
+  | Lshr
+  | Ashr
+  | And
+  | Or
+  | Xor
+
+type attr = Nsw | Nuw | Exact
+type conv = Zext | Sext | Trunc
+type cond = Eq | Ne | Ugt | Uge | Ult | Ule | Sgt | Sge | Slt | Sle
+
+type value = Var of string | Const of Bitvec.t | Undef of int
+
+type inst =
+  | Binop of binop * attr list * value * value
+  | Icmp of cond * value * value
+  | Select of value * value * value
+  | Conv of conv * value
+  | Freeze of value
+
+type def = { name : string; width : int; inst : inst }
+
+type func = {
+  fname : string;
+  params : (string * int) list;
+  body : def list;
+  ret : value;
+}
+
+let binop_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Udiv -> "udiv"
+  | Sdiv -> "sdiv"
+  | Urem -> "urem"
+  | Srem -> "srem"
+  | Shl -> "shl"
+  | Lshr -> "lshr"
+  | Ashr -> "ashr"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+
+let cond_name = function
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Ugt -> "ugt"
+  | Uge -> "uge"
+  | Ult -> "ult"
+  | Ule -> "ule"
+  | Sgt -> "sgt"
+  | Sge -> "sge"
+  | Slt -> "slt"
+  | Sle -> "sle"
+
+let attr_name = function Nsw -> "nsw" | Nuw -> "nuw" | Exact -> "exact"
+let conv_name = function Zext -> "zext" | Sext -> "sext" | Trunc -> "trunc"
+
+let pp_value ppf = function
+  | Var s -> Format.fprintf ppf "%%%s" s
+  | Const c -> Format.pp_print_string ppf (Bitvec.to_string_signed c)
+  | Undef _ -> Format.pp_print_string ppf "undef"
+
+let pp_attrs ppf attrs =
+  List.iter (fun a -> Format.fprintf ppf " %s" (attr_name a)) attrs
+
+let pp_def ppf d =
+  match d.inst with
+  | Binop (op, attrs, a, b) ->
+      Format.fprintf ppf "%%%s = %s%a i%d %a, %a" d.name (binop_name op)
+        pp_attrs attrs d.width pp_value a pp_value b
+  | Icmp (c, a, b) ->
+      Format.fprintf ppf "%%%s = icmp %s %a, %a" d.name (cond_name c) pp_value
+        a pp_value b
+  | Select (c, a, b) ->
+      Format.fprintf ppf "%%%s = select %a, i%d %a, %a" d.name pp_value c
+        d.width pp_value a pp_value b
+  | Conv (c, a) ->
+      Format.fprintf ppf "%%%s = %s %a to i%d" d.name (conv_name c) pp_value a
+        d.width
+  | Freeze a -> Format.fprintf ppf "%%%s = freeze i%d %a" d.name d.width pp_value a
+
+let ret_width f = function
+  | Const c -> Bitvec.width c
+  | Undef w -> w
+  | Var name -> (
+      match List.assoc_opt name f.params with
+      | Some w -> w
+      | None -> (
+          match List.find_opt (fun d -> String.equal d.name name) f.body with
+          | Some d -> d.width
+          | None -> 0))
+
+let pp_func ppf f =
+  Format.fprintf ppf "@[<v>define i%d @@%s(%s) {@,"
+    (ret_width f f.ret)
+    f.fname
+    (String.concat ", "
+       (List.map (fun (n, w) -> Printf.sprintf "i%d %%%s" w n) f.params));
+  List.iter (fun d -> Format.fprintf ppf "  %a@," pp_def d) f.body;
+  Format.fprintf ppf "  ret %a@,}@]" pp_value f.ret
+
+let def_of f name = List.find_opt (fun d -> String.equal d.name name) f.body
+
+let value_width f = function
+  | Const c -> Bitvec.width c
+  | Undef w -> w
+  | Var name -> (
+      match List.assoc_opt name f.params with
+      | Some w -> w
+      | None -> (
+          match def_of f name with
+          | Some d -> d.width
+          | None -> raise Not_found))
+
+let operands_of = function
+  | Binop (_, _, a, b) | Icmp (_, a, b) -> [ a; b ]
+  | Select (c, a, b) -> [ c; a; b ]
+  | Conv (_, a) | Freeze a -> [ a ]
+
+let validate f =
+  let defined = Hashtbl.create 16 in
+  List.iter (fun (n, w) -> Hashtbl.replace defined n w) f.params;
+  let exception Bad of string in
+  try
+    List.iter
+      (fun d ->
+        if Hashtbl.mem defined d.name then
+          raise (Bad (Printf.sprintf "%%%s defined twice" d.name));
+        let operand_width v =
+          match v with
+          | Const c -> Bitvec.width c
+          | Undef w -> w
+          | Var n -> (
+              match Hashtbl.find_opt defined n with
+              | Some w -> w
+              | None -> raise (Bad (Printf.sprintf "%%%s used before def" n)))
+        in
+        (match d.inst with
+        | Binop (_, _, a, b) ->
+            if operand_width a <> d.width || operand_width b <> d.width then
+              raise (Bad (Printf.sprintf "width mismatch in %%%s" d.name))
+        | Icmp (_, a, b) ->
+            if d.width <> 1 then
+              raise (Bad (Printf.sprintf "icmp %%%s must be i1" d.name));
+            if operand_width a <> operand_width b then
+              raise (Bad (Printf.sprintf "icmp %%%s operand widths differ" d.name))
+        | Select (c, a, b) ->
+            if operand_width c <> 1 then
+              raise (Bad (Printf.sprintf "select %%%s condition must be i1" d.name));
+            if operand_width a <> d.width || operand_width b <> d.width then
+              raise (Bad (Printf.sprintf "width mismatch in %%%s" d.name))
+        | Conv (Zext, a) | Conv (Sext, a) ->
+            if operand_width a >= d.width then
+              raise (Bad (Printf.sprintf "extension %%%s must widen" d.name))
+        | Conv (Trunc, a) ->
+            if operand_width a <= d.width then
+              raise (Bad (Printf.sprintf "trunc %%%s must narrow" d.name))
+        | Freeze a ->
+            if operand_width a <> d.width then
+              raise (Bad (Printf.sprintf "width mismatch in %%%s" d.name)));
+        Hashtbl.replace defined d.name d.width)
+      f.body;
+    (match f.ret with
+    | Var n ->
+        if not (Hashtbl.mem defined n) then
+          raise (Bad (Printf.sprintf "ret uses undefined %%%s" n))
+    | Const _ | Undef _ -> ());
+    Ok ()
+  with Bad msg -> Error msg
+
+let map_body g f = { f with body = g f.body }
+
+let uses_of f =
+  let counts = Hashtbl.create 16 in
+  let count = function
+    | Var n ->
+        Hashtbl.replace counts n (1 + Option.value ~default:0 (Hashtbl.find_opt counts n))
+    | Const _ | Undef _ -> ()
+  in
+  List.iter (fun d -> List.iter count (operands_of d.inst)) f.body;
+  count f.ret;
+  counts

@@ -1,0 +1,25 @@
+(** Textual parser for the IR subset, accepting the same shape {!Ir.pp_func}
+    prints — an LLVM-flavoured syntax restricted to straight-line integer
+    functions:
+
+    {v
+    define i8 @f(i8 %x, i8 %y) {
+      %t = add nsw i8 %x, %y      ; attributes optional
+      %c = icmp ult %t, %y
+      %r = select %c, i8 %t, 0
+      ret %r
+    }
+    v}
+
+    Widths on operands are optional where inferable (binop/select carry the
+    instruction width; icmp operands take the width of a named operand).
+    Conversions are written [%r = zext %x to i16]. Parsed functions are
+    validated before being returned. *)
+
+exception Error of string * int (** message, line *)
+
+val parse_func : string -> (Ir.func, string) result
+(** Parse exactly one function and validate it. *)
+
+val parse_module : string -> (Ir.func list, string) result
+(** Parse a sequence of functions. *)

@@ -1,0 +1,1 @@
+lib/opt/baseline.ml: Bitvec Ir List Pass String

@@ -1,0 +1,1 @@
+lib/opt/baseline.mli: Ir Matcher Pass

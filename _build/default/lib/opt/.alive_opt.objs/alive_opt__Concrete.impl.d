@@ -1,0 +1,1 @@
+lib/opt/concrete.ml: Alive Analysis Bitvec Hashtbl Ir List Option

@@ -1,0 +1,1 @@
+lib/opt/concrete.mli: Alive Bitvec Ir

@@ -1,0 +1,1 @@
+lib/opt/matcher.ml: Alive Bitvec Concrete Ir List Option Printf String

@@ -1,0 +1,1 @@
+lib/opt/matcher.mli: Alive Concrete Ir

@@ -1,0 +1,1 @@
+lib/opt/pass.ml: Hashtbl Int Ir List Matcher Option

@@ -1,0 +1,1 @@
+lib/opt/workload.ml: Alive Array Bitvec Concrete Float Int64 Ir List Matcher Option Printf Random

@@ -1,0 +1,1 @@
+lib/opt/workload.mli: Ir Matcher

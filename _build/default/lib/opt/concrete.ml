@@ -1,0 +1,174 @@
+open Alive.Ast
+
+type env = {
+  func : Ir.func;
+  consts : (string * Bitvec.t) list;
+  values : (string * Ir.value) list;
+}
+
+let ( let* ) = Option.bind
+
+(* A template value that is bound to an IR constant can be used in constant
+   expressions; anything else is symbolic. *)
+let value_as_const env name =
+  match List.assoc_opt name env.values with
+  | Some (Ir.Const c) -> Some c
+  | Some (Ir.Var _ | Ir.Undef _) | None -> None
+
+let rec cexpr env ~width e =
+  match e with
+  | Cint n -> Some (Bitvec.make ~width n)
+  | Cbool b -> Some (Bitvec.of_int ~width (if b then 1 else 0))
+  | Cabs name -> List.assoc_opt name env.consts
+  | Cval name -> value_as_const env name
+  | Cun (Cneg, a) ->
+      let* a = cexpr env ~width a in
+      Some (Bitvec.neg a)
+  | Cun (Cnot, a) ->
+      let* a = cexpr env ~width a in
+      Some (Bitvec.lognot a)
+  | Cbin (op, a, b) ->
+      let* a = cexpr env ~width a in
+      let* b = cexpr env ~width b in
+      let f =
+        match op with
+        | Cadd -> Bitvec.add
+        | Csub -> Bitvec.sub
+        | Cmul -> Bitvec.mul
+        | Csdiv -> Bitvec.sdiv
+        | Cudiv -> Bitvec.udiv
+        | Csrem -> Bitvec.srem
+        | Curem -> Bitvec.urem
+        | Cshl -> Bitvec.shl
+        | Clshr -> Bitvec.lshr
+        | Cashr -> Bitvec.ashr
+        | Cand -> Bitvec.logand
+        | Cor -> Bitvec.logor
+        | Cxor -> Bitvec.logxor
+      in
+      Some (f a b)
+  | Cfun ("abs", [ a ]) ->
+      let* a = cexpr env ~width a in
+      Some (Bitvec.abs a)
+  | Cfun ("log2", [ a ]) ->
+      let* a = cexpr env ~width a in
+      Some (Bitvec.log2 a)
+  | Cfun ("umax", [ a; b ]) ->
+      let* a = cexpr env ~width a in
+      let* b = cexpr env ~width b in
+      Some (Bitvec.umax a b)
+  | Cfun ("umin", [ a; b ]) ->
+      let* a = cexpr env ~width a in
+      let* b = cexpr env ~width b in
+      Some (Bitvec.umin a b)
+  | Cfun ("smax", [ a; b ]) ->
+      let* a = cexpr env ~width a in
+      let* b = cexpr env ~width b in
+      Some (Bitvec.smax a b)
+  | Cfun ("smin", [ a; b ]) ->
+      let* a = cexpr env ~width a in
+      let* b = cexpr env ~width b in
+      Some (Bitvec.smin a b)
+  | Cfun ("width", [ a ]) ->
+      let* w = cexpr_width env a in
+      Some (Bitvec.of_int ~width w)
+  | Cfun (_, _) -> None
+
+(* Width of an expression through its named leaves. *)
+and cexpr_width env e =
+  match e with
+  | Cint _ | Cbool _ -> None
+  | Cabs name ->
+      let* c = List.assoc_opt name env.consts in
+      Some (Bitvec.width c)
+  | Cval name ->
+      let* v = List.assoc_opt name env.values in
+      Some (Ir.value_width env.func v)
+  | Cun (_, a) | Cfun (_, [ a ]) -> cexpr_width env a
+  | Cbin (_, a, b) | Cfun (_, [ a; b ]) -> (
+      match cexpr_width env a with
+      | Some w -> Some w
+      | None -> cexpr_width env b)
+  | Cfun (_, _) -> None
+
+(* A precondition argument is either a compile-time constant expression or a
+   reference to a (possibly symbolic) template value. *)
+let arg_value env e =
+  match e with
+  | Cval name -> List.assoc_opt name env.values
+  | _ -> (
+      match cexpr_width env e with
+      | None -> None
+      | Some w -> (
+          match cexpr env ~width:w e with
+          | Some c -> Some (Ir.Const c)
+          | None -> None))
+
+let rec pred env p =
+  match p with
+  | Ptrue -> true
+  | Pand (a, b) -> pred env a && pred env b
+  | Por (a, b) -> pred env a || pred env b
+  | Pnot a -> not (pred env a)
+  | Pcmp (op, a, b) -> (
+      match
+        match cexpr_width env a with
+        | Some w -> Some w
+        | None -> cexpr_width env b
+      with
+      | None -> false
+      | Some w -> (
+          match (cexpr env ~width:w a, cexpr env ~width:w b) with
+          | Some x, Some y ->
+              let f =
+                match op with
+                | Peq -> Bitvec.equal
+                | Pne -> fun a b -> not (Bitvec.equal a b)
+                | Pslt -> Bitvec.slt
+                | Psle -> Bitvec.sle
+                | Psgt -> fun a b -> Bitvec.slt b a
+                | Psge -> fun a b -> Bitvec.sle b a
+                | Pult -> Bitvec.ult
+                | Pule -> Bitvec.ule
+                | Pugt -> fun a b -> Bitvec.ult b a
+                | Puge -> fun a b -> Bitvec.ule b a
+              in
+              f x y
+          | _ -> false))
+  | Pcall (name, args) -> (
+      let f = env.func in
+      match (name, List.map (arg_value env) args) with
+      | "isPowerOf2", [ Some v ] -> Analysis.is_known_power_of_two f v
+      | "isPowerOf2OrZero", [ Some (Ir.Const c) ] ->
+          Bitvec.is_zero (Bitvec.logand c (Bitvec.sub c (Bitvec.one (Bitvec.width c))))
+      | "isSignBit", [ Some (Ir.Const c) ] ->
+          Bitvec.equal c (Bitvec.min_signed (Bitvec.width c))
+      | "isShiftedMask", [ Some (Ir.Const c) ] ->
+          let w = Bitvec.width c in
+          let filled = Bitvec.logor c (Bitvec.sub c (Bitvec.one w)) in
+          let succ = Bitvec.add filled (Bitvec.one w) in
+          (not (Bitvec.is_zero c))
+          && Bitvec.is_zero (Bitvec.logand succ (Bitvec.sub succ (Bitvec.one w)))
+      | "MaskedValueIsZero", [ Some v; Some (Ir.Const mask) ] ->
+          Analysis.masked_value_is_zero f v mask
+      | ("hasOneUse" | "OneUse"), [ Some (Ir.Var n) ] ->
+          Option.value ~default:0 (Hashtbl.find_opt (Ir.uses_of f) n) = 1
+      | ("hasOneUse" | "OneUse"), [ Some _ ] -> true
+      | "WillNotOverflowSignedAdd", [ Some a; Some b ] ->
+          Analysis.will_not_overflow f `Add ~signed:true a b
+      | "WillNotOverflowUnsignedAdd", [ Some a; Some b ] ->
+          Analysis.will_not_overflow f `Add ~signed:false a b
+      | "WillNotOverflowSignedSub", [ Some a; Some b ] ->
+          Analysis.will_not_overflow f `Sub ~signed:true a b
+      | "WillNotOverflowUnsignedSub", [ Some a; Some b ] ->
+          Analysis.will_not_overflow f `Sub ~signed:false a b
+      | "WillNotOverflowSignedMul", [ Some (Ir.Const a); Some (Ir.Const b) ] ->
+          not (Bitvec.mul_overflows_signed a b)
+      | "WillNotOverflowSignedMul", [ Some a; Some b ] ->
+          Analysis.will_not_overflow f `Mul ~signed:true a b
+      | "WillNotOverflowUnsignedMul", [ Some (Ir.Const a); Some (Ir.Const b) ]
+        ->
+          not (Bitvec.mul_overflows_unsigned a b)
+      | "WillNotOverflowUnsignedMul", [ Some a; Some b ] ->
+          Analysis.will_not_overflow f `Mul ~signed:false a b
+      | _ -> false)

@@ -1,0 +1,21 @@
+(** Concrete evaluation of Alive constant expressions and preconditions
+    against a matched IR context — the runtime counterpart of the C++ the
+    paper generates (§4): constant expressions become [APInt] arithmetic,
+    value predicates become calls into the trusted dataflow analyses. *)
+
+type env = {
+  func : Ir.func;
+  consts : (string * Bitvec.t) list;  (** abstract constant bindings *)
+  values : (string * Ir.value) list;  (** template value bindings *)
+}
+
+val cexpr : env -> width:int -> Alive.Ast.cexpr -> Bitvec.t option
+(** [None] when the expression references an unbound name or an unsupported
+    function. *)
+
+val cexpr_width : env -> Alive.Ast.cexpr -> int option
+(** Width of an expression, resolved through its bound named leaves. *)
+
+val pred : env -> Alive.Ast.pred -> bool
+(** Conservative: unknown facts evaluate to [false] (the rewrite simply
+    does not fire), mirroring how generated C++ calls must-analyses. *)

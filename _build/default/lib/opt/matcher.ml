@@ -1,0 +1,369 @@
+open Alive.Ast
+
+type rule = { rule_name : string; transform : Alive.Ast.transform }
+
+type match_result = { bindings : Concrete.env; root : string }
+
+(* --- Enum translation between the Alive AST and the IR --- *)
+
+let ir_binop = function
+  | Add -> Ir.Add
+  | Sub -> Ir.Sub
+  | Mul -> Ir.Mul
+  | UDiv -> Ir.Udiv
+  | SDiv -> Ir.Sdiv
+  | URem -> Ir.Urem
+  | SRem -> Ir.Srem
+  | Shl -> Ir.Shl
+  | LShr -> Ir.Lshr
+  | AShr -> Ir.Ashr
+  | And -> Ir.And
+  | Or -> Ir.Or
+  | Xor -> Ir.Xor
+
+let ir_attr = function Nsw -> Ir.Nsw | Nuw -> Ir.Nuw | Exact -> Ir.Exact
+
+let ir_cond = function
+  | Ceq -> Ir.Eq
+  | Cne -> Ir.Ne
+  | Cugt -> Ir.Ugt
+  | Cuge -> Ir.Uge
+  | Cult -> Ir.Ult
+  | Cule -> Ir.Ule
+  | Csgt -> Ir.Sgt
+  | Csge -> Ir.Sge
+  | Cslt -> Ir.Slt
+  | Csle -> Ir.Sle
+
+let rule_of_transform (t : Alive.Ast.transform) =
+  match Alive.Scoping.check t with
+  | Error e -> Error e
+  | Ok _ ->
+      let executable =
+        let inst_ok = function
+          | Binop _ | Icmp _ | Select _ | Copy _ -> true
+          | Conv ((Zext | Sext | Trunc), _, _) -> true
+          | Conv ((Bitcast | Ptrtoint | Inttoptr), _, _) -> false
+          | Alloca _ | Load _ | Gep _ -> false
+        in
+        let stmt_ok = function
+          | Def (_, _, i) -> inst_ok i
+          | Store _ | Unreachable -> false
+        in
+        List.for_all stmt_ok t.src && List.for_all stmt_ok t.tgt
+        (* Source templates must be pure instruction DAGs; a Copy source
+           would match anything. *)
+        && List.for_all
+             (function Def (_, _, Copy _) -> false | _ -> true)
+             t.src
+      in
+      if executable then Ok { rule_name = t.name; transform = t }
+      else Error "outside the executable integer fragment"
+
+(* --- Matching --- *)
+
+type mstate = {
+  func : Ir.func;
+  src_defs : (string * Alive.Ast.inst) list;
+  mutable consts : (string * Bitvec.t) list;
+  mutable values : (string * Ir.value) list;
+}
+
+let value_equal a b =
+  match (a, b) with
+  | Ir.Var x, Ir.Var y -> String.equal x y
+  | Ir.Const x, Ir.Const y -> Bitvec.equal x y
+  | Ir.Undef x, Ir.Undef y -> x = y
+  | (Ir.Var _ | Ir.Const _ | Ir.Undef _), _ -> false
+
+let bind_value st name v =
+  match List.assoc_opt name st.values with
+  | Some v' -> value_equal v v'
+  | None ->
+      st.values <- (name, v) :: st.values;
+      true
+
+let bind_const st name c =
+  match List.assoc_opt name st.consts with
+  | Some c' -> Bitvec.equal c c'
+  | None ->
+      st.consts <- (name, c) :: st.consts;
+      true
+
+let rec match_operand st (top : toperand) (v : Ir.value) ~width =
+  (match top.ty with
+  | Some (Int w) when w <> width -> false
+  | Some (Ptr _ | Arr _) -> false
+  | Some (Int _) | None -> true)
+  &&
+  match top.op with
+  | Var name when List.mem_assoc name st.src_defs -> (
+      (* A source temporary: the IR operand must be an instruction that
+         matches the corresponding template definition. *)
+      match v with
+      | Ir.Var ir_name -> (
+          match Ir.def_of st.func ir_name with
+          | Some d -> match_def st name d && bind_value st name v
+          | None -> false)
+      | Ir.Const _ | Ir.Undef _ -> false)
+  | Var name -> bind_value st name v
+  | Undef -> ( match v with Ir.Undef _ -> true | Ir.Var _ | Ir.Const _ -> false)
+  | ConstOp e -> (
+      match v with
+      | Ir.Const c -> (
+          match e with
+          | Cabs name -> bind_const st name c
+          | Cint n -> Bitvec.equal c (Bitvec.make ~width n)
+          | Cbool b ->
+              width = 1 && Bitvec.equal c (Bitvec.of_int ~width (if b then 1 else 0))
+          | _ -> (
+              (* A compound expression: evaluable only if its leaves are
+                 already bound. *)
+              let env =
+                { Concrete.func = st.func; consts = st.consts; values = st.values }
+              in
+              match Concrete.cexpr env ~width e with
+              | Some c' -> Bitvec.equal c c'
+              | None -> false))
+      | Ir.Var _ | Ir.Undef _ -> false)
+
+and match_def st template_name (d : Ir.def) =
+  (* If this template temporary is already bound, it must be to the same
+     IR instruction. *)
+  match List.assoc_opt template_name st.values with
+  | Some v -> value_equal v (Ir.Var d.name)
+  | None -> (
+      match List.assoc_opt template_name st.src_defs with
+      | None -> false
+      | Some template_inst -> (
+          match (template_inst, d.inst) with
+          | Binop (op, attrs, a, b), Ir.Binop (op', attrs', x, y) ->
+              ir_binop op = op'
+              && List.for_all (fun at -> List.mem (ir_attr at) attrs') attrs
+              && match_operand st a x ~width:d.width
+              && match_operand st b y ~width:d.width
+          | Icmp (c, a, b), Ir.Icmp (c', x, y) ->
+              ir_cond c = c'
+              &&
+              let w = Ir.value_width st.func x in
+              match_operand st a x ~width:w && match_operand st b y ~width:w
+          | Select (c, a, b), Ir.Select (cx, x, y) ->
+              match_operand st c cx ~width:1
+              && match_operand st a x ~width:d.width
+              && match_operand st b y ~width:d.width
+          | Conv (Zext, a, _), Ir.Conv (Ir.Zext, x)
+          | Conv (Sext, a, _), Ir.Conv (Ir.Sext, x)
+          | Conv (Trunc, a, _), Ir.Conv (Ir.Trunc, x) ->
+              match_operand st a x ~width:(Ir.value_width st.func x)
+          | _ -> false))
+
+let src_def_insts stmts =
+  List.filter_map
+    (function Def (n, _, i) -> Some (n, i) | Store _ | Unreachable -> None)
+    stmts
+
+let match_at rule func root_name =
+  match Ir.def_of func root_name with
+  | None -> None
+  | Some root_def ->
+      let st =
+        {
+          func;
+          src_defs = src_def_insts rule.transform.src;
+          consts = [];
+          values = [];
+        }
+      in
+      let root_template =
+        match Alive.Ast.root_of rule.transform.src with
+        | Some r -> r
+        | None -> assert false (* rejected by rule_of_transform *)
+      in
+      if match_def st root_template root_def then begin
+        ignore (bind_value st root_template (Ir.Var root_def.name));
+        let env =
+          { Concrete.func = func; consts = st.consts; values = st.values }
+        in
+        if Concrete.pred env rule.transform.pre then
+          Some { bindings = env; root = root_name }
+        else None
+      end
+      else None
+
+(* --- Rewriting --- *)
+
+let counter = ref 0
+
+let fresh_name () =
+  incr counter;
+  Printf.sprintf "alive.%d" !counter
+
+(* Substitute [Var old] by [v] in every subsequent instruction and the
+   return value (used when the target root is a plain copy). *)
+let substitute_value func old v =
+  let sub = function Ir.Var n when String.equal n old -> v | x -> x in
+  let sub_inst = function
+    | Ir.Binop (op, attrs, a, b) -> Ir.Binop (op, attrs, sub a, sub b)
+    | Ir.Icmp (c, a, b) -> Ir.Icmp (c, sub a, sub b)
+    | Ir.Select (c, a, b) -> Ir.Select (sub c, sub a, sub b)
+    | Ir.Conv (c, a) -> Ir.Conv (c, sub a)
+    | Ir.Freeze a -> Ir.Freeze (sub a)
+  in
+  {
+    func with
+    Ir.body =
+      List.filter_map
+        (fun (d : Ir.def) ->
+          if String.equal d.name old then None
+          else Some { d with Ir.inst = sub_inst d.inst })
+        func.Ir.body;
+    Ir.ret = sub func.Ir.ret;
+  }
+
+let rewrite rule func (m : match_result) =
+  let ( let* ) = Option.bind in
+  let root_def =
+    match Ir.def_of func m.root with Some d -> d | None -> assert false
+  in
+  let tgt_root =
+    match Alive.Ast.root_of rule.transform.tgt with
+    | Some r -> r
+    | None -> assert false
+  in
+  (* Values visible to target instructions: the match bindings plus target
+     temporaries as they are created. *)
+  let env = ref m.bindings in
+  (* Widths of the definitions this rewrite creates, which are not yet part
+     of [func]. *)
+  let new_widths = ref [] in
+  let value_of name = List.assoc_opt name !env.Concrete.values in
+  let width_of_ir_value v =
+    match v with
+    | Ir.Var n -> (
+        match List.assoc_opt n !new_widths with
+        | Some w -> Some w
+        | None -> ( try Some (Ir.value_width func v) with Not_found -> None))
+    | Ir.Const _ | Ir.Undef _ -> Some (Ir.value_width func v)
+  in
+  let operand_value (top : toperand) ~width =
+    match top.op with
+    | Var name -> value_of name
+    | Undef -> Some (Ir.Undef width)
+    | ConstOp e ->
+        let* c = Concrete.cexpr !env ~width e in
+        Some (Ir.Const c)
+  in
+  let operand_width (top : toperand) =
+    match top.op with
+    | Var name ->
+        let* v = value_of name in
+        width_of_ir_value v
+    | ConstOp e -> Concrete.cexpr_width !env e
+    | Undef -> None
+  in
+  (* Emit target definitions in order; collect the new defs. *)
+  let rec emit acc = function
+    | [] -> Some (List.rev acc)
+    | Def (name, _, inst) :: rest ->
+        let is_root = String.equal name tgt_root in
+        let* width =
+          if is_root then Some root_def.Ir.width
+          else
+            match inst with
+            | Binop (_, _, a, b) -> (
+                match operand_width a with
+                | Some w -> Some w
+                | None -> operand_width b)
+            | Icmp _ -> Some 1
+            | Select (_, a, b) -> (
+                match operand_width a with
+                | Some w -> Some w
+                | None -> operand_width b)
+            | Conv (_, _, Some (Int w)) -> Some w
+            | Conv (_, _, _) -> None
+            | Copy a -> operand_width a
+            | Alloca _ | Load _ | Gep _ -> None
+        in
+        let* ir_inst =
+          match inst with
+          | Binop (op, attrs, a, b) ->
+              let* x = operand_value a ~width in
+              let* y = operand_value b ~width in
+              Some (`Inst (Ir.Binop (ir_binop op, List.map ir_attr attrs, x, y)))
+          | Icmp (c, a, b) ->
+              let* w =
+                match operand_width a with
+                | Some w -> Some w
+                | None -> operand_width b
+              in
+              let* x = operand_value a ~width:w in
+              let* y = operand_value b ~width:w in
+              Some (`Inst (Ir.Icmp (ir_cond c, x, y)))
+          | Select (c, a, b) ->
+              let* cx = operand_value c ~width:1 in
+              let* x = operand_value a ~width in
+              let* y = operand_value b ~width in
+              Some (`Inst (Ir.Select (cx, x, y)))
+          | Conv (Zext, a, _) | Conv (Sext, a, _) | Conv (Trunc, a, _) ->
+              let* aw = operand_width a in
+              let* x = operand_value a ~width:aw in
+              let conv =
+                match inst with
+                | Conv (Zext, _, _) -> Ir.Zext
+                | Conv (Sext, _, _) -> Ir.Sext
+                | _ -> Ir.Trunc
+              in
+              Some (`Inst (Ir.Conv (conv, x)))
+          | Copy a ->
+              let* v = operand_value a ~width in
+              Some (`Copy v)
+          | Conv ((Bitcast | Ptrtoint | Inttoptr), _, _) | Alloca _ | Load _
+          | Gep _ ->
+              None
+        in
+        let ir_name = if is_root then root_def.Ir.name else fresh_name () in
+        (match ir_inst with
+        | `Inst i ->
+            env :=
+              {
+                !env with
+                Concrete.values =
+                  (name, Ir.Var ir_name) :: !env.Concrete.values;
+              };
+            new_widths := (ir_name, width) :: !new_widths;
+            emit ({ Ir.name = ir_name; width; inst = i } :: acc) rest
+        | `Copy v ->
+            env :=
+              { !env with Concrete.values = (name, v) :: !env.Concrete.values };
+            if is_root then
+              (* Handled after emission by use-substitution. *)
+              emit acc rest
+            else emit acc rest)
+    | (Store _ | Unreachable) :: _ -> None
+  in
+  let* new_defs = emit [] rule.transform.tgt in
+  (* Splice: new defs go right before the root; the root def is replaced if
+     the target root is an instruction, or dropped with its uses substituted
+     if the target root is a copy. *)
+  let root_replacement =
+    List.find_opt (fun (d : Ir.def) -> String.equal d.Ir.name m.root) new_defs
+  in
+  let prefix_defs =
+    List.filter (fun (d : Ir.def) -> not (String.equal d.Ir.name m.root)) new_defs
+  in
+  let rec splice = function
+    | [] -> []
+    | (d : Ir.def) :: rest when String.equal d.Ir.name m.root -> (
+        match root_replacement with
+        | Some r -> prefix_defs @ [ r ] @ rest
+        | None -> prefix_defs @ (d :: rest))
+    | d :: rest -> d :: splice rest
+  in
+  let func = { func with Ir.body = splice func.Ir.body } in
+  match root_replacement with
+  | Some _ -> Some func
+  | None -> (
+      (* Copy root: substitute its value through the rest of the function. *)
+      match value_of tgt_root with
+      | Some v -> Some (substitute_value func m.root v)
+      | None -> None)

@@ -1,0 +1,37 @@
+(** Matching Alive source templates against IR and rewriting to the target —
+    the native-code twin of the generated C++ (§4): the same DAG match,
+    precondition check, instruction creation, and use replacement.
+
+    A rule must have been verified before being registered; this module
+    performs no verification itself. *)
+
+type rule = {
+  rule_name : string;
+  transform : Alive.Ast.transform;
+}
+
+val rule_of_transform : Alive.Ast.transform -> (rule, string) result
+(** Pre-compiles scoping information; rejects templates outside the
+    executable integer fragment (memory operations, [unreachable]). *)
+
+type match_result = {
+  bindings : Concrete.env;
+  root : string;  (** the matched root definition's name *)
+}
+
+val match_at : rule -> Ir.func -> string -> match_result option
+(** Try to match the rule's source template rooted at the named definition,
+    checking the precondition concretely. *)
+
+val rewrite : rule -> Ir.func -> match_result -> Ir.func option
+(** Replace the root definition with the instantiated target template
+    (new definitions inserted just before the root, root redefined in
+    place). Dead source instructions are left for DCE. [None] if a target
+    constant expression cannot be evaluated. *)
+
+(** Enum translation between the Alive AST and the IR (shared with the
+    workload generator's template instantiation). *)
+
+val ir_binop : Alive.Ast.binop -> Ir.binop
+val ir_attr : Alive.Ast.attr -> Ir.attr
+val ir_cond : Alive.Ast.cond -> Ir.cond

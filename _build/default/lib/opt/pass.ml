@@ -1,0 +1,62 @@
+type stats = (string * int) list
+
+let dce (f : Ir.func) =
+  let rec fixpoint f =
+    let uses = Ir.uses_of f in
+    let live (d : Ir.def) =
+      Option.value ~default:0 (Hashtbl.find_opt uses d.Ir.name) > 0
+    in
+    let body' = List.filter live f.Ir.body in
+    if List.length body' = List.length f.Ir.body then f
+    else fixpoint { f with Ir.body = body' }
+  in
+  fixpoint f
+
+let bump stats name =
+  match List.assoc_opt name stats with
+  | Some n -> (name, n + 1) :: List.remove_assoc name stats
+  | None -> (name, 1) :: stats
+
+let run ~rules ?(max_rewrites = 1000) (f : Ir.func) =
+  let stats = ref [] in
+  let rec loop f budget =
+    if budget = 0 then f
+    else
+      (* First (rule, def) pair that fires wins; restart after a rewrite so
+         newly created instructions are themselves candidates. *)
+      let fired =
+        List.find_map
+          (fun (d : Ir.def) ->
+            List.find_map
+              (fun rule ->
+                match Matcher.match_at rule f d.Ir.name with
+                | None -> None
+                | Some m -> (
+                    match Matcher.rewrite rule f m with
+                    | None -> None
+                    | Some f' -> Some (rule.Matcher.rule_name, f')))
+              rules)
+          f.Ir.body
+      in
+      match fired with
+      | None -> f
+      | Some (name, f') ->
+          stats := bump !stats name;
+          loop (dce f') (budget - 1)
+  in
+  let f' = loop f max_rewrites in
+  (dce f', List.sort (fun (_, a) (_, b) -> Int.compare b a) !stats)
+
+let merge_stats a b =
+  List.fold_left
+    (fun acc (name, n) ->
+      match List.assoc_opt name acc with
+      | Some m -> (name, m + n) :: List.remove_assoc name acc
+      | None -> (name, n) :: acc)
+    a b
+  |> List.sort (fun (_, a) (_, b) -> Int.compare b a)
+
+let run_module ~rules ?max_rewrites funcs =
+  let results = List.map (run ~rules ?max_rewrites) funcs in
+  ( List.map fst results,
+    List.fold_left (fun acc (_, s) -> merge_stats acc s) [] results )

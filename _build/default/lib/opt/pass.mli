@@ -1,0 +1,26 @@
+(** The optimization pass driver: applies a rule list to a function until no
+    rule fires (first match wins, as in the generated C++ pass of §4),
+    then removes dead code. Firing counts feed the Fig. 9 experiment. *)
+
+type stats = (string * int) list
+(** Rule name → number of firings, descending. *)
+
+val dce : Ir.func -> Ir.func
+(** Remove definitions with no remaining uses, transitively. Instructions
+    that can trigger UB (division, shifts) are kept only if used — the same
+    (deliberate) aggressiveness as LLVM's DCE on InstCombine leftovers. *)
+
+val run :
+  rules:Matcher.rule list ->
+  ?max_rewrites:int ->
+  Ir.func ->
+  Ir.func * stats
+
+val run_module :
+  rules:Matcher.rule list ->
+  ?max_rewrites:int ->
+  Ir.func list ->
+  Ir.func list * stats
+(** Accumulated firing statistics over many functions. *)
+
+val merge_stats : stats -> stats -> stats

@@ -1,0 +1,27 @@
+(** Synthetic IR workload generation for the Fig. 9 / §6.4 experiments.
+
+    The paper compiles SPEC 2000/2006 and the LLVM nightly suite; neither is
+    redistributable here, so (per DESIGN.md) we synthesize modules whose
+    optimizable-pattern mix follows a Zipf distribution over the rule
+    corpus — matching the paper's observation that a small number of
+    optimizations dominate firing counts (top ten ≈ 70 %) with a long tail.
+    Generation is fully seeded and deterministic. *)
+
+type config = {
+  seed : int;
+  functions : int;
+  instructions_per_function : int;
+  inject_probability : float;
+      (** chance that the next instruction group is an instantiated rule
+          source template rather than random filler *)
+  zipf_exponent : float;  (** skew of rule selection (≈1.5) *)
+  widths : int list;  (** widths for generated values *)
+}
+
+val default : config
+
+val generate : config -> Matcher.rule list -> Ir.func list
+(** Every generated function passes [Ir.validate]. The rule list supplies
+    the injectable source templates (rules whose templates need multiple
+    widths are skipped for injection but still participate as filler
+    opcodes). *)

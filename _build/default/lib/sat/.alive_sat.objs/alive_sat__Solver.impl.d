@@ -1,0 +1,1 @@
+lib/sat/solver.ml: Array Bytes Char Float Format Heap Int List Option

@@ -1,0 +1,57 @@
+let parse text =
+  let nvars = ref 0 in
+  let clauses = ref [] in
+  let current = ref [] in
+  let lines = String.split_on_char '\n' text in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = 'c' then ()
+      else if line.[0] = 'p' then begin
+        match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+        | [ "p"; "cnf"; nv; _nc ] -> (
+            match int_of_string_opt nv with
+            | Some n -> nvars := n
+            | None -> failwith "Dimacs.parse: bad header")
+        | _ -> failwith "Dimacs.parse: bad header"
+      end
+      else
+        String.split_on_char ' ' line
+        |> List.filter (( <> ) "")
+        |> List.iter (fun tok ->
+               match int_of_string_opt tok with
+               | None -> failwith ("Dimacs.parse: bad literal " ^ tok)
+               | Some 0 ->
+                   clauses := List.rev !current :: !clauses;
+                   current := []
+               | Some n ->
+                   let v = abs n - 1 in
+                   if v + 1 > !nvars then nvars := v + 1;
+                   current := Solver.mk_lit v (n > 0) :: !current))
+    lines;
+  if !current <> [] then clauses := List.rev !current :: !clauses;
+  (!nvars, List.rev !clauses)
+
+let print ~nvars clauses =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "p cnf %d %d\n" nvars (List.length clauses));
+  List.iter
+    (fun clause ->
+      List.iter
+        (fun l ->
+          let n = Solver.var l + 1 in
+          Buffer.add_string buf
+            (string_of_int (if Solver.is_pos l then n else -n));
+          Buffer.add_char buf ' ')
+        clause;
+      Buffer.add_string buf "0\n")
+    clauses;
+  Buffer.contents buf
+
+let load_into solver text =
+  let nvars, clauses = parse text in
+  while Solver.nvars solver < nvars do
+    ignore (Solver.new_var solver)
+  done;
+  List.iter (Solver.add_clause solver) clauses

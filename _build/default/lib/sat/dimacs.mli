@@ -1,0 +1,11 @@
+(** DIMACS CNF parsing and printing, for test corpora and debugging.
+    Variables are 1-based in the textual format and 0-based in the solver. *)
+
+val parse : string -> int * Solver.lit list list
+(** [parse text] returns [(nvars, clauses)].
+    @raise Failure on malformed input. *)
+
+val print : nvars:int -> Solver.lit list list -> string
+
+val load_into : Solver.t -> string -> unit
+(** Parse and add every clause, allocating variables as needed. *)

@@ -1,0 +1,84 @@
+(* Binary max-heap keyed by an external float activity array, with a reverse
+   index so membership tests and sift-ups from arbitrary positions are O(1)
+   and O(log n). This mirrors MiniSat's order heap. *)
+
+type t = {
+  mutable data : int array; (* heap of variable indices *)
+  mutable size : int;
+  mutable pos : int array; (* pos.(v) = index of v in data, or -1 *)
+}
+
+let create () = { data = Array.make 64 0; size = 0; pos = Array.make 64 (-1) }
+
+let ensure_var t v =
+  if v >= Array.length t.pos then begin
+    let n = max (v + 1) (2 * Array.length t.pos) in
+    let pos = Array.make n (-1) in
+    Array.blit t.pos 0 pos 0 (Array.length t.pos);
+    t.pos <- pos
+  end
+
+let in_heap t v = v < Array.length t.pos && t.pos.(v) >= 0
+
+let is_empty t = t.size = 0
+let size t = t.size
+
+let swap t i j =
+  let vi = t.data.(i) and vj = t.data.(j) in
+  t.data.(i) <- vj;
+  t.data.(j) <- vi;
+  t.pos.(vj) <- i;
+  t.pos.(vi) <- j
+
+let rec sift_up t ~(act : float array) i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if act.(t.data.(i)) > act.(t.data.(parent)) then begin
+      swap t i parent;
+      sift_up t ~act parent
+    end
+  end
+
+let rec sift_down t ~(act : float array) i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < t.size && act.(t.data.(l)) > act.(t.data.(!best)) then best := l;
+  if r < t.size && act.(t.data.(r)) > act.(t.data.(!best)) then best := r;
+  if !best <> i then begin
+    swap t i !best;
+    sift_down t ~act !best
+  end
+
+let insert t ~act v =
+  ensure_var t v;
+  if t.pos.(v) < 0 then begin
+    if t.size = Array.length t.data then begin
+      let data = Array.make (2 * t.size) 0 in
+      Array.blit t.data 0 data 0 t.size;
+      t.data <- data
+    end;
+    t.data.(t.size) <- v;
+    t.pos.(v) <- t.size;
+    t.size <- t.size + 1;
+    sift_up t ~act t.pos.(v)
+  end
+
+let remove_max t ~act =
+  if t.size = 0 then raise Not_found;
+  let v = t.data.(0) in
+  t.size <- t.size - 1;
+  t.pos.(v) <- -1;
+  if t.size > 0 then begin
+    let last = t.data.(t.size) in
+    t.data.(0) <- last;
+    t.pos.(last) <- 0;
+    sift_down t ~act 0
+  end;
+  v
+
+let decrease t ~act v = if in_heap t v then sift_up t ~act t.pos.(v)
+
+let rebuild t ~act =
+  for i = (t.size / 2) - 1 downto 0 do
+    sift_down t ~act i
+  done

@@ -1,0 +1,26 @@
+(** Binary max-heap over variable indices, ordered by an external activity
+    array. Used as the VSIDS decision queue: the solver bumps activities and
+    the heap keeps the highest-activity unassigned variable on top. *)
+
+type t
+
+val create : unit -> t
+
+val in_heap : t -> int -> bool
+
+val insert : t -> act:float array -> int -> unit
+(** No-op if the variable is already present. *)
+
+val remove_max : t -> act:float array -> int
+(** @raise Not_found if empty. *)
+
+val decrease : t -> act:float array -> int -> unit
+(** Restore heap order after the activity of a present variable increased.
+    (Named after MiniSat's [decrease]: a larger key is "closer to the top".)
+    No-op if the variable is not in the heap. *)
+
+val rebuild : t -> act:float array -> unit
+(** Re-establish heap order after a global activity rescale. *)
+
+val is_empty : t -> bool
+val size : t -> int

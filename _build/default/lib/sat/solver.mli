@@ -1,0 +1,49 @@
+(** A CDCL SAT solver in the MiniSat lineage: two-watched-literal propagation,
+    first-UIP conflict analysis with clause learning, VSIDS decision heuristic
+    with phase saving, Luby restarts, and activity-based learnt-clause
+    deletion. Supports incremental solving under assumptions, which the SMT
+    layer uses for CEGAR refinement and attribute inference. *)
+
+type t
+
+(** {1 Literals} *)
+
+type lit = private int
+(** A literal is a variable with a polarity, packed in an int. *)
+
+val mk_lit : int -> bool -> lit
+(** [mk_lit v sign] is [v] if [sign] and [¬v] otherwise. *)
+
+val neg : lit -> lit
+val var : lit -> int
+val is_pos : lit -> bool
+val pp_lit : Format.formatter -> lit -> unit
+
+(** {1 Solver} *)
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Allocate a fresh variable and return its index. *)
+
+val nvars : t -> int
+
+val add_clause : t -> lit list -> unit
+(** Add a clause. Adding the empty clause (or clauses that close off the last
+    model of a variable at level 0) makes the instance trivially UNSAT. *)
+
+exception Budget_exceeded
+(** Raised by {!solve} when the conflict budget runs out. The solver is
+    left at decision level 0 and remains usable. *)
+
+val solve : ?assumptions:lit list -> ?conflict_limit:int -> t -> bool
+(** [solve s] is [true] iff the clauses (under the assumptions) are
+    satisfiable. The solver can be re-used: later [add_clause] and [solve]
+    calls see all previously added clauses. *)
+
+val value : t -> lit -> bool
+(** Model value of a literal after a [solve] that returned [true]. Variables
+    irrelevant to satisfaction default to their saved phase. *)
+
+val stats : t -> int * int * int
+(** [(conflicts, decisions, propagations)] since creation. *)

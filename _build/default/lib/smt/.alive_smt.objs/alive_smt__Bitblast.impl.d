@@ -1,0 +1,1 @@
+lib/smt/bitblast.ml: Alive_sat Array Bitvec Hashtbl Int64 List Lower Stdlib Term

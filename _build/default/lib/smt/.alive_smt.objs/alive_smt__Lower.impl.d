@@ -1,0 +1,1 @@
+lib/smt/lower.ml: Array Hashtbl List Term

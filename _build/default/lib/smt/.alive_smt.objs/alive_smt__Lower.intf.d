@@ -1,0 +1,1 @@
+lib/smt/lower.mli: Term

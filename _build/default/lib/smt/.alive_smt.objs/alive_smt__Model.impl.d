@@ -1,0 +1,1 @@
+lib/smt/model.ml: Bitvec Format List Map String Term

@@ -1,0 +1,1 @@
+lib/smt/solve.ml: Bitblast Bitvec List Model Stdlib Term

@@ -1,0 +1,1 @@
+lib/smt/solve.mli: Model Term

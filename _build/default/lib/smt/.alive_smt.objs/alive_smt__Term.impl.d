@@ -1,0 +1,1 @@
+lib/smt/term.ml: Bitvec Bool Format Hashtbl Int List String

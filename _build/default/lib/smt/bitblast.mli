@@ -1,0 +1,27 @@
+(** Tseitin bit-blasting of lowered terms into a CDCL SAT solver.
+
+    A context owns a SAT solver and memoization tables keyed by term id, so
+    shared subterms are encoded once. Formulas are asserted incrementally;
+    [check] may be called repeatedly, also under assumptions (used by the
+    CEGAR loop and attribute inference).
+
+    Input terms must be in the bit-blaster's core fragment (see {!Lower});
+    [assert_formula] and [check] lower their arguments automatically. *)
+
+type t
+
+val create : unit -> t
+
+val assert_formula : t -> Term.t -> unit
+(** Assert a Bool-sorted term. @raise Invalid_argument on bitvector sorts. *)
+
+val check :
+  ?assumptions:Term.t list -> ?conflict_limit:int -> t -> [ `Sat | `Unsat ]
+(** @raise Alive_sat.Solver.Budget_exceeded when the limit runs out. *)
+
+val model_value : t -> string -> Term.sort -> Term.value
+(** Value of a named variable after a [`Sat] answer. Variables never
+    mentioned in any asserted formula default to zero/false. *)
+
+val stats : t -> int * int * int
+(** Underlying SAT statistics: conflicts, decisions, propagations. *)

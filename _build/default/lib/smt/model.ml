@@ -1,0 +1,36 @@
+module Smap = Map.Make (String)
+
+type t = Term.value Smap.t
+
+let empty = Smap.empty
+let of_list l = List.fold_left (fun m (k, v) -> Smap.add k v m) Smap.empty l
+let bindings = Smap.bindings
+let find m k = Smap.find_opt k m
+let find_exn m k = Smap.find k m
+let add = Smap.add
+
+let eval m t =
+  Term.eval
+    (fun name ->
+      match Smap.find_opt name m with
+      | Some v -> v
+      | None -> (
+          (* Total-ize: unconstrained variables take a default value. The
+             variable's sort is recovered from the term's variable list. *)
+          match List.assoc_opt name (Term.vars t) with
+          | Some Term.Bool -> Term.Vbool false
+          | Some (Term.Bv n) -> Term.Vbv (Bitvec.zero n)
+          | None -> raise Not_found))
+    t
+
+let holds m t =
+  match eval m t with
+  | Term.Vbool b -> b
+  | Term.Vbv _ -> invalid_arg "Model.holds: bitvector-sorted term"
+
+let pp ppf m =
+  Format.pp_open_vbox ppf 0;
+  Smap.iter
+    (fun k v -> Format.fprintf ppf "%s = %a@," k Term.pp_value v)
+    m;
+  Format.pp_close_box ppf ()

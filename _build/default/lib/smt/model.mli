@@ -1,0 +1,24 @@
+(** Models: finite valuations of named variables, as produced by
+    satisfiability checks and consumed by counterexample rendering. *)
+
+type t
+
+val empty : t
+val of_list : (string * Term.value) list -> t
+val bindings : t -> (string * Term.value) list
+val find : t -> string -> Term.value option
+
+val find_exn : t -> string -> Term.value
+(** @raise Not_found when absent. *)
+
+val add : string -> Term.value -> t -> t
+
+val eval : t -> Term.t -> Term.value
+(** Evaluate a term under the model; missing bitvector variables default to
+    zero and missing booleans to false (a total model, as SAT solvers give).
+*)
+
+val holds : t -> Term.t -> bool
+(** [eval] specialized to Bool terms. @raise Invalid_argument otherwise. *)
+
+val pp : Format.formatter -> t -> unit

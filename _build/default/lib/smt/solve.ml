@@ -1,0 +1,83 @@
+type answer = Sat of Model.t | Unsat
+
+let value_to_term = function
+  | Term.Vbool b -> Term.bool_ b
+  | Term.Vbv c -> Term.const c
+
+let extract_model ctx vars =
+  Model.of_list
+    (List.map (fun (name, sort) -> (name, Bitblast.model_value ctx name sort)) vars)
+
+let check_sat formulas =
+  let ctx = Bitblast.create () in
+  List.iter (Bitblast.assert_formula ctx) formulas;
+  match Bitblast.check ctx with
+  | `Unsat -> Unsat
+  | `Sat ->
+      let vars =
+        List.sort_uniq Stdlib.compare (List.concat_map Term.vars formulas)
+      in
+      Sat (extract_model ctx vars)
+
+let is_valid f =
+  match check_sat [ Term.not_ f ] with
+  | Unsat -> `Valid
+  | Sat m -> `Invalid m
+
+exception Cegar_diverged of int
+
+let default_value = function
+  | Term.Bool -> Term.Vbool false
+  | Term.Bv n -> Term.Vbv (Bitvec.zero n)
+
+let check_valid_ef ?(max_iterations = 1 lsl 16) ~exists f =
+  match exists with
+  | [] -> is_valid f
+  | _ ->
+      let evar_names = List.map fst exists in
+      let outer_vars =
+        List.filter (fun (n, _) -> not (List.mem n evar_names)) (Term.vars f)
+      in
+      (* The negation ∃O ∀E ¬f, solved by expanding the universal E over a
+         growing candidate set. The outer solver is incremental: each new
+         candidate adds one more conjunct ¬f[E:=cand]. *)
+      let outer = Bitblast.create () in
+      let add_candidate cand =
+        let bindings =
+          List.map (fun (n, _) -> (n, value_to_term (Model.find_exn cand n))) exists
+        in
+        Bitblast.assert_formula outer (Term.not_ (Term.subst bindings f))
+      in
+      (* Seed with the all-zero candidate. *)
+      add_candidate
+        (Model.of_list (List.map (fun (n, s) -> (n, default_value s)) exists));
+      let rec loop iter =
+        if iter >= max_iterations then raise (Cegar_diverged iter);
+        match Bitblast.check outer with
+        | `Unsat -> `Valid
+        | `Sat ->
+            let o_model = extract_model outer outer_vars in
+            (* Does some E satisfy f under this O? *)
+            let o_bindings =
+              List.map
+                (fun (n, _) -> (n, value_to_term (Model.find_exn o_model n)))
+                outer_vars
+            in
+            let f_inner = Term.subst o_bindings f in
+            (match check_sat [ f_inner ] with
+            | Unsat -> `Invalid o_model
+            | Sat e_model ->
+                let cand =
+                  Model.of_list
+                    (List.map
+                       (fun (n, s) ->
+                         ( n,
+                           match Model.find e_model n with
+                           | Some v -> v
+                           | None -> default_value s ))
+                       exists)
+                in
+                add_candidate cand;
+                loop (iter + 1))
+      in
+      loop 0

@@ -1,0 +1,31 @@
+(** High-level satisfiability and validity interface, including the CEGAR
+    loop for the one quantifier alternation Alive needs (existential source
+    [undef] under universal inputs, §3.1.2 of the paper). *)
+
+type answer = Sat of Model.t | Unsat
+
+val check_sat : Term.t list -> answer
+(** Satisfiability of a conjunction. On [Sat], the model binds every free
+    variable of the input. *)
+
+val is_valid : Term.t -> [ `Valid | `Invalid of Model.t ]
+(** Validity of a closed-under-universal-quantification formula; on
+    [`Invalid] the model is a counterexample. *)
+
+exception Cegar_diverged of int
+(** Raised if the refinement loop exceeds its iteration budget, which is
+    impossible for well-sorted finite-width inputs unless the budget is
+    smaller than the [exists] domain. *)
+
+val check_valid_ef :
+  ?max_iterations:int ->
+  exists:(string * Term.sort) list ->
+  Term.t ->
+  [ `Valid | `Invalid of Model.t ]
+(** [check_valid_ef ~exists f] decides [∀O. ∃E. f] where [E] is the given
+    variable set and [O] is every other free variable of [f]. Uses
+    counterexample-guided expansion of the existential (a finite-domain
+    2QBF loop). On [`Invalid], the model binds the universal variables [O]
+    such that no choice of [E] satisfies [f]. *)
+
+val value_to_term : Term.value -> Term.t

@@ -1,0 +1,594 @@
+(* Hash-consed terms with folding smart constructors. The hash-consing table
+   is global and grows for the lifetime of the process; verification tasks
+   are short-lived processes (or tests), so no eviction is needed. *)
+
+type sort = Bool | Bv of int
+
+let pp_sort ppf = function
+  | Bool -> Format.pp_print_string ppf "Bool"
+  | Bv n -> Format.fprintf ppf "(_ BitVec %d)" n
+
+let equal_sort a b =
+  match (a, b) with
+  | Bool, Bool -> true
+  | Bv n, Bv m -> n = m
+  | (Bool | Bv _), _ -> false
+
+type t = { id : int; node : node; sort : sort }
+
+and node =
+  | True
+  | False
+  | Var of string * sort
+  | BvConst of Bitvec.t
+  | Not of t
+  | And of t list
+  | Or of t list
+  | Eq of t * t
+  | Ult of t * t
+  | Slt of t * t
+  | Ite of t * t * t
+  | Bnot of t
+  | Bbin of bvop * t * t
+  | Extract of int * int * t
+  | Concat of t * t
+  | Zext of int * t
+  | Sext of int * t
+
+and bvop =
+  | Add
+  | Sub
+  | Mul
+  | Udiv
+  | Sdiv
+  | Urem
+  | Srem
+  | Shl
+  | Lshr
+  | Ashr
+  | Band
+  | Bor
+  | Bxor
+
+let pp_bvop ppf op =
+  Format.pp_print_string ppf
+    (match op with
+    | Add -> "bvadd"
+    | Sub -> "bvsub"
+    | Mul -> "bvmul"
+    | Udiv -> "bvudiv"
+    | Sdiv -> "bvsdiv"
+    | Urem -> "bvurem"
+    | Srem -> "bvsrem"
+    | Shl -> "bvshl"
+    | Lshr -> "bvlshr"
+    | Ashr -> "bvashr"
+    | Band -> "bvand"
+    | Bor -> "bvor"
+    | Bxor -> "bvxor")
+
+(* Structural hashing/equality on nodes, using child ids. *)
+module Node_key = struct
+  type nonrec t = node
+
+  let equal a b =
+    match (a, b) with
+    | True, True | False, False -> true
+    | Var (n1, s1), Var (n2, s2) -> String.equal n1 n2 && equal_sort s1 s2
+    | BvConst c1, BvConst c2 -> Bitvec.equal c1 c2
+    | Not a, Not b | Bnot a, Bnot b -> a == b
+    | And l1, And l2 | Or l1, Or l2 ->
+        List.length l1 = List.length l2 && List.for_all2 ( == ) l1 l2
+    | Eq (a1, b1), Eq (a2, b2)
+    | Ult (a1, b1), Ult (a2, b2)
+    | Slt (a1, b1), Slt (a2, b2)
+    | Concat (a1, b1), Concat (a2, b2) ->
+        a1 == a2 && b1 == b2
+    | Ite (c1, t1, e1), Ite (c2, t2, e2) -> c1 == c2 && t1 == t2 && e1 == e2
+    | Bbin (o1, a1, b1), Bbin (o2, a2, b2) -> o1 = o2 && a1 == a2 && b1 == b2
+    | Extract (h1, l1, a1), Extract (h2, l2, a2) -> h1 = h2 && l1 = l2 && a1 == a2
+    | Zext (n1, a1), Zext (n2, a2) | Sext (n1, a1), Sext (n2, a2) ->
+        n1 = n2 && a1 == a2
+    | ( ( True | False | Var _ | BvConst _ | Not _ | And _ | Or _ | Eq _
+        | Ult _ | Slt _ | Ite _ | Bnot _ | Bbin _ | Extract _ | Concat _
+        | Zext _ | Sext _ ),
+        _ ) ->
+        false
+
+  let hash = function
+    | True -> 1
+    | False -> 2
+    | Var (n, s) -> Hashtbl.hash (3, n, s)
+    | BvConst c -> Hashtbl.hash (4, Bitvec.hash c)
+    | Not a -> Hashtbl.hash (5, a.id)
+    | And l -> Hashtbl.hash (6 :: List.map (fun t -> t.id) l)
+    | Or l -> Hashtbl.hash (7 :: List.map (fun t -> t.id) l)
+    | Eq (a, b) -> Hashtbl.hash (8, a.id, b.id)
+    | Ult (a, b) -> Hashtbl.hash (9, a.id, b.id)
+    | Slt (a, b) -> Hashtbl.hash (10, a.id, b.id)
+    | Ite (c, t, e) -> Hashtbl.hash (11, c.id, t.id, e.id)
+    | Bnot a -> Hashtbl.hash (12, a.id)
+    | Bbin (o, a, b) -> Hashtbl.hash (13, Hashtbl.hash o, a.id, b.id)
+    | Extract (h, l, a) -> Hashtbl.hash (14, h, l, a.id)
+    | Concat (a, b) -> Hashtbl.hash (15, a.id, b.id)
+    | Zext (n, a) -> Hashtbl.hash (16, n, a.id)
+    | Sext (n, a) -> Hashtbl.hash (17, n, a.id)
+end
+
+module Table = Hashtbl.Make (Node_key)
+
+let table : t Table.t = Table.create 4096
+let next_id = ref 0
+
+let hashcons node sort =
+  match Table.find_opt table node with
+  | Some t -> t
+  | None ->
+      let t = { id = !next_id; node; sort } in
+      incr next_id;
+      Table.add table node t;
+      t
+
+let sort t = t.sort
+
+let width t =
+  match t.sort with
+  | Bv n -> n
+  | Bool -> invalid_arg "Term.width: boolean term"
+
+let equal a b = a == b
+let compare a b = Int.compare a.id b.id
+let hash t = t.id
+
+let tru = hashcons True Bool
+let fls = hashcons False Bool
+let bool_ b = if b then tru else fls
+let var name s = hashcons (Var (name, s)) s
+let const c = hashcons (BvConst c) (Bv (Bitvec.width c))
+let const_int ~width n = const (Bitvec.of_int ~width n)
+let zero w = const (Bitvec.zero w)
+let one w = const (Bitvec.one w)
+let all_ones w = const (Bitvec.all_ones w)
+
+let as_const t = match t.node with BvConst c -> Some c | _ -> None
+let is_const_zero t = match t.node with BvConst c -> Bitvec.is_zero c | _ -> false
+let is_const_ones t =
+  match t.node with BvConst c -> Bitvec.is_all_ones c | _ -> false
+
+let not_ t =
+  match t.node with
+  | True -> fls
+  | False -> tru
+  | Not a -> a
+  | _ -> hashcons (Not t) Bool
+
+(* N-ary conjunction/disjunction: flatten one level, drop units, sort and
+   dedup by id, detect complementary pairs. *)
+let and_ terms =
+  let rec flatten acc = function
+    | [] -> Some acc
+    | t :: rest -> (
+        match t.node with
+        | False -> None
+        | True -> flatten acc rest
+        | And inner -> flatten (List.rev_append inner acc) rest
+        | _ -> flatten (t :: acc) rest)
+  in
+  match flatten [] terms with
+  | None -> fls
+  | Some acc -> (
+      let acc = List.sort_uniq compare acc in
+      let complementary =
+        List.exists
+          (fun t -> match t.node with Not a -> List.memq a acc | _ -> false)
+          acc
+      in
+      if complementary then fls
+      else
+        match acc with
+        | [] -> tru
+        | [ t ] -> t
+        | _ -> hashcons (And acc) Bool)
+
+let or_ terms =
+  let rec flatten acc = function
+    | [] -> Some acc
+    | t :: rest -> (
+        match t.node with
+        | True -> None
+        | False -> flatten acc rest
+        | Or inner -> flatten (List.rev_append inner acc) rest
+        | _ -> flatten (t :: acc) rest)
+  in
+  match flatten [] terms with
+  | None -> tru
+  | Some acc -> (
+      let acc = List.sort_uniq compare acc in
+      let complementary =
+        List.exists
+          (fun t -> match t.node with Not a -> List.memq a acc | _ -> false)
+          acc
+      in
+      if complementary then tru
+      else
+        match acc with
+        | [] -> fls
+        | [ t ] -> t
+        | _ -> hashcons (Or acc) Bool)
+
+let implies a b = or_ [ not_ a; b ]
+
+let eq a b =
+  if not (equal_sort a.sort b.sort) then
+    invalid_arg
+      (Format.asprintf "Term.eq: sort mismatch (%a vs %a)" pp_sort a.sort
+         pp_sort b.sort);
+  if a == b then tru
+  else
+    match (a.node, b.node) with
+    | BvConst c1, BvConst c2 -> bool_ (Bitvec.equal c1 c2)
+    | True, _ -> b
+    | _, True -> a
+    | False, _ -> not_ b
+    | _, False -> not_ a
+    | _ ->
+        (* Canonical argument order for commutativity. *)
+        let a, b = if a.id <= b.id then (a, b) else (b, a) in
+        hashcons (Eq (a, b)) Bool
+
+let iff a b = eq a b
+
+let xor_bool a b = not_ (eq a b)
+let distinct a b = not_ (eq a b)
+
+let ult a b =
+  match (a.node, b.node) with
+  | BvConst c1, BvConst c2 -> bool_ (Bitvec.ult c1 c2)
+  | _ when a == b -> fls
+  | _, BvConst c when Bitvec.is_zero c -> fls (* x <u 0 *)
+  | BvConst c, _ when Bitvec.is_all_ones c -> fls (* ones <u x *)
+  | _ -> hashcons (Ult (a, b)) Bool
+
+let slt a b =
+  match (a.node, b.node) with
+  | BvConst c1, BvConst c2 -> bool_ (Bitvec.slt c1 c2)
+  | _ when a == b -> fls
+  | _ -> hashcons (Slt (a, b)) Bool
+
+let ule a b = not_ (ult b a)
+let ugt a b = ult b a
+let uge a b = not_ (ult a b)
+let sle a b = not_ (slt b a)
+let sgt a b = slt b a
+let sge a b = not_ (slt a b)
+
+let ite c t e =
+  if not (equal_sort t.sort e.sort) then invalid_arg "Term.ite: branch sorts differ";
+  match c.node with
+  | True -> t
+  | False -> e
+  | _ ->
+      if t == e then t
+      else if equal_sort t.sort Bool then
+        (* Lower boolean ite to connectives so only bv ite reaches blasting. *)
+        and_ [ or_ [ not_ c; t ]; or_ [ c; e ] ]
+      else
+        match c.node with
+        | Not c' -> hashcons (Ite (c', e, t)) t.sort
+        | _ -> hashcons (Ite (c, t, e)) t.sort
+
+let bnot t =
+  match t.node with
+  | BvConst c -> const (Bitvec.lognot c)
+  | Bnot a -> a
+  | _ -> hashcons (Bnot t) t.sort
+
+let check_same_width name a b =
+  match (a.sort, b.sort) with
+  | Bv n, Bv m when n = m -> n
+  | _ ->
+      invalid_arg
+        (Format.asprintf "Term.%s: sort mismatch (%a vs %a)" name pp_sort a.sort
+           pp_sort b.sort)
+
+let bbin_fold op c1 c2 =
+  let f =
+    match op with
+    | Add -> Bitvec.add
+    | Sub -> Bitvec.sub
+    | Mul -> Bitvec.mul
+    | Udiv -> Bitvec.udiv
+    | Sdiv -> Bitvec.sdiv
+    | Urem -> Bitvec.urem
+    | Srem -> Bitvec.srem
+    | Shl -> Bitvec.shl
+    | Lshr -> Bitvec.lshr
+    | Ashr -> Bitvec.ashr
+    | Band -> Bitvec.logand
+    | Bor -> Bitvec.logor
+    | Bxor -> Bitvec.logxor
+  in
+  f c1 c2
+
+let commutative = function
+  | Add | Mul | Band | Bor | Bxor -> true
+  | Sub | Udiv | Sdiv | Urem | Srem | Shl | Lshr | Ashr -> false
+
+let bbin op a b =
+  let w = check_same_width "bbin" a b in
+  match (as_const a, as_const b) with
+  | Some c1, Some c2 -> const (bbin_fold op c1 c2)
+  | _ -> (
+      (* Light algebraic folding; only identities that are unconditionally
+         sound in SMT-LIB semantics. *)
+      let a, b =
+        if commutative op && a.id > b.id then (b, a) else (a, b)
+      in
+      match op with
+      | Add when is_const_zero a -> b
+      | Add when is_const_zero b -> a
+      | Sub when is_const_zero b -> a
+      | Sub when a == b -> zero w
+      | Mul when is_const_zero a || is_const_zero b -> zero w
+      | Mul when as_const a = Some (Bitvec.one w) -> b
+      | Band when is_const_zero a || is_const_zero b -> zero w
+      | Band when is_const_ones a -> b
+      | Band when is_const_ones b -> a
+      | Band when a == b -> a
+      | Bor when is_const_ones a || is_const_ones b -> all_ones w
+      | Bor when is_const_zero a -> b
+      | Bor when is_const_zero b -> a
+      | Bor when a == b -> a
+      | Bxor when is_const_zero a -> b
+      | Bxor when is_const_zero b -> a
+      | Bxor when a == b -> zero w
+      | (Shl | Lshr | Ashr) when is_const_zero b -> a
+      | (Shl | Lshr) when is_const_zero a -> zero w
+      | _ -> hashcons (Bbin (op, a, b)) (Bv w))
+
+let add = bbin Add
+let sub = bbin Sub
+let mul = bbin Mul
+let udiv = bbin Udiv
+let sdiv = bbin Sdiv
+let urem = bbin Urem
+let srem = bbin Srem
+let shl = bbin Shl
+let lshr = bbin Lshr
+let ashr = bbin Ashr
+let band = bbin Band
+let bor = bbin Bor
+let bxor = bbin Bxor
+let bneg t = sub (zero (width t)) t
+
+let extract ~hi ~lo t =
+  let w = width t in
+  if lo < 0 || hi >= w || hi < lo then invalid_arg "Term.extract: bad range";
+  if lo = 0 && hi = w - 1 then t
+  else
+    match t.node with
+    | BvConst c -> const (Bitvec.extract c ~hi ~lo)
+    | Extract (_, lo', a) -> hashcons (Extract (hi + lo', lo + lo', a)) (Bv (hi - lo + 1))
+    | _ -> hashcons (Extract (hi, lo, t)) (Bv (hi - lo + 1))
+
+let concat a b =
+  match (a.node, b.node) with
+  | BvConst c1, BvConst c2 -> const (Bitvec.concat c1 c2)
+  | _ -> hashcons (Concat (a, b)) (Bv (width a + width b))
+
+let zext t w =
+  let cur = width t in
+  if w < cur then invalid_arg "Term.zext: narrowing"
+  else if w = cur then t
+  else
+    match t.node with
+    | BvConst c -> const (Bitvec.zext c w)
+    | _ -> hashcons (Zext (w - cur, t)) (Bv w)
+
+let sext t w =
+  let cur = width t in
+  if w < cur then invalid_arg "Term.sext: narrowing"
+  else if w = cur then t
+  else
+    match t.node with
+    | BvConst c -> const (Bitvec.sext c w)
+    | _ -> hashcons (Sext (w - cur, t)) (Bv w)
+
+let trunc t w =
+  if w > width t then invalid_arg "Term.trunc: widening"
+  else if w = width t then t
+  else extract ~hi:(w - 1) ~lo:0 t
+
+let is_zero t = eq t (zero (width t))
+
+let is_power_of_two t =
+  let w = width t in
+  and_ [ not_ (is_zero t); is_zero (band t (sub t (one w))) ]
+
+(* Overflow checks via the Table 2 characterization: compare the operation at
+   extended precision with the extension of the truncated result. *)
+let add_overflows_signed a b =
+  let w = check_same_width "add_overflows_signed" a b in
+  distinct (add (sext a (w + 1)) (sext b (w + 1))) (sext (add a b) (w + 1))
+
+let add_overflows_unsigned a b =
+  let w = check_same_width "add_overflows_unsigned" a b in
+  distinct (add (zext a (w + 1)) (zext b (w + 1))) (zext (add a b) (w + 1))
+
+let sub_overflows_signed a b =
+  let w = check_same_width "sub_overflows_signed" a b in
+  distinct (sub (sext a (w + 1)) (sext b (w + 1))) (sext (sub a b) (w + 1))
+
+let sub_overflows_unsigned a b = ult a b
+
+let mul_overflows_signed a b =
+  let w = check_same_width "mul_overflows_signed" a b in
+  distinct (mul (sext a (2 * w)) (sext b (2 * w))) (sext (mul a b) (2 * w))
+
+let mul_overflows_unsigned a b =
+  let w = check_same_width "mul_overflows_unsigned" a b in
+  distinct (mul (zext a (2 * w)) (zext b (2 * w))) (zext (mul a b) (2 * w))
+
+let vars t =
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  let rec go t =
+    if not (Hashtbl.mem seen t.id) then begin
+      Hashtbl.add seen t.id ();
+      match t.node with
+      | Var (n, s) -> acc := (n, s) :: !acc
+      | True | False | BvConst _ -> ()
+      | Not a | Bnot a | Extract (_, _, a) | Zext (_, a) | Sext (_, a) -> go a
+      | And l | Or l -> List.iter go l
+      | Eq (a, b) | Ult (a, b) | Slt (a, b) | Bbin (_, a, b) | Concat (a, b) ->
+          go a;
+          go b
+      | Ite (c, a, b) ->
+          go c;
+          go a;
+          go b
+    end
+  in
+  go t;
+  List.rev !acc
+
+let size t =
+  let seen = Hashtbl.create 16 in
+  let count = ref 0 in
+  let rec go t =
+    if not (Hashtbl.mem seen t.id) then begin
+      Hashtbl.add seen t.id ();
+      incr count;
+      match t.node with
+      | True | False | BvConst _ | Var _ -> ()
+      | Not a | Bnot a | Extract (_, _, a) | Zext (_, a) | Sext (_, a) -> go a
+      | And l | Or l -> List.iter go l
+      | Eq (a, b) | Ult (a, b) | Slt (a, b) | Bbin (_, a, b) | Concat (a, b) ->
+          go a;
+          go b
+      | Ite (c, a, b) ->
+          go c;
+          go a;
+          go b
+    end
+  in
+  go t;
+  !count
+
+let rec pp ppf t =
+  match t.node with
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Var (n, _) -> Format.pp_print_string ppf n
+  | BvConst c ->
+      Format.fprintf ppf "#x%s:%d" (Bitvec.to_string_hex c) (Bitvec.width c)
+  | Not a -> Format.fprintf ppf "@[<hv 1>(not@ %a)@]" pp a
+  | And l ->
+      Format.fprintf ppf "@[<hv 1>(and@ %a)@]"
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space pp)
+        l
+  | Or l ->
+      Format.fprintf ppf "@[<hv 1>(or@ %a)@]"
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space pp)
+        l
+  | Eq (a, b) -> Format.fprintf ppf "@[<hv 1>(=@ %a@ %a)@]" pp a pp b
+  | Ult (a, b) -> Format.fprintf ppf "@[<hv 1>(bvult@ %a@ %a)@]" pp a pp b
+  | Slt (a, b) -> Format.fprintf ppf "@[<hv 1>(bvslt@ %a@ %a)@]" pp a pp b
+  | Ite (c, a, b) ->
+      Format.fprintf ppf "@[<hv 1>(ite@ %a@ %a@ %a)@]" pp c pp a pp b
+  | Bnot a -> Format.fprintf ppf "@[<hv 1>(bvnot@ %a)@]" pp a
+  | Bbin (op, a, b) ->
+      Format.fprintf ppf "@[<hv 1>(%a@ %a@ %a)@]" pp_bvop op pp a pp b
+  | Extract (hi, lo, a) ->
+      Format.fprintf ppf "@[<hv 1>((_ extract %d %d)@ %a)@]" hi lo pp a
+  | Concat (a, b) -> Format.fprintf ppf "@[<hv 1>(concat@ %a@ %a)@]" pp a pp b
+  | Zext (n, a) ->
+      Format.fprintf ppf "@[<hv 1>((_ zero_extend %d)@ %a)@]" n pp a
+  | Sext (n, a) ->
+      Format.fprintf ppf "@[<hv 1>((_ sign_extend %d)@ %a)@]" n pp a
+
+type value = Vbool of bool | Vbv of Bitvec.t
+
+let pp_value ppf = function
+  | Vbool b -> Format.pp_print_bool ppf b
+  | Vbv c -> Bitvec.pp ppf c
+
+let equal_value a b =
+  match (a, b) with
+  | Vbool x, Vbool y -> Bool.equal x y
+  | Vbv x, Vbv y -> Bitvec.equal x y
+  | (Vbool _ | Vbv _), _ -> false
+
+(* Rebuild a term bottom-up through the smart constructors, applying [f] at
+   variables. Memoized over the DAG. *)
+let map_vars f t =
+  let memo : (int, t) Hashtbl.t = Hashtbl.create 64 in
+  let rec go t =
+    match Hashtbl.find_opt memo t.id with
+    | Some t' -> t'
+    | None ->
+        let t' =
+          match t.node with
+          | True | False | BvConst _ -> t
+          | Var (n, s) -> f n s t
+          | Not a -> not_ (go a)
+          | And l -> and_ (List.map go l)
+          | Or l -> or_ (List.map go l)
+          | Eq (a, b) -> eq (go a) (go b)
+          | Ult (a, b) -> ult (go a) (go b)
+          | Slt (a, b) -> slt (go a) (go b)
+          | Ite (c, a, b) -> ite (go c) (go a) (go b)
+          | Bnot a -> bnot (go a)
+          | Bbin (op, a, b) -> bbin op (go a) (go b)
+          | Extract (hi, lo, a) -> extract ~hi ~lo (go a)
+          | Concat (a, b) -> concat (go a) (go b)
+          | Zext (n, a) -> zext (go a) (width a + n)
+          | Sext (n, a) -> sext (go a) (width a + n)
+        in
+        Hashtbl.add memo t.id t';
+        t'
+  in
+  go t
+
+let subst bindings t =
+  map_vars
+    (fun n _s orig ->
+      match List.assoc_opt n bindings with Some t' -> t' | None -> orig)
+    t
+
+let eval env t =
+  let memo : (int, value) Hashtbl.t = Hashtbl.create 64 in
+  let rec go t =
+    match Hashtbl.find_opt memo t.id with
+    | Some v -> v
+    | None ->
+        let as_bool t = match go t with Vbool b -> b | Vbv _ -> assert false in
+        let as_bv t = match go t with Vbv c -> c | Vbool _ -> assert false in
+        let v =
+          match t.node with
+          | True -> Vbool true
+          | False -> Vbool false
+          | Var (n, _) -> env n
+          | BvConst c -> Vbv c
+          | Not a -> Vbool (not (as_bool a))
+          | And l -> Vbool (List.for_all as_bool l)
+          | Or l -> Vbool (List.exists as_bool l)
+          | Eq (a, b) -> Vbool (equal_value (go a) (go b))
+          | Ult (a, b) -> Vbool (Bitvec.ult (as_bv a) (as_bv b))
+          | Slt (a, b) -> Vbool (Bitvec.slt (as_bv a) (as_bv b))
+          | Ite (c, a, b) -> if as_bool c then go a else go b
+          | Bnot a -> Vbv (Bitvec.lognot (as_bv a))
+          | Bbin (op, a, b) -> Vbv (bbin_fold op (as_bv a) (as_bv b))
+          | Extract (hi, lo, a) -> Vbv (Bitvec.extract (as_bv a) ~hi ~lo)
+          | Concat (a, b) -> Vbv (Bitvec.concat (as_bv a) (as_bv b))
+          | Zext (n, a) ->
+              let c = as_bv a in
+              Vbv (Bitvec.zext c (Bitvec.width c + n))
+          | Sext (n, a) ->
+              let c = as_bv a in
+              Vbv (Bitvec.sext c (Bitvec.width c + n))
+        in
+        Hashtbl.add memo t.id v;
+        v
+  in
+  go t

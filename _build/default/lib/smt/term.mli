@@ -1,0 +1,162 @@
+(** Hash-consed many-sorted terms over booleans and fixed-width bitvectors.
+
+    Terms are maximally shared: structural equality is pointer equality, and
+    every term carries a unique id usable as a hash key. Smart constructors
+    perform constant folding and light algebraic normalization, which keeps
+    the eager memory encodings (long [ite] chains) and CEGAR substitutions
+    compact.
+
+    The operation set mirrors the SMT-LIB bitvector theory restricted to what
+    Alive's verification conditions need; division and remainder follow
+    SMT-LIB total semantics (see {!Bitvec}). *)
+
+type sort = Bool | Bv of int
+
+val pp_sort : Format.formatter -> sort -> unit
+val equal_sort : sort -> sort -> bool
+
+type t = private { id : int; node : node; sort : sort }
+
+and node =
+  | True
+  | False
+  | Var of string * sort
+  | BvConst of Bitvec.t
+  | Not of t
+  | And of t list (* >= 2 elements, sorted by id, no duplicates *)
+  | Or of t list (* likewise *)
+  | Eq of t * t (* arguments of equal sort; Bool equality is iff *)
+  | Ult of t * t
+  | Slt of t * t
+  | Ite of t * t * t (* condition is Bool; branches share a sort *)
+  | Bnot of t
+  | Bbin of bvop * t * t
+  | Extract of int * int * t (* high, low *)
+  | Concat of t * t
+  | Zext of int * t (* extra bits *)
+  | Sext of int * t
+
+and bvop =
+  | Add
+  | Sub
+  | Mul
+  | Udiv
+  | Sdiv
+  | Urem
+  | Srem
+  | Shl
+  | Lshr
+  | Ashr
+  | Band
+  | Bor
+  | Bxor
+
+val pp_bvop : Format.formatter -> bvop -> unit
+
+(** {1 Constructors} *)
+
+val tru : t
+val fls : t
+val bool_ : bool -> t
+val var : string -> sort -> t
+val const : Bitvec.t -> t
+val const_int : width:int -> int -> t
+val zero : int -> t
+val one : int -> t
+val all_ones : int -> t
+
+val not_ : t -> t
+val and_ : t list -> t
+val or_ : t list -> t
+val implies : t -> t -> t
+val iff : t -> t -> t
+val xor_bool : t -> t -> t
+val eq : t -> t -> t
+val distinct : t -> t -> t
+
+val ult : t -> t -> t
+val ule : t -> t -> t
+val ugt : t -> t -> t
+val uge : t -> t -> t
+val slt : t -> t -> t
+val sle : t -> t -> t
+val sgt : t -> t -> t
+val sge : t -> t -> t
+
+val ite : t -> t -> t -> t
+
+val bnot : t -> t
+val bneg : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val udiv : t -> t -> t
+val sdiv : t -> t -> t
+val urem : t -> t -> t
+val srem : t -> t -> t
+val shl : t -> t -> t
+val lshr : t -> t -> t
+val ashr : t -> t -> t
+val band : t -> t -> t
+val bor : t -> t -> t
+val bxor : t -> t -> t
+
+val bbin : bvop -> t -> t -> t
+(** Generic binary bitvector constructor (same folding as the named ones). *)
+
+val extract : hi:int -> lo:int -> t -> t
+val concat : t -> t -> t
+
+val zext : t -> int -> t
+(** [zext x w] zero-extends to total width [w] (identity when equal). *)
+
+val sext : t -> int -> t
+val trunc : t -> int -> t
+
+(** {1 Derived constructions used by verification conditions} *)
+
+val is_zero : t -> t
+val is_power_of_two : t -> t
+(** [x ≠ 0 ∧ x & (x-1) = 0]. *)
+
+val add_overflows_signed : t -> t -> t
+val add_overflows_unsigned : t -> t -> t
+val sub_overflows_signed : t -> t -> t
+val sub_overflows_unsigned : t -> t -> t
+val mul_overflows_signed : t -> t -> t
+val mul_overflows_unsigned : t -> t -> t
+
+(** {1 Observation} *)
+
+val sort : t -> sort
+val width : t -> int
+(** @raise Invalid_argument on Bool-sorted terms. *)
+
+val equal : t -> t -> bool
+(** Pointer equality (valid by hash-consing). *)
+
+val compare : t -> t -> int
+val hash : t -> int
+
+val vars : t -> (string * sort) list
+(** Free variables, each listed once, in first-occurrence order. *)
+
+val size : t -> int
+(** Number of distinct subterms (DAG size). *)
+
+val pp : Format.formatter -> t -> unit
+(** SMT-LIB-flavoured rendering, for debugging and tests. *)
+
+(** {1 Substitution and evaluation} *)
+
+type value = Vbool of bool | Vbv of Bitvec.t
+
+val pp_value : Format.formatter -> value -> unit
+val equal_value : value -> value -> bool
+
+val subst : (string * t) list -> t -> t
+(** Capture is impossible (terms are closed except for [Var]s); rebuilds
+    through the smart constructors so folding applies. *)
+
+val eval : (string -> value) -> t -> value
+(** @raise Not_found if the valuation misses a variable. *)

@@ -1,0 +1,1 @@
+lib/suite/addsub.ml: Entry

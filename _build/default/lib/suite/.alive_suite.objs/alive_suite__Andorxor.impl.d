@@ -1,0 +1,1 @@
+lib/suite/andorxor.ml: Entry

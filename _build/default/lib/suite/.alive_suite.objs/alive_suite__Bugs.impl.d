@@ -1,0 +1,1 @@
+lib/suite/bugs.ml: Entry

@@ -1,0 +1,1 @@
+lib/suite/entry.ml: Alive

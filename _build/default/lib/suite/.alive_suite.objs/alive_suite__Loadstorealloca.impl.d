@@ -1,0 +1,1 @@
+lib/suite/loadstorealloca.ml: Entry

@@ -1,0 +1,1 @@
+lib/suite/muldivrem.ml: Entry

@@ -1,0 +1,1 @@
+lib/suite/registry.ml: Addsub Andorxor Bugs Entry List Loadstorealloca Muldivrem Select Shifts String

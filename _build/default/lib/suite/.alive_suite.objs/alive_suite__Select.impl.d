@@ -1,0 +1,1 @@
+lib/suite/select.ml: Entry

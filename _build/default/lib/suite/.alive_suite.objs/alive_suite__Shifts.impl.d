@@ -1,0 +1,1 @@
+lib/suite/shifts.ml: Entry

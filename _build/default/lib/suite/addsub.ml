@@ -1,0 +1,117 @@
+(* Transformations modeled on LLVM's InstCombineAddSub.cpp (Table 3 row
+   "AddSub"). Each is written in Alive syntax and verified by the checker;
+   names reference the LLVM pattern they model. *)
+
+let e = Entry.make ~file:"AddSub"
+
+let entries =
+  [
+    e "AddSub:xor-neg-add (paper intro)"
+      "%1 = xor %x, -1\n%2 = add %1, C\n=>\n%2 = sub C-1, %x\n";
+    e "AddSub:add-zero" "%r = add %x, 0\n=>\n%r = %x\n";
+    e "AddSub:add-self-is-shl" "%r = add %x, %x\n=>\n%r = shl %x, 1\n";
+    e ~canonical:false "AddSub:add-self-is-mul2" "%r = add %x, %x\n=>\n%r = mul %x, 2\n";
+    e "AddSub:add-neg-is-sub"
+      "%nb = sub 0, %B\n%r = add %A, %nb\n=>\n%r = sub %A, %B\n";
+    e "AddSub:add-signbit-is-xor"
+      "Pre: isSignBit(C)\n%r = add %x, C\n=>\n%r = xor %x, C\n";
+    e "AddSub:add-sub-cancel"
+      "%ab = sub %A, %B\n%r = add %ab, %B\n=>\n%r = %A\n";
+    e "AddSub:add-sub-cancel2"
+      "%ba = sub %B, %A\n%r = add %A, %ba\n=>\n%r = %B\n";
+    e "AddSub:add-const-reassoc"
+      "%a = add %x, C1\n%r = add %a, C2\n=>\n%r = add %x, C1+C2\n";
+    e "AddSub:add-masked-bits-disjoint"
+      "Pre: (C1 & C2) == 0\n\
+       %a = and %x, C1\n\
+       %b = and %y, C2\n\
+       %r = add %a, %b\n\
+       =>\n\
+       %a = and %x, C1\n\
+       %b = and %y, C2\n\
+       %r = or %a, %b\n";
+    e "AddSub:sub-zero" "%r = sub %x, 0\n=>\n%r = %x\n";
+    e "AddSub:sub-self" "%r = sub %x, %x\n=>\n%r = 0\n";
+    e "AddSub:sub-const-is-add"
+      "%r = sub %x, C\n=>\n%r = add %x, -C\n";
+    e "AddSub:neg-neg" "%n = sub 0, %X\n%r = sub 0, %n\n=>\n%r = %X\n";
+    e "AddSub:sub-all-ones-is-not"
+      "%r = sub -1, %x\n=>\n%r = xor %x, -1\n";
+    e "AddSub:sub-sub-cancel"
+      "%s = sub %X, %Y\n%r = sub %X, %s\n=>\n%r = %Y\n";
+    e "AddSub:sub-add-cancel"
+      "%a = add %X, %Y\n%r = sub %a, %X\n=>\n%r = %Y\n";
+    e "AddSub:sub-of-neg"
+      "%nb = sub 0, %B\n%r = sub %A, %nb\n=>\n%r = add %A, %B\n";
+    e "AddSub:sub-const-lhs-reassoc"
+      "%a = sub C1, %x\n%r = add %a, C2\n=>\n%r = sub C1+C2, %x\n";
+    e "AddSub:add-xor-signbit-flip"
+      "Pre: isSignBit(C1)\n\
+       %b = xor %a, C1\n\
+       %d = add %b, C2\n\
+       =>\n\
+       %d = add %a, C1 ^ C2\n";
+    e "AddSub:PR20186-fixed"
+      "Pre: C != 1 && !isSignBit(C)\n\
+       %a = sdiv %X, C\n\
+       %r = sub 0, %a\n\
+       =>\n\
+       %r = sdiv %X, -C\n";
+    e "AddSub:PR20189-fixed"
+      "%B = sub 0, %A\n%C = sub nsw %x, %B\n=>\n%C = add %x, %A\n";
+  
+    e "AddSub:neg-of-sub-swaps"
+      "%s = sub %x, %y\n%r = sub 0, %s\n=>\n%r = sub %y, %x\n";
+    e "AddSub:or-minus-const"
+      "Pre: MaskedValueIsZero(%x, C)\n%o = or %x, C\n%r = sub %o, C\n=>\n%r = %x\n";
+    e "AddSub:and-plus-or"
+      "%a = and %A, %B\n%o = or %A, %B\n%r = add %a, %o\n=>\n%r = add %A, %B\n";
+    e "AddSub:xor-plus-double-and"
+      "%x1 = xor %A, %B\n%a1 = and %A, %B\n%two = shl %a1, 1\n%r = add %x1, %two\n=>\n%r = add %A, %B\n";
+    e "AddSub:sub-of-and"
+      "%a = and %A, %B\n%r = sub %A, %a\n=>\n%n = xor %B, -1\n%r = and %A, %n\n";
+    e "AddSub:const-minus-add"
+      "%a = add %X, C1\n%r = sub C, %a\n=>\n%r = sub C-C1, %X\n";
+    e "AddSub:not-plus-one-is-neg"
+      "%n = xor %x, -1\n%r = add %n, 1\n=>\n%r = sub 0, %x\n";
+    e "AddSub:neg-plus-neg"
+      "%nx = sub 0, %x\n%ny = sub 0, %y\n%r = add %nx, %ny\n=>\n%s = add %x, %y\n%r = sub 0, %s\n";
+    e "AddSub:nuw-add-uge"
+      "%a = add nuw %x, %y\n%r = icmp uge %a, %x\n=>\n%r = true\n";
+    e "AddSub:nuw-sub-ule"
+      "%a = sub nuw %x, %y\n%r = icmp ule %a, %x\n=>\n%r = true\n";
+    e ~canonical:false "AddSub:xor-signbit-is-add"
+      "Pre: isSignBit(C)\n%r = xor %x, C\n=>\n%r = add %x, C\n";
+    e "AddSub:sub-xor-disjoint"
+      "Pre: MaskedValueIsZero(%x, C)\n%o = or %x, C\n%r = xor %o, C\n=>\n%r = %x\n";
+    e "AddSub:add-sub-const-merge"
+      "%a = sub %x, C1\n%r = add %a, C2\n=>\n%r = add %x, C2-C1\n";
+    e "AddSub:sub-from-const-merge"
+      "%a = sub C1, %x\n%r = sub C2, %a\n=>\n%r = add %x, C2-C1\n";
+    e ~canonical:false "AddSub:add-neg-const-is-sub"
+      "Pre: C != 0\n%r = add %x, C\n=>\n%r = sub %x, -C\n";
+
+    e "AddSub:sub-of-add-left"
+      "%a = add %y, %x\n%r = sub %x, %a\n=>\n%r = sub 0, %y\n";
+    e "AddSub:sub-sub-left"
+      "%a = sub %x, %y\n%r = sub %a, %x\n=>\n%r = sub 0, %y\n";
+    e "AddSub:icmp-sgt-of-sub-nsw"
+      "%d = sub nsw %x, %y\n%r = icmp sgt %d, 0\n=>\n%r = icmp sgt %x, %y\n";
+    e "AddSub:icmp-slt-of-sub-nsw"
+      "%d = sub nsw %x, %y\n%r = icmp slt %d, 0\n=>\n%r = icmp slt %x, %y\n";
+    e "AddSub:icmp-eq-of-sub"
+      "%d = sub %x, %y\n%r = icmp eq %d, 0\n=>\n%r = icmp eq %x, %y\n";
+    e "AddSub:icmp-ne-of-sub"
+      "%d = sub %x, %y\n%r = icmp ne %d, 0\n=>\n%r = icmp ne %x, %y\n";
+    e "AddSub:icmp-eq-of-add-const"
+      "%a = add %x, C\n%r = icmp eq %a, C1\n=>\n%r = icmp eq %x, C1-C\n";
+
+    e ~canonical:false "AddSub:commute-add-drops-nsw"
+      "%r = add nsw %x, %y\n=>\n%r = add %y, %x\n";
+    e ~canonical:false "AddSub:commute-mul-drops-nuw"
+      "%r = mul nuw %x, %y\n=>\n%r = mul %y, %x\n";
+    e "AddSub:neg-of-sub-drops-flags"
+      "%s = sub nsw %x, %y\n%r = sub 0, %s\n=>\n%r = sub %y, %x\n";
+    e "AddSub:add-neg-drops-flags"
+      "%nb = sub 0, %B\n%r = add nsw %A, %nb\n=>\n%r = sub %A, %B\n";
+]

@@ -1,0 +1,130 @@
+(* Transformations modeled on InstCombineAndOrXor.cpp (the largest translated
+   category of Table 3). *)
+
+let e = Entry.make ~file:"AndOrXor"
+
+let entries =
+  [
+    e "AndOrXor:and-zero" "%r = and %x, 0\n=>\n%r = 0\n";
+    e "AndOrXor:and-self" "%r = and %x, %x\n=>\n%r = %x\n";
+    e "AndOrXor:and-all-ones" "%r = and %x, -1\n=>\n%r = %x\n";
+    e "AndOrXor:or-zero" "%r = or %x, 0\n=>\n%r = %x\n";
+    e "AndOrXor:or-self" "%r = or %x, %x\n=>\n%r = %x\n";
+    e "AndOrXor:or-all-ones" "%r = or %x, -1\n=>\n%r = -1\n";
+    e "AndOrXor:xor-zero" "%r = xor %x, 0\n=>\n%r = %x\n";
+    e "AndOrXor:xor-self" "%r = xor %x, %x\n=>\n%r = 0\n";
+    e "AndOrXor:not-not" "%n = xor %x, -1\n%r = xor %n, -1\n=>\n%r = %x\n";
+    e "AndOrXor:and-or-absorb"
+      "%o = or %x, %y\n%r = and %o, %x\n=>\n%r = %x\n";
+    e "AndOrXor:or-and-absorb"
+      "%a = and %x, %y\n%r = or %a, %x\n=>\n%r = %x\n";
+    e "AndOrXor:and-const-reassoc"
+      "%a = and %x, C1\n%r = and %a, C2\n=>\n%r = and %x, C1 & C2\n";
+    e "AndOrXor:or-const-reassoc"
+      "%a = or %x, C1\n%r = or %a, C2\n=>\n%r = or %x, C1 | C2\n";
+    e "AndOrXor:xor-const-reassoc"
+      "%a = xor %x, C1\n%r = xor %a, C2\n=>\n%r = xor %x, C1 ^ C2\n";
+    e "AndOrXor:demorgan-and"
+      "%nx = xor %x, -1\n\
+       %ny = xor %y, -1\n\
+       %r = and %nx, %ny\n\
+       =>\n\
+       %o = or %x, %y\n\
+       %r = xor %o, -1\n";
+    e "AndOrXor:demorgan-or"
+      "%nx = xor %x, -1\n\
+       %ny = xor %y, -1\n\
+       %r = or %nx, %ny\n\
+       =>\n\
+       %a = and %x, %y\n\
+       %r = xor %a, -1\n";
+    e "AndOrXor:xor-xor-cancel"
+      "%a = xor %x, %y\n%r = xor %a, %x\n=>\n%r = %y\n";
+    e "AndOrXor:and-xor-self"
+      "%a = xor %x, %y\n%r = and %a, %x\n=>\n%n = xor %y, -1\n%r = and %n, %x\n";
+    e "AndOrXor:or-xor-to-or"
+      "%a = xor %x, %y\n%r = or %a, %x\n=>\n%r = or %x, %y\n";
+    e "AndOrXor:and-not-self" "%n = xor %x, -1\n%r = and %n, %x\n=>\n%r = 0\n";
+    e "AndOrXor:or-not-self" "%n = xor %x, -1\n%r = or %n, %x\n=>\n%r = -1\n";
+    e "AndOrXor:fig2-masked-or"
+      "Pre: (C1 & C2) == 0 && MaskedValueIsZero(%V, ~C1)\n\
+       %t0 = or %B, %V\n\
+       %t1 = and %t0, C1\n\
+       %t2 = and %B, C2\n\
+       %R = or %t1, %t2\n\
+       =>\n\
+       %t0 = or %B, %V\n\
+       %R = and %t0, C1 | C2\n";
+    e "AndOrXor:and-or-distribute"
+      "%a = and %x, %z\n%b = and %y, %z\n%r = or %a, %b\n=>\n%o = or %x, %y\n%r = and %o, %z\n";
+    e "AndOrXor:masked-zero-or-is-xor"
+      "Pre: MaskedValueIsZero(%x, C)\n%r = or %x, C\n=>\n%r = xor %x, C\n";
+    e "AndOrXor:masked-zero-or-is-add"
+      "Pre: MaskedValueIsZero(%x, C)\n%r = or %x, C\n=>\n%r = add %x, C\n";
+  
+    e "AndOrXor:and-or-same-mask"
+      "%a = and %x, C1\n%b = and %x, C2\n%r = or %a, %b\n=>\n%r = and %x, C1 | C2\n";
+    e "AndOrXor:xor-through-and"
+      "%a = xor %x, C1\n%r = and %a, C2\n=>\n%m = and %x, C2\n%r = xor %m, C1 & C2\n";
+    e "AndOrXor:or-xor-and-is-xor"
+      "%o = or %x, %y\n%a = and %x, %y\n%r = xor %o, %a\n=>\n%r = xor %x, %y\n";
+    e "AndOrXor:not-of-xor"
+      "%a = xor %x, %y\n%r = xor %a, -1\n=>\n%n = xor %y, -1\n%r = xor %x, %n\n";
+    e "AndOrXor:masked-halves-recombine"
+      "%ny = xor %y, -1\n%a = and %x, %ny\n%b = and %x, %y\n%r = or %a, %b\n=>\n%r = %x\n";
+    e "AndOrXor:or-and-not-and-is-xor"
+      "%o = or %x, %y\n%a = and %x, %y\n%na = xor %a, -1\n%r = and %o, %na\n=>\n%r = xor %x, %y\n";
+    e "AndOrXor:demorgan-and-const"
+      "%a = and %x, C\n%r = xor %a, -1\n=>\n%n = xor %x, -1\n%r = or %n, ~C\n";
+    e "AndOrXor:demorgan-or-const"
+      "%a = or %x, C\n%r = xor %a, -1\n=>\n%n = xor %x, -1\n%r = and %n, ~C\n";
+    e "AndOrXor:xor-and-rhs"
+      "%a = xor %x, %y\n%r = and %a, %y\n=>\n%n = xor %x, -1\n%r = and %n, %y\n";
+    e "AndOrXor:and-with-not-absorb"
+      "%n = xor %x, -1\n%o = or %n, %y\n%r = and %x, %o\n=>\n%r = and %x, %y\n";
+    e "AndOrXor:or-with-not-absorb"
+      "%n = xor %x, -1\n%a = and %n, %y\n%r = or %x, %a\n=>\n%r = or %x, %y\n";
+    e "AndOrXor:and-idempotent-chain"
+      "%a = and %x, %y\n%r = and %a, %x\n=>\n%r = and %x, %y\n";
+    e "AndOrXor:or-idempotent-chain"
+      "%o = or %x, %y\n%r = or %o, %x\n=>\n%r = or %x, %y\n";
+    e "AndOrXor:xor-or-self"
+      "%o = or %x, %y\n%r = xor %o, %x\n=>\n%n = xor %x, -1\n%r = and %n, %y\n";
+    e "AndOrXor:xor-and-self"
+      "%a = and %x, %y\n%r = xor %a, %x\n=>\n%n = xor %y, -1\n%r = and %x, %n\n";
+    e "AndOrXor:and-shifted-mask-zero"
+      "Pre: (C1 & C2) == 0\n%a = and %x, C1\n%r = and %a, C2\n=>\n%r = 0\n";
+    e "AndOrXor:or-not-arg-is-all-ones"
+      "%n = xor %x, -1\n%o = or %x, %y\n%r = or %n, %o\n=>\n%r = -1\n";
+    e "AndOrXor:xor-not-both-sides"
+      "%nx = xor %x, -1\n%ny = xor %y, -1\n%r = xor %nx, %ny\n=>\n%r = xor %x, %y\n";
+    e "AndOrXor:and-neg-self-pow2"
+      "%n = sub 0, %x\n%a = and %x, %n\n%r = and %a, %x\n=>\n%r = and %x, %n\n";
+    e "AndOrXor:or-same-operand-tree"
+      "%a = or %x, %y\n%b = or %y, %x\n%r = or %a, %b\n=>\n%r = or %x, %y\n";
+
+    e "AndOrXor:or-both-signs-absorb"
+      "%ny = xor %y, -1\n%a = or %x, %y\n%b = or %x, %ny\n%r = and %a, %b\n=>\n%r = %x\n";
+    e "AndOrXor:sext-and-is-select"
+      "%s = sext %c\n%r = and %s, %x\n=>\n%r = select %c, %x, 0\n";
+    e "AndOrXor:sext-or-is-select"
+      "%s = sext %c\n%r = or %s, %x\n=>\n%r = select %c, -1, %x\n";
+    e "AndOrXor:sext-xor-is-select"
+      "%s = sext %c\n%r = xor %s, %x\n=>\n%n = xor %x, -1\n%r = select %c, %n, %x\n";
+    e "AndOrXor:not-of-neg"
+      "%n = sub 0, %x\n%r = xor %n, -1\n=>\n%r = sub %x, 1\n";
+    e "AndOrXor:neg-of-not"
+      "%n = xor %x, -1\n%r = sub 0, %n\n=>\n%r = add %x, 1\n";
+    e "AndOrXor:or-const-distribute-and"
+      "%a = or %x, C1\n%r = and %a, C2\n=>\n%m = and %x, C2\n%r = or %m, C1 & C2\n";
+    e "AndOrXor:masked-bit-blend"
+      "%x1 = xor %x, %y\n%a = and %x1, C\n%r = xor %a, %y\n=>\n%ax = and %x, C\n%ay = and %y, ~C\n%r = or %ax, %ay\n";
+    e "AndOrXor:not-of-xor-const"
+      "%a = xor %x, C\n%r = xor %a, -1\n=>\n%r = xor %x, ~C\n";
+    e "AndOrXor:and-or-xor-identity"
+      "%o = or %x, %y\n%x1 = xor %x, %y\n%r = xor %o, %x1\n=>\n%r = and %x, %y\n";
+    e "AndOrXor:or-and-xor-identity"
+      "%a = and %x, %y\n%x1 = xor %x, %y\n%r = or %a, %x1\n=>\n%r = or %x, %y\n";
+    e "AndOrXor:xor-as-or-minus-and"
+      "%o = or %x, %y\n%a = and %x, %y\n%r = sub %o, %a\n=>\n%r = xor %x, %y\n";
+]

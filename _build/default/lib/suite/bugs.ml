@@ -1,0 +1,42 @@
+(* The eight incorrect InstCombine transformations found during the
+   development of Alive (Fig. 8 of the paper), transcribed verbatim. Each
+   must FAIL verification; the counterexample for PR21245 is the paper's
+   Fig. 5. The [file] tags follow Table 3: six of the eight live in
+   MulDivRem, two in AddSub. *)
+
+let e = Entry.make ~expected:Entry.Expect_invalid
+
+let entries =
+  [
+    e ~file:"AddSub" "PR20186"
+      "%a = sdiv %X, C\n%r = sub 0, %a\n=>\n%r = sdiv %X, -C\n";
+    e ~file:"AddSub" "PR20189"
+      "%B = sub 0, %A\n%C = sub nsw %x, %B\n=>\n%C = add nsw %x, %A\n";
+    e ~file:"MulDivRem" "PR21242"
+      "Pre: isPowerOf2(C1)\n%r = mul nsw %x, C1\n=>\n%r = shl nsw %x, log2(C1)\n";
+    e ~file:"MulDivRem" ~widths:[ 4; 1; 2; 3; 5 ] "PR21243"
+      "Pre: !WillNotOverflowSignedMul(C1, C2)\n\
+       %Op0 = sdiv %X, C1\n\
+       %r = sdiv %Op0, C2\n\
+       =>\n\
+       %r = 0\n";
+    e ~file:"MulDivRem" "PR21245"
+      "Pre: C2 % (1 << C1) == 0\n\
+       %s = shl nsw %X, C1\n\
+       %r = sdiv %s, C2\n\
+       =>\n\
+       %r = sdiv %X, C2 / (1 << C1)\n";
+    e ~file:"MulDivRem" "PR21255"
+      "%Op0 = lshr %X, C1\n%r = udiv %Op0, C2\n=>\n%r = udiv %X, C2 << C1\n";
+    e ~file:"MulDivRem" "PR21256"
+      "%Op1 = sub 0, %X\n%r = srem %Op0, %Op1\n=>\n%r = srem %Op0, %X\n";
+    e ~file:"MulDivRem" "PR21274"
+      "Pre: isPowerOf2(%Power) && hasOneUse(%Y)\n\
+       %s = shl %Power, %A\n\
+       %Y = lshr %s, %B\n\
+       %r = udiv %X, %Y\n\
+       =>\n\
+       %sub = sub %A, %B\n\
+       %Y = shl %Power, %sub\n\
+       %r = udiv %X, %Y\n";
+  ]

@@ -1,0 +1,18 @@
+type expected = Expect_valid | Expect_invalid
+
+type t = {
+  name : string;
+  file : string;
+  text : string;
+  expected : expected;
+  widths : int list option;
+  canonical : bool;
+}
+
+let make ~file ?(expected = Expect_valid) ?widths ?(canonical = true) name text
+    =
+  { name; file; text; expected; widths; canonical }
+
+let parse t =
+  let parsed = Alive.Parser.parse_transform t.text in
+  { parsed with name = t.name }

@@ -1,0 +1,36 @@
+(** One corpus entry: a transformation in Alive surface syntax, tagged with
+    the InstCombine source file it models (the categories of Table 3) and
+    its expected verdict (the eight Fig. 8 transformations are wrong). *)
+
+type expected = Expect_valid | Expect_invalid
+
+type t = {
+  name : string;
+  file : string;  (** Table 3 category: "AddSub", "AndOrXor", ... *)
+  text : string;  (** Alive source, parseable by {!Alive.Parser} *)
+  expected : expected;
+  widths : int list option;
+      (** width-domain override for verification: multiplication and
+          division of symbolic constants blow up bit-blasting at larger
+          widths, and the paper applies the same workaround (§6.1: "we
+          work around slow verifications by limiting the bitwidths of
+          operands") *)
+  canonical : bool;
+      (** [false] marks the anti-canonical direction of a rewrite pair
+          (e.g. [add x, C → sub x, -C]): correct, verified, but excluded
+          from the executable pass, which — like InstCombine — must only
+          rewrite towards a canonical form or it would loop *)
+}
+
+val make :
+  file:string ->
+  ?expected:expected ->
+  ?widths:int list ->
+  ?canonical:bool ->
+  string ->
+  string ->
+  t
+(** [make ~file name text]; expected defaults to [Expect_valid]. *)
+
+val parse : t -> Alive.Ast.transform
+(** Parse the entry's text, forcing the entry name into the result. *)

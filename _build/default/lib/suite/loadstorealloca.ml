@@ -1,0 +1,36 @@
+(* Transformations modeled on InstCombineLoadStoreAlloca.cpp (§3.3 of the
+   paper: memory operations with the eager, array-theory-free encoding). *)
+
+let e = Entry.make ~file:"LoadStoreAlloca"
+
+let entries =
+  [
+    e "LoadStoreAlloca:store-forward"
+      "store %v, %p\n%r = load %p\n=>\nstore %v, %p\n%r = %v\n";
+    e "LoadStoreAlloca:load-cse"
+      "%a = load %p\n%b = load %p\n%r = add %a, %b\n=>\n%a = load %p\n%r = add %a, %a\n";
+    e "LoadStoreAlloca:dead-store"
+      "store %v1, %p\nstore %v2, %p\n=>\nstore %v2, %p\n";
+    e "LoadStoreAlloca:alloca-store-load"
+      "%p = alloca i8, 1\nstore %v, %p\n%r = load %p\n=>\n%p = alloca i8, 1\nstore %v, %p\n%r = %v\n";
+    e "LoadStoreAlloca:gep-zero-identity"
+      "%q = getelementptr %p, 0\n%r = load %q\n=>\n%r = load %p\n";
+    e "LoadStoreAlloca:store-load-wider-bitcast"
+      "store i8 %v, %p\n%r = load %p\n=>\nstore i8 %v, %p\n%r = i8 %v\n";
+    e "LoadStoreAlloca:disjoint-alloca-stores"
+      "%p = alloca i8, 1\n%q = alloca i8, 1\nstore %v1, %p\nstore %v2, %q\n%r = load %p\n=>\n%p = alloca i8, 1\n%q = alloca i8, 1\nstore %v1, %p\nstore %v2, %q\n%r = %v1\n";
+    e ~expected:Entry.Expect_invalid "LoadStoreAlloca:bad-forward-across-store"
+      "store %v1, %p\nstore %v2, %q\n%r = load %p\n=>\nstore %v1, %p\nstore %v2, %q\n%r = %v1\n";
+    e ~expected:Entry.Expect_invalid "LoadStoreAlloca:bad-dead-store-other-ptr"
+      "store %v1, %p\nstore %v2, %q\n=>\nstore %v2, %q\n";
+  
+    e "LoadStoreAlloca:gep-compose"
+      (* Indices must be at pointer width: narrower indices sign-extend
+         before the add, so C1+C2 computed narrow would wrap differently —
+         the checker catches the unannotated version. *)
+      "%p1 = getelementptr %p, i32 C1\n%p2 = getelementptr %p1, i32 C2\n%r = load %p2\n=>\n%q = getelementptr %p, i32 C1+C2\n%r = load %q\n";
+    e "LoadStoreAlloca:bitcast-pointer-identity"
+      "%q = bitcast %p to i8*\n%r = load i8* %q\n=>\n%r = load i8* %p\n";
+    e "LoadStoreAlloca:inttoptr-of-ptrtoint"
+      "%i = ptrtoint %p to i32\n%q = inttoptr %i\n%r = load %q\n=>\n%r = load %p\n";
+]

@@ -1,0 +1,76 @@
+(* Transformations modeled on InstCombineMulDivRem.cpp — the buggiest file
+   the paper found (6 of 44 translated were wrong; those live in bugs.ml,
+   their corrected forms here). *)
+
+let e = Entry.make ~file:"MulDivRem"
+
+let entries =
+  [
+    e "MulDivRem:mul-one" "%r = mul %x, 1\n=>\n%r = %x\n";
+    e "MulDivRem:mul-zero" "%r = mul %x, 0\n=>\n%r = 0\n";
+    e "MulDivRem:mul-neg-one" "%r = mul %x, -1\n=>\n%r = sub 0, %x\n";
+    e "MulDivRem:PR21242-fixed (mul-pow2-is-shl)"
+      "Pre: isPowerOf2(C1)\n%r = mul %x, C1\n=>\n%r = shl %x, log2(C1)\n";
+    e ~widths:[ 4; 1; 2; 3; 5 ] "MulDivRem:mul-const-reassoc"
+      "%a = mul %x, C1\n%r = mul %a, C2\n=>\n%r = mul %x, C1*C2\n";
+    e ~widths:[ 4; 1; 2; 3; 5 ] "MulDivRem:mul-shl-reassoc"
+      "%a = shl %x, C1\n%r = mul %a, C2\n=>\n%r = mul %x, C2 << C1\n";
+    e "MulDivRem:udiv-one" "%r = udiv %x, 1\n=>\n%r = %x\n";
+    e "MulDivRem:sdiv-one" "%r = sdiv %x, 1\n=>\n%r = %x\n";
+    e "MulDivRem:udiv-self" "%r = udiv %x, %x\n=>\n%r = 1\n";
+    e "MulDivRem:sdiv-neg-one"
+      "%r = sdiv %x, -1\n=>\n%r = sub 0, %x\n";
+    e "MulDivRem:udiv-pow2-is-lshr"
+      "Pre: isPowerOf2(C1)\n%r = udiv %x, C1\n=>\n%r = lshr %x, log2(C1)\n";
+    e "MulDivRem:urem-pow2-is-and"
+      "Pre: isPowerOf2(C1)\n%r = urem %x, C1\n=>\n%r = and %x, C1-1\n";
+    e "MulDivRem:urem-one" "%r = urem %x, 1\n=>\n%r = 0\n";
+    e "MulDivRem:srem-one" "%r = srem %x, 1\n=>\n%r = 0\n";
+    e "MulDivRem:urem-self" "%r = urem %x, %x\n=>\n%r = 0\n";
+    e "MulDivRem:srem-neg-const"
+      "Pre: C != 1 && !isSignBit(C)\n%r = srem %X, C\n=>\n%r = srem %X, -C\n";
+    e ~widths:[ 4; 1; 2; 3; 5 ] "MulDivRem:udiv-const-fold-chain"
+      "Pre: !WillNotOverflowUnsignedMul(C1, C2)\n\
+       %a = udiv %x, C1\n\
+       %r = udiv %a, C2\n\
+       =>\n\
+       %r = 0\n";
+    e ~widths:[ 4; 1; 2; 3; 5 ] "MulDivRem:udiv-udiv-reassoc"
+      "Pre: WillNotOverflowUnsignedMul(C1, C2)\n\
+       %a = udiv %x, C1\n\
+       %r = udiv %a, C2\n\
+       =>\n\
+       %r = udiv %x, C1*C2\n";
+    e ~widths:[ 4; 1; 2; 3; 5 ] "MulDivRem:mul-sub-mul"
+      "%a = mul %x, %z\n%b = mul %y, %z\n%r = sub %a, %b\n=>\n%s = sub %x, %y\n%r = mul %s, %z\n";
+    e ~widths:[ 4; 1; 2; 3; 5; 6 ] "MulDivRem:PR21245-fixed"
+      "Pre: C2 %u (1 << C1) == 0\n\
+       %s = shl nuw %X, C1\n\
+       %r = udiv %s, C2\n\
+       =>\n\
+       %r = udiv %X, C2 u>> C1\n";
+  
+    e ~widths:[ 4; 1; 2; 3; 5; 6 ] "MulDivRem:mul-nuw-pow2-is-shl-nuw"
+      "Pre: isPowerOf2(C1)\n%r = mul nuw %x, C1\n=>\n%r = shl nuw %x, log2(C1)\n";
+    e "MulDivRem:sdiv-exact-pow2-is-ashr"
+      "Pre: isPowerOf2(C1) && !isSignBit(C1)\n%r = sdiv exact %x, C1\n=>\n%r = ashr exact %x, log2(C1)\n";
+    e "MulDivRem:udiv-exact-pow2-is-lshr"
+      "Pre: isPowerOf2(C1)\n%r = udiv exact %x, C1\n=>\n%r = lshr exact %x, log2(C1)\n";
+    e ~widths:[ 4; 1; 2; 3; 5 ] "MulDivRem:neg-times-neg"
+      "%nx = sub 0, %x\n%ny = sub 0, %y\n%r = mul %nx, %ny\n=>\n%r = mul %x, %y\n";
+    e ~widths:[ 4; 1; 2; 3; 5 ] "MulDivRem:neg-times-pos"
+      "%nx = sub 0, %x\n%r = mul %nx, %y\n=>\n%m = mul %x, %y\n%r = sub 0, %m\n";
+    e ~widths:[ 4; 1; 2; 3; 5 ] "MulDivRem:mul-distribute-add"
+      "%a = mul %x, %z\n%b = mul %y, %z\n%r = add %a, %b\n=>\n%s = add %x, %y\n%r = mul %s, %z\n";
+    e ~widths:[ 4; 1; 2; 3 ] "MulDivRem:udiv-of-shl-nuw"
+      "%s = shl nuw %y, C\n%r = udiv %x, %s\n=>\n%d = udiv %x, %y\n%r = lshr %d, C\n";
+    e "MulDivRem:urem-pow2-shifted"
+      "Pre: isPowerOf2(%p)\n%r = urem %x, %p\n=>\n%m = sub %p, 1\n%r = and %x, %m\n";
+
+    e "MulDivRem:udiv-all-ones"
+      "%r = udiv %x, -1\n=>\n%c = icmp eq %x, -1\n%r = zext %c\n";
+    e "MulDivRem:urem-all-ones"
+      "%r = urem %x, -1\n=>\n%c = icmp eq %x, -1\n%r = select %c, 0, %x\n";
+    e "MulDivRem:mul-signbit-is-shl"
+      "Pre: isSignBit(C)\n%r = mul %x, C\n=>\n%r = shl %x, width(%x)-1\n";
+]

@@ -1,0 +1,10 @@
+let all =
+  Addsub.entries @ Andorxor.entries @ Loadstorealloca.entries
+  @ Muldivrem.entries @ Select.entries @ Shifts.entries @ Bugs.entries
+
+let files =
+  [ "AddSub"; "AndOrXor"; "LoadStoreAlloca"; "MulDivRem"; "Select"; "Shifts" ]
+
+let by_file file = List.filter (fun e -> String.equal e.Entry.file file) all
+
+let find name = List.find_opt (fun e -> String.equal e.Entry.name name) all

@@ -1,0 +1,13 @@
+(** The transformation corpus, organized by InstCombine source file as in
+    Table 3 of the paper. *)
+
+val all : Entry.t list
+(** Every entry, bugs included, in category order. *)
+
+val files : string list
+(** Category names in Table 3 order. *)
+
+val by_file : string -> Entry.t list
+
+val find : string -> Entry.t option
+(** Look up an entry by name. *)

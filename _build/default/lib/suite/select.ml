@@ -1,0 +1,68 @@
+(* Transformations modeled on InstCombineSelect.cpp. *)
+
+let e = Entry.make ~file:"Select"
+
+let entries =
+  [
+    e "Select:true-cond" "%r = select true, %a, %b\n=>\n%r = %a\n";
+    e "Select:false-cond" "%r = select false, %a, %b\n=>\n%r = %b\n";
+    e "Select:same-arms" "%r = select %c, %a, %a\n=>\n%r = %a\n";
+    e "Select:bool-identity"
+      "%r = select %c, true, false\n=>\n%r = %c\n";
+    e "Select:bool-negate"
+      "%r = select %c, false, true\n=>\n%r = xor %c, true\n";
+    e "Select:sext-of-cond"
+      "%r = select %c, -1, 0\n=>\n%r = sext %c\n";
+    e "Select:zext-of-cond"
+      "%r = select %c, 1, 0\n=>\n%r = zext %c\n";
+    e "Select:zext-of-not-cond"
+      "%r = select %c, 0, 1\n=>\n%nc = xor %c, true\n%r = zext %nc\n";
+    e "Select:and-arms"
+      "%r = select %c, %a, 0\n=>\n%s = sext %c\n%r = and %s, %a\n";
+    e "Select:or-arms"
+      "%r = select %c, -1, %a\n=>\n%s = sext %c\n%r = or %s, %a\n";
+    e "Select:icmp-eq-arm"
+      "%c = icmp eq %x, C\n%r = select %c, C, %x\n=>\n%r = %x\n";
+    e "Select:icmp-ne-arm"
+      "%c = icmp ne %x, C\n%r = select %c, %x, C\n=>\n%r = %x\n";
+    e "Select:umax-canonical"
+      "%c = icmp ugt %x, %y\n%r = select %c, %x, %y\n=>\n%c2 = icmp ult %x, %y\n%r = select %c2, %y, %x\n";
+    e "Select:smax-of-neg"
+      "%c = icmp slt %x, 0\n%n = sub 0, %x\n%r = select %c, %n, %x\n=>\n%c2 = icmp sgt %x, 0\n%n = sub 0, %x\n%r = select %c2, %x, %n\n";
+    e "Select:cond-in-both-arms"
+      "%a2 = or %a, %b\n%r = select %c, %a2, %a\n=>\n%s = sext %c\n%band = and %s, %b\n%r = or %band, %a\n";
+  
+    e "Select:factor-binop-constants"
+      "%a = add %x, C1\n%b = add %x, C2\n%r = select %c, %a, %b\n=>\n%s = select %c, C1, C2\n%r = add %x, %s\n";
+    e "Select:negated-condition-swaps"
+      "%nc = xor %c, true\n%r = select %nc, %a, %b\n=>\n%r = select %c, %b, %a\n";
+    e "Select:true-arm-is-or"
+      "%r = select %c, true, %d\n=>\n%r = or %c, %d\n";
+    e "Select:false-arm-is-and"
+      "%r = select %c, %d, false\n=>\n%r = and %c, %d\n";
+    e "Select:nested-same-condition"
+      "%inner = select %c, %b, %d\n%r = select %c, %a, %inner\n=>\n%r = select %c, %a, %d\n";
+    e "Select:icmp-eq-swap-arms"
+      "%c = icmp eq %x, %y\n%r = select %c, %y, %x\n=>\n%r = %x\n";
+    e "Select:and-cond-nested"
+      "%inner = select %d, %a, %b\n%r = select %c, %inner, %b\n=>\n%both = and %c, %d\n%r = select %both, %a, %b\n";
+    e "Select:or-cond-nested"
+      "%inner = select %d, %a, %b\n%r = select %c, %a, %inner\n=>\n%either = or %c, %d\n%r = select %either, %a, %b\n";
+
+    e "Select:xor-arm-factor"
+      "%a = xor %x, C\n%r = select %c, %x, %a\n=>\n%s = select %c, 0, C\n%r = xor %x, %s\n";
+    e "Select:zero-true-arm-is-masked-and"
+      "%r = select %c, 0, %x\n=>\n%nc = xor %c, true\n%s = sext %nc\n%r = and %s, %x\n";
+    e "Select:allones-false-arm-is-masked-or"
+      "%r = select %c, %x, -1\n=>\n%nc = xor %c, true\n%s = sext %nc\n%r = or %s, %x\n";
+    e "Select:true-false-arm-is-or-not"
+      "%r = select %c, %d, true\n=>\n%nc = xor %c, true\n%r = or %nc, %d\n";
+    e "Select:false-true-arm-is-and-not"
+      "%r = select %c, false, %d\n=>\n%nc = xor %c, true\n%r = and %nc, %d\n";
+    e "Select:cond-as-true-arm"
+      "%r = select %c, %c, false\n=>\n%r = %c\n";
+    e "Select:sign-test-is-ashr"
+      "%c = icmp slt %x, 0\n%r = select %c, -1, 0\n=>\n%r = ashr %x, width(%x)-1\n";
+    e "Select:zext-of-defined-icmp"
+      "%c = icmp ne %x, 0\n%r = select %c, 1, 0\n=>\n%r = zext %c\n";
+]

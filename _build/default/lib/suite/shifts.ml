@@ -1,0 +1,74 @@
+(* Transformations modeled on InstCombineShifts.cpp. *)
+
+let e = Entry.make ~file:"Shifts"
+
+let entries =
+  [
+    e "Shifts:shl-zero-amount" "%r = shl %x, 0\n=>\n%r = %x\n";
+    e "Shifts:lshr-zero-amount" "%r = lshr %x, 0\n=>\n%r = %x\n";
+    e "Shifts:ashr-zero-amount" "%r = ashr %x, 0\n=>\n%r = %x\n";
+    e "Shifts:shl-of-zero" "%r = shl 0, %x\n=>\n%r = 0\n";
+    e "Shifts:lshr-of-zero" "%r = lshr 0, %x\n=>\n%r = 0\n";
+    e "Shifts:shl-lshr-mask"
+      "%s = shl %x, C\n%r = lshr %s, C\n=>\n%r = and %x, -1 u>> C\n";
+    e "Shifts:lshr-shl-mask"
+      "%s = lshr %x, C\n%r = shl %s, C\n=>\n%r = and %x, -1 << C\n";
+    e "Shifts:shl-shl-accumulate"
+      "Pre: C1+C2 u< width(%x)\n%a = shl %x, C1\n%r = shl %a, C2\n=>\n%r = shl %x, C1+C2\n";
+    e "Shifts:lshr-lshr-accumulate"
+      "Pre: C1+C2 u< width(%x)\n%a = lshr %x, C1\n%r = lshr %a, C2\n=>\n%r = lshr %x, C1+C2\n";
+    e "Shifts:shl-nuw-lshr-roundtrip"
+      "%s = shl nuw %x, C\n%r = lshr %s, C\n=>\n%r = %x\n";
+    e "Shifts:shl-nsw-ashr-roundtrip"
+      "%s = shl nsw %x, C\n%r = ashr %s, C\n=>\n%r = %x\n";
+    e "Shifts:lshr-exact-shl-roundtrip"
+      "%s = lshr exact %x, C\n%r = shl %s, C\n=>\n%r = %x\n";
+    e "Shifts:ashr-exact-shl-roundtrip"
+      "%s = ashr exact %x, C\n%r = shl %s, C\n=>\n%r = %x\n";
+    e "Shifts:ashr-nonneg-is-lshr"
+      "Pre: MaskedValueIsZero(%x, 1 << (width(%x)-1))\n\
+       %r = ashr %x, C\n\
+       =>\n\
+       %r = lshr %x, C\n";
+    e "Shifts:shl-and-merge"
+      "%a = shl %x, C1\n%r = and %a, C2\n=>\n%m = and %x, C2 u>> C1\n%r = shl %m, C1\n";
+    e "Shifts:PR21245-corrected-shl-ashr"
+      "Pre: C1 u>= C2\n\
+       %0 = shl nsw %a, C1\n\
+       %1 = ashr %0, C2\n\
+       =>\n\
+       %1 = shl nsw %a, C1-C2\n";
+  
+    e "Shifts:ashr-all-ones"
+      "%r = ashr -1, %x\n=>\n%r = -1\n";
+    e "Shifts:lshr-then-and"
+      "%s = lshr %x, C1\n%r = and %s, C2\n=>\n%m = and %x, C2 << C1\n%r = lshr %m, C1\n";
+    e ~widths:[ 4; 1; 2; 3; 5; 6 ] ~canonical:false "Shifts:shl-nuw-is-mul"
+      "%r = shl nuw %x, C\n=>\n%r = mul nuw %x, 1 << C\n";
+    e ~widths:[ 4; 1; 2; 3; 5; 6 ] ~canonical:false "Shifts:shl-is-mul-pow2"
+      "%r = shl %x, C\n=>\n%r = mul %x, 1 << C\n";
+    e "Shifts:lshr-of-all-ones-mask"
+      "%r = lshr -1, C\n=>\n%r = -1 u>> C\n";
+    e "Shifts:ashr-sign-compare"
+      "%s = ashr %x, width(%x)-1\n%r = icmp ne %s, 0\n=>\n%r = icmp slt %x, 0\n";
+    e ~widths:[ 4; 1; 2; 3; 5 ] "Shifts:shl-one-udiv"
+      "Pre: isPowerOf2(C1)\n%s = shl %x, C2\n%r = udiv %s, C1\n=>\n%s = shl %x, C2\n%r = lshr %s, log2(C1)\n";
+
+    e "Shifts:lshr-signbit-is-icmp-zext"
+      "%r = lshr %x, width(%x)-1\n=>\n%c = icmp slt %x, 0\n%r = zext %c\n";
+    e "Shifts:ashr-signbit-is-icmp-sext"
+      "%r = ashr %x, width(%x)-1\n=>\n%c = icmp slt %x, 0\n%r = sext %c\n";
+    e "Shifts:lshr-distributes-xor"
+      "%a = lshr %x, C\n%b = lshr %y, C\n%r = xor %a, %b\n=>\n%s = xor %x, %y\n%r = lshr %s, C\n";
+    e "Shifts:lshr-distributes-and"
+      "%a = lshr %x, C\n%b = lshr %y, C\n%r = and %a, %b\n=>\n%s = and %x, %y\n%r = lshr %s, C\n";
+    e "Shifts:lshr-distributes-or"
+      "%a = lshr %x, C\n%b = lshr %y, C\n%r = or %a, %b\n=>\n%s = or %x, %y\n%r = lshr %s, C\n";
+    e "Shifts:shl-distributes-and"
+      "%a = shl %x, C\n%b = shl %y, C\n%r = and %a, %b\n=>\n%s = and %x, %y\n%r = shl %s, C\n";
+
+    e "Shifts:udiv-pow2-drops-exact"
+      "Pre: isPowerOf2(C1)\n%r = udiv exact %x, C1\n=>\n%r = lshr %x, log2(C1)\n";
+    e "Shifts:shl-sum-drops-nuw"
+      "Pre: C1+C2 u< width(%x)\n%a = shl nuw %x, C1\n%r = shl nuw %a, C2\n=>\n%r = shl %x, C1+C2\n";
+]

@@ -1,0 +1,1 @@
+test/test_alive.ml: Alcotest Alive Alive_suite Ast Astring Attr_infer Codegen Counterexample Format List Parser Refine Result Scoping String Typing

@@ -1,0 +1,1 @@
+test/test_bitvec.ml: Alcotest Bitvec Bool Format Int64 QCheck2 QCheck_alcotest

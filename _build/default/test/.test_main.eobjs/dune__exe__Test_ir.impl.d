@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Analysis Bitvec Cost Format Interp Ir Ir_parser List Printf QCheck2 QCheck_alcotest Random Result String

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_alive Test_bitvec Test_ir Test_opt Test_sat Test_smt Test_suite

@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Alive Alive_opt Alive_suite Bitvec Cost Format Fun Int64 Interp Ir List QCheck2 QCheck_alcotest Random Result

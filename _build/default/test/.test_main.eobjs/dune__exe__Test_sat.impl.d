@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Alive_sat Array Bool List Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_smt.ml: Alcotest Alive_smt Bitvec Format Int64 List Printf QCheck2 QCheck_alcotest String

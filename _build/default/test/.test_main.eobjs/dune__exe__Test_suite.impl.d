@@ -1,0 +1,1 @@
+test/test_suite.ml: Alcotest Alive Alive_smt Alive_suite List String

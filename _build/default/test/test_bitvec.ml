@@ -1,0 +1,240 @@
+(* Unit and property tests for the Bitvec substrate. Properties cross-check
+   the int64-based implementation against naive reference computations and
+   the algebraic laws the SMT layer later relies on. *)
+
+open Bitvec
+
+let bv width v = make ~width (Int64.of_int v)
+
+let bv_testable =
+  Alcotest.testable (fun ppf x -> pp ppf x) equal
+
+let check_bv = Alcotest.(check bv_testable)
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* A generator of (width, value) pairs covering corner widths. *)
+let gen_bv =
+  let open QCheck2.Gen in
+  let* width = oneof [ return 1; return 4; return 7; return 8; return 32; return 63; return 64; int_range 1 64 ] in
+  let* bits = oneof [ return 0L; return 1L; return (-1L); return Int64.min_int; return Int64.max_int; int64 ] in
+  return (make ~width bits)
+
+let gen_bv_pair =
+  let open QCheck2.Gen in
+  let* a = gen_bv in
+  let* bits = oneof [ return 0L; return 1L; return (-1L); int64 ] in
+  return (a, make ~width:(width a) bits)
+
+let print_bv x = Format.asprintf "%a:i%d" pp x (width x)
+let print_pair (a, b) = print_bv a ^ ", " ^ print_bv b
+
+let prop name gen print f =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:500 ~name ~print gen f)
+
+(* Reference signed interpretation used by properties. *)
+let signed x = to_signed_int64 x
+
+let unit_tests =
+  [
+    Alcotest.test_case "make truncates" `Quick (fun () ->
+        check_bv "i4 0x13 = 0x3" (bv 4 3) (bv 4 0x13);
+        check_bv "i1 2 = 0" (bv 1 0) (bv 1 2);
+        check_bv "i64 -1 = all ones" (all_ones 64) (make ~width:64 (-1L)));
+    Alcotest.test_case "width bounds" `Quick (fun () ->
+        Alcotest.check_raises "width 0" (Invalid_argument "Bitvec: width 0 out of range 1..64")
+          (fun () -> ignore (zero 0));
+        Alcotest.check_raises "width 65" (Invalid_argument "Bitvec: width 65 out of range 1..64")
+          (fun () -> ignore (zero 65)));
+    Alcotest.test_case "constants" `Quick (fun () ->
+        check_bv "min_signed i4" (bv 4 8) (min_signed 4);
+        check_bv "max_signed i4" (bv 4 7) (max_signed 4);
+        check_bv "all_ones i4" (bv 4 15) (all_ones 4);
+        check_bool "of_bool true" true (is_true (of_bool true));
+        check_bool "of_bool false" false (is_true (of_bool false)));
+    Alcotest.test_case "signed interpretation" `Quick (fun () ->
+        Alcotest.(check int64) "i4 0xF = -1" (-1L) (to_signed_int64 (bv 4 15));
+        Alcotest.(check int64) "i4 0x7 = 7" 7L (to_signed_int64 (bv 4 7));
+        Alcotest.(check int64) "i64 all ones = -1" (-1L) (to_signed_int64 (all_ones 64)));
+    Alcotest.test_case "add/sub wrap" `Quick (fun () ->
+        check_bv "15+1 wraps to 0 at i4" (zero 4) (add (bv 4 15) (bv 4 1));
+        check_bv "0-1 wraps to 15 at i4" (bv 4 15) (sub (zero 4) (one 4));
+        check_bv "neg INT_MIN = INT_MIN" (min_signed 8) (neg (min_signed 8)));
+    Alcotest.test_case "mul wrap" `Quick (fun () ->
+        check_bv "7*3 = 5 at i4" (bv 4 5) (mul (bv 4 7) (bv 4 3)));
+    Alcotest.test_case "udiv/urem smtlib zero" `Quick (fun () ->
+        check_bv "x udiv 0 = all ones" (all_ones 8) (udiv (bv 8 42) (zero 8));
+        check_bv "x urem 0 = x" (bv 8 42) (urem (bv 8 42) (zero 8));
+        check_bv "13 udiv 4" (bv 8 3) (udiv (bv 8 13) (bv 8 4));
+        check_bv "13 urem 4" (bv 8 1) (urem (bv 8 13) (bv 8 4)));
+    Alcotest.test_case "sdiv/srem corner cases" `Quick (fun () ->
+        check_bv "INT_MIN sdiv -1 wraps" (min_signed 8)
+          (sdiv (min_signed 8) (all_ones 8));
+        check_bv "-7 sdiv 2 = -3" (make ~width:8 (-3L)) (sdiv (make ~width:8 (-7L)) (bv 8 2));
+        check_bv "-7 srem 2 = -1" (make ~width:8 (-1L)) (srem (make ~width:8 (-7L)) (bv 8 2));
+        check_bv "7 srem -2 = 1" (bv 8 1) (srem (bv 8 7) (make ~width:8 (-2L)));
+        check_bv "sdiv by 0, pos" (all_ones 8) (sdiv (bv 8 5) (zero 8));
+        check_bv "sdiv by 0, neg" (one 8) (sdiv (make ~width:8 (-5L)) (zero 8));
+        check_bv "srem by 0 = x" (bv 8 5) (srem (bv 8 5) (zero 8)));
+    Alcotest.test_case "shifts" `Quick (fun () ->
+        check_bv "1 shl 3 at i4" (bv 4 8) (shl (one 4) (bv 4 3));
+        check_bv "over-shift shl = 0" (zero 4) (shl (bv 4 5) (bv 4 4));
+        check_bv "lshr" (bv 4 3) (lshr (bv 4 15) (bv 4 2));
+        check_bv "over-shift lshr = 0" (zero 4) (lshr (bv 4 15) (bv 4 9));
+        check_bv "ashr of negative" (bv 4 0xF) (ashr (bv 4 8) (bv 4 3));
+        check_bv "over-shift ashr neg = -1" (all_ones 4) (ashr (bv 4 8) (bv 4 4));
+        check_bv "over-shift ashr pos = 0" (zero 4) (ashr (bv 4 7) (bv 4 4));
+        check_bv "shl at i64 by 63" (min_signed 64) (shl (one 64) (bv 64 63)));
+    Alcotest.test_case "comparisons" `Quick (fun () ->
+        check_bool "15 <u 0 false at i4" false (ult (bv 4 15) (zero 4));
+        check_bool "-1 <s 0 at i4" true (slt (bv 4 15) (zero 4));
+        check_bool "ule refl" true (ule (bv 4 7) (bv 4 7));
+        check_bool "sle INT_MIN x" true (sle (min_signed 8) (bv 8 42)));
+    Alcotest.test_case "extensions" `Quick (fun () ->
+        check_bv "zext i4 0xF -> i8 0x0F" (bv 8 0x0F) (zext (bv 4 15) 8);
+        check_bv "sext i4 0xF -> i8 0xFF" (bv 8 0xFF) (sext (bv 4 15) 8);
+        check_bv "sext i4 0x7 -> i8 0x07" (bv 8 0x07) (sext (bv 4 7) 8);
+        check_bv "trunc i8 0xAB -> i4 0xB" (bv 4 0xB) (trunc (bv 8 0xAB) 4));
+    Alcotest.test_case "extract/concat" `Quick (fun () ->
+        check_bv "extract [7..4] of 0xAB" (bv 4 0xA) (extract (bv 8 0xAB) ~hi:7 ~lo:4);
+        check_bv "extract [3..0] of 0xAB" (bv 4 0xB) (extract (bv 8 0xAB) ~hi:3 ~lo:0);
+        check_bv "concat 0xA 0xB" (bv 8 0xAB) (concat (bv 4 0xA) (bv 4 0xB)));
+    Alcotest.test_case "bit utilities" `Quick (fun () ->
+        check_int "popcount 0xAB" 5 (popcount (bv 8 0xAB));
+        check_int "ctz 8" 3 (ctz (bv 8 8));
+        check_int "ctz 0 = width" 8 (ctz (zero 8));
+        check_int "clz 1 at i8" 7 (clz (one 8));
+        check_int "clz 0 = width" 8 (clz (zero 8));
+        check_bool "isPowerOf2 16" true (is_power_of_two (bv 8 16));
+        check_bool "isPowerOf2 0" false (is_power_of_two (zero 8));
+        check_bool "isPowerOf2 12" false (is_power_of_two (bv 8 12));
+        check_bv "log2 16 = 4" (bv 8 4) (log2 (bv 8 16));
+        check_bv "abs -5" (bv 8 5) (abs (make ~width:8 (-5L)));
+        check_bv "abs INT_MIN" (min_signed 8) (abs (min_signed 8)));
+    Alcotest.test_case "overflow predicates" `Quick (fun () ->
+        check_bool "127+1 signed overflow" true (add_overflows_signed (bv 8 127) (one 8));
+        check_bool "126+1 no overflow" false (add_overflows_signed (bv 8 126) (one 8));
+        check_bool "255+1 unsigned overflow" true (add_overflows_unsigned (bv 8 255) (one 8));
+        check_bool "INT_MIN-1 signed overflow" true (sub_overflows_signed (min_signed 8) (one 8));
+        check_bool "0-1 unsigned overflow" true (sub_overflows_unsigned (zero 8) (one 8));
+        check_bool "16*16 unsigned overflow i8" true (mul_overflows_unsigned (bv 8 16) (bv 8 16));
+        check_bool "15*16 unsigned overflow i8" false (mul_overflows_unsigned (bv 8 15) (bv 8 16));
+        check_bool "INT_MIN * -1 signed overflow" true
+          (mul_overflows_signed (min_signed 8) (all_ones 8));
+        check_bool "64-bit mul overflow" true
+          (mul_overflows_unsigned (make ~width:64 Int64.max_int) (bv 64 3)));
+    Alcotest.test_case "printing" `Quick (fun () ->
+        check_string "hex" "0xF" (to_string_hex (bv 4 15));
+        check_string "fig5 style neg" "0xF (15, -1)" (Format.asprintf "%a" pp (bv 4 15));
+        check_string "fig5 style pos" "0x3 (3)" (Format.asprintf "%a" pp (bv 4 3)));
+    Alcotest.test_case "of_string" `Quick (fun () ->
+        check_bv "decimal" (bv 8 42) (of_string ~width:8 "42");
+        check_bv "negative" (make ~width:8 (-1L)) (of_string ~width:8 "-1");
+        check_bv "hex" (bv 8 0xAB) (of_string ~width:8 "0xAB");
+        check_bv "u64 max" (all_ones 64) (of_string ~width:64 "18446744073709551615");
+        Alcotest.check_raises "garbage" (Invalid_argument "Bitvec.of_string: \"zzz\"")
+          (fun () -> ignore (of_string ~width:8 "zzz")));
+  ]
+
+let property_tests =
+  [
+    prop "add is commutative" gen_bv_pair print_pair (fun (a, b) ->
+        equal (add a b) (add b a));
+    prop "sub a b = add a (neg b)" gen_bv_pair print_pair (fun (a, b) ->
+        equal (sub a b) (add a (neg b)));
+    prop "mul distributes over add"
+      QCheck2.Gen.(gen_bv_pair >>= fun (a, b) ->
+        gen_bv >|= fun c -> (a, b, make ~width:(width a) (to_int64 c)))
+      (fun (a, b, c) -> print_pair (a, b) ^ ", " ^ print_bv c)
+      (fun (a, b, c) -> equal (mul a (add b c)) (add (mul a b) (mul a c)));
+    prop "udiv-urem identity" gen_bv_pair print_pair (fun (a, b) ->
+        is_zero b || equal a (add (mul (udiv a b) b) (urem a b)));
+    prop "sdiv-srem identity" gen_bv_pair print_pair (fun (a, b) ->
+        is_zero b || equal a (add (mul (sdiv a b) b) (srem a b)));
+    prop "srem sign follows dividend" gen_bv_pair print_pair (fun (a, b) ->
+        is_zero b
+        || is_zero (srem a b)
+        || Bool.equal (signed (srem a b) < 0L) (signed a < 0L));
+    prop "lognot is involutive" gen_bv print_bv (fun a ->
+        equal a (lognot (lognot a)));
+    prop "de morgan" gen_bv_pair print_pair (fun (a, b) ->
+        equal (lognot (logand a b)) (logor (lognot a) (lognot b)));
+    prop "xor self is zero" gen_bv print_bv (fun a ->
+        is_zero (logxor a a));
+    prop "shl equals mul by power of two" gen_bv_pair print_pair (fun (a, b) ->
+        let w = width a in
+        ult b (of_int ~width:w w) = false
+        || equal (shl a b) (mul a (shl (one w) b)));
+    prop "lshr then shl clears low bits" gen_bv_pair print_pair (fun (a, b) ->
+        let w = width a in
+        (not (ult b (of_int ~width:w w)))
+        || equal (shl (lshr a b) b) (logand a (shl (all_ones w) b)));
+    prop "zext preserves unsigned value" gen_bv print_bv (fun a ->
+        width a = 64 || Int64.equal (to_int64 (zext a 64)) (to_int64 a));
+    prop "sext preserves signed value" gen_bv print_bv (fun a ->
+        width a = 64
+        || Int64.equal (to_signed_int64 (sext a 64)) (to_signed_int64 a));
+    prop "trunc of zext is identity" gen_bv print_bv (fun a ->
+        equal a (trunc (zext a 64) (width a)));
+    prop "concat/extract roundtrip" gen_bv print_bv (fun a ->
+        let w = width a in
+        w < 2
+        ||
+        let hi = extract a ~hi:(w - 1) ~lo:(w / 2) in
+        let lo = extract a ~hi:((w / 2) - 1) ~lo:0 in
+        equal a (concat hi lo));
+    prop "popcount + clz + ctz bounds" gen_bv print_bv (fun a ->
+        let w = width a in
+        popcount a <= w && clz a <= w && ctz a <= w
+        && (is_zero a || popcount a + clz a + ctz a <= w + (w - 1)));
+    prop "ult is total order vs sub" gen_bv_pair print_pair (fun (a, b) ->
+        Bool.equal (ult a b) (not (ule b a)));
+    prop "slt antisymmetric" gen_bv_pair print_pair (fun (a, b) ->
+        not (slt a b && slt b a));
+    prop "add_overflows_unsigned matches zext" gen_bv_pair print_pair
+      (fun (a, b) ->
+        width a = 64
+        ||
+        let w = width a in
+        let wide = add (zext a (w + 1)) (zext b (w + 1)) in
+        Bool.equal (add_overflows_unsigned a b)
+          (not (equal wide (zext (add a b) (w + 1)))));
+    prop "add_overflows_signed matches sext" gen_bv_pair print_pair
+      (fun (a, b) ->
+        width a = 64
+        ||
+        let w = width a in
+        let wide = add (sext a (w + 1)) (sext b (w + 1)) in
+        Bool.equal (add_overflows_signed a b)
+          (not (equal wide (sext (add a b) (w + 1)))));
+    prop "mul_overflows_signed matches reference" gen_bv_pair print_pair
+      (fun (a, b) ->
+        width a > 32
+        ||
+        let w = width a in
+        let wide = mul (sext a (2 * w)) (sext b (2 * w)) in
+        Bool.equal (mul_overflows_signed a b)
+          (not (equal wide (sext (mul a b) (2 * w)))));
+    prop "mul_overflows_unsigned matches reference" gen_bv_pair print_pair
+      (fun (a, b) ->
+        width a > 32
+        ||
+        let w = width a in
+        let wide = mul (zext a (2 * w)) (zext b (2 * w)) in
+        Bool.equal (mul_overflows_unsigned a b)
+          (not (equal wide (zext (mul a b) (2 * w)))));
+    prop "of_string/to_string roundtrip unsigned" gen_bv print_bv (fun a ->
+        equal a (of_string ~width:(width a) (to_string_unsigned a)));
+    prop "of_string/to_string roundtrip signed" gen_bv print_bv (fun a ->
+        equal a (of_string ~width:(width a) (to_string_signed a)));
+    prop "abs is nonneg except INT_MIN" gen_bv print_bv (fun a ->
+        equal a (min_signed (width a)) || signed (abs a) >= 0L);
+    prop "umax/umin bracket" gen_bv_pair print_pair (fun (a, b) ->
+        ule (umin a b) a && ule a (umax a b));
+    prop "smax/smin bracket" gen_bv_pair print_pair (fun (a, b) ->
+        sle (smin a b) a && sle a (smax a b));
+  ]
+
+let suite = ("bitvec", unit_tests @ property_tests)

@@ -1,0 +1,11 @@
+let () =
+  Alcotest.run "alive"
+    [
+      Test_bitvec.suite;
+      Test_sat.suite;
+      Test_smt.suite;
+      Test_alive.suite;
+      Test_ir.suite;
+      Test_opt.suite;
+      Test_suite.suite;
+    ]

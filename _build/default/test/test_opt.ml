@@ -1,0 +1,309 @@
+(* Tests for the optimizer: rule compilation, matching/rewriting, the pass
+   driver with DCE, the workload generator, and the key end-to-end property:
+   optimized functions refine the originals on random inputs. *)
+
+let bv w v = Bitvec.of_int ~width:w v
+
+let rule text =
+  match Alive_opt.Matcher.rule_of_transform (Alive.Parser.parse_transform text) with
+  | Ok r -> r
+  | Error e -> Alcotest.fail ("rule rejected: " ^ e)
+
+let func ?(params = [ ("x", 8); ("y", 8) ]) body ret =
+  { Ir.fname = "t"; params; body; ret }
+
+let def name width inst = { Ir.name; width; inst }
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let valid_rules =
+  List.filter_map
+    (fun (e : Alive_suite.Entry.t) ->
+      if e.expected = Alive_suite.Entry.Expect_valid && e.canonical then
+        Result.to_option
+          (Alive_opt.Matcher.rule_of_transform (Alive_suite.Entry.parse e))
+      else None)
+    Alive_suite.Registry.all
+
+let matcher_tests =
+  [
+    Alcotest.test_case "matches a simple pattern" `Quick (fun () ->
+        let r = rule "%r = add %a, 0\n=>\n%r = %a\n" in
+        let f =
+          func
+            [ def "r" 8 (Ir.Binop (Ir.Add, [], Ir.Var "x", Ir.Const (bv 8 0))) ]
+            (Ir.Var "r")
+        in
+        check_bool "matches" true (Alive_opt.Matcher.match_at r f "r" <> None));
+    Alcotest.test_case "no match on wrong constant" `Quick (fun () ->
+        let r = rule "%r = add %a, 0\n=>\n%r = %a\n" in
+        let f =
+          func
+            [ def "r" 8 (Ir.Binop (Ir.Add, [], Ir.Var "x", Ir.Const (bv 8 1))) ]
+            (Ir.Var "r")
+        in
+        check_bool "no match" true (Alive_opt.Matcher.match_at r f "r" = None));
+    Alcotest.test_case "attribute requirements respected" `Quick (fun () ->
+        let r = rule "%r = add nsw %a, %b\n=>\n%r = add nsw %b, %a\n" in
+        let without =
+          func
+            [ def "r" 8 (Ir.Binop (Ir.Add, [], Ir.Var "x", Ir.Var "y")) ]
+            (Ir.Var "r")
+        in
+        let with_nsw =
+          func
+            [ def "r" 8 (Ir.Binop (Ir.Add, [ Ir.Nsw ], Ir.Var "x", Ir.Var "y")) ]
+            (Ir.Var "r")
+        in
+        check_bool "plain add rejected" true
+          (Alive_opt.Matcher.match_at r without "r" = None);
+        check_bool "nsw add matched" true
+          (Alive_opt.Matcher.match_at r with_nsw "r" <> None));
+    Alcotest.test_case "repeated variables must coincide" `Quick (fun () ->
+        let r = rule "%r = sub %a, %a\n=>\n%r = 0\n" in
+        let same =
+          func [ def "r" 8 (Ir.Binop (Ir.Sub, [], Ir.Var "x", Ir.Var "x")) ] (Ir.Var "r")
+        in
+        let diff =
+          func [ def "r" 8 (Ir.Binop (Ir.Sub, [], Ir.Var "x", Ir.Var "y")) ] (Ir.Var "r")
+        in
+        check_bool "same matches" true (Alive_opt.Matcher.match_at r same "r" <> None);
+        check_bool "different rejected" true
+          (Alive_opt.Matcher.match_at r diff "r" = None));
+    Alcotest.test_case "multi-instruction DAG match" `Quick (fun () ->
+        (* The paper's intro pattern against concrete IR. *)
+        let r = rule "%1 = xor %x, -1\n%2 = add %1, C\n=>\n%2 = sub C-1, %x\n" in
+        let f =
+          func
+            [
+              def "n" 8 (Ir.Binop (Ir.Xor, [], Ir.Var "x", Ir.Const (Bitvec.all_ones 8)));
+              def "r" 8 (Ir.Binop (Ir.Add, [], Ir.Var "n", Ir.Const (bv 8 5)));
+            ]
+            (Ir.Var "r")
+        in
+        match Alive_opt.Matcher.match_at r f "r" with
+        | None -> Alcotest.fail "should match"
+        | Some m -> (
+            match Alive_opt.Matcher.rewrite r f m with
+            | None -> Alcotest.fail "rewrite failed"
+            | Some f' -> (
+                check_bool "valid after rewrite" true (Ir.validate f' = Ok ());
+                (* Root must now be sub 4, %x. *)
+                match Ir.def_of f' "r" with
+                | Some { Ir.inst = Ir.Binop (Ir.Sub, [], Ir.Const c, Ir.Var "x"); _ } ->
+                    check_bool "constant folded to C-1" true
+                      (Bitvec.equal c (bv 8 4))
+                | _ -> Alcotest.fail "unexpected rewritten root")));
+    Alcotest.test_case "precondition gates the rewrite" `Quick (fun () ->
+        let r =
+          rule "Pre: isPowerOf2(C1)\n%r = mul %a, C1\n=>\n%r = shl %a, log2(C1)\n"
+        in
+        let pow2 =
+          func [ def "r" 8 (Ir.Binop (Ir.Mul, [], Ir.Var "x", Ir.Const (bv 8 8))) ] (Ir.Var "r")
+        in
+        let not_pow2 =
+          func [ def "r" 8 (Ir.Binop (Ir.Mul, [], Ir.Var "x", Ir.Const (bv 8 6))) ] (Ir.Var "r")
+        in
+        check_bool "8 matches" true (Alive_opt.Matcher.match_at r pow2 "r" <> None);
+        check_bool "6 rejected" true (Alive_opt.Matcher.match_at r not_pow2 "r" = None));
+    Alcotest.test_case "copy target substitutes uses" `Quick (fun () ->
+        let r = rule "%r = add %a, 0\n=>\n%r = %a\n" in
+        let f =
+          func
+            [
+              def "r" 8 (Ir.Binop (Ir.Add, [], Ir.Var "x", Ir.Const (bv 8 0)));
+              def "s" 8 (Ir.Binop (Ir.Mul, [], Ir.Var "r", Ir.Var "y"));
+            ]
+            (Ir.Var "s")
+        in
+        match Alive_opt.Matcher.match_at r f "r" with
+        | None -> Alcotest.fail "should match"
+        | Some m -> (
+            match Alive_opt.Matcher.rewrite r f m with
+            | None -> Alcotest.fail "rewrite failed"
+            | Some f' -> (
+                check_bool "valid" true (Ir.validate f' = Ok ());
+                match Ir.def_of f' "s" with
+                | Some { Ir.inst = Ir.Binop (Ir.Mul, [], Ir.Var "x", Ir.Var "y"); _ } -> ()
+                | _ -> Alcotest.fail "use not substituted")));
+    Alcotest.test_case "memory rules rejected" `Quick (fun () ->
+        match
+          Alive_opt.Matcher.rule_of_transform
+            (Alive.Parser.parse_transform
+               "%p = alloca i8, 1\n%r = load %p\n=>\n%r = undef\n")
+        with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "memory rule should be rejected");
+  ]
+
+let pass_tests =
+  [
+    Alcotest.test_case "dce removes dead code" `Quick (fun () ->
+        let f =
+          func
+            [
+              def "dead" 8 (Ir.Binop (Ir.Add, [], Ir.Var "x", Ir.Var "y"));
+              def "r" 8 (Ir.Binop (Ir.Sub, [], Ir.Var "x", Ir.Var "y"));
+            ]
+            (Ir.Var "r")
+        in
+        check_int "one def left" 1 (List.length (Alive_opt.Pass.dce f).Ir.body));
+    Alcotest.test_case "pass reaches a fixpoint and counts firings" `Quick
+      (fun () ->
+        let r1 = rule "%r = add %a, 0\n=>\n%r = %a\n" in
+        let r2 = rule "%r = mul %a, 1\n=>\n%r = %a\n" in
+        let f =
+          func
+            [
+              def "a" 8 (Ir.Binop (Ir.Add, [], Ir.Var "x", Ir.Const (bv 8 0)));
+              def "b" 8 (Ir.Binop (Ir.Mul, [], Ir.Var "a", Ir.Const (bv 8 1)));
+              def "r" 8 (Ir.Binop (Ir.Add, [], Ir.Var "b", Ir.Const (bv 8 0)));
+            ]
+            (Ir.Var "r")
+        in
+        let f', stats = Alive_opt.Pass.run ~rules:[ r1; r2 ] f in
+        check_int "everything folds away" 0 (List.length f'.Ir.body);
+        check_bool "ret is x" true (f'.Ir.ret = Ir.Var "x");
+        let total = List.fold_left (fun a (_, n) -> a + n) 0 stats in
+        check_int "three firings" 3 total);
+    Alcotest.test_case "optimization enables further optimization" `Quick
+      (fun () ->
+        (* not (not x) -> x only fires after the inner xor is exposed. *)
+        let r = rule "%n = xor %a, -1\n%r = xor %n, -1\n=>\n%r = %a\n" in
+        let ones = Ir.Const (Bitvec.all_ones 8) in
+        let f =
+          func
+            [
+              def "n1" 8 (Ir.Binop (Ir.Xor, [], Ir.Var "x", ones));
+              def "n2" 8 (Ir.Binop (Ir.Xor, [], Ir.Var "n1", ones));
+              def "n3" 8 (Ir.Binop (Ir.Xor, [], Ir.Var "n2", ones));
+              def "r" 8 (Ir.Binop (Ir.Xor, [], Ir.Var "n3", ones));
+            ]
+            (Ir.Var "r")
+        in
+        let f', stats = Alive_opt.Pass.run ~rules:[ r ] f in
+        check_int "no xors left" 0 (List.length f'.Ir.body);
+        check_int "fired twice" 2 (List.fold_left (fun a (_, n) -> a + n) 0 stats));
+    Alcotest.test_case "baseline constant folding" `Quick (fun () ->
+        let f =
+          func
+            [
+              def "a" 8 (Ir.Binop (Ir.Add, [], Ir.Const (bv 8 3), Ir.Const (bv 8 4)));
+              def "r" 8 (Ir.Binop (Ir.Mul, [], Ir.Var "a", Ir.Var "x"));
+            ]
+            (Ir.Var "r")
+        in
+        let f', n = Alive_opt.Baseline.fold_constants f in
+        check_bool "folded" true (n >= 1);
+        match Ir.def_of f' "r" with
+        | Some { Ir.inst = Ir.Binop (Ir.Mul, [], Ir.Const c, Ir.Var "x"); _ } ->
+            check_bool "3+4" true (Bitvec.equal c (bv 8 7))
+        | _ -> Alcotest.fail "not folded into mul");
+    Alcotest.test_case "baseline does not fold UB constants" `Quick (fun () ->
+        let f =
+          func
+            [ def "r" 8 (Ir.Binop (Ir.Udiv, [], Ir.Var "x", Ir.Const (bv 8 0))) ]
+            (Ir.Var "r")
+        in
+        let _, n = Alive_opt.Baseline.fold_constants f in
+        check_int "no folds" 0 n);
+  ]
+
+let workload_tests =
+  [
+    Alcotest.test_case "generation is deterministic" `Quick (fun () ->
+        let config = { Alive_opt.Workload.default with functions = 5 } in
+        let a = Alive_opt.Workload.generate config valid_rules in
+        let b = Alive_opt.Workload.generate config valid_rules in
+        check_bool "same output" true
+          (List.for_all2
+             (fun (f : Ir.func) (g : Ir.func) ->
+               Format.asprintf "%a" Ir.pp_func f = Format.asprintf "%a" Ir.pp_func g)
+             a b));
+    Alcotest.test_case "different seeds differ" `Quick (fun () ->
+        let c1 = { Alive_opt.Workload.default with functions = 3; seed = 1 } in
+        let c2 = { c1 with seed = 2 } in
+        let a = Alive_opt.Workload.generate c1 valid_rules in
+        let b = Alive_opt.Workload.generate c2 valid_rules in
+        check_bool "different" false
+          (List.for_all2
+             (fun (f : Ir.func) (g : Ir.func) ->
+               Format.asprintf "%a" Ir.pp_func f = Format.asprintf "%a" Ir.pp_func g)
+             a b));
+    Alcotest.test_case "rules fire on the workload" `Quick (fun () ->
+        let config = { Alive_opt.Workload.default with functions = 20 } in
+        let funcs = Alive_opt.Workload.generate config valid_rules in
+        let _, stats = Alive_opt.Pass.run_module ~rules:valid_rules funcs in
+        let total = List.fold_left (fun a (_, n) -> a + n) 0 stats in
+        check_bool "many firings" true (total > 50));
+  ]
+
+(* The central end-to-end property: for random workloads, the optimized
+   function refines the original on random concrete inputs (under the
+   deterministic undef policy). *)
+let refinement_property =
+  let gen = QCheck2.Gen.int_range 0 10_000 in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:25 ~name:"optimized code refines the original"
+       ~print:string_of_int gen (fun seed ->
+         let config =
+           { Alive_opt.Workload.default with functions = 4; seed;
+             instructions_per_function = 25 }
+         in
+         let funcs = Alive_opt.Workload.generate config valid_rules in
+         let optimized, _ = Alive_opt.Pass.run_module ~rules:valid_rules funcs in
+         let st = Random.State.make [| seed + 1 |] in
+         List.for_all2
+           (fun (f : Ir.func) (g : Ir.func) ->
+             List.for_all
+               (fun _ ->
+                 let args =
+                   List.map
+                     (fun (_, w) ->
+                       Bitvec.make ~width:w (Random.State.int64 st Int64.max_int))
+                     f.Ir.params
+                 in
+                 match (Interp.run f args, Interp.run g args) with
+                 | Ok src, Ok tgt -> Interp.refines src tgt
+                 | _ -> false)
+               (List.init 10 Fun.id))
+           funcs optimized))
+
+(* The baseline must also refine, and never produce costlier code than the
+   Alive-only pass. *)
+let baseline_property =
+  let gen = QCheck2.Gen.int_range 0 10_000 in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:15 ~name:"baseline refines and is at least as good"
+       ~print:string_of_int gen (fun seed ->
+         let config =
+           { Alive_opt.Workload.default with functions = 3; seed;
+             instructions_per_function = 20 }
+         in
+         let funcs = Alive_opt.Workload.generate config valid_rules in
+         List.for_all
+           (fun (f : Ir.func) ->
+             let alive_only, _ = Alive_opt.Pass.run ~rules:valid_rules f in
+             let full, _ = Alive_opt.Baseline.run ~rules:valid_rules f in
+             Cost.func_cost full <= Cost.func_cost alive_only
+             &&
+             let st = Random.State.make [| seed |] in
+             List.for_all
+               (fun _ ->
+                 let args =
+                   List.map
+                     (fun (_, w) ->
+                       Bitvec.make ~width:w (Random.State.int64 st Int64.max_int))
+                     f.Ir.params
+                 in
+                 match (Interp.run f args, Interp.run full args) with
+                 | Ok src, Ok tgt -> Interp.refines src tgt
+                 | _ -> false)
+               (List.init 10 Fun.id))
+           funcs))
+
+let suite =
+  ( "opt",
+    matcher_tests @ pass_tests @ workload_tests
+    @ [ refinement_property; baseline_property ] )
