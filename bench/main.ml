@@ -9,6 +9,19 @@ let section title =
   Printf.printf "%s\n" title;
   Printf.printf "=====================================================\n%!"
 
+(* --- JSON archiving (--json): targets record machine-readable results,
+   written as BENCH_<target>.json so CI can diff perf across PRs --- *)
+
+module Json = Alive_engine.Json
+
+let json_enabled = ref false
+let record_json name (j : Json.t) =
+  if !json_enabled then begin
+    let path = Printf.sprintf "BENCH_%s.json" name in
+    Json.to_file path j;
+    Printf.printf "  [json] wrote %s\n%!" path
+  end
+
 (* --- Bechamel helpers --- *)
 
 let run_bechamel tests =
@@ -228,22 +241,73 @@ let fig9 () =
 
 let verify_time () =
   section "§6.1: verification time over the corpus";
-  let times =
+  let timed =
     List.map
-      (fun e ->
+      (fun (e : Alive_suite.Entry.t) ->
         let t0 = Unix.gettimeofday () in
         ignore (verify_entry e);
-        Unix.gettimeofday () -. t0)
+        (e.name, Unix.gettimeofday () -. t0))
       corpus
   in
+  let times = List.map snd timed in
   let sorted = List.sort compare times in
   let n = List.length sorted in
   let nth k = List.nth sorted k in
+  let total = List.fold_left ( +. ) 0.0 times in
   Printf.printf
     "  %d transformations: median %.3fs, p90 %.3fs, max %.2fs, total %.1fs\n" n
-    (nth (n / 2)) (nth (n * 9 / 10)) (nth (n - 1))
-    (List.fold_left ( +. ) 0.0 times);
-  Printf.printf "  (paper: \"usually a few seconds\"; division/multiplication slowest)\n"
+    (nth (n / 2)) (nth (n * 9 / 10)) (nth (n - 1)) total;
+  Printf.printf "  (paper: \"usually a few seconds\"; division/multiplication slowest)\n";
+  record_json "verify_time"
+    (Json.Obj
+       [
+         ("transforms", Json.Int n);
+         ("median_s", Json.Float (nth (n / 2)));
+         ("p90_s", Json.Float (nth (n * 9 / 10)));
+         ("max_s", Json.Float (nth (n - 1)));
+         ("total_s", Json.Float total);
+         ( "per_entry",
+           Json.Obj (List.map (fun (name, t) -> (name, Json.Float t)) timed) );
+       ])
+
+(* --- Parallel engine scaling --- *)
+
+let parallel () =
+  section "parallel engine: corpus verification, --jobs 1 vs all cores";
+  let tasks =
+    List.map
+      (fun (e : Alive_suite.Entry.t) ->
+        {
+          Alive_engine.Engine.task_name = e.name;
+          widths = e.widths;
+          prepare = (fun () -> Alive_suite.Entry.parse e);
+        })
+      corpus
+  in
+  let run jobs = Alive_engine.Engine.verify_corpus ~jobs tasks in
+  (* Warm the hash-consing table so both runs pay the same setup. *)
+  ignore (run 1);
+  let r1 = run 1 in
+  let n = Alive_engine.Engine.default_jobs () in
+  let rn = if n > 1 then run n else r1 in
+  Printf.printf "  %d tasks, %d queries, %d conflicts total\n"
+    (List.length r1.results) r1.total.queries r1.total.telemetry.conflicts;
+  Printf.printf "  --jobs 1:  wall %.2fs\n" r1.wall;
+  Printf.printf "  --jobs %d:  wall %.2fs  (%.2fx speedup)\n" n rn.wall
+    (r1.wall /. Float.max 1e-9 rn.wall);
+  if n = 1 then
+    Printf.printf "  (single-core host: run on a multi-core machine to see scaling)\n";
+  record_json "parallel"
+    (Json.Obj
+       [
+         ("tasks", Json.Int (List.length r1.results));
+         ("jobs_max", Json.Int n);
+         ("wall_1_s", Json.Float r1.wall);
+         ("wall_n_s", Json.Float rn.wall);
+         ("speedup", Json.Float (r1.wall /. Float.max 1e-9 rn.wall));
+         ("queries", Json.Int r1.total.queries);
+         ("conflicts", Json.Int r1.total.telemetry.conflicts);
+       ])
 
 (* --- §6.3 attribute inference --- *)
 
@@ -315,6 +379,12 @@ let compile_time () =
   let t_full = time "full pass (stock LLVM)" full in
   Printf.printf "  LLVM+Alive is %.0f%% faster to run (paper: 7%% faster compiles)\n"
     (100.0 *. (t_full -. t_alive) /. t_full);
+  record_json "compile_time"
+    (Json.Obj
+       [
+         ("alive_only_s", Json.Float t_alive);
+         ("full_baseline_s", Json.Float t_full);
+       ]);
   run_bechamel
     [
       Bechamel.Test.make ~name:"alive-only" (Bechamel.Staged.stage alive_only);
@@ -336,7 +406,14 @@ let run_time () =
   Printf.printf "  stock LLVM (full pass):  %8d\n" c2;
   Printf.printf
     "  subset output is %.1f%% costlier than full (paper: 3%% slower code)\n"
-    (100.0 *. float (c1 - c2) /. float (max 1 c2))
+    (100.0 *. float (c1 - c2) /. float (max 1 c2));
+  record_json "run_time"
+    (Json.Obj
+       [
+         ("unoptimized_cost", Json.Int c0);
+         ("alive_subset_cost", Json.Int c1);
+         ("full_pass_cost", Json.Int c2);
+       ])
 
 (* --- §3.3.3 memory-encoding ablation --- *)
 
@@ -365,7 +442,14 @@ Ackermann expansion";
   Printf.printf
     "  eager is %.1fx faster (paper: eager beats the array theory / lazy \
 expansion)\n"
-    (expansion /. Float.max 1e-9 eager)
+    (expansion /. Float.max 1e-9 eager);
+  record_json "mem_encoding"
+    (Json.Obj
+       [
+         ("eager_s", Json.Float eager);
+         ("ackermann_s", Json.Float expansion);
+         ("speedup", Json.Float (expansion /. Float.max 1e-9 eager));
+       ])
 
 (* --- main --- *)
 
@@ -378,6 +462,7 @@ let targets =
     ("fig8", fig8);
     ("fig9", fig9);
     ("verify-time", verify_time);
+    ("parallel", parallel);
     ("infer", infer);
     ("compile-time", compile_time);
     ("run-time", run_time);
@@ -385,9 +470,19 @@ let targets =
   ]
 
 let () =
-  match Sys.argv with
-  | [| _ |] -> List.iter (fun (_, f) -> f ()) targets
-  | [| _; name |] -> (
+  let args =
+    List.filter
+      (fun a ->
+        if a = "--json" then begin
+          json_enabled := true;
+          false
+        end
+        else true)
+      (List.tl (Array.to_list Sys.argv))
+  in
+  match args with
+  | [] -> List.iter (fun (_, f) -> f ()) targets
+  | [ name ] -> (
       match List.assoc_opt name targets with
       | Some f -> f ()
       | None ->
@@ -395,5 +490,5 @@ let () =
             (String.concat ", " (List.map fst targets));
           exit 1)
   | _ ->
-      Printf.eprintf "usage: %s [target]\n" Sys.argv.(0);
+      Printf.eprintf "usage: %s [--json] [target]\n" Sys.argv.(0);
       exit 1

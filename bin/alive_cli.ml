@@ -33,6 +33,46 @@ let widths_arg =
           "Comma-separated width domain for type enumeration (default: all \
            of 1-8, preferring 4 and 8).")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Check the feasible typings on $(docv) worker domains (0 = one \
+           per core).")
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt float 0.0
+    & info [ "timeout" ] ~docv:"SECS"
+        ~doc:
+          "Wall-clock budget per SMT query; an exhausted query reports \
+           'unknown' instead of running forever (default: no limit).")
+
+let conflict_limit_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "conflict-limit" ] ~docv:"N"
+        ~doc:
+          "SAT conflict budget per SMT query; exhaustion reports 'unknown' \
+           (default: no limit).")
+
+let budget_of ~timeout ~conflict_limit =
+  if timeout > 0.0 || conflict_limit > 0 then
+    Some
+      (Alive_smt.Solve.budget
+         ?timeout:(if timeout > 0.0 then Some timeout else None)
+         ?conflict_limit:(if conflict_limit > 0 then Some conflict_limit else None)
+         ())
+  else None
+
+let resolve_jobs = function
+  | 0 -> Alive_engine.Engine.default_jobs ()
+  | n -> max 1 n
+
 let with_transforms file f =
   match Alive.Parser.parse_file (read_input file) with
   | exception Alive.Parser.Error (msg, line) ->
@@ -47,35 +87,63 @@ let with_transforms file f =
   | transforms -> f transforms
 
 let verify_cmd =
-  let run file widths quiet =
+  let run file widths quiet jobs timeout conflict_limit show_stats =
     let widths = parse_widths widths in
+    let jobs = resolve_jobs jobs in
+    let budget = budget_of ~timeout ~conflict_limit in
     with_transforms file (fun transforms ->
-        let failures = ref 0 in
+        let invalid = ref 0 and unknown = ref 0 in
         List.iter
           (fun t ->
-            let verdict = Alive.Refine.check ?widths t in
-            if not (Alive.Refine.is_valid_verdict verdict) then incr failures;
+            let result =
+              if jobs > 1 then
+                Alive_engine.Engine.check_parallel ~jobs ?widths ?budget t
+              else Alive.Refine.run ?widths ?budget t
+            in
+            (match Alive.Refine.verdict_class result.verdict with
+            | `Valid -> ()
+            | `Invalid -> incr invalid
+            | `Unknown -> incr unknown);
             if quiet then
               Format.printf "%s: %a@." t.Alive.Ast.name Alive.Refine.pp_verdict
-                verdict
+                result.verdict
             else begin
               Format.printf "----------------------------------------@.";
               Format.printf "%a@.@." Alive.Ast.pp_transform t;
-              print_endline (Alive.Refine.render_verdict t verdict);
+              print_endline (Alive.Refine.render_verdict t result.verdict);
               print_newline ()
-            end)
+            end;
+            if show_stats then
+              Format.printf "stats: %a elapsed=%.3fs@." Alive.Refine.pp_stats
+                result.stats result.stats.elapsed)
           transforms;
-        if !failures = 0 then 0 else 1)
+        (* 1: a definite failure; 2: nothing failed but some checks were
+           undecided within budget — CI can treat those differently. *)
+        if !invalid > 0 then 1 else if !unknown > 0 then 2 else 0)
   in
   let quiet =
     Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"One line per verdict.")
+  in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ] ~doc:"Print per-transformation solver statistics.")
   in
   Cmd.v
     (Cmd.info "verify"
        ~doc:
          "Verify each transformation for all feasible types, printing \
-          counterexamples for incorrect ones (exit 1 if any fails).")
-    Term.(const run $ file_arg $ widths_arg $ quiet)
+          counterexamples for incorrect ones. Exit 1 if any transformation \
+          is invalid, 2 if none is invalid but some could not be decided \
+          within budget."
+       ~exits:
+         (Cmd.Exit.info 1 ~doc:"a transformation failed verification."
+         :: Cmd.Exit.info 2
+              ~doc:"undecided: a query exhausted its budget (see --timeout)."
+         :: Cmd.Exit.defaults))
+    Term.(
+      const run $ file_arg $ widths_arg $ quiet $ jobs_arg $ timeout_arg
+      $ conflict_limit_arg $ stats)
 
 let infer_cmd =
   let run file widths =

@@ -1,22 +1,126 @@
-(* Verify every corpus entry against its expected verdict; a maintenance
-   tool for suite development (the test suite covers the same ground with
-   alcotest; the bench harness prints Table 3 from the same data). *)
+(* Verify every corpus entry against its expected verdict on the parallel
+   engine. The CI smoke job runs this; the bench harness prints Table 3 from
+   the same data.
+
+   Exit codes: 0 every entry matched its expected verdict; 1 at least one
+   mismatch (a definite wrong answer); 2 no mismatches but some entries were
+   undecided (budget exhausted / crashed), so the run proved less than the
+   full corpus. *)
+
+module Engine = Alive_engine.Engine
+module Json = Alive_engine.Json
+
+let jobs = ref 1
+let timeout = ref 0.0 (* seconds per query; 0 = none *)
+let conflicts = ref 0 (* conflict limit per query; 0 = none *)
+let stats = ref false
+let json_path = ref ""
+let category = ref ""
+let quiet = ref false
+
+let speclist =
+  [
+    ("--jobs", Arg.Set_int jobs, "N  worker domains (default 1; 0 = one per core)");
+    ( "--timeout",
+      Arg.Set_float timeout,
+      "SECS  wall-clock budget per SMT query (default: none)" );
+    ( "--conflicts",
+      Arg.Set_int conflicts,
+      "N  SAT conflict budget per SMT query (default: none)" );
+    ("--stats", Arg.Set stats, " print the per-entry solver stats table");
+    ( "--json",
+      Arg.Set_string json_path,
+      "FILE  write the full run report as JSON" );
+    ( "--file",
+      Arg.Set_string category,
+      "NAME  restrict to one InstCombine category (e.g. AddSub)" );
+    ("--quiet", Arg.Set quiet, " only print mismatches and the summary");
+  ]
 
 let () =
-  let bad = ref 0 in
-  List.iter
-    (fun (e : Alive_suite.Entry.t) ->
-      let t0 = Unix.gettimeofday () in
-      let r =
-        try
-          let t = Alive_suite.Entry.parse e in
-          let v = Alive.Refine.check ?widths:e.widths t in
-          let valid = Alive.Refine.is_valid_verdict v in
-          if valid = (e.expected = Alive_suite.Entry.Expect_valid) then "ok"
-          else begin incr bad; Format.asprintf "MISMATCH: %a" Alive.Refine.pp_verdict v end
-        with ex -> incr bad; "EXC: " ^ Printexc.to_string ex
-      in
-      let dt = Unix.gettimeofday () -. t0 in
-      if r <> "ok" || dt > 1.0 then Printf.printf "%-55s %6.2fs %s\n%!" e.name dt r)
-    Alive_suite.Registry.all;
-  Printf.printf "done: %d entries, %d bad\n" (List.length Alive_suite.Registry.all) !bad
+  Arg.parse speclist
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "corpus_check [options]";
+  let entries =
+    List.filter
+      (fun (e : Alive_suite.Entry.t) ->
+        !category = "" || String.equal e.file !category)
+      Alive_suite.Registry.all
+  in
+  if entries = [] then begin
+    Printf.eprintf "no corpus entries selected\n";
+    exit 1
+  end;
+  let budget =
+    if !timeout > 0.0 || !conflicts > 0 then
+      Some
+        (Alive_smt.Solve.budget
+           ?timeout:(if !timeout > 0.0 then Some !timeout else None)
+           ?conflict_limit:(if !conflicts > 0 then Some !conflicts else None)
+           ())
+    else None
+  in
+  let expected = Hashtbl.create 64 in
+  let tasks =
+    List.map
+      (fun (e : Alive_suite.Entry.t) ->
+        Hashtbl.replace expected e.name e.expected;
+        {
+          Engine.task_name = e.name;
+          widths = e.widths;
+          prepare = (fun () -> Alive_suite.Entry.parse e);
+        })
+      entries
+  in
+  let mismatches = ref 0 and undecided = ref 0 in
+  let classify (r : Engine.task_result) =
+    match r.outcome with
+    | Error msg -> `Undecided ("CRASH: " ^ msg)
+    | Ok res -> (
+        match res.verdict with
+        | Alive.Refine.Unknown u ->
+            `Undecided
+              (Format.asprintf "UNKNOWN: %a at %s" Alive_smt.Solve.pp_reason
+                 u.reason u.at)
+        | v ->
+            let valid = Alive.Refine.is_valid_verdict v in
+            let want_valid =
+              Hashtbl.find expected r.name = Alive_suite.Entry.Expect_valid
+            in
+            if valid = want_valid then `Ok
+            else
+              `Mismatch
+                (Format.asprintf "MISMATCH: %a" Alive.Refine.pp_verdict v))
+  in
+  let on_result (r : Engine.task_result) =
+    let status =
+      match classify r with
+      | `Ok -> if r.elapsed > 1.0 then Some "ok (slow)" else None
+      | `Mismatch msg ->
+          incr mismatches;
+          Some msg
+      | `Undecided msg ->
+          incr undecided;
+          Some msg
+    in
+    match status with
+    | Some msg -> Printf.printf "%-55s %6.2fs %s\n%!" r.name r.elapsed msg
+    | None ->
+        if not !quiet then Printf.printf "%-55s %6.2fs ok\n%!" r.name r.elapsed
+  in
+  let jobs = if !jobs = 0 then Engine.default_jobs () else max 1 !jobs in
+  let report = Engine.verify_corpus ~jobs ?budget ~on_result tasks in
+  if !stats then Engine.print_table report
+  else
+    Printf.printf
+      "done: %d entries, %d mismatches, %d undecided; wall %.2fs with %d \
+       job(s), %d queries, sat %.2fs, %d conflicts, %d cegar iterations\n"
+      (List.length report.results)
+      !mismatches !undecided report.wall report.jobs report.total.queries
+      report.total.telemetry.sat_time report.total.telemetry.conflicts
+      report.total.telemetry.cegar_iterations;
+  if !json_path <> "" then begin
+    Json.to_file !json_path (Engine.report_json report);
+    Printf.printf "report written to %s\n" !json_path
+  end;
+  if !mismatches > 0 then exit 1 else if !undecided > 0 then exit 2

@@ -1,9 +1,16 @@
 module T = Alive_smt.Term
 module Solve = Alive_smt.Solve
 
+type unknown_info = {
+  unknown_transform : string;
+  at : string;
+  reason : Solve.reason;
+}
+
 type verdict =
   | Valid of { typings_checked : int }
   | Invalid of Counterexample.t
+  | Unknown of unknown_info
   | Type_error of Typing.error
   | Unsupported_feature of string
 
@@ -13,12 +20,58 @@ let pp_verdict ppf = function
   | Invalid cex ->
       Format.fprintf ppf "INVALID: %s at %s" (Counterexample.describe cex.kind)
         cex.at
+  | Unknown u ->
+      Format.fprintf ppf "UNKNOWN: %a at %s" Solve.pp_reason u.reason u.at
   | Type_error e -> Typing.pp_error ppf e
   | Unsupported_feature msg -> Format.fprintf ppf "unsupported: %s" msg
 
 let is_valid_verdict = function
   | Valid _ -> true
-  | Invalid _ | Type_error _ | Unsupported_feature _ -> false
+  | Invalid _ | Unknown _ | Type_error _ | Unsupported_feature _ -> false
+
+let verdict_class = function
+  | Valid _ -> `Valid
+  | Invalid _ | Type_error _ -> `Invalid
+  | Unknown _ | Unsupported_feature _ -> `Unknown
+
+(* --- Per-check statistics --- *)
+
+type stats = {
+  typings_done : int;
+  queries : int;  (** refinement criteria decided (one CEGAR solve each) *)
+  unknowns : int;  (** queries that exhausted their budget *)
+  telemetry : Solve.telemetry;
+  elapsed : float;
+}
+
+let empty_stats () =
+  {
+    typings_done = 0;
+    queries = 0;
+    unknowns = 0;
+    telemetry = Solve.telemetry ();
+    elapsed = 0.0;
+  }
+
+let merge_stats a b =
+  let telemetry = Solve.telemetry () in
+  Solve.add_telemetry ~into:telemetry a.telemetry;
+  Solve.add_telemetry ~into:telemetry b.telemetry;
+  {
+    typings_done = a.typings_done + b.typings_done;
+    queries = a.queries + b.queries;
+    unknowns = a.unknowns + b.unknowns;
+    telemetry;
+    elapsed = a.elapsed +. b.elapsed;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "typings=%d queries=%d unknown=%d sat=%.3fs conflicts=%d decisions=%d \
+     propagations=%d clauses=%d vars=%d cegar=%d"
+    s.typings_done s.queries s.unknowns s.telemetry.sat_time
+    s.telemetry.conflicts s.telemetry.decisions s.telemetry.propagations
+    s.telemetry.clauses s.telemetry.vars s.telemetry.cegar_iterations
 
 (* Instruction names to check: defined on both sides (the root always is,
    by the scoping rules). Checked in target order. *)
@@ -28,88 +81,155 @@ let checked_names (vc : Vcgen.vc) =
       if List.mem_assoc name vc.src.defs then Some name else None)
     vc.tgt.defs
 
-let check_typing ?share_memory_reads (t : Ast.transform) typing =
-  let vc = Vcgen.run ?share_memory_reads typing t in
-  let exists = vc.src.undefs in
-  let failure = ref None in
-  (* Memory constraints: α from allocas plus the Ackermann congruence facts
-     for initial-memory reads. Both are definitional and must back every
-     check, not only criterion 4 — two loads through structurally different
-     but equal addresses are related only by the congruence constraints. *)
-  let memory_facts () =
-    match vc.memory with
-    | Some m -> m.alloca @ m.congruence ()
-    | None -> []
-  in
-  let psi_for name =
-    let src_iv = List.assoc name vc.src.defs in
-    T.and_
-      (vc.precondition :: src_iv.defined :: src_iv.poison_free
-     :: (vc.side_constraints @ memory_facts ()))
-  in
-  let run_check name kind formula =
-    if !failure = None then
-      match Solve.check_valid_ef ~exists formula with
-      | `Valid -> ()
-      | `Invalid model ->
-          failure :=
-            Some
-              {
-                Counterexample.transform_name = t.name;
-                kind;
-                at = name;
-                typing;
-                model;
-              }
-  in
-  List.iter
-    (fun name ->
-      let psi = psi_for name in
-      let src_iv = List.assoc name vc.src.defs in
-      let tgt_iv = List.assoc name vc.tgt.defs in
-      run_check name Counterexample.Not_defined (T.implies psi tgt_iv.defined);
-      run_check name Counterexample.More_poison
-        (T.implies psi tgt_iv.poison_free);
-      run_check name Counterexample.Value_mismatch
-        (T.implies psi (T.eq src_iv.value tgt_iv.value)))
-    (checked_names vc);
-  (* Criterion 4 (§3.3.2): the final memories agree at every address. The
-     probe address is a fresh universal variable; congruence constraints are
-     collected after both reads so they cover the probe. *)
-  (match vc.memory with
-  | None -> ()
-  | Some m ->
-      let probe = T.var "%addr.probe" (T.Bv 32) in
-      let src_byte = m.src_read probe and tgt_byte = m.tgt_read probe in
-      let psi4 =
-        T.and_
-          ((vc.precondition :: vc.side_constraints) @ m.alloca @ m.congruence ())
+type typing_outcome =
+  | Typing_ok
+  | Typing_cex of Counterexample.t * Vcgen.vc
+  | Typing_unknown of { at : string; reason : Solve.reason }
+  | Typing_unsupported of string
+
+let check_typing ?budget ?(stats = empty_stats ()) ?share_memory_reads
+    (t : Ast.transform) typing =
+  match Vcgen.run ?share_memory_reads typing t with
+  | exception Vcgen.Unsupported msg -> (Typing_unsupported msg, stats)
+  | vc ->
+      let exists = vc.src.undefs in
+      let queries = ref 0 and unknowns = ref 0 in
+      let failure = ref None in
+      let gave_up = ref None in
+      (* Memory constraints: α from allocas plus the Ackermann congruence facts
+         for initial-memory reads. Both are definitional and must back every
+         check, not only criterion 4 — two loads through structurally different
+         but equal addresses are related only by the congruence constraints. *)
+      let memory_facts () =
+        match vc.memory with
+        | Some m -> m.alloca @ m.congruence ()
+        | None -> []
       in
-      run_check "memory" Counterexample.Value_mismatch
-        (T.implies psi4 (T.eq src_byte tgt_byte)));
-  match !failure with None -> Ok () | Some cex -> Error (cex, vc)
+      let psi_for name =
+        let src_iv = List.assoc name vc.src.defs in
+        T.and_
+          (vc.precondition :: src_iv.defined :: src_iv.poison_free
+         :: (vc.side_constraints @ memory_facts ()))
+      in
+      (* A counterexample ends the typing; a budget exhaustion is recorded
+         and the remaining criteria still run — a later query may produce a
+         definite counterexample, which outranks Unknown. *)
+      let run_check name kind formula =
+        if !failure = None then begin
+          incr queries;
+          match
+            Solve.check_valid_ef ?budget ~telemetry:stats.telemetry ~exists
+              formula
+          with
+          | `Valid -> ()
+          | `Unknown reason ->
+              incr unknowns;
+              if !gave_up = None then gave_up := Some (name, reason)
+          | `Invalid model ->
+              failure :=
+                Some
+                  {
+                    Counterexample.transform_name = t.name;
+                    kind;
+                    at = name;
+                    typing;
+                    model;
+                  }
+        end
+      in
+      List.iter
+        (fun name ->
+          let psi = psi_for name in
+          let src_iv = List.assoc name vc.src.defs in
+          let tgt_iv = List.assoc name vc.tgt.defs in
+          run_check name Counterexample.Not_defined
+            (T.implies psi tgt_iv.defined);
+          run_check name Counterexample.More_poison
+            (T.implies psi tgt_iv.poison_free);
+          run_check name Counterexample.Value_mismatch
+            (T.implies psi (T.eq src_iv.value tgt_iv.value)))
+        (checked_names vc);
+      (* Criterion 4 (§3.3.2): the final memories agree at every address. The
+         probe address is a fresh universal variable; congruence constraints
+         are collected after both reads so they cover the probe. *)
+      (match vc.memory with
+      | None -> ()
+      | Some m ->
+          let probe = T.var "%addr.probe" (T.Bv 32) in
+          let src_byte = m.src_read probe and tgt_byte = m.tgt_read probe in
+          let psi4 =
+            T.and_
+              ((vc.precondition :: vc.side_constraints)
+              @ m.alloca @ m.congruence ())
+          in
+          run_check "memory" Counterexample.Value_mismatch
+            (T.implies psi4 (T.eq src_byte tgt_byte)));
+      let stats =
+        {
+          stats with
+          typings_done = stats.typings_done + 1;
+          queries = stats.queries + !queries;
+          unknowns = stats.unknowns + !unknowns;
+        }
+      in
+      let outcome =
+        match (!failure, !gave_up) with
+        | Some cex, _ -> Typing_cex (cex, vc)
+        | None, Some (at, reason) -> Typing_unknown { at; reason }
+        | None, None -> Typing_ok
+      in
+      (outcome, stats)
 
-let check_with_vc ?widths ?max_typings ?share_memory_reads (t : Ast.transform) =
+type result = {
+  verdict : verdict;
+  stats : stats;
+  cex_vc : (Typing.env * Vcgen.vc) option;
+}
+
+let run ?widths ?max_typings ?share_memory_reads ?budget (t : Ast.transform) =
+  let t0 = Unix.gettimeofday () in
+  let finish verdict stats cex_vc =
+    { verdict; stats = { stats with elapsed = Unix.gettimeofday () -. t0 }; cex_vc }
+  in
   match Typing.enumerate ?widths ?max_typings t with
-  | Error e -> (Type_error e, None)
+  | Error e -> finish (Type_error e) (empty_stats ()) None
   | Ok [] ->
-      ( Type_error
-          { message = "no feasible typing in the width domain"; transform = t.name },
-        None )
-  | Ok typings -> (
-      try
-        let rec go checked = function
-          | [] -> (Valid { typings_checked = checked }, None)
-          | typing :: rest -> (
-              match check_typing ?share_memory_reads t typing with
-              | Ok () -> go (checked + 1) rest
-              | Error (cex, vc) -> (Invalid cex, Some (typing, vc)))
-        in
-        go 0 typings
-      with Vcgen.Unsupported msg -> (Unsupported_feature msg, None))
+      finish
+        (Type_error
+           { message = "no feasible typing in the width domain";
+             transform = t.name })
+        (empty_stats ()) None
+  | Ok typings ->
+      let rec go stats first_unknown = function
+        | [] -> (
+            match first_unknown with
+            | Some u -> finish (Unknown u) stats None
+            | None ->
+                finish (Valid { typings_checked = stats.typings_done }) stats
+                  None)
+        | typing :: rest -> (
+            match check_typing ?budget ~stats ?share_memory_reads t typing with
+            | Typing_ok, stats -> go stats first_unknown rest
+            | Typing_cex (cex, vc), stats ->
+                finish (Invalid cex) stats (Some (typing, vc))
+            | Typing_unknown { at; reason }, stats ->
+                let u =
+                  match first_unknown with
+                  | Some u -> u
+                  | None -> { unknown_transform = t.name; at; reason }
+                in
+                go stats (Some u) rest
+            | Typing_unsupported msg, stats ->
+                finish (Unsupported_feature msg) stats None)
+      in
+      go (empty_stats ()) None typings
 
-let check ?widths ?max_typings ?share_memory_reads t =
-  fst (check_with_vc ?widths ?max_typings ?share_memory_reads t)
+let check_with_vc ?widths ?max_typings ?share_memory_reads ?budget t =
+  let r = run ?widths ?max_typings ?share_memory_reads ?budget t in
+  (r.verdict, r.cex_vc)
+
+let check ?widths ?max_typings ?share_memory_reads ?budget t =
+  (run ?widths ?max_typings ?share_memory_reads ?budget t).verdict
 
 let render_verdict t verdict =
   match verdict with
@@ -123,5 +243,11 @@ let render_verdict t verdict =
       with
       | Some vc -> Counterexample.render t vc cex
       | None -> "ERROR: " ^ Counterexample.describe cex.kind)
+  | Unknown u ->
+      Printf.sprintf
+        "Optimization %s could not be decided within budget: %s at %s"
+        t.Ast.name
+        (Solve.reason_to_string u.reason)
+        u.at
   | Type_error e -> Format.asprintf "%a" Typing.pp_error e
   | Unsupported_feature msg -> "unsupported: " ^ msg

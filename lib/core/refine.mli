@@ -11,11 +11,24 @@
     analysis variables, and target [undef] variables, and existentially over
     source [undef] variables (decided by the CEGAR loop in {!Alive_smt.Solve}).
     A transformation is correct iff every check holds for every feasible
-    typing (Theorem 1); bounded by the width domain as in the paper. *)
+    typing (Theorem 1); bounded by the width domain as in the paper.
+
+    Every query runs under an optional {!Alive_smt.Solve.budget}; exhausting
+    it yields the [Unknown] verdict (never an exception, never a hang), so a
+    batch scheduler can keep going when one query is pathological. *)
+
+type unknown_info = {
+  unknown_transform : string;
+  at : string;  (** instruction name, or ["memory"] for criterion 4 *)
+  reason : Alive_smt.Solve.reason;
+}
 
 type verdict =
   | Valid of { typings_checked : int }
   | Invalid of Counterexample.t
+  | Unknown of unknown_info
+      (** some query exhausted its budget and no other typing produced a
+          definite counterexample *)
   | Type_error of Typing.error
   | Unsupported_feature of string
 
@@ -23,10 +36,71 @@ val pp_verdict : Format.formatter -> verdict -> unit
 
 val is_valid_verdict : verdict -> bool
 
+val verdict_class : verdict -> [ `Valid | `Invalid | `Unknown ]
+(** Three-way classification for exit codes: definite failures
+    ([Invalid], [Type_error]) vs. undecided ([Unknown],
+    [Unsupported_feature]). *)
+
+(** {1 Statistics} *)
+
+type stats = {
+  typings_done : int;
+  queries : int;  (** refinement criteria decided (one CEGAR solve each) *)
+  unknowns : int;  (** queries that exhausted their budget *)
+  telemetry : Alive_smt.Solve.telemetry;
+  elapsed : float;  (** wall seconds for the whole check *)
+}
+
+val empty_stats : unit -> stats
+val merge_stats : stats -> stats -> stats
+val pp_stats : Format.formatter -> stats -> unit
+
+(** {1 Typing-level interface}
+
+    The parallel engine schedules individual (transform × typing) tasks;
+    these are the pieces {!run} is built from. *)
+
+type typing_outcome =
+  | Typing_ok
+  | Typing_cex of Counterexample.t * Vcgen.vc
+  | Typing_unknown of { at : string; reason : Alive_smt.Solve.reason }
+  | Typing_unsupported of string
+
+val check_typing :
+  ?budget:Alive_smt.Solve.budget ->
+  ?stats:stats ->
+  ?share_memory_reads:bool ->
+  Ast.transform ->
+  Typing.env ->
+  typing_outcome * stats
+(** Check one typing. Accumulates into [stats] when given (the returned
+    record shares its [telemetry]); never raises. *)
+
+(** {1 Whole-transform checking} *)
+
+type result = {
+  verdict : verdict;
+  stats : stats;
+  cex_vc : (Typing.env * Vcgen.vc) option;
+      (** typing and VC of the counterexample, for rendering *)
+}
+
+val run :
+  ?widths:int list ->
+  ?max_typings:int ->
+  ?share_memory_reads:bool ->
+  ?budget:Alive_smt.Solve.budget ->
+  Ast.transform ->
+  result
+(** Check every feasible typing sequentially. An [Invalid] stops the scan;
+    an [Unknown] is remembered but the remaining typings still run, since a
+    later definite counterexample outranks it. *)
+
 val check :
   ?widths:int list ->
   ?max_typings:int ->
   ?share_memory_reads:bool ->
+  ?budget:Alive_smt.Solve.budget ->
   Ast.transform ->
   verdict
 (** [share_memory_reads] selects the §3.3.3 memory encoding variant; see
@@ -36,6 +110,7 @@ val check_with_vc :
   ?widths:int list ->
   ?max_typings:int ->
   ?share_memory_reads:bool ->
+  ?budget:Alive_smt.Solve.budget ->
   Ast.transform ->
   verdict * (Typing.env * Vcgen.vc) option
 (** Like {!check}, also returning the typing and VC of the counterexample

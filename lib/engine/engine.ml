@@ -1,0 +1,295 @@
+(* Domain-based parallel verification scheduler.
+
+   Two levels of fan-out, matching where the work actually is:
+
+   - [verify_corpus] schedules whole transformations over the pool: the
+     corpus has hundreds of independent entries, far more than cores, so
+     transform granularity keeps stats attribution simple and the pool full.
+   - [check_parallel] fans the feasible typings of a single transformation
+     out over the pool — the shape of a single `alive verify` invocation,
+     where one transform can have dozens of typings.
+
+   Every task is fault-isolated: an exception (or a budget exhaustion deep
+   in the solver) degrades that one task to an [Error]/[Unknown] result
+   instead of killing the batch. Workers only share the hash-consing table
+   (serialized inside [Term]); every solver context is task-local. *)
+
+module Solve = Alive_smt.Solve
+module Refine = Alive.Refine
+
+let default_jobs () = max 1 (Domain.recommended_domain_count ())
+
+(* --- Generic fault-isolated pool --- *)
+
+type 'b outcome = {
+  index : int;
+  label : string;
+  result : ('b, string) result;  (* [Error]: the task raised; text of exn *)
+  elapsed : float;
+}
+
+let run_one ~index ~label f x =
+  let t0 = Unix.gettimeofday () in
+  let result =
+    try Ok (f x) with e -> Error (Printexc.to_string e)
+  in
+  { index; label; result; elapsed = Unix.gettimeofday () -. t0 }
+
+let map ?jobs ?on_outcome ~label f items =
+  let items = Array.of_list items in
+  let n = Array.length items in
+  let jobs = max 1 (min n (Option.value jobs ~default:(default_jobs ()))) in
+  let results = Array.make n None in
+  let emit_lock = Mutex.create () in
+  let emit o =
+    match on_outcome with
+    | None -> ()
+    | Some k ->
+        Mutex.lock emit_lock;
+        Fun.protect ~finally:(fun () -> Mutex.unlock emit_lock) (fun () -> k o)
+  in
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        let x = items.(i) in
+        let o = run_one ~index:i ~label:(label x) f x in
+        results.(i) <- Some o;
+        emit o;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  if jobs = 1 then worker ()
+  else begin
+    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains
+  end;
+  Array.to_list (Array.map Option.get results)
+
+(* --- Per-typing fan-out inside one transformation --- *)
+
+(* Deterministic reduction replicating the sequential scan of [Refine.run]:
+   the scan stops at the first (lowest-index) Invalid or Unsupported typing,
+   and only reports Unknown when no typing stops it. *)
+let reduce_typings (t : Alive.Ast.transform) outcomes =
+  let stats =
+    List.fold_left
+      (fun acc (o : (Refine.typing_outcome * Refine.stats) outcome) ->
+        match o.result with
+        | Ok (_, s) -> Refine.merge_stats acc s
+        | Error _ -> acc)
+      (Refine.empty_stats ()) outcomes
+  in
+  let outcome_of (o : (Refine.typing_outcome * Refine.stats) outcome) =
+    match o.result with
+    | Ok (oc, _) -> oc
+    | Error msg -> Refine.Typing_unsupported ("task crashed: " ^ msg)
+  in
+  let stopper =
+    List.find_opt
+      (fun o ->
+        match outcome_of o with
+        | Refine.Typing_cex _ | Refine.Typing_unsupported _ -> true
+        | Refine.Typing_ok | Refine.Typing_unknown _ -> false)
+      outcomes
+  in
+  let first_unknown =
+    List.find_opt
+      (fun o ->
+        match outcome_of o with Refine.Typing_unknown _ -> true | _ -> false)
+      outcomes
+  in
+  let verdict, cex_vc =
+    match stopper with
+    | Some o -> (
+        match (outcome_of o, o.result) with
+        | Refine.Typing_cex (cex, vc), Ok _ ->
+            (Refine.Invalid cex, Some (cex.typing, vc))
+        | Refine.Typing_unsupported msg, _ ->
+            (Refine.Unsupported_feature msg, None)
+        | _ -> assert false)
+    | None -> (
+        match first_unknown with
+        | Some o -> (
+            match outcome_of o with
+            | Refine.Typing_unknown { at; reason } ->
+                ( Refine.Unknown
+                    { unknown_transform = t.Alive.Ast.name; at; reason },
+                  None )
+            | _ -> assert false)
+        | None ->
+            (Refine.Valid { typings_checked = stats.typings_done }, None))
+  in
+  (verdict, stats, cex_vc)
+
+let check_parallel ?jobs ?widths ?max_typings ?share_memory_reads ?budget
+    (t : Alive.Ast.transform) : Refine.result =
+  let t0 = Unix.gettimeofday () in
+  match Alive.Typing.enumerate ?widths ?max_typings t with
+  | Error e ->
+      {
+        verdict = Refine.Type_error e;
+        stats = Refine.empty_stats ();
+        cex_vc = None;
+      }
+  | Ok [] ->
+      {
+        verdict =
+          Refine.Type_error
+            { message = "no feasible typing in the width domain";
+              transform = t.name };
+        stats = Refine.empty_stats ();
+        cex_vc = None;
+      }
+  | Ok typings ->
+      let outcomes =
+        map ?jobs
+          ~label:(fun _ -> t.name)
+          (fun typing -> Refine.check_typing ?budget ?share_memory_reads t typing)
+          typings
+      in
+      let verdict, stats, cex_vc = reduce_typings t outcomes in
+      let stats =
+        { stats with Refine.elapsed = Unix.gettimeofday () -. t0 }
+      in
+      { verdict; stats; cex_vc }
+
+(* --- Corpus-level scheduling --- *)
+
+type task = {
+  task_name : string;
+  widths : int list option;
+  prepare : unit -> Alive.Ast.transform;
+      (* runs on the worker, so parse errors are fault-isolated too *)
+}
+
+type task_result = {
+  name : string;
+  outcome : (Refine.result, string) result;
+  elapsed : float;  (* wall seconds on the worker, including parsing *)
+}
+
+type report = {
+  results : task_result list;  (* in task order *)
+  total : Refine.stats;  (* summed over completed tasks *)
+  crashed : int;
+  wall : float;
+  jobs : int;
+}
+
+let verify_corpus ?jobs ?budget ?on_result tasks =
+  let jobs = Option.value jobs ~default:(default_jobs ()) in
+  let t0 = Unix.gettimeofday () in
+  let to_result (o : Refine.result outcome) =
+    { name = o.label; outcome = Result.map Fun.id o.result; elapsed = o.elapsed }
+  in
+  let on_outcome =
+    Option.map (fun k -> fun o -> k (to_result o)) on_result
+  in
+  let outcomes =
+    map ~jobs ?on_outcome
+      ~label:(fun task -> task.task_name)
+      (fun task ->
+        let t = task.prepare () in
+        Refine.run ?widths:task.widths ?budget t)
+      tasks
+  in
+  let results = List.map to_result outcomes in
+  let total, crashed =
+    List.fold_left
+      (fun (acc, crashed) r ->
+        match r.outcome with
+        | Ok res -> (Refine.merge_stats acc res.Refine.stats, crashed)
+        | Error _ -> (acc, crashed + 1))
+      (Refine.empty_stats (), 0)
+      results
+  in
+  { results; total; crashed; wall = Unix.gettimeofday () -. t0; jobs }
+
+(* --- Reporting --- *)
+
+let verdict_name (r : task_result) =
+  match r.outcome with
+  | Error _ -> "crash"
+  | Ok res -> (
+      match res.Refine.verdict with
+      | Refine.Valid _ -> "valid"
+      | Refine.Invalid _ -> "invalid"
+      | Refine.Unknown _ -> "unknown"
+      | Refine.Type_error _ -> "type-error"
+      | Refine.Unsupported_feature _ -> "unsupported")
+
+let print_table ?(oc = stdout) report =
+  Printf.fprintf oc "%-55s %-10s %8s %8s %10s %6s\n" "transform" "verdict"
+    "time(s)" "queries" "conflicts" "cegar";
+  List.iter
+    (fun r ->
+      let queries, conflicts, cegar =
+        match r.outcome with
+        | Ok res ->
+            ( string_of_int res.Refine.stats.queries,
+              string_of_int res.Refine.stats.telemetry.conflicts,
+              string_of_int res.Refine.stats.telemetry.cegar_iterations )
+        | Error _ -> ("-", "-", "-")
+      in
+      Printf.fprintf oc "%-55s %-10s %8.3f %8s %10s %6s\n" r.name
+        (verdict_name r) r.elapsed queries conflicts cegar)
+    report.results;
+  let t = report.total in
+  Printf.fprintf oc
+    "total: %d tasks (%d crashed), wall %.2fs with %d job(s); %d queries, %d \
+     unknown, sat %.2fs, %d conflicts, %d clauses, %d cegar iterations\n"
+    (List.length report.results)
+    report.crashed report.wall report.jobs t.Refine.queries t.Refine.unknowns
+    t.Refine.telemetry.sat_time t.Refine.telemetry.conflicts
+    t.Refine.telemetry.clauses t.Refine.telemetry.cegar_iterations
+
+let stats_json (s : Refine.stats) =
+  Json.Obj
+    [
+      ("typings", Json.Int s.Refine.typings_done);
+      ("queries", Json.Int s.Refine.queries);
+      ("unknowns", Json.Int s.Refine.unknowns);
+      ("elapsed_s", Json.Float s.Refine.elapsed);
+      ("sat_time_s", Json.Float s.Refine.telemetry.sat_time);
+      ("checks", Json.Int s.Refine.telemetry.checks);
+      ("conflicts", Json.Int s.Refine.telemetry.conflicts);
+      ("decisions", Json.Int s.Refine.telemetry.decisions);
+      ("propagations", Json.Int s.Refine.telemetry.propagations);
+      ("restarts", Json.Int s.Refine.telemetry.restarts);
+      ("clauses", Json.Int s.Refine.telemetry.clauses);
+      ("vars", Json.Int s.Refine.telemetry.vars);
+      ("cegar_iterations", Json.Int s.Refine.telemetry.cegar_iterations);
+    ]
+
+let report_json report =
+  Json.Obj
+    [
+      ("jobs", Json.Int report.jobs);
+      ("wall_s", Json.Float report.wall);
+      ("tasks", Json.Int (List.length report.results));
+      ("crashed", Json.Int report.crashed);
+      ("total", stats_json report.total);
+      ( "results",
+        Json.List
+          (List.map
+             (fun r ->
+               let base =
+                 [
+                   ("name", Json.String r.name);
+                   ("verdict", Json.String (verdict_name r));
+                   ("elapsed_s", Json.Float r.elapsed);
+                 ]
+               in
+               let extra =
+                 match r.outcome with
+                 | Ok res -> [ ("stats", stats_json res.Refine.stats) ]
+                 | Error msg -> [ ("error", Json.String msg) ]
+               in
+               Json.Obj (base @ extra))
+             report.results) );
+    ]

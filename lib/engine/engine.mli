@@ -1,0 +1,97 @@
+(** Domain-based parallel verification scheduler (OCaml 5 domains).
+
+    Fans independent SMT query workloads over a worker pool at two
+    granularities: whole transformations across a corpus
+    ({!verify_corpus}), and the feasible typings inside one transformation
+    ({!check_parallel}). Tasks are fault-isolated — an exception or a
+    budget exhaustion degrades one task, never the batch — and every task
+    carries its own {!Alive.Refine.stats} telemetry.
+
+    Workers share only the hash-consed term table (serialized inside
+    [Alive_smt.Term]); each solver context is task-local, so queries scale
+    with cores. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()], at least 1. *)
+
+(** {1 Generic fault-isolated pool} *)
+
+type 'b outcome = {
+  index : int;  (** position in the input list *)
+  label : string;
+  result : ('b, string) result;
+      (** [Error] carries the exception text when the task raised *)
+  elapsed : float;  (** wall seconds on the worker *)
+}
+
+val map :
+  ?jobs:int ->
+  ?on_outcome:('b outcome -> unit) ->
+  label:('a -> string) ->
+  ('a -> 'b) ->
+  'a list ->
+  'b outcome list
+(** Run [f] over the items on [jobs] domains (default
+    {!default_jobs}; clamped to the item count). Results come back in input
+    order regardless of scheduling. [on_outcome] fires as each task
+    finishes, serialized by a mutex, in completion order. With [jobs = 1]
+    everything runs on the calling domain. *)
+
+(** {1 Per-typing fan-out} *)
+
+val check_parallel :
+  ?jobs:int ->
+  ?widths:int list ->
+  ?max_typings:int ->
+  ?share_memory_reads:bool ->
+  ?budget:Alive_smt.Solve.budget ->
+  Alive.Ast.transform ->
+  Alive.Refine.result
+(** Like {!Alive.Refine.run}, but the feasible typings are checked
+    concurrently. The reduction is deterministic and replicates the
+    sequential scan: the lowest-index [Invalid] or [Unsupported] typing
+    wins; [Unknown] is reported only if nothing stopped the scan. *)
+
+(** {1 Corpus-level scheduling} *)
+
+type task = {
+  task_name : string;
+  widths : int list option;
+  prepare : unit -> Alive.Ast.transform;
+      (** runs on the worker, so parse errors are fault-isolated too *)
+}
+
+type task_result = {
+  name : string;
+  outcome : (Alive.Refine.result, string) result;
+  elapsed : float;
+}
+
+type report = {
+  results : task_result list;  (** in task order *)
+  total : Alive.Refine.stats;  (** summed over completed tasks *)
+  crashed : int;
+  wall : float;
+  jobs : int;
+}
+
+val verify_corpus :
+  ?jobs:int ->
+  ?budget:Alive_smt.Solve.budget ->
+  ?on_result:(task_result -> unit) ->
+  task list ->
+  report
+(** Verify every task on the pool. [on_result] fires per finished task (in
+    completion order, serialized). *)
+
+(** {1 Reporting} *)
+
+val verdict_name : task_result -> string
+(** ["valid"], ["invalid"], ["unknown"], ["type-error"], ["unsupported"],
+    or ["crash"]. *)
+
+val print_table : ?oc:out_channel -> report -> unit
+(** Per-task stats table plus a totals line. *)
+
+val stats_json : Alive.Refine.stats -> Json.t
+val report_json : report -> Json.t

@@ -63,6 +63,7 @@ type t = {
   mutable conflicts : int;
   mutable decisions : int;
   mutable propagations : int;
+  mutable restarts : int;
   mutable max_learnts : float;
   mutable seen : Bytes.t; (* scratch for conflict analysis *)
 }
@@ -92,6 +93,7 @@ let create () =
     conflicts = 0;
     decisions = 0;
     propagations = 0;
+    restarts = 0;
     max_learnts = 1000.0;
     seen = Bytes.make 64 '\000';
   }
@@ -426,16 +428,24 @@ let pick_branch_var t =
   go ()
 
 exception Result of bool
+exception Deadline_hit
 
 (* Search with a conflict budget; raises [Result] on a definite answer,
-   returns () when the budget is exhausted (restart). *)
-let search t ~assumptions ~budget =
+   returns () when the budget is exhausted (restart). The wall-clock
+   deadline is sampled every 128 conflicts — cheap enough to be noise, and
+   conflicts are the only place a hard instance spends unbounded time. *)
+let search t ~assumptions ~budget ~deadline =
   let conflict_count = ref 0 in
   while true do
     match propagate t with
     | Some confl ->
         t.conflicts <- t.conflicts + 1;
         incr conflict_count;
+        if
+          !conflict_count land 127 = 0
+          && deadline > 0.0
+          && Unix.gettimeofday () > deadline
+        then raise Deadline_hit;
         if decision_level t = 0 then begin
           (* A level-0 conflict is independent of the assumptions. *)
           t.ok <- false;
@@ -476,28 +486,39 @@ let search t ~assumptions ~budget =
         end
   done
 
-exception Budget_exceeded
+type budget_reason = Conflicts | Deadline
 
-let solve ?(assumptions = []) ?(conflict_limit = max_int) t =
+exception Budget_exceeded of budget_reason
+
+let solve ?(assumptions = []) ?(conflict_limit = max_int) ?deadline t =
   if not t.ok then false
   else begin
     cancel_until t 0;
+    let deadline = Option.value deadline ~default:0.0 in
     let start_conflicts = t.conflicts in
     let result = ref None in
     let restarts = ref 0 in
     while !result = None do
       if t.conflicts - start_conflicts > conflict_limit then begin
         cancel_until t 0;
-        raise Budget_exceeded
+        raise (Budget_exceeded Conflicts)
+      end;
+      if deadline > 0.0 && Unix.gettimeofday () > deadline then begin
+        cancel_until t 0;
+        raise (Budget_exceeded Deadline)
       end;
       let budget = int_of_float (luby 2.0 !restarts *. 100.0) in
       incr restarts;
+      t.restarts <- t.restarts + 1;
       t.max_learnts <-
         Float.max t.max_learnts
           (float_of_int t.clauses.Cvec.size *. 0.3 +. 1000.0);
-      (try search t ~assumptions ~budget with
+      (try search t ~assumptions ~budget ~deadline with
       | Result r -> result := Some r
-      | Exit -> ())
+      | Exit -> ()
+      | Deadline_hit ->
+          cancel_until t 0;
+          raise (Budget_exceeded Deadline))
     done;
     (* On UNSAT, leave the solver at level 0 ready for more clauses. *)
     if !result = Some false then cancel_until t 0;
@@ -510,4 +531,23 @@ let value t l =
   | 1 -> false
   | _ -> (Bytes.get t.phase (var l) = '\000') = is_pos l
 
-let stats t = (t.conflicts, t.decisions, t.propagations)
+type stats = {
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  restarts : int;
+  clauses : int;
+  learnts : int;
+  vars : int;
+}
+
+let stats (t : t) =
+  {
+    conflicts = t.conflicts;
+    decisions = t.decisions;
+    propagations = t.propagations;
+    restarts = t.restarts;
+    clauses = t.clauses.Cvec.size;
+    learnts = t.learnts.Cvec.size;
+    vars = t.nvars;
+  }

@@ -32,18 +32,37 @@ val add_clause : t -> lit list -> unit
 (** Add a clause. Adding the empty clause (or clauses that close off the last
     model of a variable at level 0) makes the instance trivially UNSAT. *)
 
-exception Budget_exceeded
-(** Raised by {!solve} when the conflict budget runs out. The solver is
-    left at decision level 0 and remains usable. *)
+type budget_reason = Conflicts | Deadline
+(** Why a budgeted [solve] gave up: the conflict limit ran out, or the
+    wall-clock deadline passed. *)
 
-val solve : ?assumptions:lit list -> ?conflict_limit:int -> t -> bool
+exception Budget_exceeded of budget_reason
+(** Raised by {!solve} when a budget runs out. The solver is left at
+    decision level 0 and remains usable. *)
+
+val solve :
+  ?assumptions:lit list -> ?conflict_limit:int -> ?deadline:float -> t -> bool
 (** [solve s] is [true] iff the clauses (under the assumptions) are
     satisfiable. The solver can be re-used: later [add_clause] and [solve]
-    calls see all previously added clauses. *)
+    calls see all previously added clauses. [deadline] is an absolute
+    wall-clock time ([Unix.gettimeofday] scale); it is sampled every 128
+    conflicts and at every restart, so enforcement granularity is the time
+    the instance takes to hit 128 conflicts. *)
 
 val value : t -> lit -> bool
 (** Model value of a literal after a [solve] that returned [true]. Variables
     irrelevant to satisfaction default to their saved phase. *)
 
-val stats : t -> int * int * int
-(** [(conflicts, decisions, propagations)] since creation. *)
+type stats = {
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  restarts : int;
+  clauses : int;  (** problem clauses currently held *)
+  learnts : int;  (** learnt clauses currently held *)
+  vars : int;
+}
+(** Solver telemetry. Counters are cumulative since creation; clause and
+    variable counts are the current sizes. *)
+
+val stats : t -> stats

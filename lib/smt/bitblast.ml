@@ -296,9 +296,10 @@ let assert_formula t term =
   let l = blast_bool t (Lower.lower term) in
   S.add_clause t.sat [ l ]
 
-let check ?(assumptions = []) ?conflict_limit t =
+let check ?(assumptions = []) ?conflict_limit ?deadline t =
   let lits = List.map (fun f -> blast_bool t (Lower.lower f)) assumptions in
-  if S.solve ~assumptions:lits ?conflict_limit t.sat then `Sat else `Unsat
+  if S.solve ~assumptions:lits ?conflict_limit ?deadline t.sat then `Sat
+  else `Unsat
 
 let model_value t name sort =
   match sort with

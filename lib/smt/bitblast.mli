@@ -16,12 +16,18 @@ val assert_formula : t -> Term.t -> unit
 (** Assert a Bool-sorted term. @raise Invalid_argument on bitvector sorts. *)
 
 val check :
-  ?assumptions:Term.t list -> ?conflict_limit:int -> t -> [ `Sat | `Unsat ]
-(** @raise Alive_sat.Solver.Budget_exceeded when the limit runs out. *)
+  ?assumptions:Term.t list ->
+  ?conflict_limit:int ->
+  ?deadline:float ->
+  t ->
+  [ `Sat | `Unsat ]
+(** [deadline] is absolute wall-clock time; see {!Alive_sat.Solver.solve}.
+    @raise Alive_sat.Solver.Budget_exceeded when a limit runs out. *)
 
 val model_value : t -> string -> Term.sort -> Term.value
 (** Value of a named variable after a [`Sat] answer. Variables never
     mentioned in any asserted formula default to zero/false. *)
 
-val stats : t -> int * int * int
-(** Underlying SAT statistics: conflicts, decisions, propagations. *)
+val stats : t -> Alive_sat.Solver.stats
+(** Underlying SAT solver telemetry (conflicts, decisions, propagations,
+    restarts, clause and variable counts). *)

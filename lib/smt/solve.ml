@@ -1,4 +1,128 @@
-type answer = Sat of Model.t | Unsat
+module S = Alive_sat.Solver
+
+(* --- Budgets and give-up reasons --- *)
+
+type reason = Timeout | Conflict_limit | Cegar_limit of int
+
+let pp_reason ppf = function
+  | Timeout -> Format.pp_print_string ppf "timeout"
+  | Conflict_limit -> Format.pp_print_string ppf "conflict limit"
+  | Cegar_limit n -> Format.fprintf ppf "CEGAR limit (%d iterations)" n
+
+let reason_to_string r = Format.asprintf "%a" pp_reason r
+
+type budget = {
+  timeout : float option;
+  conflict_limit : int option;
+  max_cegar : int;
+}
+
+let default_max_cegar = 1 lsl 16
+
+let no_budget = { timeout = None; conflict_limit = None; max_cegar = default_max_cegar }
+
+let budget ?timeout ?conflict_limit ?(max_cegar = default_max_cegar) () =
+  { timeout; conflict_limit; max_cegar }
+
+(* --- Telemetry --- *)
+
+type telemetry = {
+  mutable checks : int;
+  mutable sat_time : float;
+  mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable restarts : int;
+  mutable clauses : int;
+  mutable vars : int;
+  mutable cegar_iterations : int;
+}
+
+let telemetry () =
+  {
+    checks = 0;
+    sat_time = 0.0;
+    conflicts = 0;
+    decisions = 0;
+    propagations = 0;
+    restarts = 0;
+    clauses = 0;
+    vars = 0;
+    cegar_iterations = 0;
+  }
+
+let add_telemetry ~into (t : telemetry) =
+  into.checks <- into.checks + t.checks;
+  into.sat_time <- into.sat_time +. t.sat_time;
+  into.conflicts <- into.conflicts + t.conflicts;
+  into.decisions <- into.decisions + t.decisions;
+  into.propagations <- into.propagations + t.propagations;
+  into.restarts <- into.restarts + t.restarts;
+  into.clauses <- into.clauses + t.clauses;
+  into.vars <- into.vars + t.vars;
+  into.cegar_iterations <- into.cegar_iterations + t.cegar_iterations
+
+(* A meter tracks what one logical query has consumed: the deadline is fixed
+   at query start, the conflict allowance is drawn down across every solver
+   call the query makes (CEGAR rounds share one budget). *)
+type meter = {
+  deadline : float option;  (* absolute, gettimeofday scale *)
+  mutable conflicts_left : int option;
+  sink : telemetry option;
+}
+
+let start_meter ?telemetry:sink (b : budget) =
+  {
+    deadline = Option.map (fun s -> Unix.gettimeofday () +. s) b.timeout;
+    conflicts_left = b.conflict_limit;
+    sink;
+  }
+
+(* One solver invocation under the meter, with stats deltas recorded.
+   Returns [`Unknown] instead of letting [Budget_exceeded] escape. *)
+let metered_check ?assumptions m ctx :
+    [ `Sat | `Unsat | `Unknown of reason ] =
+  let s0 = Bitblast.stats ctx in
+  let t0 = Unix.gettimeofday () in
+  let result =
+    match
+      Bitblast.check ?assumptions ?conflict_limit:m.conflicts_left
+        ?deadline:m.deadline ctx
+    with
+    | `Sat -> `Sat
+    | `Unsat -> `Unsat
+    | exception S.Budget_exceeded r ->
+        `Unknown (match r with S.Conflicts -> Conflict_limit | S.Deadline -> Timeout)
+  in
+  let s1 = Bitblast.stats ctx in
+  let spent = s1.conflicts - s0.conflicts in
+  m.conflicts_left <-
+    Option.map (fun left -> max 0 (left - spent)) m.conflicts_left;
+  (match m.sink with
+  | None -> ()
+  | Some t ->
+      t.checks <- t.checks + 1;
+      t.sat_time <- t.sat_time +. (Unix.gettimeofday () -. t0);
+      t.conflicts <- t.conflicts + spent;
+      t.decisions <- t.decisions + (s1.decisions - s0.decisions);
+      t.propagations <- t.propagations + (s1.propagations - s0.propagations);
+      t.restarts <- t.restarts + (s1.restarts - s0.restarts));
+  result
+
+(* Clause/variable counts grow during [assert_formula], outside any solve
+   call, so they are charged once per context when the query is done with
+   it rather than as solve-time deltas. *)
+let retire_ctx m ctx =
+  match m.sink with
+  | None -> ()
+  | Some t ->
+      let s = Bitblast.stats ctx in
+      t.clauses <- t.clauses + s.clauses;
+      t.vars <- t.vars + s.vars
+
+(* --- Public interface --- *)
+
+type answer = Sat of Model.t | Unsat | Unknown of reason
 
 let value_to_term = function
   | Term.Vbool b -> Term.bool_ b
@@ -8,32 +132,39 @@ let extract_model ctx vars =
   Model.of_list
     (List.map (fun (name, sort) -> (name, Bitblast.model_value ctx name sort)) vars)
 
-let check_sat formulas =
+let check_sat ?(budget = no_budget) ?telemetry formulas =
   let ctx = Bitblast.create () in
   List.iter (Bitblast.assert_formula ctx) formulas;
-  match Bitblast.check ctx with
-  | `Unsat -> Unsat
-  | `Sat ->
-      let vars =
-        List.sort_uniq Stdlib.compare (List.concat_map Term.vars formulas)
-      in
-      Sat (extract_model ctx vars)
+  let m = start_meter ?telemetry budget in
+  let result =
+    match metered_check m ctx with
+    | `Unsat -> Unsat
+    | `Unknown r -> Unknown r
+    | `Sat ->
+        let vars =
+          List.sort_uniq Stdlib.compare (List.concat_map Term.vars formulas)
+        in
+        Sat (extract_model ctx vars)
+  in
+  retire_ctx m ctx;
+  result
 
-let is_valid f =
-  match check_sat [ Term.not_ f ] with
+let is_valid ?(budget = no_budget) ?telemetry f =
+  match check_sat ~budget ?telemetry [ Term.not_ f ] with
   | Unsat -> `Valid
   | Sat m -> `Invalid m
-
-exception Cegar_diverged of int
+  | Unknown r -> `Unknown r
 
 let default_value = function
   | Term.Bool -> Term.Vbool false
   | Term.Bv n -> Term.Vbv (Bitvec.zero n)
 
-let check_valid_ef ?(max_iterations = 1 lsl 16) ~exists f =
+let check_valid_ef ?(budget = no_budget) ?telemetry ?max_iterations ~exists f =
+  let max_iterations = Option.value max_iterations ~default:budget.max_cegar in
   match exists with
-  | [] -> is_valid f
+  | [] -> is_valid ~budget ?telemetry f
   | _ ->
+      let m = start_meter ?telemetry budget in
       let evar_names = List.map fst exists in
       let outer_vars =
         List.filter (fun (n, _) -> not (List.mem n evar_names)) (Term.vars f)
@@ -52,32 +183,49 @@ let check_valid_ef ?(max_iterations = 1 lsl 16) ~exists f =
       add_candidate
         (Model.of_list (List.map (fun (n, s) -> (n, default_value s)) exists));
       let rec loop iter =
-        if iter >= max_iterations then raise (Cegar_diverged iter);
-        match Bitblast.check outer with
-        | `Unsat -> `Valid
-        | `Sat ->
-            let o_model = extract_model outer outer_vars in
-            (* Does some E satisfy f under this O? *)
-            let o_bindings =
-              List.map
-                (fun (n, _) -> (n, value_to_term (Model.find_exn o_model n)))
-                outer_vars
-            in
-            let f_inner = Term.subst o_bindings f in
-            (match check_sat [ f_inner ] with
-            | Unsat -> `Invalid o_model
-            | Sat e_model ->
-                let cand =
-                  Model.of_list
-                    (List.map
-                       (fun (n, s) ->
-                         ( n,
-                           match Model.find e_model n with
-                           | Some v -> v
-                           | None -> default_value s ))
-                       exists)
-                in
-                add_candidate cand;
-                loop (iter + 1))
+        if iter >= max_iterations then `Unknown (Cegar_limit iter)
+        else begin
+          (match telemetry with
+          | Some t -> t.cegar_iterations <- t.cegar_iterations + 1
+          | None -> ());
+          match metered_check m outer with
+          | `Unknown r -> `Unknown r
+          | `Unsat -> `Valid
+          | `Sat -> (
+              let o_model = extract_model outer outer_vars in
+              (* Does some E satisfy f under this O? *)
+              let o_bindings =
+                List.map
+                  (fun (n, _) -> (n, value_to_term (Model.find_exn o_model n)))
+                  outer_vars
+              in
+              let f_inner = Term.subst o_bindings f in
+              let inner = Bitblast.create () in
+              Bitblast.assert_formula inner f_inner;
+              let inner_result = metered_check m inner in
+              retire_ctx m inner;
+              match inner_result with
+              | `Unknown r -> `Unknown r
+              | `Unsat -> `Invalid o_model
+              | `Sat ->
+                  let e_model =
+                    extract_model inner
+                      (List.sort_uniq Stdlib.compare (Term.vars f_inner))
+                  in
+                  let cand =
+                    Model.of_list
+                      (List.map
+                         (fun (n, s) ->
+                           ( n,
+                             match Model.find e_model n with
+                             | Some v -> v
+                             | None -> default_value s ))
+                         exists)
+                  in
+                  add_candidate cand;
+                  loop (iter + 1))
+        end
       in
-      loop 0
+      let result = loop 0 in
+      retire_ctx m outer;
+      result

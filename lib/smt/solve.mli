@@ -1,31 +1,91 @@
 (** High-level satisfiability and validity interface, including the CEGAR
     loop for the one quantifier alternation Alive needs (existential source
-    [undef] under universal inputs, §3.1.2 of the paper). *)
+    [undef] under universal inputs, §3.1.2 of the paper).
 
-type answer = Sat of Model.t | Unsat
+    Every entry point takes an optional {!budget}. A query that exhausts its
+    budget returns an [Unknown]/[`Unknown] verdict carrying the {!reason} —
+    it never raises and never hangs — so a scheduler can keep the rest of a
+    batch running when one query is pathological. *)
 
-val check_sat : Term.t list -> answer
+(** {1 Budgets} *)
+
+type reason = Timeout | Conflict_limit | Cegar_limit of int
+(** Why a query gave up: its wall-clock deadline passed, its SAT conflict
+    allowance ran out, or the CEGAR loop hit its iteration cap (with the
+    iteration count). *)
+
+val pp_reason : Format.formatter -> reason -> unit
+val reason_to_string : reason -> string
+
+type budget = {
+  timeout : float option;  (** seconds of wall clock, per query *)
+  conflict_limit : int option;
+      (** SAT conflicts per query, drawn down across all solver calls the
+          query makes (the CEGAR rounds share one allowance) *)
+  max_cegar : int;  (** CEGAR iteration cap *)
+}
+
+val no_budget : budget
+(** No deadline, no conflict limit, the historical 2{^16} CEGAR cap. *)
+
+val budget :
+  ?timeout:float -> ?conflict_limit:int -> ?max_cegar:int -> unit -> budget
+
+(** {1 Telemetry}
+
+    A [telemetry] record accumulates solver counters across the queries that
+    were passed it; create one per unit of reporting (per transformation,
+    per run) and sum with {!add_telemetry}. *)
+
+type telemetry = {
+  mutable checks : int;  (** SAT solver invocations *)
+  mutable sat_time : float;  (** wall seconds inside the solver *)
+  mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable restarts : int;
+  mutable clauses : int;  (** clauses added to the contexts used *)
+  mutable vars : int;  (** SAT variables allocated *)
+  mutable cegar_iterations : int;
+}
+
+val telemetry : unit -> telemetry
+(** A fresh all-zero record. *)
+
+val add_telemetry : into:telemetry -> telemetry -> unit
+(** [add_telemetry ~into t] adds every counter of [t] into [into]. *)
+
+(** {1 Queries} *)
+
+type answer = Sat of Model.t | Unsat | Unknown of reason
+
+val check_sat : ?budget:budget -> ?telemetry:telemetry -> Term.t list -> answer
 (** Satisfiability of a conjunction. On [Sat], the model binds every free
     variable of the input. *)
 
-val is_valid : Term.t -> [ `Valid | `Invalid of Model.t ]
+val is_valid :
+  ?budget:budget ->
+  ?telemetry:telemetry ->
+  Term.t ->
+  [ `Valid | `Invalid of Model.t | `Unknown of reason ]
 (** Validity of a closed-under-universal-quantification formula; on
     [`Invalid] the model is a counterexample. *)
 
-exception Cegar_diverged of int
-(** Raised if the refinement loop exceeds its iteration budget, which is
-    impossible for well-sorted finite-width inputs unless the budget is
-    smaller than the [exists] domain. *)
-
 val check_valid_ef :
+  ?budget:budget ->
+  ?telemetry:telemetry ->
   ?max_iterations:int ->
   exists:(string * Term.sort) list ->
   Term.t ->
-  [ `Valid | `Invalid of Model.t ]
+  [ `Valid | `Invalid of Model.t | `Unknown of reason ]
 (** [check_valid_ef ~exists f] decides [∀O. ∃E. f] where [E] is the given
     variable set and [O] is every other free variable of [f]. Uses
     counterexample-guided expansion of the existential (a finite-domain
     2QBF loop). On [`Invalid], the model binds the universal variables [O]
-    such that no choice of [E] satisfies [f]. *)
+    such that no choice of [E] satisfies [f].
+
+    [max_iterations] caps the CEGAR loop (default: the budget's
+    [max_cegar]); exceeding it reports [`Unknown (Cegar_limit n)] rather
+    than raising, as does exhausting the deadline or conflict allowance. *)
 
 val value_to_term : Term.value -> Term.t

@@ -1,6 +1,9 @@
 (* Hash-consed terms with folding smart constructors. The hash-consing table
    is global and grows for the lifetime of the process; verification tasks
-   are short-lived processes (or tests), so no eviction is needed. *)
+   are short-lived processes (or tests), so no eviction is needed. The table
+   is shared by every domain of the parallel engine, so lookups and inserts
+   are serialized by a mutex — term construction is a small fraction of
+   query time next to SAT search, which never touches the table. *)
 
 type sort = Bool | Bv of int
 
@@ -119,15 +122,21 @@ module Table = Hashtbl.Make (Node_key)
 
 let table : t Table.t = Table.create 4096
 let next_id = ref 0
+let table_lock = Mutex.create ()
 
 let hashcons node sort =
-  match Table.find_opt table node with
-  | Some t -> t
-  | None ->
-      let t = { id = !next_id; node; sort } in
-      incr next_id;
-      Table.add table node t;
-      t
+  Mutex.lock table_lock;
+  let t =
+    match Table.find_opt table node with
+    | Some t -> t
+    | None ->
+        let t = { id = !next_id; node; sort } in
+        incr next_id;
+        Table.add table node t;
+        t
+  in
+  Mutex.unlock table_lock;
+  t
 
 let sort t = t.sort
 

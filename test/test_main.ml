@@ -8,4 +8,5 @@ let () =
       Test_ir.suite;
       Test_opt.suite;
       Test_suite.suite;
+      Test_engine.suite;
     ]

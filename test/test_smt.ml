@@ -207,8 +207,13 @@ let blast_agrees_with_eval =
          let negative =
            Solve.check_sat (T.not_ (eq_of_value t result) :: pins)
          in
-         (match positive with Solve.Sat _ -> true | Solve.Unsat -> false)
-         && match negative with Solve.Unsat -> true | Solve.Sat _ -> false))
+         (match positive with
+         | Solve.Sat _ -> true
+         | Solve.Unsat | Solve.Unknown _ -> false)
+         &&
+         match negative with
+         | Solve.Unsat -> true
+         | Solve.Sat _ | Solve.Unknown _ -> false))
 
 (* Lowering must preserve evaluation. *)
 let lower_preserves_eval =
@@ -233,7 +238,8 @@ let models_satisfy =
          in
          match Solve.check_sat [ f ] with
          | Solve.Unsat -> true
-         | Solve.Sat m -> Model.holds m f))
+         | Solve.Sat m -> Model.holds m f
+         | Solve.Unknown _ -> false))
 
 (* --- Validity of textbook identities, through the full stack --- *)
 
@@ -242,6 +248,7 @@ let valid f = check_bool "valid" true (Solve.is_valid f = `Valid)
 let invalid f =
   match Solve.is_valid f with
   | `Valid -> Alcotest.fail "expected a counterexample"
+  | `Unknown _ -> Alcotest.fail "unbudgeted query reported unknown"
   | `Invalid m -> check_bool "counterexample refutes" false (Model.holds m f)
 
 let x8 = T.var "x" (T.Bv 8)
@@ -328,6 +335,7 @@ let ef_tests =
           Solve.check_valid_ef ~exists:[ ("u", T.Bv 4) ] (T.eq (T.add u u) x)
         with
         | `Valid -> Alcotest.fail "u+u can only be even"
+        | `Unknown _ -> Alcotest.fail "unbudgeted query reported unknown"
         | `Invalid m -> (
             match Model.find_exn m "x" with
             | T.Vbv c -> check_bool "x odd" true (Bitvec.bit c 0)
@@ -362,6 +370,7 @@ let ef_tests =
         let tgt = T.ashr u2 (cv 4 3) in
         match Solve.check_valid_ef ~exists:[ ("u1", T.Bool) ] (T.eq src tgt) with
         | `Valid -> Alcotest.fail "should be refuted"
+        | `Unknown _ -> Alcotest.fail "unbudgeted query reported unknown"
         | `Invalid m -> (
             match Model.find_exn m "u2" with
             | T.Vbv c ->
