@@ -73,18 +73,19 @@ let resolve_jobs = function
   | 0 -> Alive_engine.Engine.default_jobs ()
   | n -> max 1 n
 
+let display_name = function "-" -> "<stdin>" | path -> path
+
 let with_transforms file f =
-  match Alive.Parser.parse_file (read_input file) with
-  | exception Alive.Parser.Error (msg, line) ->
-      Printf.eprintf "parse error at line %d: %s\n" line msg;
+  match
+    Alive.Parser.parse_file_diag ~file:(display_name file) (read_input file)
+  with
+  | Error d ->
+      Printf.eprintf "%s\n" (Alive.Diagnostics.render d);
       1
-  | exception Alive.Lexer.Error (msg, line) ->
-      Printf.eprintf "lex error at line %d: %s\n" line msg;
-      1
-  | [] ->
+  | Ok [] ->
       Printf.eprintf "no transformations found\n";
       1
-  | transforms -> f transforms
+  | Ok transforms -> f transforms
 
 let verify_cmd =
   let run file widths quiet jobs timeout conflict_limit show_stats =
@@ -250,6 +251,76 @@ let opt_cmd =
           equivalent of linking the generated C++ into LLVM, \xc2\xa76.4).")
     Term.(const run $ file_arg $ stats)
 
+let lint_cmd =
+  let module D = Alive.Diagnostics in
+  let module Lint = Alive_lint.Driver in
+  let run file json rule threshold jobs =
+    let jobs = resolve_jobs jobs in
+    let report =
+      match file with
+      | None -> Lint.lint_corpus ~jobs Alive_suite.Registry.all
+      | Some path -> (
+          let name = display_name path in
+          match Alive.Parser.parse_file_diag ~file:name (read_input path) with
+          | Error d ->
+              {
+                Lint.findings =
+                  [ { Lint.diag = d; transform = ""; allowlisted = false } ];
+                entries = 0;
+                wall = 0.0;
+              }
+          | Ok ts -> Lint.lint_transforms ~file:name ts)
+    in
+    let shown = Lint.filter ?rule ~threshold report in
+    if json then print_endline (Alive_engine.Json.to_string (Lint.to_json shown))
+    else Lint.print_table shown;
+    if Lint.gating shown <> [] then 1 else 0
+  in
+  let file =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Input .opt file ('-' for stdin). Without it, lint the whole \
+             built-in corpus, including the registry-level analyses \
+             (duplicate names, shadowing, rewrite cycles).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the findings as a JSON report on stdout.")
+  in
+  let rule =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "rule" ] ~docv:"ID"
+          ~doc:
+            "Only report findings for this rule id (or rule family, e.g. \
+             'dead-precondition').")
+  in
+  let threshold =
+    let sev =
+      Arg.enum [ ("info", D.Info); ("warning", D.Warning); ("error", D.Error) ]
+    in
+    Arg.(
+      value & opt sev D.Info
+      & info [ "severity-threshold" ] ~docv:"SEV"
+          ~doc:"Hide findings below $(docv) (info, warning or error).")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically analyse transformations without invoking the SMT \
+          stack: dead or contradictory preconditions, cost regressions, \
+          shadowed rules, rewrite cycles, and well-formedness. Exit 1 when \
+          any non-allowlisted error-severity finding survives the filters."
+       ~exits:
+         (Cmd.Exit.info 1 ~doc:"an error-severity finding was reported."
+         :: Cmd.Exit.defaults))
+    Term.(const run $ file $ json $ rule $ threshold $ jobs_arg)
+
 let default =
   Term.(ret (const (`Help (`Pager, None))))
 
@@ -262,4 +333,5 @@ let () =
   in
   exit
     (Cmd.eval'
-       (Cmd.group ~default info [ verify_cmd; infer_cmd; codegen_cmd; opt_cmd ]))
+       (Cmd.group ~default info
+          [ verify_cmd; infer_cmd; codegen_cmd; opt_cmd; lint_cmd ]))

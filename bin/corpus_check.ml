@@ -17,9 +17,14 @@ let stats = ref false
 let json_path = ref ""
 let category = ref ""
 let quiet = ref false
+let lint = ref false
 
 let speclist =
   [
+    ( "--lint",
+      Arg.Set lint,
+      " run the static lint pass over the selected entries first; \
+       non-allowlisted error findings fail the run" );
     ("--jobs", Arg.Set_int jobs, "N  worker domains (default 1; 0 = one per core)");
     ( "--timeout",
       Arg.Set_float timeout,
@@ -51,6 +56,25 @@ let () =
     Printf.eprintf "no corpus entries selected\n";
     exit 1
   end;
+  let lint_errors =
+    if not !lint then 0
+    else begin
+      let report =
+        Alive_lint.Driver.lint_corpus
+          ~jobs:(if !jobs = 0 then Engine.default_jobs () else max 1 !jobs)
+          entries
+      in
+      let gating = Alive_lint.Driver.gating report in
+      List.iter
+        (fun f ->
+          Printf.printf "%s\n" (Alive_lint.Driver.render_finding f))
+        (if !quiet then gating else report.findings);
+      Printf.printf "lint: %d finding(s), %d gating error(s) in %.3fs\n%!"
+        (List.length report.findings)
+        (List.length gating) report.wall;
+      List.length gating
+    end
+  in
   let budget =
     if !timeout > 0.0 || !conflicts > 0 then
       Some
@@ -123,4 +147,5 @@ let () =
     Json.to_file !json_path (Engine.report_json report);
     Printf.printf "report written to %s\n" !json_path
   end;
-  if !mismatches > 0 then exit 1 else if !undecided > 0 then exit 2
+  if !mismatches > 0 || lint_errors > 0 then exit 1
+  else if !undecided > 0 then exit 2

@@ -191,11 +191,35 @@ type stmt =
   | Store of toperand * toperand
   | Unreachable
 
+(* Source locations, recorded by the parser so downstream analyses (the
+   lint pass in particular) can report file:line spans. Programmatic
+   construction uses [no_locs]; every accessor falls back to the header
+   line, so locations are best-effort and never block an analysis. *)
+type locs = {
+  header_line : int;  (* the Name: line, or the first line of the source *)
+  pre_line : int;  (* 0 when there is no precondition *)
+  src_lines : int array;  (* one entry per source statement *)
+  tgt_lines : int array;  (* one entry per target statement *)
+}
+
+let no_locs =
+  { header_line = 1; pre_line = 0; src_lines = [||]; tgt_lines = [||] }
+
+let nth_line lines fallback i =
+  if i >= 0 && i < Array.length lines then lines.(i) else fallback
+
+let src_line locs i = nth_line locs.src_lines locs.header_line i
+let tgt_line locs i = nth_line locs.tgt_lines locs.header_line i
+
+let pre_line locs =
+  if locs.pre_line > 0 then locs.pre_line else locs.header_line
+
 type transform = {
   name : string;
   pre : pred;
   src : stmt list;
   tgt : stmt list;
+  locs : locs;
 }
 
 let pp_operand ppf = function

@@ -114,11 +114,31 @@ type stmt =
 
 (** {1 Transformations} *)
 
+(** Source locations recorded by the parser (1-based lines into the parsed
+    text). Programmatic construction uses {!no_locs}; the accessors fall
+    back to [header_line] when a statement has no recorded line, so
+    location lookups never fail. *)
+type locs = {
+  header_line : int;  (** the [Name:] line, or the first source line *)
+  pre_line : int;  (** 0 when there is no precondition *)
+  src_lines : int array;
+  tgt_lines : int array;
+}
+
+val no_locs : locs
+
+val src_line : locs -> int -> int
+(** Line of the [i]-th source statement. *)
+
+val tgt_line : locs -> int -> int
+val pre_line : locs -> int
+
 type transform = {
   name : string;
   pre : pred;
   src : stmt list;
   tgt : stmt list;
+  locs : locs;
 }
 
 val pp_stmt : Format.formatter -> stmt -> unit

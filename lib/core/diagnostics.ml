@@ -1,0 +1,66 @@
+(* Structured, source-located diagnostics shared by the parser and the
+   lint pass. A diagnostic pins a rule id and severity to a file:line span
+   so that tooling (CI gates, editors) can consume findings uniformly,
+   whether they come from a syntax error or a corpus-level analysis. *)
+
+type severity = Info | Warning | Error
+
+let severity_name = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let severity_rank = function Info -> 0 | Warning -> 1 | Error -> 2
+
+let severity_of_string = function
+  | "info" -> Some Info
+  | "warning" -> Some Warning
+  | "error" -> Some Error
+  | _ -> None
+
+type span = { file : string; line : int }
+
+let span ?(file = "<input>") line = { file; line }
+
+let pp_span ppf s = Format.fprintf ppf "%s:%d" s.file s.line
+
+type t = {
+  rule : string;  (* e.g. "dead-precondition.implied" *)
+  severity : severity;
+  where : span;
+  message : string;
+  hint : string option;  (* a suggested fix, when one is mechanical *)
+}
+
+let make ?hint ~rule ~severity ~where message =
+  { rule; severity; where; message; hint }
+
+let rule_family d =
+  match String.index_opt d.rule '.' with
+  | Some i -> String.sub d.rule 0 i
+  | None -> d.rule
+
+(* file:line: severity: message [rule] — the gcc/clang shape, so editors
+   and CI annotations pick the span up without custom parsing. *)
+let render d =
+  let hint = match d.hint with None -> "" | Some h -> "\n  hint: " ^ h in
+  Printf.sprintf "%s:%d: %s: %s [%s]%s" d.where.file d.where.line
+    (severity_name d.severity)
+    d.message d.rule hint
+
+let pp ppf d = Format.pp_print_string ppf (render d)
+
+(* Stable order for reports: by file, line, rule, then message. *)
+let compare a b =
+  let c = String.compare a.where.file b.where.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.where.line b.where.line in
+    if c <> 0 then c
+    else
+      let c = String.compare a.rule b.rule in
+      if c <> 0 then c else String.compare a.message b.message
+
+let count_at_least sev ds =
+  List.length
+    (List.filter (fun d -> severity_rank d.severity >= severity_rank sev) ds)

@@ -1,0 +1,44 @@
+(** Structured, source-located diagnostics.
+
+    The shared currency between the parser's syntax errors and the static
+    lint pass over the transformation corpus: a rule id, a severity, a
+    [file:line] span, a message, and an optional mechanical fix hint.
+    Rendering follows the [file:line: severity: message [rule]] shape that
+    editors and CI annotations already understand. *)
+
+type severity = Info | Warning | Error
+
+val severity_name : severity -> string
+val severity_rank : severity -> int
+(** [Info] < [Warning] < [Error]. *)
+
+val severity_of_string : string -> severity option
+
+type span = { file : string; line : int }
+
+val span : ?file:string -> int -> span
+(** [span ~file line]; [file] defaults to ["<input>"]. *)
+
+val pp_span : Format.formatter -> span -> unit
+
+type t = {
+  rule : string;  (** e.g. ["dead-precondition.implied"] *)
+  severity : severity;
+  where : span;
+  message : string;
+  hint : string option;
+}
+
+val make :
+  ?hint:string -> rule:string -> severity:severity -> where:span -> string -> t
+
+val rule_family : t -> string
+(** The rule id up to the first ['.'] — the lint family. *)
+
+val render : t -> string
+val pp : Format.formatter -> t -> unit
+
+val compare : t -> t -> int
+(** Stable report order: file, line, rule, message. *)
+
+val count_at_least : severity -> t list -> int

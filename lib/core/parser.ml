@@ -493,14 +493,17 @@ let parse_name_line st =
 
 let parse_one st ~index =
   skip_newlines st;
+  let header_line = line st in
   let name =
     if at_name_line st then parse_name_line st
     else Printf.sprintf "anonymous-%d" index
   in
   skip_newlines st;
+  let pre_line = ref 0 in
   let pre =
     match (peek st, peek2 st) with
     | Lexer.IDENT "Pre", Lexer.COLON ->
+        pre_line := line st;
         advance st;
         advance st;
         let p = parse_pred_expr st in
@@ -509,17 +512,20 @@ let parse_one st ~index =
         p
     | _ -> Ptrue
   in
+  (* Each statement is tagged with its source line so diagnostics can
+     point at [file:line] rather than at the whole transformation. *)
   let rec stmts acc =
     skip_newlines st;
     if peek st = Lexer.ARROW || peek st = Lexer.EOF || at_name_line st then
       List.rev acc
     else begin
+      let l = line st in
       let s = parse_stmt st in
       (match peek st with
       | Lexer.NEWLINE -> advance st
       | Lexer.EOF -> ()
       | _ -> fail st "expected end of line after statement");
-      stmts (s :: acc)
+      stmts ((s, l) :: acc)
     end
   in
   let src = stmts [] in
@@ -529,18 +535,27 @@ let parse_one st ~index =
     skip_newlines st;
     if peek st = Lexer.EOF || at_name_line st then List.rev acc
     else begin
+      let l = line st in
       let s = parse_stmt st in
       (match peek st with
       | Lexer.NEWLINE -> advance st
       | Lexer.EOF -> ()
       | _ -> fail st "expected end of line after statement");
-      tgt_stmts (s :: acc)
+      tgt_stmts ((s, l) :: acc)
     end
   in
   let tgt = tgt_stmts [] in
   if src = [] then raise (Error ("empty source template", line st));
   if tgt = [] then raise (Error ("empty target template", line st));
-  { name; pre; src; tgt }
+  let locs =
+    {
+      header_line;
+      pre_line = !pre_line;
+      src_lines = Array.of_list (List.map snd src);
+      tgt_lines = Array.of_list (List.map snd tgt);
+    }
+  in
+  { name; pre; src = List.map fst src; tgt = List.map fst tgt; locs }
 
 let make_state text =
   { toks = Array.of_list (Lexer.tokenize text); pos = 0 }
@@ -567,3 +582,20 @@ let parse_pred text =
   skip_newlines st;
   if peek st <> Lexer.EOF then fail st "trailing input after predicate";
   p
+
+(* Result-typed front end: lexer and parser failures become located
+   diagnostics instead of exceptions, so callers render file:line errors
+   with the same machinery as lint findings. *)
+let parse_file_diag ?file text =
+  match parse_file text with
+  | transforms -> Ok transforms
+  | exception Error (msg, line) ->
+      Result.Error
+        (Diagnostics.make ~rule:"parse.syntax" ~severity:Diagnostics.Error
+           ~where:(Diagnostics.span ?file line)
+           msg)
+  | exception Lexer.Error (msg, line) ->
+      Result.Error
+        (Diagnostics.make ~rule:"parse.lex" ~severity:Diagnostics.Error
+           ~where:(Diagnostics.span ?file line)
+           msg)

@@ -28,3 +28,9 @@ val parse_file : string -> Ast.transform list
 
 val parse_pred : string -> Ast.pred
 (** Parse a precondition expression on its own (used by tests). *)
+
+val parse_file_diag :
+  ?file:string -> string -> (Ast.transform list, Diagnostics.t) result
+(** Like {!parse_file}, but lexer and parser failures come back as a
+    located {!Diagnostics.t} (rules [parse.lex] / [parse.syntax]) carrying
+    the lexer's line counter, instead of as exceptions. *)

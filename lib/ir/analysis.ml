@@ -7,6 +7,36 @@ let unknown w = { zeros = Bitvec.zero w; ones = Bitvec.zero w }
 let of_const c =
   { zeros = Bitvec.lognot c; ones = c }
 
+(* Ripple-carry bound propagation for addition, LLVM's
+   KnownBits::computeForAddCarry. The two extremal sums (all unknown bits
+   high vs. all low) bound every reachable carry chain: a result bit is
+   known when both operand bits and the incoming carry bit are known, and
+   then its value can be read off either extremal sum. Subtraction is
+   a + ~b + 1, i.e. the same computation with b's masks swapped and a
+   known-one carry-in. *)
+let transfer_add_carry w a b ~carry_zero ~carry_one =
+  let open Bitvec in
+  let max_a = lognot a.zeros and max_b = lognot b.zeros in
+  let min_a = a.ones and min_b = b.ones in
+  let cin_max = if carry_zero then zero w else one w in
+  let cin_min = if carry_one then one w else zero w in
+  let possible_sum_zero = add (add max_a max_b) cin_max in
+  let possible_sum_one = add (add min_a min_b) cin_min in
+  (* Known carry-in of each column, recovered from the extremal sums. *)
+  let carry_known_zero =
+    lognot (logxor (logxor possible_sum_zero a.zeros) b.zeros)
+  in
+  let carry_known_one = logxor (logxor possible_sum_one a.ones) b.ones in
+  let known =
+    logand
+      (logand (logor a.zeros a.ones) (logor b.zeros b.ones))
+      (logor carry_known_zero carry_known_one)
+  in
+  {
+    zeros = logand (lognot possible_sum_zero) known;
+    ones = logand possible_sum_one known;
+  }
+
 (* Known bits of a binary operation from the operands' known bits. Only the
    cheap, obviously sound transfer functions are implemented; everything
    else degrades to unknown, as a must-analysis may. *)
@@ -50,7 +80,21 @@ let transfer_binop op w a b =
             ones = Bitvec.lshr a.ones amount;
           }
       | _ -> unknown w)
-  | Udiv | Sdiv | Urem | Srem | Ashr | Add | Sub | Mul -> unknown w
+  | Ashr -> (
+      (* A fully-known in-range shift amount shifts the masks
+         arithmetically: ashr on [zeros]/[ones] replicates the mask's top
+         bit, so the filled positions are known exactly when the sign bit
+         was known. *)
+      match if Bitvec.is_all_ones (Bitvec.logor b.zeros b.ones) then Some b.ones else None with
+      | Some amount when Bitvec.ult amount (Bitvec.of_int ~width:w w) ->
+          { zeros = Bitvec.ashr a.zeros amount; ones = Bitvec.ashr a.ones amount }
+      | _ -> unknown w)
+  | Add -> transfer_add_carry w a b ~carry_zero:true ~carry_one:false
+  | Sub ->
+      (* a - b = a + ~b + 1. *)
+      transfer_add_carry w a { zeros = b.ones; ones = b.zeros }
+        ~carry_zero:false ~carry_one:true
+  | Udiv | Sdiv | Urem | Srem | Mul -> unknown w
 
 let known_bits f v =
   let memo : (string, known_bits) Hashtbl.t = Hashtbl.create 16 in

@@ -8,6 +8,19 @@
 (** Bits proven zero / proven one. Invariant: [zeros land ones = 0]. *)
 type known_bits = { zeros : Bitvec.t; ones : Bitvec.t }
 
+val unknown : int -> known_bits
+(** Nothing known at the given width. *)
+
+val of_const : Bitvec.t -> known_bits
+(** Every bit known. *)
+
+val transfer_binop : Ir.binop -> int -> known_bits -> known_bits -> known_bits
+(** The per-instruction transfer function at width [w]. Sound for
+    [And]/[Or]/[Xor], shifts with fully-known in-range amounts, and
+    [Add]/[Sub] (ripple-carry bound propagation); anything else degrades
+    to {!unknown}. Exposed for the DSL-level lint domain and for the
+    exhaustive differential tests against {!Interp}. *)
+
 val known_bits : Ir.func -> Ir.value -> known_bits
 (** Forward propagation through the def-use graph. Constants are fully
     known; parameters and [undef] are unknown. *)

@@ -1,0 +1,29 @@
+(** Known-bits abstract interpretation over Alive templates (the lint twin
+    of {!Analysis}, which works on concrete IR). Inputs and abstract
+    constants are ⊤; evaluation happens at a caller-chosen analysis width.
+    The DSL is width-polymorphic, so sound conclusions require agreement
+    across several analysis widths — see {!Rules.analysis_widths}. *)
+
+type kb = Analysis.known_bits
+
+(** Kleene three-valued truth. *)
+type tribool = True | False | Unknown
+
+val tri_not : tribool -> tribool
+val tri_and : tribool -> tribool -> tribool
+val tri_or : tribool -> tribool -> tribool
+
+val fully_known : kb -> bool
+val known_value : kb -> Bitvec.t option
+
+type env
+
+val env_of_source : width:int -> Alive.Ast.stmt list -> env
+(** Abstractly execute a source pattern: each definition's known bits are
+    derived from its operands via the {!Analysis} transfer functions. *)
+
+val eval_cexpr : env -> w:int -> Alive.Ast.cexpr -> kb
+val eval_pred : env -> Alive.Ast.pred -> tribool
+(** Three-valued evaluation of a precondition under the abstract
+    environment: [True]/[False] only when every concretization of the
+    source pattern agrees (at this analysis width). *)

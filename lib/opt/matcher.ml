@@ -60,6 +60,147 @@ let rule_of_transform (t : Alive.Ast.transform) =
       if executable then Ok { rule_name = t.name; transform = t }
       else Error "outside the executable integer fragment"
 
+(* --- Template-level unification ---
+
+   Matches one template against another template (rather than against
+   concrete IR), for corpus-level analyses: shadowing (source-of-A covers
+   source-of-B) and rewrite-cycle edges (source-of-B matches target-of-A).
+   The subject's free variables stay symbolic, so a match means "every
+   concrete DAG produced/matched by the subject is matched by the
+   pattern" — modulo preconditions, which the caller must consider.
+   Conservative in the other direction: compound constant expressions only
+   unify syntactically, so a non-match proves nothing. *)
+
+type tmatch = {
+  pat_defs : (string * Alive.Ast.inst) list;
+  subj_defs : (string * Alive.Ast.inst) list;
+  mutable vbind : (string * operand) list; (* pattern var -> subject operand *)
+  mutable cbind : (string * cexpr) list; (* pattern Cabs -> subject cexpr *)
+}
+
+let operand_syntactic_equal (a : operand) (b : operand) = a = b
+
+let bind_tvar st name op =
+  match List.assoc_opt name st.vbind with
+  | Some op' -> operand_syntactic_equal op op'
+  | None ->
+      st.vbind <- (name, op) :: st.vbind;
+      true
+
+let bind_tconst st name e =
+  match List.assoc_opt name st.cbind with
+  | Some e' -> e = e'
+  | None ->
+      st.cbind <- (name, e) :: st.cbind;
+      true
+
+(* Dereference subject-side copies: `%r = %t` with %t defined in the
+   subject denotes %t's instruction after rewriting. *)
+let rec deref_subject st name =
+  match List.assoc_opt name st.subj_defs with
+  | Some (Copy { op = Var n; _ }) when List.mem_assoc n st.subj_defs ->
+      deref_subject st n
+  | d -> (name, d)
+
+let rec tmatch_operand st (pat : toperand) (subj : toperand) =
+  (* The pattern's type annotation must be at most as constraining. *)
+  (match pat.ty with
+  | None -> true
+  | Some t -> ( match subj.ty with Some t' -> equal_typ t t' | None -> false))
+  &&
+  match pat.op with
+  | Var n when List.mem_assoc n st.pat_defs -> (
+      (* Pattern temporary: the subject operand must be an instruction of
+         the subject template that matches the pattern's definition. *)
+      match subj.op with
+      | Var m when List.mem_assoc m st.subj_defs ->
+          tmatch_def st n m && bind_tvar st n subj.op
+      | Var _ | ConstOp _ | Undef -> false)
+  | Var n -> bind_tvar st n subj.op
+  | Undef -> subj.op = Undef
+  | ConstOp (Cabs c) -> (
+      match subj.op with ConstOp e -> bind_tconst st c e | Var _ | Undef -> false)
+  | ConstOp (Cint k) -> (
+      (* [Cint] and [Cbool] literals never unify: a signed literal [1]
+         excludes i1 (§2.4) while [true] demands it. *)
+      match subj.op with
+      | ConstOp (Cint k') -> Int64.equal k k'
+      | _ -> false)
+  | ConstOp (Cbool b) -> (
+      (* [true]/[false] demand i1; a subject integer literal stays
+         width-polymorphic, so it is NOT covered by a boolean pattern. *)
+      match subj.op with ConstOp (Cbool b') -> b = b' | _ -> false)
+  | ConstOp pe -> (
+      (* Compound constant expression: unify syntactically once the
+         pattern's abstract constants are substituted. *)
+      match subj.op with
+      | ConstOp se ->
+          let rec subst = function
+            | Cabs c as e -> (
+                match List.assoc_opt c st.cbind with Some e' -> e' | None -> e)
+            | Cun (op, a) -> Cun (op, subst a)
+            | Cbin (op, a, b) -> Cbin (op, subst a, subst b)
+            | Cfun (f, args) -> Cfun (f, List.map subst args)
+            | (Cint _ | Cbool _ | Cval _) as e -> e
+          in
+          subst pe = se
+      | Var _ | Undef -> false)
+
+and tmatch_def st pat_name subj_name =
+  match List.assoc_opt pat_name st.vbind with
+  | Some op -> operand_syntactic_equal op (Var subj_name)
+  | None -> (
+      let subj_name, subj_inst = deref_subject st subj_name in
+      ignore subj_name;
+      match (List.assoc_opt pat_name st.pat_defs, subj_inst) with
+      | None, _ | _, None -> false
+      | Some p, Some s -> (
+          match (p, s) with
+          | Binop (op, attrs, a, b), Binop (op', attrs', x, y) ->
+              op = op'
+              && List.for_all (fun at -> List.mem at attrs') attrs
+              && tmatch_operand st a x && tmatch_operand st b y
+          | Icmp (c, a, b), Icmp (c', x, y) ->
+              c = c' && tmatch_operand st a x && tmatch_operand st b y
+          | Select (c, a, b), Select (cx, x, y) ->
+              tmatch_operand st c cx && tmatch_operand st a x
+              && tmatch_operand st b y
+          | Conv (cv, a, ty), Conv (cv', x, ty') ->
+              cv = cv'
+              && (match ty with
+                 | None -> true
+                 | Some t -> (
+                     match ty' with Some t' -> equal_typ t t' | None -> false))
+              && tmatch_operand st a x
+          | (Binop _ | Icmp _ | Select _ | Conv _ | Copy _ | Alloca _
+            | Load _ | Gep _), _ ->
+              false))
+
+let def_insts stmts =
+  List.filter_map
+    (function Def (n, _, i) -> Some (n, i) | Store _ | Unreachable -> None)
+    stmts
+
+let match_templates ~pat ~subj =
+  match (Alive.Ast.root_of pat, Alive.Ast.root_of subj) with
+  | Some pat_root, Some subj_root ->
+      let st =
+        {
+          pat_defs = def_insts pat;
+          subj_defs = def_insts subj;
+          vbind = [];
+          cbind = [];
+        }
+      in
+      tmatch_def st pat_root subj_root
+  | _ -> false
+
+let source_covers a b =
+  match_templates ~pat:a.transform.src ~subj:b.transform.src
+
+let target_feeds a b =
+  match_templates ~pat:b.transform.src ~subj:a.transform.tgt
+
 (* --- Matching --- *)
 
 type mstate = {

@@ -23,6 +23,23 @@ val match_at : rule -> Ir.func -> string -> match_result option
 (** Try to match the rule's source template rooted at the named definition,
     checking the precondition concretely. *)
 
+(** {1 Template-level unification (lint support)}
+
+    These match one template against another template, keeping the
+    subject's free variables symbolic. SMT-free and purely structural:
+    compound constant expressions unify only syntactically, and
+    preconditions are ignored — callers decide how to weigh them. *)
+
+val source_covers : rule -> rule -> bool
+(** [source_covers a b]: every instruction DAG matched by [b]'s source
+    pattern is also matched by [a]'s source pattern (so, modulo
+    preconditions, an earlier [a] shadows [b] in first-match-wins order). *)
+
+val target_feeds : rule -> rule -> bool
+(** [target_feeds a b]: [b]'s source pattern matches the code [a]'s target
+    template emits — an A→B edge of the rewrite graph whose cycles make
+    the fixpoint pass loop. *)
+
 val rewrite : rule -> Ir.func -> match_result -> Ir.func option
 (** Replace the root definition with the instantiated target template
     (new definitions inserted just before the root, root redefined in

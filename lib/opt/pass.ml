@@ -17,10 +17,20 @@ let bump stats name =
   | Some n -> (name, n + 1) :: List.remove_assoc name stats
   | None -> (name, 1) :: stats
 
-let run ~rules ?(max_rewrites = 1000) (f : Ir.func) =
+type outcome = { func : Ir.func; stats : stats; saturated : bool }
+
+let run_guarded ~rules ?(max_rewrites = 1000) (f : Ir.func) =
   let stats = ref [] in
+  let saturated = ref false in
   let rec loop f budget =
-    if budget = 0 then f
+    if budget = 0 then begin
+      (* The budget is a termination guard, not a tuning knob: a healthy
+         rule set reaches a fixpoint long before it. Exhausting it almost
+         always means an A→B / B→A rewrite cycle (the paper reports
+         exactly such InstCombine loops, §4), so surface the fact. *)
+      saturated := true;
+      f
+    end
     else
       (* First (rule, def) pair that fires wins; restart after a rewrite so
          newly created instructions are themselves candidates. *)
@@ -45,7 +55,15 @@ let run ~rules ?(max_rewrites = 1000) (f : Ir.func) =
           loop (dce f') (budget - 1)
   in
   let f' = loop f max_rewrites in
-  (dce f', List.sort (fun (_, a) (_, b) -> Int.compare b a) !stats)
+  {
+    func = dce f';
+    stats = List.sort (fun (_, a) (_, b) -> Int.compare b a) !stats;
+    saturated = !saturated;
+  }
+
+let run ~rules ?max_rewrites (f : Ir.func) =
+  let o = run_guarded ~rules ?max_rewrites f in
+  (o.func, o.stats)
 
 let merge_stats a b =
   List.fold_left

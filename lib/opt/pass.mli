@@ -10,6 +10,19 @@ val dce : Ir.func -> Ir.func
     that can trigger UB (division, shifts) are kept only if used — the same
     (deliberate) aggressiveness as LLVM's DCE on InstCombine leftovers. *)
 
+type outcome = {
+  func : Ir.func;
+  stats : stats;
+  saturated : bool;
+      (** the rewrite budget ran out before a fixpoint — the signature of a
+          rewrite cycle in the rule set (§4's non-termination loops) *)
+}
+
+val run_guarded :
+  rules:Matcher.rule list -> ?max_rewrites:int -> Ir.func -> outcome
+(** Like {!run}, but reports whether the fixpoint was actually reached or
+    the budget cut a (probable) rewrite cycle short. *)
+
 val run :
   rules:Matcher.rule list ->
   ?max_rewrites:int ->

@@ -9,4 +9,5 @@ let () =
       Test_opt.suite;
       Test_suite.suite;
       Test_engine.suite;
+      Test_lint.suite;
     ]
