@@ -287,9 +287,20 @@ let parallel () =
   let run jobs = Alive_engine.Engine.verify_corpus ~jobs tasks in
   (* Warm the hash-consing table so both runs pay the same setup. *)
   ignore (run 1);
+  (* Under --json, collect per-phase histograms on the measured runs: both
+     runs pay the same (tiny) timing overhead, so the speedup stays fair,
+     and the snapshot after the scaling run feeds BENCH_trace.json and the
+     performance ledger. *)
+  if !json_enabled then Alive_trace.Metrics.set_phase_timing true;
   let r1 = run 1 in
   let n = Alive_engine.Engine.default_jobs () in
-  let rn = if n > 1 then run n else r1 in
+  let rn =
+    if n > 1 then begin
+      if !json_enabled then Alive_trace.Metrics.reset ();
+      run n
+    end
+    else r1
+  in
   Printf.printf "  %d tasks, %d queries, %d conflicts total\n"
     (List.length r1.results) r1.total.queries r1.total.telemetry.conflicts;
   Printf.printf "  --jobs 1:  wall %.2fs\n" r1.wall;
@@ -297,6 +308,8 @@ let parallel () =
     (r1.wall /. Float.max 1e-9 rn.wall);
   if n = 1 then
     Printf.printf "  (single-core host: run on a multi-core machine to see scaling)\n";
+  (* BENCH_parallel.json keeps its original schema; the new per-phase data
+     goes to BENCH_trace.json so downstream consumers don't break. *)
   record_json "parallel"
     (Json.Obj
        [
@@ -307,7 +320,39 @@ let parallel () =
          ("speedup", Json.Float (r1.wall /. Float.max 1e-9 rn.wall));
          ("queries", Json.Int r1.total.queries);
          ("conflicts", Json.Int r1.total.telemetry.conflicts);
-       ])
+       ]);
+  if !json_enabled then begin
+    record_json "trace"
+      (Json.Obj
+         [
+           ("jobs", Json.Int n);
+           ("wall_s", Json.Float rn.wall);
+           ("metrics", Alive_trace.Metrics.to_json ());
+         ]);
+    let verdicts = Hashtbl.create 8 in
+    List.iter
+      (fun r ->
+        let v = Alive_engine.Engine.verdict_name r in
+        Hashtbl.replace verdicts v
+          (1 + Option.value ~default:0 (Hashtbl.find_opt verdicts v)))
+      rn.results;
+    let verdicts =
+      List.sort compare
+        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) verdicts [])
+    in
+    let record =
+      Alive_trace.Ledger.make ~label:"bench.parallel" ~jobs:n
+        ~tasks:(List.length rn.results) ~wall_s:rn.wall
+        ~sat_s:rn.total.telemetry.sat_time ~queries:rn.total.queries
+        ~conflicts:rn.total.telemetry.conflicts
+        ~cegar_iterations:rn.total.telemetry.cegar_iterations ~verdicts ()
+    in
+    if Sys.file_exists "bench" && Sys.is_directory "bench" then begin
+      Alive_trace.Ledger.append ~path:"bench/ledger.jsonl" record;
+      Printf.printf "  [json] ledger record appended to bench/ledger.jsonl\n%!"
+    end;
+    Alive_trace.Metrics.set_phase_timing false
+  end
 
 (* --- §6.3 attribute inference --- *)
 

@@ -60,6 +60,51 @@ let conflict_limit_arg =
           "SAT conflict budget per SMT query; exhaustion reports 'unknown' \
            (default: no limit).")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record pipeline spans and write a Chrome trace-event JSON to \
+           $(docv) (open in Perfetto or chrome://tracing; one row per \
+           worker domain).")
+
+let collapsed_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "collapsed" ] ~docv:"FILE"
+        ~doc:
+          "Write collapsed-stack flamegraph lines to $(docv) (feed to \
+           flamegraph.pl or speedscope).")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Collect per-phase latency histograms and print the metrics \
+           table (count, total, p50/p90/p95/max) after the run.")
+
+(* Flip the observability switches before any pipeline work runs. *)
+let setup_observability ~trace ~collapsed ~metrics =
+  if trace <> None || collapsed <> None then Alive_trace.Trace.set_enabled true;
+  if metrics then Alive_trace.Metrics.set_phase_timing true
+
+let emit_observability ~trace ~collapsed ~metrics =
+  Option.iter
+    (fun path ->
+      Alive_trace.Trace.write_chrome path;
+      Printf.eprintf "trace written to %s\n" path)
+    trace;
+  Option.iter
+    (fun path ->
+      Alive_trace.Trace.write_collapsed path;
+      Printf.eprintf "collapsed stacks written to %s\n" path)
+    collapsed;
+  if metrics then Alive_trace.Metrics.render_table ()
+
 let budget_of ~timeout ~conflict_limit =
   if timeout > 0.0 || conflict_limit > 0 then
     Some
@@ -88,39 +133,45 @@ let with_transforms file f =
   | Ok transforms -> f transforms
 
 let verify_cmd =
-  let run file widths quiet jobs timeout conflict_limit show_stats =
+  let run file widths quiet jobs timeout conflict_limit show_stats trace
+      collapsed metrics =
     let widths = parse_widths widths in
     let jobs = resolve_jobs jobs in
     let budget = budget_of ~timeout ~conflict_limit in
-    with_transforms file (fun transforms ->
-        let invalid = ref 0 and unknown = ref 0 in
-        List.iter
-          (fun t ->
-            let result =
-              if jobs > 1 then
-                Alive_engine.Engine.check_parallel ~jobs ?widths ?budget t
-              else Alive.Refine.run ?widths ?budget t
-            in
-            (match Alive.Refine.verdict_class result.verdict with
-            | `Valid -> ()
-            | `Invalid -> incr invalid
-            | `Unknown -> incr unknown);
-            if quiet then
-              Format.printf "%s: %a@." t.Alive.Ast.name Alive.Refine.pp_verdict
-                result.verdict
-            else begin
-              Format.printf "----------------------------------------@.";
-              Format.printf "%a@.@." Alive.Ast.pp_transform t;
-              print_endline (Alive.Refine.render_verdict t result.verdict);
-              print_newline ()
-            end;
-            if show_stats then
-              Format.printf "stats: %a elapsed=%.3fs@." Alive.Refine.pp_stats
-                result.stats result.stats.elapsed)
-          transforms;
-        (* 1: a definite failure; 2: nothing failed but some checks were
-           undecided within budget — CI can treat those differently. *)
-        if !invalid > 0 then 1 else if !unknown > 0 then 2 else 0)
+    setup_observability ~trace ~collapsed ~metrics;
+    let code =
+      with_transforms file (fun transforms ->
+          let invalid = ref 0 and unknown = ref 0 in
+          List.iter
+            (fun t ->
+              let result =
+                if jobs > 1 then
+                  Alive_engine.Engine.check_parallel ~jobs ?widths ?budget t
+                else Alive.Refine.run ?widths ?budget t
+              in
+              (match Alive.Refine.verdict_class result.verdict with
+              | `Valid -> ()
+              | `Invalid -> incr invalid
+              | `Unknown -> incr unknown);
+              if quiet then
+                Format.printf "%s: %a@." t.Alive.Ast.name
+                  Alive.Refine.pp_verdict result.verdict
+              else begin
+                Format.printf "----------------------------------------@.";
+                Format.printf "%a@.@." Alive.Ast.pp_transform t;
+                print_endline (Alive.Refine.render_verdict t result.verdict);
+                print_newline ()
+              end;
+              if show_stats then
+                Format.printf "stats: %a elapsed=%.3fs@." Alive.Refine.pp_stats
+                  result.stats result.stats.elapsed)
+            transforms;
+          (* 1: a definite failure; 2: nothing failed but some checks were
+             undecided within budget — CI can treat those differently. *)
+          if !invalid > 0 then 1 else if !unknown > 0 then 2 else 0)
+    in
+    emit_observability ~trace ~collapsed ~metrics;
+    code
   in
   let quiet =
     Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"One line per verdict.")
@@ -144,7 +195,7 @@ let verify_cmd =
          :: Cmd.Exit.defaults))
     Term.(
       const run $ file_arg $ widths_arg $ quiet $ jobs_arg $ timeout_arg
-      $ conflict_limit_arg $ stats)
+      $ conflict_limit_arg $ stats $ trace_arg $ collapsed_arg $ metrics_arg)
 
 let infer_cmd =
   let run file widths =
@@ -321,6 +372,87 @@ let lint_cmd =
          :: Cmd.Exit.defaults))
     Term.(const run $ file $ json $ rule $ threshold $ jobs_arg)
 
+let perf_diff_cmd =
+  let module Ledger = Alive_trace.Ledger in
+  let last = function [] -> None | l -> Some (List.nth l (List.length l - 1)) in
+  let run ledger baseline threshold =
+    match Ledger.load ~path:ledger with
+    | Error e ->
+        Printf.eprintf "perf diff: %s\n" e;
+        1
+    | Ok [] ->
+        Printf.eprintf "perf diff: %s has no records\n" ledger;
+        1
+    | Ok records -> (
+        let latest = Option.get (last records) in
+        let base =
+          match baseline with
+          | Some path -> (
+              match Ledger.load ~path with
+              | Error e -> Error e
+              | Ok rs -> (
+                  match last rs with
+                  | Some r -> Ok r
+                  | None -> Error (path ^ " has no records")))
+          | None -> (
+              (* Compare against the previous record in the same ledger. A
+                 single-record ledger diffs against itself: no deltas, exit
+                 0 — so a freshly seeded ledger passes CI. *)
+              match last (List.filteri (fun i _ -> i < List.length records - 1) records) with
+              | Some prev -> Ok prev
+              | None -> Ok latest)
+        in
+        match base with
+        | Error e ->
+            Printf.eprintf "perf diff: %s\n" e;
+            1
+        | Ok base ->
+            let d = Ledger.diff ~threshold_pct:threshold ~baseline:base ~latest () in
+            Ledger.render_diff d;
+            if d.Ledger.regressions <> [] then 3 else 0)
+  in
+  let ledger =
+    Arg.(
+      value
+      & opt string "bench/ledger.jsonl"
+      & info [ "ledger" ] ~docv:"FILE"
+          ~doc:"The JSONL performance ledger to read (newest record last).")
+  in
+  let baseline =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:
+            "Take the baseline from the newest record of $(docv) instead of \
+             the ledger's previous record.")
+  in
+  let threshold =
+    Arg.(
+      value & opt float 15.0
+      & info [ "threshold" ] ~docv:"PCT"
+          ~doc:
+            "Regression threshold: wall time or SAT conflicts growing more \
+             than $(docv) percent fails the diff (default 15).")
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Compare the newest ledger record against a baseline and flag \
+          regressions on the gating metrics (wall time, SAT conflicts)."
+       ~exits:
+         (Cmd.Exit.info 3 ~doc:"a gating metric regressed past the threshold."
+         :: Cmd.Exit.defaults))
+    Term.(const run $ ledger $ baseline $ threshold)
+
+let perf_cmd =
+  Cmd.group
+    (Cmd.info "perf"
+       ~doc:
+         "Cross-run performance tracking over the ledger written by \
+          instrumented corpus runs (see docs/OBSERVABILITY.md).")
+    [ perf_diff_cmd ]
+
 let default =
   Term.(ret (const (`Help (`Pager, None))))
 
@@ -334,4 +466,4 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group ~default info
-          [ verify_cmd; infer_cmd; codegen_cmd; opt_cmd; lint_cmd ]))
+          [ verify_cmd; infer_cmd; codegen_cmd; opt_cmd; lint_cmd; perf_cmd ]))

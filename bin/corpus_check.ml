@@ -18,6 +18,10 @@ let json_path = ref ""
 let category = ref ""
 let quiet = ref false
 let lint = ref false
+let trace_path = ref ""
+let metrics = ref false
+let metrics_json = ref ""
+let ledger_path = ref ""
 
 let speclist =
   [
@@ -40,6 +44,20 @@ let speclist =
       Arg.Set_string category,
       "NAME  restrict to one InstCombine category (e.g. AddSub)" );
     ("--quiet", Arg.Set quiet, " only print mismatches and the summary");
+    ( "--trace",
+      Arg.Set_string trace_path,
+      "FILE  record pipeline spans and write a Chrome trace-event JSON \
+       (one row per worker domain; open in Perfetto)" );
+    ( "--metrics",
+      Arg.Set metrics,
+      " collect per-phase latency histograms and print the metrics table" );
+    ( "--metrics-json",
+      Arg.Set_string metrics_json,
+      "FILE  write the metrics registry snapshot as JSON" );
+    ( "--ledger",
+      Arg.Set_string ledger_path,
+      "FILE  append one performance-ledger record (JSONL) for this run; \
+       implies per-phase timing" );
   ]
 
 let () =
@@ -56,6 +74,9 @@ let () =
     Printf.eprintf "no corpus entries selected\n";
     exit 1
   end;
+  if !trace_path <> "" then Alive_trace.Trace.set_enabled true;
+  if !metrics || !metrics_json <> "" || !ledger_path <> "" then
+    Alive_trace.Metrics.set_phase_timing true;
   let lint_errors =
     if not !lint then 0
     else begin
@@ -146,6 +167,45 @@ let () =
   if !json_path <> "" then begin
     Json.to_file !json_path (Engine.report_json report);
     Printf.printf "report written to %s\n" !json_path
+  end;
+  if !trace_path <> "" then begin
+    Alive_trace.Trace.write_chrome !trace_path;
+    Printf.printf "trace written to %s\n" !trace_path
+  end;
+  if !metrics then Alive_trace.Metrics.render_table ();
+  if !metrics_json <> "" then begin
+    Json.to_file !metrics_json (Alive_trace.Metrics.to_json ());
+    Printf.printf "metrics written to %s\n" !metrics_json
+  end;
+  if !ledger_path <> "" then begin
+    (* One verdict histogram line per run; verdict names carry the unknown
+       reason ("unknown:timeout", ...), so regressions in decidability are
+       visible across runs too. *)
+    let verdicts = Hashtbl.create 8 in
+    List.iter
+      (fun r ->
+        let v = Engine.verdict_name r in
+        Hashtbl.replace verdicts v
+          (1 + Option.value ~default:0 (Hashtbl.find_opt verdicts v)))
+      report.results;
+    let verdicts =
+      List.sort compare
+        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) verdicts [])
+    in
+    let label =
+      if !category = "" then "corpus_check" else "corpus_check:" ^ !category
+    in
+    let record =
+      Alive_trace.Ledger.make ~label ~jobs:report.jobs
+        ~tasks:(List.length report.results)
+        ~budget_timeout_s:!timeout ~budget_conflicts:!conflicts
+        ~wall_s:report.wall ~sat_s:report.total.telemetry.sat_time
+        ~queries:report.total.queries
+        ~conflicts:report.total.telemetry.conflicts
+        ~cegar_iterations:report.total.telemetry.cegar_iterations ~verdicts ()
+    in
+    Alive_trace.Ledger.append ~path:!ledger_path record;
+    Printf.printf "ledger record appended to %s\n" !ledger_path
   end;
   if !mismatches > 0 || lint_errors > 0 then exit 1
   else if !undecided > 0 then exit 2

@@ -561,20 +561,22 @@ let make_state text =
   { toks = Array.of_list (Lexer.tokenize text); pos = 0 }
 
 let parse_transform text =
-  let st = make_state text in
-  let t = parse_one st ~index:0 in
-  skip_newlines st;
-  if peek st <> Lexer.EOF then fail st "trailing input after transformation";
-  t
+  Alive_trace.Trace.with_span "parse" (fun () ->
+      let st = make_state text in
+      let t = parse_one st ~index:0 in
+      skip_newlines st;
+      if peek st <> Lexer.EOF then fail st "trailing input after transformation";
+      t)
 
 let parse_file text =
-  let st = make_state text in
-  let rec go acc i =
-    skip_newlines st;
-    if peek st = Lexer.EOF then List.rev acc
-    else go (parse_one st ~index:i :: acc) (i + 1)
-  in
-  go [] 0
+  Alive_trace.Trace.with_span "parse" (fun () ->
+      let st = make_state text in
+      let rec go acc i =
+        skip_newlines st;
+        if peek st = Lexer.EOF then List.rev acc
+        else go (parse_one st ~index:i :: acc) (i + 1)
+      in
+      go [] 0)
 
 let parse_pred text =
   let st = make_state text in

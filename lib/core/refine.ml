@@ -36,10 +36,26 @@ let verdict_class = function
 
 (* --- Per-check statistics --- *)
 
+type unknown_breakdown = {
+  by_timeout : int;
+  by_conflicts : int;
+  by_cegar : int;
+}
+
+let count_unknown b (r : Solve.reason) =
+  match r with
+  | Solve.Timeout -> { b with by_timeout = b.by_timeout + 1 }
+  | Solve.Conflict_limit -> { b with by_conflicts = b.by_conflicts + 1 }
+  | Solve.Cegar_limit _ -> { b with by_cegar = b.by_cegar + 1 }
+
 type stats = {
   typings_done : int;
   queries : int;  (** refinement criteria decided (one CEGAR solve each) *)
   unknowns : int;  (** queries that exhausted their budget *)
+  unknown_reasons : unknown_breakdown;
+      (** the same queries, split by *why* the budget ran out *)
+  typing_s : float;  (** wall seconds enumerating feasible typings *)
+  vcgen_s : float;  (** wall seconds generating verification conditions *)
   telemetry : Solve.telemetry;
   elapsed : float;
 }
@@ -49,6 +65,9 @@ let empty_stats () =
     typings_done = 0;
     queries = 0;
     unknowns = 0;
+    unknown_reasons = { by_timeout = 0; by_conflicts = 0; by_cegar = 0 };
+    typing_s = 0.0;
+    vcgen_s = 0.0;
     telemetry = Solve.telemetry ();
     elapsed = 0.0;
   }
@@ -61,17 +80,29 @@ let merge_stats a b =
     typings_done = a.typings_done + b.typings_done;
     queries = a.queries + b.queries;
     unknowns = a.unknowns + b.unknowns;
+    unknown_reasons =
+      {
+        by_timeout = a.unknown_reasons.by_timeout + b.unknown_reasons.by_timeout;
+        by_conflicts =
+          a.unknown_reasons.by_conflicts + b.unknown_reasons.by_conflicts;
+        by_cegar = a.unknown_reasons.by_cegar + b.unknown_reasons.by_cegar;
+      };
+    typing_s = a.typing_s +. b.typing_s;
+    vcgen_s = a.vcgen_s +. b.vcgen_s;
     telemetry;
     elapsed = a.elapsed +. b.elapsed;
   }
 
 let pp_stats ppf s =
   Format.fprintf ppf
-    "typings=%d queries=%d unknown=%d sat=%.3fs conflicts=%d decisions=%d \
+    "typings=%d queries=%d unknown=%d (timeout=%d conflicts=%d cegar=%d) \
+     typing=%.3fs vcgen=%.3fs sat=%.3fs conflicts=%d decisions=%d \
      propagations=%d clauses=%d vars=%d cegar=%d"
-    s.typings_done s.queries s.unknowns s.telemetry.sat_time
-    s.telemetry.conflicts s.telemetry.decisions s.telemetry.propagations
-    s.telemetry.clauses s.telemetry.vars s.telemetry.cegar_iterations
+    s.typings_done s.queries s.unknowns s.unknown_reasons.by_timeout
+    s.unknown_reasons.by_conflicts s.unknown_reasons.by_cegar s.typing_s
+    s.vcgen_s s.telemetry.sat_time s.telemetry.conflicts s.telemetry.decisions
+    s.telemetry.propagations s.telemetry.clauses s.telemetry.vars
+    s.telemetry.cegar_iterations
 
 (* Instruction names to check: defined on both sides (the root always is,
    by the scoping rules). Checked in target order. *)
@@ -89,11 +120,26 @@ type typing_outcome =
 
 let check_typing ?budget ?(stats = empty_stats ()) ?share_memory_reads
     (t : Ast.transform) typing =
-  match Vcgen.run ?share_memory_reads typing t with
-  | exception Vcgen.Unsupported msg -> (Typing_unsupported msg, stats)
-  | vc ->
+  let module Trace = Alive_trace.Trace in
+  Trace.with_span ~meta:[ ("transform", Trace.Str t.name) ] "check_typing"
+  @@ fun () ->
+  let vcgen_t0 = Alive_trace.Clock.now () in
+  let vc_result =
+    match Vcgen.run ?share_memory_reads typing t with
+    | vc -> Ok vc
+    | exception Vcgen.Unsupported msg -> Error msg
+  in
+  let stats =
+    { stats with vcgen_s = stats.vcgen_s +. (Alive_trace.Clock.now () -. vcgen_t0) }
+  in
+  match vc_result with
+  | Error msg -> (Typing_unsupported msg, stats)
+  | Ok vc ->
       let exists = vc.src.undefs in
       let queries = ref 0 and unknowns = ref 0 in
+      let reasons =
+        ref { by_timeout = 0; by_conflicts = 0; by_cegar = 0 }
+      in
       let failure = ref None in
       let gave_up = ref None in
       (* Memory constraints: α from allocas plus the Ackermann congruence facts
@@ -124,6 +170,7 @@ let check_typing ?budget ?(stats = empty_stats ()) ?share_memory_reads
           | `Valid -> ()
           | `Unknown reason ->
               incr unknowns;
+              reasons := count_unknown !reasons reason;
               if !gave_up = None then gave_up := Some (name, reason)
           | `Invalid model ->
               failure :=
@@ -170,6 +217,13 @@ let check_typing ?budget ?(stats = empty_stats ()) ?share_memory_reads
           typings_done = stats.typings_done + 1;
           queries = stats.queries + !queries;
           unknowns = stats.unknowns + !unknowns;
+          unknown_reasons =
+            {
+              by_timeout = stats.unknown_reasons.by_timeout + !reasons.by_timeout;
+              by_conflicts =
+                stats.unknown_reasons.by_conflicts + !reasons.by_conflicts;
+              by_cegar = stats.unknown_reasons.by_cegar + !reasons.by_cegar;
+            };
         }
       in
       let outcome =
@@ -188,10 +242,22 @@ type result = {
 
 let run ?widths ?max_typings ?share_memory_reads ?budget (t : Ast.transform) =
   let t0 = Unix.gettimeofday () in
+  let typing_t0 = Alive_trace.Clock.now () in
+  let typings = Typing.enumerate ?widths ?max_typings t in
+  let typing_s = Alive_trace.Clock.now () -. typing_t0 in
   let finish verdict stats cex_vc =
-    { verdict; stats = { stats with elapsed = Unix.gettimeofday () -. t0 }; cex_vc }
+    {
+      verdict;
+      stats =
+        {
+          stats with
+          elapsed = Unix.gettimeofday () -. t0;
+          typing_s = stats.typing_s +. typing_s;
+        };
+      cex_vc;
+    }
   in
-  match Typing.enumerate ?widths ?max_typings t with
+  match typings with
   | Error e -> finish (Type_error e) (empty_stats ()) None
   | Ok [] ->
       finish

@@ -43,10 +43,25 @@ val verdict_class : verdict -> [ `Valid | `Invalid | `Unknown ]
 
 (** {1 Statistics} *)
 
+type unknown_breakdown = {
+  by_timeout : int;
+  by_conflicts : int;
+  by_cegar : int;
+}
+(** Budget-exhausted queries split by {e why} the budget ran out: wall
+    deadline, SAT conflict allowance, or the CEGAR iteration cap. *)
+
+val count_unknown : unknown_breakdown -> Alive_smt.Solve.reason -> unknown_breakdown
+
 type stats = {
   typings_done : int;
   queries : int;  (** refinement criteria decided (one CEGAR solve each) *)
   unknowns : int;  (** queries that exhausted their budget *)
+  unknown_reasons : unknown_breakdown;
+      (** the same queries, split by reason; the three fields sum to
+          [unknowns] *)
+  typing_s : float;  (** wall seconds enumerating feasible typings *)
+  vcgen_s : float;  (** wall seconds generating verification conditions *)
   telemetry : Alive_smt.Solve.telemetry;
   elapsed : float;  (** wall seconds for the whole check *)
 }

@@ -318,7 +318,8 @@ let pp_env ppf env =
 
 let default_widths = [ 4; 8; 1; 2; 3; 5; 6; 7 ]
 
-let enumerate ?(widths = default_widths) ?(max_typings = 64) (t : transform) =
+let enumerate_untraced ?(widths = default_widths) ?(max_typings = 64)
+    (t : transform) =
   let c = { uf = Uf.create (); ids = Hashtbl.create 32; lt = []; ge = [] } in
   try
     List.iter (stmt_constraints c) t.src;
@@ -426,6 +427,15 @@ let enumerate ?(widths = default_widths) ?(max_typings = 64) (t : transform) =
     go free_roots;
     Ok (List.rev !results)
   with Type_error message -> Error { message; transform = t.name }
+
+let enumerate ?widths ?max_typings (t : transform) =
+  let module Trace = Alive_trace.Trace in
+  let sp = Trace.begin_span ~meta:[ ("transform", Trace.Str t.name) ] "typing" in
+  let r = enumerate_untraced ?widths ?max_typings t in
+  Trace.add_meta sp
+    [ ("typings", Trace.Int (match r with Ok l -> List.length l | Error _ -> 0)) ];
+  Trace.end_span sp;
+  r
 
 let classes (t : transform) =
   let c = { uf = Uf.create (); ids = Hashtbl.create 32; lt = []; ge = [] } in

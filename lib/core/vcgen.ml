@@ -660,7 +660,7 @@ let alloca_constraints mem =
   in
   List.map block_ok mem.allocas @ disjoint mem.allocas
 
-let run ?(share_memory_reads = true) env (t : transform) =
+let run_untraced ?(share_memory_reads = true) env (t : transform) =
   let mem = fresh_mem_ctx ~share_reads:share_memory_reads in
   let src_builder, src = build_side env ~side_tag:"src" ~base:[] ~mem t.src in
   (* A target operand naming a source temporary denotes the value the source
@@ -707,3 +707,9 @@ let run ?(share_memory_reads = true) env (t : transform) =
     inputs;
     memory;
   }
+
+let run ?share_memory_reads env (t : transform) =
+  Alive_trace.Trace.with_span
+    ~meta:[ ("transform", Alive_trace.Trace.Str t.name) ]
+    "vcgen"
+    (fun () -> run_untraced ?share_memory_reads env t)

@@ -16,6 +16,7 @@
 
 module Solve = Alive_smt.Solve
 module Refine = Alive.Refine
+module Trace = Alive_trace.Trace
 
 let default_jobs () = max 1 (Domain.recommended_domain_count ())
 
@@ -31,7 +32,13 @@ type 'b outcome = {
 let run_one ~index ~label f x =
   let t0 = Unix.gettimeofday () in
   let result =
-    try Ok (f x) with e -> Error (Printexc.to_string e)
+    (* The "task" span is the per-item root: everything the worker does for
+       this item (parse, typing, vcgen, solving) nests under it on the
+       worker's own trace row. *)
+    Trace.with_span
+      ~meta:[ ("name", Trace.Str label); ("index", Trace.Int index) ]
+      "task"
+      (fun () -> try Ok (f x) with e -> Error (Printexc.to_string e))
   in
   { index; label; result; elapsed = Unix.gettimeofday () -. t0 }
 
@@ -219,34 +226,59 @@ let verdict_name (r : task_result) =
       match res.Refine.verdict with
       | Refine.Valid _ -> "valid"
       | Refine.Invalid _ -> "invalid"
-      | Refine.Unknown _ -> "unknown"
+      | Refine.Unknown u -> "unknown:" ^ Solve.reason_slug u.reason
       | Refine.Type_error _ -> "type-error"
       | Refine.Unsupported_feature _ -> "unsupported")
 
 let print_table ?(oc = stdout) report =
-  Printf.fprintf oc "%-55s %-10s %8s %8s %10s %6s\n" "transform" "verdict"
-    "time(s)" "queries" "conflicts" "cegar";
+  (* Column widths are computed from the data so long transform names don't
+     shear the numeric columns out of alignment. Numbers are right-justified
+     under their headers. *)
+  let row r =
+    match r.outcome with
+    | Ok res ->
+        let s = res.Refine.stats in
+        ( Printf.sprintf "%.3f" r.elapsed,
+          Printf.sprintf "%.3f" s.Refine.typing_s,
+          Printf.sprintf "%.3f" s.Refine.vcgen_s,
+          Printf.sprintf "%.3f" s.Refine.telemetry.sat_time,
+          string_of_int s.Refine.queries,
+          string_of_int s.Refine.telemetry.conflicts,
+          string_of_int s.Refine.telemetry.cegar_iterations )
+    | Error _ -> (Printf.sprintf "%.3f" r.elapsed, "-", "-", "-", "-", "-", "-")
+  in
+  let rows = List.map (fun r -> (r, row r)) report.results in
+  let name_w =
+    List.fold_left
+      (fun w (r, _) -> max w (String.length r.name))
+      (String.length "transform") rows
+  in
+  let verdict_w =
+    List.fold_left
+      (fun w (r, _) -> max w (String.length (verdict_name r)))
+      (String.length "verdict") rows
+  in
+  Printf.fprintf oc "%-*s  %-*s  %8s %9s %8s %8s %8s %10s %6s\n" name_w
+    "transform" verdict_w "verdict" "time(s)" "typing(s)" "vcgen(s)" "sat(s)"
+    "queries" "conflicts" "cegar";
   List.iter
-    (fun r ->
-      let queries, conflicts, cegar =
-        match r.outcome with
-        | Ok res ->
-            ( string_of_int res.Refine.stats.queries,
-              string_of_int res.Refine.stats.telemetry.conflicts,
-              string_of_int res.Refine.stats.telemetry.cegar_iterations )
-        | Error _ -> ("-", "-", "-")
-      in
-      Printf.fprintf oc "%-55s %-10s %8.3f %8s %10s %6s\n" r.name
-        (verdict_name r) r.elapsed queries conflicts cegar)
-    report.results;
+    (fun (r, (time, typing, vcgen, sat, queries, conflicts, cegar)) ->
+      Printf.fprintf oc "%-*s  %-*s  %8s %9s %8s %8s %8s %10s %6s\n" name_w
+        r.name verdict_w (verdict_name r) time typing vcgen sat queries
+        conflicts cegar)
+    rows;
   let t = report.total in
+  let u = t.Refine.unknown_reasons in
   Printf.fprintf oc
     "total: %d tasks (%d crashed), wall %.2fs with %d job(s); %d queries, %d \
-     unknown, sat %.2fs, %d conflicts, %d clauses, %d cegar iterations\n"
+     unknown (timeout=%d conflicts=%d cegar=%d), typing %.2fs, vcgen %.2fs, \
+     sat %.2fs, %d conflicts, %d clauses, %d cegar iterations\n"
     (List.length report.results)
     report.crashed report.wall report.jobs t.Refine.queries t.Refine.unknowns
-    t.Refine.telemetry.sat_time t.Refine.telemetry.conflicts
-    t.Refine.telemetry.clauses t.Refine.telemetry.cegar_iterations
+    u.Refine.by_timeout u.Refine.by_conflicts u.Refine.by_cegar
+    t.Refine.typing_s t.Refine.vcgen_s t.Refine.telemetry.sat_time
+    t.Refine.telemetry.conflicts t.Refine.telemetry.clauses
+    t.Refine.telemetry.cegar_iterations
 
 let stats_json (s : Refine.stats) =
   Json.Obj
@@ -254,7 +286,16 @@ let stats_json (s : Refine.stats) =
       ("typings", Json.Int s.Refine.typings_done);
       ("queries", Json.Int s.Refine.queries);
       ("unknowns", Json.Int s.Refine.unknowns);
+      ( "unknown_reasons",
+        Json.Obj
+          [
+            ("timeout", Json.Int s.Refine.unknown_reasons.Refine.by_timeout);
+            ("conflicts", Json.Int s.Refine.unknown_reasons.Refine.by_conflicts);
+            ("cegar", Json.Int s.Refine.unknown_reasons.Refine.by_cegar);
+          ] );
       ("elapsed_s", Json.Float s.Refine.elapsed);
+      ("typing_s", Json.Float s.Refine.typing_s);
+      ("vcgen_s", Json.Float s.Refine.vcgen_s);
       ("sat_time_s", Json.Float s.Refine.telemetry.sat_time);
       ("checks", Json.Int s.Refine.telemetry.checks);
       ("conflicts", Json.Int s.Refine.telemetry.conflicts);

@@ -87,11 +87,15 @@ val verify_corpus :
 (** {1 Reporting} *)
 
 val verdict_name : task_result -> string
-(** ["valid"], ["invalid"], ["unknown"], ["type-error"], ["unsupported"],
-    or ["crash"]. *)
+(** ["valid"], ["invalid"], ["type-error"], ["unsupported"], ["crash"], or
+    ["unknown:<reason>"] where the reason slug says which budget ran out
+    ([timeout], [conflicts], or [cegar] — see
+    {!Alive_smt.Solve.reason_slug}). *)
 
 val print_table : ?oc:out_channel -> report -> unit
-(** Per-task stats table plus a totals line. *)
+(** Per-task stats table plus a totals line. Column widths adapt to the
+    longest transform name; numeric columns are right-justified and include
+    per-phase wall time (typing, vcgen, sat). *)
 
 val stats_json : Alive.Refine.stats -> Json.t
 val report_json : report -> Json.t

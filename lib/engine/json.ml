@@ -1,68 +1,5 @@
-(* A minimal JSON printer — enough for stats records and bench results,
-   without pulling a JSON library into the dependency set. *)
+(* The JSON printer/parser lives at the bottom of the stack now (the
+   tracing layer emits JSON too); re-export it so existing
+   [Alive_engine.Json] users keep working. *)
 
-type t =
-  | Null
-  | Bool of bool
-  | Int of int
-  | Float of float
-  | String of string
-  | List of t list
-  | Obj of (string * t) list
-
-let escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
-let rec write buf = function
-  | Null -> Buffer.add_string buf "null"
-  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
-  | Int n -> Buffer.add_string buf (string_of_int n)
-  | Float f ->
-      if Float.is_integer f && Float.abs f < 1e15 then
-        Buffer.add_string buf (Printf.sprintf "%.1f" f)
-      else Buffer.add_string buf (Printf.sprintf "%.6g" f)
-  | String s ->
-      Buffer.add_char buf '"';
-      Buffer.add_string buf (escape s);
-      Buffer.add_char buf '"'
-  | List l ->
-      Buffer.add_char buf '[';
-      List.iteri
-        (fun i x ->
-          if i > 0 then Buffer.add_char buf ',';
-          write buf x)
-        l;
-      Buffer.add_char buf ']'
-  | Obj fields ->
-      Buffer.add_char buf '{';
-      List.iteri
-        (fun i (k, v) ->
-          if i > 0 then Buffer.add_char buf ',';
-          write buf (String k);
-          Buffer.add_char buf ':';
-          write buf v)
-        fields;
-      Buffer.add_char buf '}'
-
-let to_string j =
-  let buf = Buffer.create 256 in
-  write buf j;
-  Buffer.contents buf
-
-let to_file path j =
-  Out_channel.with_open_text path (fun oc ->
-      Out_channel.output_string oc (to_string j);
-      Out_channel.output_char oc '\n')
+include Alive_trace.Json

@@ -490,7 +490,7 @@ type budget_reason = Conflicts | Deadline
 
 exception Budget_exceeded of budget_reason
 
-let solve ?(assumptions = []) ?(conflict_limit = max_int) ?deadline t =
+let solve_untraced ?(assumptions = []) ?(conflict_limit = max_int) ?deadline t =
   if not t.ok then false
   else begin
     cancel_until t 0;
@@ -524,6 +524,27 @@ let solve ?(assumptions = []) ?(conflict_limit = max_int) ?deadline t =
     if !result = Some false then cancel_until t 0;
     Option.get !result
   end
+
+let solve ?assumptions ?conflict_limit ?deadline t =
+  let module Trace = Alive_trace.Trace in
+  let sp = Trace.begin_span "cdcl" in
+  let c0 = t.conflicts and d0 = t.decisions in
+  let finish outcome =
+    Trace.add_meta sp
+      [
+        ("outcome", Trace.Str outcome);
+        ("conflicts", Trace.Int (t.conflicts - c0));
+        ("decisions", Trace.Int (t.decisions - d0));
+      ];
+    Trace.end_span sp
+  in
+  match solve_untraced ?assumptions ?conflict_limit ?deadline t with
+  | sat ->
+      finish (if sat then "sat" else "unsat");
+      sat
+  | exception e ->
+      finish "budget";
+      raise e
 
 let value t l =
   match lit_value t l with

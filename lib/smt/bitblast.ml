@@ -290,14 +290,26 @@ and blast_bvop t op a b =
       (* Removed by Lower. *)
       assert false
 
+module Trace = Alive_trace.Trace
+
+(* [lower] rewrites to the core fragment, [bitblast] runs the Tseitin
+   encoding; both are memoized per context, so re-asserting shared
+   subterms shows up as near-zero-duration spans. *)
+let lower_traced term = Trace.with_span "lower" (fun () -> Lower.lower term)
+
+let blast_bool_traced t term =
+  Trace.with_span "bitblast" (fun () -> blast_bool t term)
+
 let assert_formula t term =
   if not (equal_sort (Term.sort term) Bool) then
     invalid_arg "Bitblast.assert_formula: bitvector-sorted term";
-  let l = blast_bool t (Lower.lower term) in
+  let l = blast_bool_traced t (lower_traced term) in
   S.add_clause t.sat [ l ]
 
 let check ?(assumptions = []) ?conflict_limit ?deadline t =
-  let lits = List.map (fun f -> blast_bool t (Lower.lower f)) assumptions in
+  let lits =
+    List.map (fun f -> blast_bool_traced t (lower_traced f)) assumptions
+  in
   if S.solve ~assumptions:lits ?conflict_limit ?deadline t.sat then `Sat
   else `Unsat
 

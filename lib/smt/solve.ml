@@ -11,6 +11,13 @@ let pp_reason ppf = function
 
 let reason_to_string r = Format.asprintf "%a" pp_reason r
 
+(* Stable machine-readable tag, used by verdict names, JSON reports and
+   the per-reason unknown counters. *)
+let reason_slug = function
+  | Timeout -> "timeout"
+  | Conflict_limit -> "conflicts"
+  | Cegar_limit _ -> "cegar"
+
 type budget = {
   timeout : float option;
   conflict_limit : int option;
@@ -78,10 +85,13 @@ let start_meter ?telemetry:sink (b : budget) =
     sink;
   }
 
+module Trace = Alive_trace.Trace
+
 (* One solver invocation under the meter, with stats deltas recorded.
    Returns [`Unknown] instead of letting [Budget_exceeded] escape. *)
 let metered_check ?assumptions m ctx :
     [ `Sat | `Unsat | `Unknown of reason ] =
+  let sp = Trace.begin_span "sat_solve" in
   let s0 = Bitblast.stats ctx in
   let t0 = Unix.gettimeofday () in
   let result =
@@ -107,6 +117,19 @@ let metered_check ?assumptions m ctx :
       t.decisions <- t.decisions + (s1.decisions - s0.decisions);
       t.propagations <- t.propagations + (s1.propagations - s0.propagations);
       t.restarts <- t.restarts + (s1.restarts - s0.restarts));
+  Trace.add_meta sp
+    [
+      ( "result",
+        Trace.Str
+          (match result with
+          | `Sat -> "sat"
+          | `Unsat -> "unsat"
+          | `Unknown r -> "unknown:" ^ reason_slug r) );
+      ("conflicts", Trace.Int spent);
+      ("clauses", Trace.Int s1.clauses);
+      ("vars", Trace.Int s1.vars);
+    ];
+  Trace.end_span sp;
   result
 
 (* Clause/variable counts grow during [assert_formula], outside any solve
@@ -129,8 +152,11 @@ let value_to_term = function
   | Term.Vbv c -> Term.const c
 
 let extract_model ctx vars =
-  Model.of_list
-    (List.map (fun (name, sort) -> (name, Bitblast.model_value ctx name sort)) vars)
+  Trace.with_span "model_extract" (fun () ->
+      Model.of_list
+        (List.map
+           (fun (name, sort) -> (name, Bitblast.model_value ctx name sort))
+           vars))
 
 let check_sat ?(budget = no_budget) ?telemetry formulas =
   let ctx = Bitblast.create () in
@@ -182,48 +208,58 @@ let check_valid_ef ?(budget = no_budget) ?telemetry ?max_iterations ~exists f =
       (* Seed with the all-zero candidate. *)
       add_candidate
         (Model.of_list (List.map (fun (n, s) -> (n, default_value s)) exists));
+      (* One refinement round under its own span, so iterations render as
+         sibling slices rather than one ever-deepening nest. The recursion
+         happens outside the span. *)
+      let step iter =
+        Trace.with_span ~meta:[ ("iteration", Trace.Int iter) ] "cegar_iter"
+          (fun () ->
+            match metered_check m outer with
+            | `Unknown r -> `Stop (`Unknown r)
+            | `Unsat -> `Stop `Valid
+            | `Sat -> (
+                let o_model = extract_model outer outer_vars in
+                (* Does some E satisfy f under this O? *)
+                let o_bindings =
+                  List.map
+                    (fun (n, _) -> (n, value_to_term (Model.find_exn o_model n)))
+                    outer_vars
+                in
+                let f_inner = Term.subst o_bindings f in
+                let inner = Bitblast.create () in
+                Bitblast.assert_formula inner f_inner;
+                let inner_result = metered_check m inner in
+                retire_ctx m inner;
+                match inner_result with
+                | `Unknown r -> `Stop (`Unknown r)
+                | `Unsat -> `Stop (`Invalid o_model)
+                | `Sat ->
+                    let e_model =
+                      extract_model inner
+                        (List.sort_uniq Stdlib.compare (Term.vars f_inner))
+                    in
+                    let cand =
+                      Model.of_list
+                        (List.map
+                           (fun (n, s) ->
+                             ( n,
+                               match Model.find e_model n with
+                               | Some v -> v
+                               | None -> default_value s ))
+                           exists)
+                    in
+                    add_candidate cand;
+                    `Refine))
+      in
       let rec loop iter =
         if iter >= max_iterations then `Unknown (Cegar_limit iter)
         else begin
           (match telemetry with
           | Some t -> t.cegar_iterations <- t.cegar_iterations + 1
           | None -> ());
-          match metered_check m outer with
-          | `Unknown r -> `Unknown r
-          | `Unsat -> `Valid
-          | `Sat -> (
-              let o_model = extract_model outer outer_vars in
-              (* Does some E satisfy f under this O? *)
-              let o_bindings =
-                List.map
-                  (fun (n, _) -> (n, value_to_term (Model.find_exn o_model n)))
-                  outer_vars
-              in
-              let f_inner = Term.subst o_bindings f in
-              let inner = Bitblast.create () in
-              Bitblast.assert_formula inner f_inner;
-              let inner_result = metered_check m inner in
-              retire_ctx m inner;
-              match inner_result with
-              | `Unknown r -> `Unknown r
-              | `Unsat -> `Invalid o_model
-              | `Sat ->
-                  let e_model =
-                    extract_model inner
-                      (List.sort_uniq Stdlib.compare (Term.vars f_inner))
-                  in
-                  let cand =
-                    Model.of_list
-                      (List.map
-                         (fun (n, s) ->
-                           ( n,
-                             match Model.find e_model n with
-                             | Some v -> v
-                             | None -> default_value s ))
-                         exists)
-                  in
-                  add_candidate cand;
-                  loop (iter + 1))
+          match step iter with
+          | `Stop r -> r
+          | `Refine -> loop (iter + 1)
         end
       in
       let result = loop 0 in

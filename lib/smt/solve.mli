@@ -17,6 +17,11 @@ type reason = Timeout | Conflict_limit | Cegar_limit of int
 val pp_reason : Format.formatter -> reason -> unit
 val reason_to_string : reason -> string
 
+val reason_slug : reason -> string
+(** Stable machine-readable tag: ["timeout"], ["conflicts"] or ["cegar"].
+    Used in verdict names ([unknown:timeout]), JSON reports and the
+    per-reason unknown counters. *)
+
 type budget = {
   timeout : float option;  (** seconds of wall clock, per query *)
   conflict_limit : int option;

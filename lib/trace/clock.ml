@@ -1,0 +1,7 @@
+(* Monotonic time in seconds since an arbitrary origin. The native call is
+   unboxed and noalloc; use this for all span timing so traces are immune
+   to wall-clock steps. *)
+
+external now : unit -> (float[@unboxed])
+  = "alive_trace_now" "alive_trace_now_unboxed"
+[@@noalloc]

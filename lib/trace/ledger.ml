@@ -1,0 +1,292 @@
+(* The cross-run performance ledger.
+
+   Every instrumented engine run appends exactly one JSONL record to
+   bench/ledger.jsonl: enough identity to know what ran (git revision,
+   label, jobs, budget) and enough aggregate to spot a regression (wall
+   time, solver counters, verdict histogram, per-phase totals from the
+   metrics registry). `alive_cli perf diff` compares the newest record
+   against a baseline and flags wall/conflict movements beyond a
+   threshold. *)
+
+type phase_total = { phase : string; count : int; total_s : float }
+
+type record = {
+  schema : int;
+  timestamp : string;  (* ISO-8601 UTC *)
+  git_rev : string;
+  label : string;  (* e.g. "corpus_check", "bench.parallel" *)
+  jobs : int;
+  tasks : int;
+  budget_timeout_s : float;  (* 0 = none *)
+  budget_conflicts : int;  (* 0 = none *)
+  wall_s : float;
+  sat_s : float;
+  queries : int;
+  conflicts : int;
+  cegar_iterations : int;
+  verdicts : (string * int) list;  (* verdict name -> count *)
+  phases : phase_total list;
+}
+
+let schema_version = 1
+
+let iso8601 t =
+  let tm = Unix.gmtime t in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+let git_rev () =
+  match Sys.getenv_opt "GITHUB_SHA" with
+  | Some s when String.length s >= 12 -> String.sub s 0 12
+  | Some s when s <> "" -> s
+  | _ -> (
+      try
+        let ic =
+          Unix.open_process_in "git rev-parse --short=12 HEAD 2>/dev/null"
+        in
+        let line = try input_line ic with End_of_file -> "" in
+        ignore (Unix.close_process_in ic);
+        if line = "" then "unknown" else line
+      with _ -> "unknown")
+
+let phases_of_metrics () =
+  List.filter_map
+    (fun (h : Metrics.hist_snapshot) ->
+      if h.count > 0 then
+        Some { phase = h.name; count = h.count; total_s = h.total_s }
+      else None)
+    (Metrics.snapshot ()).histograms
+
+let make ~label ~jobs ~tasks ?(budget_timeout_s = 0.0) ?(budget_conflicts = 0)
+    ~wall_s ~sat_s ~queries ~conflicts ~cegar_iterations ~verdicts
+    ?(phases = phases_of_metrics ()) () =
+  {
+    schema = schema_version;
+    timestamp = iso8601 (Unix.gettimeofday ());
+    git_rev = git_rev ();
+    label;
+    jobs;
+    tasks;
+    budget_timeout_s;
+    budget_conflicts;
+    wall_s;
+    sat_s;
+    queries;
+    conflicts;
+    cegar_iterations;
+    verdicts;
+    phases;
+  }
+
+(* --- JSON --- *)
+
+let to_json r =
+  Json.Obj
+    [
+      ("schema", Json.Int r.schema);
+      ("timestamp", Json.String r.timestamp);
+      ("git_rev", Json.String r.git_rev);
+      ("label", Json.String r.label);
+      ("jobs", Json.Int r.jobs);
+      ("tasks", Json.Int r.tasks);
+      ( "budget",
+        Json.Obj
+          [
+            ("timeout_s", Json.Float r.budget_timeout_s);
+            ("conflict_limit", Json.Int r.budget_conflicts);
+          ] );
+      ("wall_s", Json.Float r.wall_s);
+      ("sat_s", Json.Float r.sat_s);
+      ("queries", Json.Int r.queries);
+      ("conflicts", Json.Int r.conflicts);
+      ("cegar_iterations", Json.Int r.cegar_iterations);
+      ("verdicts", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) r.verdicts));
+      ( "phases",
+        Json.Obj
+          (List.map
+             (fun p ->
+               ( p.phase,
+                 Json.Obj
+                   [
+                     ("count", Json.Int p.count);
+                     ("total_s", Json.Float p.total_s);
+                   ] ))
+             r.phases) );
+    ]
+
+let of_json j =
+  let str k d = Option.value ~default:d (Option.bind (Json.member k j) Json.to_str) in
+  let int k d = Option.value ~default:d (Option.bind (Json.member k j) Json.to_int) in
+  let flt k d =
+    Option.value ~default:d (Option.bind (Json.member k j) Json.to_float)
+  in
+  match Json.member "wall_s" j with
+  | None -> Error "ledger record: missing wall_s"
+  | Some _ ->
+      let budget = Option.value ~default:(Json.Obj []) (Json.member "budget" j) in
+      let verdicts =
+        match Option.bind (Json.member "verdicts" j) Json.to_obj with
+        | None -> []
+        | Some fields ->
+            List.filter_map
+              (fun (k, v) -> Option.map (fun n -> (k, n)) (Json.to_int v))
+              fields
+      in
+      let phases =
+        match Option.bind (Json.member "phases" j) Json.to_obj with
+        | None -> []
+        | Some fields ->
+            List.map
+              (fun (phase, v) ->
+                {
+                  phase;
+                  count =
+                    Option.value ~default:0
+                      (Option.bind (Json.member "count" v) Json.to_int);
+                  total_s =
+                    Option.value ~default:0.0
+                      (Option.bind (Json.member "total_s" v) Json.to_float);
+                })
+              fields
+      in
+      Ok
+        {
+          schema = int "schema" 1;
+          timestamp = str "timestamp" "";
+          git_rev = str "git_rev" "unknown";
+          label = str "label" "";
+          jobs = int "jobs" 1;
+          tasks = int "tasks" 0;
+          budget_timeout_s =
+            Option.value ~default:0.0
+              (Option.bind (Json.member "timeout_s" budget) Json.to_float);
+          budget_conflicts =
+            Option.value ~default:0
+              (Option.bind (Json.member "conflict_limit" budget) Json.to_int);
+          wall_s = flt "wall_s" 0.0;
+          sat_s = flt "sat_s" 0.0;
+          queries = int "queries" 0;
+          conflicts = int "conflicts" 0;
+          cegar_iterations = int "cegar_iterations" 0;
+          verdicts;
+          phases;
+        }
+
+(* --- Persistence --- *)
+
+let append ~path r =
+  let oc =
+    open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
+  in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string (to_json r));
+      output_char oc '\n')
+
+let load ~path =
+  if not (Sys.file_exists path) then Error (path ^ ": no such ledger")
+  else
+    let lines =
+      In_channel.with_open_text path In_channel.input_lines
+      |> List.filter (fun l -> String.trim l <> "")
+    in
+    let rec go acc i = function
+      | [] -> Ok (List.rev acc)
+      | line :: rest -> (
+          match Json.parse line with
+          | Error e -> Error (Printf.sprintf "%s:%d: %s" path (i + 1) e)
+          | Ok j -> (
+              match of_json j with
+              | Error e -> Error (Printf.sprintf "%s:%d: %s" path (i + 1) e)
+              | Ok r -> go (r :: acc) (i + 1) rest))
+    in
+    go [] 0 lines
+
+(* --- Diffing --- *)
+
+type delta = {
+  metric : string;
+  base : float;
+  now : float;
+  pct : float;  (* signed percentage change, +: now is bigger *)
+  regressed : bool;
+}
+
+type diff = {
+  baseline : record;
+  latest : record;
+  deltas : delta list;  (* gating metrics first, then per-phase info *)
+  regressions : delta list;
+}
+
+let pct_change base now =
+  if base = 0.0 then if now = 0.0 then 0.0 else Float.infinity
+  else (now -. base) /. base *. 100.0
+
+let diff ?(threshold_pct = 15.0) ~baseline ~latest () =
+  let gate metric base now =
+    let pct = pct_change base now in
+    { metric; base; now; pct; regressed = pct > threshold_pct }
+  in
+  let info metric base now =
+    { metric; base; now; pct = pct_change base now; regressed = false }
+  in
+  let gating =
+    [
+      gate "wall_s" baseline.wall_s latest.wall_s;
+      gate "conflicts" (float_of_int baseline.conflicts)
+        (float_of_int latest.conflicts);
+    ]
+  in
+  let informational =
+    info "sat_s" baseline.sat_s latest.sat_s
+    :: info "queries" (float_of_int baseline.queries)
+         (float_of_int latest.queries)
+    :: info "cegar_iterations"
+         (float_of_int baseline.cegar_iterations)
+         (float_of_int latest.cegar_iterations)
+    :: List.filter_map
+         (fun p ->
+           match
+             List.find_opt (fun b -> b.phase = p.phase) baseline.phases
+           with
+           | Some b -> Some (info ("phase:" ^ p.phase) b.total_s p.total_s)
+           | None -> None)
+         latest.phases
+  in
+  let deltas = gating @ informational in
+  {
+    baseline;
+    latest;
+    deltas;
+    regressions = List.filter (fun d -> d.regressed) gating;
+  }
+
+let render_diff ?(oc = stdout) d =
+  Printf.fprintf oc "baseline: %s  %s  (%s, %d tasks, %d jobs)\n"
+    d.baseline.git_rev d.baseline.timestamp d.baseline.label d.baseline.tasks
+    d.baseline.jobs;
+  Printf.fprintf oc "latest:   %s  %s  (%s, %d tasks, %d jobs)\n"
+    d.latest.git_rev d.latest.timestamp d.latest.label d.latest.tasks
+    d.latest.jobs;
+  let metric_w =
+    List.fold_left (fun w x -> max w (String.length x.metric)) 6 d.deltas
+  in
+  Printf.fprintf oc "%-*s %14s %14s %9s\n" metric_w "metric" "baseline"
+    "latest" "change";
+  List.iter
+    (fun x ->
+      let pct =
+        if Float.is_finite x.pct then Printf.sprintf "%+.1f%%" x.pct else "new"
+      in
+      Printf.fprintf oc "%-*s %14.3f %14.3f %9s%s\n" metric_w x.metric x.base
+        x.now pct
+        (if x.regressed then "  REGRESSION" else ""))
+    d.deltas;
+  if d.regressions = [] then
+    Printf.fprintf oc "no regression beyond threshold\n"
+  else
+    Printf.fprintf oc "%d metric(s) regressed beyond threshold\n"
+      (List.length d.regressions)

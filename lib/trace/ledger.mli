@@ -1,0 +1,81 @@
+(** The cross-run performance ledger.
+
+    Each instrumented engine run appends one JSON line to a ledger file
+    (by convention [bench/ledger.jsonl]): git revision, run label, jobs,
+    budget, wall time, solver counters, verdict histogram, and per-phase
+    totals from the {!Metrics} registry. [alive_cli perf diff] loads the
+    ledger and compares the newest record against a baseline. *)
+
+type phase_total = { phase : string; count : int; total_s : float }
+
+type record = {
+  schema : int;
+  timestamp : string;  (** ISO-8601 UTC *)
+  git_rev : string;
+  label : string;
+  jobs : int;
+  tasks : int;
+  budget_timeout_s : float;  (** 0 = none *)
+  budget_conflicts : int;  (** 0 = none *)
+  wall_s : float;
+  sat_s : float;
+  queries : int;
+  conflicts : int;
+  cegar_iterations : int;
+  verdicts : (string * int) list;
+  phases : phase_total list;
+}
+
+val schema_version : int
+
+val make :
+  label:string ->
+  jobs:int ->
+  tasks:int ->
+  ?budget_timeout_s:float ->
+  ?budget_conflicts:int ->
+  wall_s:float ->
+  sat_s:float ->
+  queries:int ->
+  conflicts:int ->
+  cegar_iterations:int ->
+  verdicts:(string * int) list ->
+  ?phases:phase_total list ->
+  unit ->
+  record
+(** Build a record stamped with the current UTC time and git revision
+    ([GITHUB_SHA] env, else [git rev-parse], else ["unknown"]). [phases]
+    defaults to the current {!Metrics} histogram totals. *)
+
+val to_json : record -> Json.t
+val of_json : Json.t -> (record, string) result
+
+val append : path:string -> record -> unit
+(** Append one JSONL line, creating the file if needed. *)
+
+val load : path:string -> (record list, string) result
+(** All records, oldest first. *)
+
+(** {1 Diffing} *)
+
+type delta = {
+  metric : string;
+  base : float;
+  now : float;
+  pct : float;  (** signed percentage change; +: latest is bigger *)
+  regressed : bool;  (** only ever set on the gating metrics *)
+}
+
+type diff = {
+  baseline : record;
+  latest : record;
+  deltas : delta list;
+  regressions : delta list;
+}
+
+val diff : ?threshold_pct:float -> baseline:record -> latest:record -> unit -> diff
+(** Gating metrics are wall time and SAT conflicts: either growing more
+    than [threshold_pct] (default 15%) counts as a regression. SAT time,
+    query/CEGAR counts and per-phase totals are reported informationally. *)
+
+val render_diff : ?oc:out_channel -> diff -> unit

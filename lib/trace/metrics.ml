@@ -1,0 +1,252 @@
+(* A process-wide metrics registry: named counters and log-scale latency
+   histograms. Histograms use quarter-power-of-two buckets (≈19% width),
+   so percentile estimates carry at most ~9% relative error while the
+   whole histogram is a small flat int array. Observation is mutex-per-
+   instrument; instruments are registered once and then lock-free to look
+   up via the returned handle. *)
+
+(* --- Phase-timing switch ---
+
+   Span durations flow into per-phase histograms only when this is on, so
+   an un-instrumented run pays one atomic load per span site and nothing
+   else. Tracing (event recording) is a separate switch in [Trace]. *)
+
+let phase_timing = Atomic.make false
+let set_phase_timing b = Atomic.set phase_timing b
+let phase_timing_on () = Atomic.get phase_timing
+
+(* --- Histograms --- *)
+
+let lo_bound = 1e-7 (* 100ns: bucket 0 is "at or below" this *)
+let ratio_log = Float.log 2.0 /. 4.0 (* quarter powers of two *)
+let nbuckets = 144 (* covers up to ~5.5e3 s before clamping *)
+
+type histogram = {
+  hname : string;
+  counts : int array;
+  mutable sum : float;
+  mutable count : int;
+  mutable vmin : float;
+  mutable vmax : float;
+  hlock : Mutex.t;
+}
+
+let bucket_of v =
+  if v <= lo_bound then 0
+  else
+    let i = 1 + int_of_float (Float.log (v /. lo_bound) /. ratio_log) in
+    if i >= nbuckets then nbuckets - 1 else i
+
+let lower_bound i =
+  if i = 0 then 0.0 else lo_bound *. Float.exp (ratio_log *. float_of_int (i - 1))
+
+let upper_bound i = lo_bound *. Float.exp (ratio_log *. float_of_int i)
+
+let observe h v =
+  let v = Float.max 0.0 v in
+  Mutex.lock h.hlock;
+  let i = bucket_of v in
+  h.counts.(i) <- h.counts.(i) + 1;
+  h.sum <- h.sum +. v;
+  h.count <- h.count + 1;
+  if v < h.vmin || h.count = 1 then h.vmin <- v;
+  if v > h.vmax then h.vmax <- v;
+  Mutex.unlock h.hlock
+
+(* Percentile from the buckets: the value estimate for a bucket is the
+   geometric mean of its bounds, clamped into the observed [min, max]. *)
+let percentile h p =
+  if h.count = 0 then 0.0
+  else begin
+    let rank =
+      max 1 (int_of_float (Float.ceil (p /. 100.0 *. float_of_int h.count)))
+    in
+    let rec go i acc =
+      if i >= nbuckets then h.vmax
+      else
+        let acc = acc + h.counts.(i) in
+        if acc >= rank then
+          let est =
+            if i = 0 then lo_bound /. 2.0
+            else Float.sqrt (lower_bound i *. upper_bound i)
+          in
+          Float.min h.vmax (Float.max h.vmin est)
+        else go (i + 1) acc
+    in
+    go 0 0
+  end
+
+(* --- Counters --- *)
+
+type counter = { cname : string; cell : int Atomic.t }
+
+let add c n = ignore (Atomic.fetch_and_add c.cell n)
+let incr c = add c 1
+let counter_value c = Atomic.get c.cell
+
+(* --- Registry --- *)
+
+type instrument = Counter of counter | Histogram of histogram
+
+let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
+let reg_lock = Mutex.create ()
+
+let with_registry f =
+  Mutex.lock reg_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock reg_lock) f
+
+let histogram name =
+  with_registry (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (Histogram h) -> h
+      | Some (Counter _) ->
+          invalid_arg ("Metrics.histogram: " ^ name ^ " is a counter")
+      | None ->
+          let h =
+            {
+              hname = name;
+              counts = Array.make nbuckets 0;
+              sum = 0.0;
+              count = 0;
+              vmin = 0.0;
+              vmax = 0.0;
+              hlock = Mutex.create ();
+            }
+          in
+          Hashtbl.replace registry name (Histogram h);
+          h)
+
+let counter name =
+  with_registry (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (Counter c) -> c
+      | Some (Histogram _) ->
+          invalid_arg ("Metrics.counter: " ^ name ^ " is a histogram")
+      | None ->
+          let c = { cname = name; cell = Atomic.make 0 } in
+          Hashtbl.replace registry name (Counter c);
+          c)
+
+let observe_phase =
+  (* The span hot path: one registry lookup per finished span, only when
+     phase timing is on. *)
+  fun phase dur -> observe (histogram phase) dur
+
+let reset () =
+  with_registry (fun () ->
+      Hashtbl.iter
+        (fun _ -> function
+          | Counter c -> Atomic.set c.cell 0
+          | Histogram h ->
+              Mutex.lock h.hlock;
+              Array.fill h.counts 0 nbuckets 0;
+              h.sum <- 0.0;
+              h.count <- 0;
+              h.vmin <- 0.0;
+              h.vmax <- 0.0;
+              Mutex.unlock h.hlock)
+        registry)
+
+(* --- Snapshots and rendering --- *)
+
+type hist_snapshot = {
+  name : string;
+  count : int;
+  total_s : float;
+  min_s : float;
+  max_s : float;
+  p50_s : float;
+  p90_s : float;
+  p95_s : float;
+  p99_s : float;
+}
+
+type snapshot = {
+  counters : (string * int) list;  (** sorted by name *)
+  histograms : hist_snapshot list;  (** sorted by name *)
+}
+
+let snapshot_histogram h =
+  Mutex.lock h.hlock;
+  let s =
+    {
+      name = h.hname;
+      count = h.count;
+      total_s = h.sum;
+      min_s = h.vmin;
+      max_s = h.vmax;
+      p50_s = percentile h 50.0;
+      p90_s = percentile h 90.0;
+      p95_s = percentile h 95.0;
+      p99_s = percentile h 99.0;
+    }
+  in
+  Mutex.unlock h.hlock;
+  s
+
+let snapshot () =
+  let counters = ref [] and histograms = ref [] in
+  with_registry (fun () ->
+      Hashtbl.iter
+        (fun name -> function
+          | Counter c -> counters := (name, Atomic.get c.cell) :: !counters
+          | Histogram h -> histograms := snapshot_histogram h :: !histograms)
+        registry);
+  {
+    counters = List.sort (fun (a, _) (b, _) -> compare a b) !counters;
+    histograms =
+      List.sort (fun a b -> compare a.name b.name) !histograms;
+  }
+
+let ms v = v *. 1e3
+
+let render_table ?(oc = stdout) () =
+  let snap = snapshot () in
+  let live = List.filter (fun h -> h.count > 0) snap.histograms in
+  if live = [] then output_string oc "no phase metrics recorded\n"
+  else begin
+    let name_w =
+      List.fold_left (fun w h -> max w (String.length h.name)) 5 live
+    in
+    Printf.fprintf oc "%-*s %9s %11s %10s %10s %10s %10s\n" name_w "phase"
+      "count" "total(s)" "p50(ms)" "p90(ms)" "p95(ms)" "max(ms)";
+    List.iter
+      (fun h ->
+        Printf.fprintf oc "%-*s %9d %11.3f %10.3f %10.3f %10.3f %10.3f\n"
+          name_w h.name h.count h.total_s (ms h.p50_s) (ms h.p90_s)
+          (ms h.p95_s) (ms h.max_s))
+      live;
+    let nonzero = List.filter (fun (_, v) -> v <> 0) snap.counters in
+    if nonzero <> [] then begin
+      Printf.fprintf oc "counters:\n";
+      List.iter
+        (fun (name, v) -> Printf.fprintf oc "  %-*s %12d\n" name_w name v)
+        nonzero
+    end
+  end
+
+let hist_json h =
+  Json.Obj
+    [
+      ("count", Json.Int h.count);
+      ("total_s", Json.Float h.total_s);
+      ("min_s", Json.Float h.min_s);
+      ("max_s", Json.Float h.max_s);
+      ("p50_s", Json.Float h.p50_s);
+      ("p90_s", Json.Float h.p90_s);
+      ("p95_s", Json.Float h.p95_s);
+      ("p99_s", Json.Float h.p99_s);
+    ]
+
+let to_json () =
+  let snap = snapshot () in
+  Json.Obj
+    [
+      ( "histograms",
+        Json.Obj
+          (List.filter_map
+             (fun h -> if h.count > 0 then Some (h.name, hist_json h) else None)
+             snap.histograms) );
+      ( "counters",
+        Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) snap.counters) );
+    ]

@@ -1,0 +1,79 @@
+(** Process-wide metrics registry: named counters and log-scale latency
+    histograms (quarter-power-of-two buckets, so percentile estimates
+    carry at most ~9% relative error).
+
+    Instruments are created-or-found by name; observation through the
+    returned handle is cheap (one mutex per histogram, one atomic per
+    counter) and safe from any domain. The per-phase histograms that back
+    [--metrics] output are fed automatically by {!Trace} span durations
+    whenever {!set_phase_timing} is on. *)
+
+(** {1 The phase-timing switch} *)
+
+val set_phase_timing : bool -> unit
+(** Enable/disable routing of span durations into per-phase histograms.
+    Off (the default), an instrumented code path costs one atomic load per
+    span site. *)
+
+val phase_timing_on : unit -> bool
+
+(** {1 Histograms} *)
+
+type histogram
+
+val histogram : string -> histogram
+(** Find or register the histogram with this name.
+    @raise Invalid_argument if the name is registered as a counter. *)
+
+val observe : histogram -> float -> unit
+(** Record one observation (seconds; negative values clamp to 0). *)
+
+val percentile : histogram -> float -> float
+(** [percentile h p] for [p] in [0..100], estimated from the log-scale
+    buckets and clamped to the observed min/max. 0 when empty. *)
+
+val observe_phase : string -> float -> unit
+(** [observe (histogram phase) dur] — the span-finish hot path. *)
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : string -> counter
+(** Find or register the counter with this name.
+    @raise Invalid_argument if the name is registered as a histogram. *)
+
+val add : counter -> int -> unit
+val incr : counter -> unit
+val counter_value : counter -> int
+
+(** {1 Snapshots} *)
+
+type hist_snapshot = {
+  name : string;
+  count : int;
+  total_s : float;
+  min_s : float;
+  max_s : float;
+  p50_s : float;
+  p90_s : float;
+  p95_s : float;
+  p99_s : float;
+}
+
+type snapshot = {
+  counters : (string * int) list;  (** sorted by name *)
+  histograms : hist_snapshot list;  (** sorted by name *)
+}
+
+val snapshot : unit -> snapshot
+
+val reset : unit -> unit
+(** Zero every registered instrument (handles stay valid). *)
+
+val render_table : ?oc:out_channel -> unit -> unit
+(** Human-readable per-phase table: count, total, p50/p90/p95/max. *)
+
+val to_json : unit -> Json.t
+(** [{"histograms": {phase: {count, total_s, p50_s, ...}}, "counters":
+    {...}}] — only histograms with observations are included. *)

@@ -1,0 +1,245 @@
+(* Structured spans over the verification pipeline.
+
+   Design constraints, in order:
+
+   1. Disabled tracing must be near-free: every span site costs two atomic
+      loads (tracing + phase timing) and allocates nothing ([begin_span]
+      returns the immediate [None]).
+   2. No cross-domain contention on the hot path: each domain appends
+      finished spans to its own buffer (reached through DLS); the global
+      registry mutex is taken once per domain, at first use.
+   3. Spans nest: each domain keeps an open-span stack, and every event
+      records its full stack path ("task;check_typing;sat_solve"), which
+      the collapsed-stack exporter aggregates into flamegraph lines.
+
+   Events carry monotonic-clock timestamps (Clock.now) and the id of the
+   domain that produced them; the Chrome exporter maps domains to trace
+   rows ("tid"), so a parallel run renders as one lane per worker. *)
+
+type arg = Int of int | Float of float | Str of string | Bool of bool
+
+type event = {
+  phase : string;
+  path : string;  (* stack path, ";"-separated, outermost first *)
+  start : float;  (* monotonic seconds *)
+  mutable dur : float;
+  domain : int;
+  mutable meta : (string * arg) list;
+}
+
+type span = event option
+
+(* --- Switches --- *)
+
+let tracing = Atomic.make false
+
+let enabled () = Atomic.get tracing
+
+(* A span must run its timing when either consumer (event buffer or phase
+   histograms) is live. *)
+let active () = Atomic.get tracing || Metrics.phase_timing_on ()
+
+(* --- Per-domain state --- *)
+
+type dstate = {
+  dom : int;
+  mutable events : event list;  (* finished spans, most recent first *)
+  mutable stack : event list;  (* open spans, innermost first *)
+}
+
+let registry : dstate list ref = ref []
+let registry_lock = Mutex.create ()
+
+let dls_key =
+  Domain.DLS.new_key (fun () ->
+      let s =
+        { dom = (Domain.self () :> int); events = []; stack = [] }
+      in
+      Mutex.lock registry_lock;
+      registry := s :: !registry;
+      Mutex.unlock registry_lock;
+      s)
+
+let dstate () = Domain.DLS.get dls_key
+
+let set_enabled b = Atomic.set tracing b
+
+(* --- Spans --- *)
+
+let begin_span ?(meta = []) phase : span =
+  if not (active ()) then None
+  else begin
+    let d = dstate () in
+    let path =
+      match d.stack with
+      | [] -> phase
+      | parent :: _ -> parent.path ^ ";" ^ phase
+    in
+    let ev =
+      { phase; path; start = Clock.now (); dur = 0.0; domain = d.dom; meta }
+    in
+    d.stack <- ev :: d.stack;
+    Some ev
+  end
+
+let add_meta (sp : span) kvs =
+  match sp with None -> () | Some ev -> ev.meta <- ev.meta @ kvs
+
+let end_span (sp : span) =
+  match sp with
+  | None -> ()
+  | Some ev ->
+      ev.dur <- Clock.now () -. ev.start;
+      let d = dstate () in
+      (* Pop this span; tolerate (drop) any forgotten inner spans so one
+         bug cannot corrupt the rest of the trace. *)
+      let rec pop = function
+        | [] -> []
+        | e :: rest -> if e == ev then rest else pop rest
+      in
+      d.stack <- pop d.stack;
+      if Atomic.get tracing then d.events <- ev :: d.events;
+      if Metrics.phase_timing_on () then Metrics.observe_phase ev.phase ev.dur
+
+let with_span ?meta phase f =
+  if not (active ()) then f ()
+  else begin
+    let sp = begin_span ?meta phase in
+    Fun.protect ~finally:(fun () -> end_span sp) f
+  end
+
+let instant ?(meta = []) phase =
+  if Atomic.get tracing then begin
+    let d = dstate () in
+    let path =
+      match d.stack with
+      | [] -> phase
+      | parent :: _ -> parent.path ^ ";" ^ phase
+    in
+    d.events <-
+      { phase; path; start = Clock.now (); dur = 0.0; domain = d.dom; meta }
+      :: d.events
+  end
+
+(* --- Collection --- *)
+
+let drain () =
+  Mutex.lock registry_lock;
+  let states = !registry in
+  Mutex.unlock registry_lock;
+  let all = List.concat_map (fun d -> d.events) states in
+  List.sort (fun a b -> compare a.start b.start) all
+
+let open_spans () =
+  Mutex.lock registry_lock;
+  let states = !registry in
+  Mutex.unlock registry_lock;
+  List.fold_left (fun n d -> n + List.length d.stack) 0 states
+
+let clear () =
+  Mutex.lock registry_lock;
+  let states = !registry in
+  Mutex.unlock registry_lock;
+  List.iter
+    (fun d ->
+      d.events <- [];
+      d.stack <- [])
+    states
+
+(* --- Chrome trace-event export ---
+
+   The "X" (complete) event flavour of the trace-event format: one record
+   per span with microsecond ts/dur, pid 0, tid = domain id. Loadable in
+   Perfetto (ui.perfetto.dev) or chrome://tracing. *)
+
+let arg_json = function
+  | Int n -> Json.Int n
+  | Float f -> Json.Float f
+  | Str s -> Json.String s
+  | Bool b -> Json.Bool b
+
+let chrome_json ?(events = drain ()) () =
+  let epoch =
+    List.fold_left (fun e ev -> Float.min e ev.start) Float.infinity events
+  in
+  let epoch = if Float.is_finite epoch then epoch else 0.0 in
+  let domains =
+    List.sort_uniq compare (List.map (fun ev -> ev.domain) events)
+  in
+  let thread_meta =
+    List.map
+      (fun dom ->
+        Json.Obj
+          [
+            ("name", Json.String "thread_name");
+            ("ph", Json.String "M");
+            ("pid", Json.Int 0);
+            ("tid", Json.Int dom);
+            ( "args",
+              Json.Obj [ ("name", Json.String (Printf.sprintf "domain %d" dom)) ]
+            );
+          ])
+      domains
+  in
+  let span_events =
+    List.map
+      (fun ev ->
+        let base =
+          [
+            ("name", Json.String ev.phase);
+            ("cat", Json.String "alive");
+            ("ph", Json.String (if ev.dur = 0.0 && ev.meta <> [] then "i" else "X"));
+            ("ts", Json.Float ((ev.start -. epoch) *. 1e6));
+            ("dur", Json.Float (ev.dur *. 1e6));
+            ("pid", Json.Int 0);
+            ("tid", Json.Int ev.domain);
+          ]
+        in
+        let args =
+          if ev.meta = [] then []
+          else
+            [ ("args", Json.Obj (List.map (fun (k, v) -> (k, arg_json v)) ev.meta)) ]
+        in
+        Json.Obj (base @ args))
+      events
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (thread_meta @ span_events));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+let write_chrome path = Json.to_file path (chrome_json ())
+
+(* --- Collapsed-stack export (flamegraph.pl / speedscope input) ---
+
+   One line per distinct stack path with its *self* time in microseconds:
+   total time at the path minus the time of its direct children. *)
+
+let collapsed ?(events = drain ()) () =
+  let totals : (string, float) Hashtbl.t = Hashtbl.create 64 in
+  let children : (string, float) Hashtbl.t = Hashtbl.create 64 in
+  let bump tbl key v =
+    Hashtbl.replace tbl key (v +. Option.value ~default:0.0 (Hashtbl.find_opt tbl key))
+  in
+  List.iter
+    (fun ev ->
+      bump totals ev.path ev.dur;
+      match String.rindex_opt ev.path ';' with
+      | None -> ()
+      | Some i -> bump children (String.sub ev.path 0 i) ev.dur)
+    events;
+  let lines =
+    Hashtbl.fold
+      (fun path total acc ->
+        let child = Option.value ~default:0.0 (Hashtbl.find_opt children path) in
+        let self = Float.max 0.0 (total -. child) in
+        let us = int_of_float (Float.round (self *. 1e6)) in
+        if us > 0 then Printf.sprintf "%s %d" path us :: acc else acc)
+      totals []
+  in
+  String.concat "\n" (List.sort compare lines) ^ "\n"
+
+let write_collapsed path =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (collapsed ()))

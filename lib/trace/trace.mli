@@ -1,0 +1,74 @@
+(** Low-overhead structured tracing for the verification pipeline.
+
+    Spans time a named phase ([parse], [typing], [vcgen], [lower],
+    [bitblast], [sat_solve], [cegar_iter], [model_extract], ...) with
+    monotonic-clock timestamps and the producing domain's id. Each domain
+    buffers its own finished spans, so workers never contend; spans nest
+    per domain, and every event records its full stack path for the
+    flamegraph exporter.
+
+    With tracing {e and} {!Metrics.set_phase_timing} off (the defaults)
+    a span site costs two atomic loads and allocates nothing. *)
+
+type arg = Int of int | Float of float | Str of string | Bool of bool
+
+type event = {
+  phase : string;
+  path : string;  (** stack path, [";"]-separated, outermost first *)
+  start : float;  (** monotonic seconds ({!Clock.now} scale) *)
+  mutable dur : float;  (** seconds; 0 for instants *)
+  domain : int;  (** id of the producing domain *)
+  mutable meta : (string * arg) list;
+}
+
+type span
+
+val set_enabled : bool -> unit
+(** Turn event recording on/off. Phase histograms are a separate switch
+    ({!Metrics.set_phase_timing}); spans run their timing when either is
+    on. *)
+
+val enabled : unit -> bool
+
+(** {1 Spans} *)
+
+val with_span : ?meta:(string * arg) list -> string -> (unit -> 'a) -> 'a
+(** [with_span phase f] runs [f] inside a span. The span is closed on
+    exceptions too, and the result of [f] is returned. When tracing and
+    phase timing are both off this is [f ()]. *)
+
+val begin_span : ?meta:(string * arg) list -> string -> span
+(** Explicit begin/end for call sites that attach metadata computed
+    mid-span (e.g. conflict deltas). Allocation-free when disabled. *)
+
+val add_meta : span -> (string * arg) list -> unit
+val end_span : span -> unit
+
+val instant : ?meta:(string * arg) list -> string -> unit
+(** A zero-duration marker event (e.g. one CEGAR refinement). *)
+
+(** {1 Collection} *)
+
+val drain : unit -> event list
+(** Every finished span from every domain, sorted by start time. Call
+    after workers have been joined. *)
+
+val open_spans : unit -> int
+(** Spans currently begun but not ended, across all domains (0 after a
+    well-formed run). *)
+
+val clear : unit -> unit
+(** Drop all buffered events and open spans. *)
+
+(** {1 Exporters} *)
+
+val chrome_json : ?events:event list -> unit -> Json.t
+(** Chrome trace-event JSON ("X" complete events, tid = domain id, plus
+    thread-name metadata), loadable in Perfetto or [chrome://tracing]. *)
+
+val write_chrome : string -> unit
+
+val collapsed : ?events:event list -> unit -> string
+(** Collapsed-stack flamegraph lines: ["path;to;phase <self-time-µs>"]. *)
+
+val write_collapsed : string -> unit

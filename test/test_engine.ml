@@ -190,7 +190,8 @@ let corpus_tests =
         in
         check_string "easy-1 verified" "valid" (Engine.verdict_name (by_name "easy-1"));
         check_string "easy-2 verified" "valid" (Engine.verdict_name (by_name "easy-2"));
-        check_string "hard gave up" "unknown" (Engine.verdict_name (by_name "hard"));
+        check_string "hard gave up" "unknown:conflicts"
+          (Engine.verdict_name (by_name "hard"));
         check_string "crash isolated" "crash" (Engine.verdict_name (by_name "crashy"));
         check_bool "stats flowed up" true (report.total.queries > 0));
     Alcotest.test_case "parallel corpus verdicts equal sequential" `Slow

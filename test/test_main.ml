@@ -10,4 +10,5 @@ let () =
       Test_suite.suite;
       Test_engine.suite;
       Test_lint.suite;
+      Test_trace.suite;
     ]

@@ -1,0 +1,460 @@
+(* The observability stack: span well-formedness over a real parallel run,
+   the Chrome trace and metrics JSON shapes, histogram percentiles, the JSON
+   parser, and the performance ledger with its regression diffing.
+
+   Tests that flip the global tracing/metrics switches restore them (and
+   clear the buffers) before returning, so the rest of the suite keeps its
+   zero-overhead path. *)
+
+module Trace = Alive_trace.Trace
+module Metrics = Alive_trace.Metrics
+module Ledger = Alive_trace.Ledger
+module Json = Alive_trace.Json
+module Engine = Alive_engine.Engine
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let with_tracing f =
+  Trace.clear ();
+  Metrics.reset ();
+  Trace.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.set_enabled false;
+      Metrics.set_phase_timing false;
+      Trace.clear ();
+      Metrics.reset ())
+    f
+
+let get = Option.get
+let parse_ok s = Result.get_ok (Json.parse s)
+
+(* A tiny mixed workload: two cheap valid entries, checked on 2 domains. *)
+let small_tasks () =
+  let task name text =
+    {
+      Engine.task_name = name;
+      widths = None;
+      prepare = (fun () -> Alive.Parser.parse_transform text);
+    }
+  in
+  [
+    task "add-zero" "Name: t1\n%r = add %a, 0\n=>\n%r = %a\n";
+    task "sub-zero" "Name: t2\n%r = sub %a, 0\n=>\n%r = %a\n";
+    task "or-zero" "Name: t3\n%r = or %a, 0\n=>\n%r = %a\n";
+    task "xor-zero" "Name: t4\n%r = xor %a, 0\n=>\n%r = %a\n";
+  ]
+
+(* --- Span well-formedness --- *)
+
+let span_tests =
+  [
+    Alcotest.test_case "spans balance and nest across a 2-domain run" `Quick
+      (fun () ->
+        with_tracing (fun () ->
+            let report = Engine.verify_corpus ~jobs:2 (small_tasks ()) in
+            check_int "no crashes" 0 report.crashed;
+            check_int "all spans closed" 0 (Trace.open_spans ());
+            let events = Trace.drain () in
+            check_bool "events recorded" true (List.length events > 0);
+            List.iter
+              (fun (e : Trace.event) ->
+                check_bool "duration is non-negative" true (e.dur >= 0.0);
+                (* The path always ends with the phase itself. *)
+                let suffix = ";" ^ e.phase in
+                let ok =
+                  e.path = e.phase
+                  || String.length e.path > String.length suffix
+                     && String.sub e.path
+                          (String.length e.path - String.length suffix)
+                          (String.length suffix)
+                        = suffix
+                in
+                check_bool ("path ends with phase: " ^ e.path) true ok)
+              events;
+            (* Nesting within a domain: every event's interval lies inside
+               its parent's interval (parent = the event on the same domain
+               whose path is the prefix). *)
+            List.iter
+              (fun (e : Trace.event) ->
+                match String.rindex_opt e.path ';' with
+                | None -> ()
+                | Some i ->
+                    let parent_path = String.sub e.path 0 i in
+                    let parent =
+                      List.find_opt
+                        (fun (p : Trace.event) ->
+                          p.domain = e.domain && p.path = parent_path
+                          && p.start <= e.start +. 1e-9
+                          && p.start +. p.dur >= e.start +. e.dur -. 1e-9)
+                        events
+                    in
+                    check_bool
+                      ("enclosing parent exists for " ^ e.path)
+                      true (parent <> None))
+              events;
+            (* Worker attribution: "task" events come from at most the 2
+               domains of the pool, and each carries its task name. *)
+            let task_events =
+              List.filter (fun (e : Trace.event) -> e.phase = "task") events
+            in
+            check_int "one task span per task" 4 (List.length task_events);
+            let domains =
+              List.sort_uniq compare
+                (List.map (fun (e : Trace.event) -> e.domain) task_events)
+            in
+            check_bool "at most 2 worker domains" true
+              (List.length domains <= 2)));
+    Alcotest.test_case "disabled tracing records nothing" `Quick (fun () ->
+        Trace.clear ();
+        check_bool "switch off" false (Trace.enabled ());
+        ignore (Engine.verify_corpus ~jobs:1 (small_tasks ()));
+        check_int "no events" 0 (List.length (Trace.drain ()));
+        check_int "no open spans" 0 (Trace.open_spans ()));
+    Alcotest.test_case "disabled span sites are cheap" `Quick (fun () ->
+        (* The contract is "near-zero when off": a span around a trivial
+           computation must cost well under a microsecond. Generous bound
+           so CI noise can't trip it. *)
+        Trace.clear ();
+        let n = 100_000 in
+        let sink = ref 0 in
+        let t0 = Alive_trace.Clock.now () in
+        for i = 1 to n do
+          Trace.with_span "off" (fun () -> sink := !sink + i)
+        done;
+        let per_call = (Alive_trace.Clock.now () -. t0) /. float n in
+        check_bool
+          (Printf.sprintf "span cost %.0fns < 1000ns" (per_call *. 1e9))
+          true (per_call < 1e-6))
+  ]
+
+(* --- Chrome trace / collapsed-stack exporters --- *)
+
+let chrome_tests =
+  [
+    Alcotest.test_case "PR21245 trace has the pipeline phases" `Quick
+      (fun () ->
+        with_tracing (fun () ->
+            let e = get (Alive_suite.Registry.find "PR21245") in
+            let t = Alive_suite.Entry.parse e in
+            (match Alive.Refine.check ?widths:e.widths t with
+            | Alive.Refine.Invalid _ -> ()
+            | v ->
+                Alcotest.failf "expected Invalid, got %a" Alive.Refine.pp_verdict
+                  v);
+            (* Round-trip through the serializer and our own parser, as the
+               CLI writes it. *)
+            let json = parse_ok (Json.to_string (Trace.chrome_json ())) in
+            let events = get (Json.to_list (get (Json.member "traceEvents" json))) in
+            let complete =
+              List.filter
+                (fun ev -> Json.member "ph" ev = Some (Json.String "X"))
+                events
+            in
+            let phases =
+              List.sort_uniq compare
+                (List.filter_map
+                   (fun ev -> Option.bind (Json.member "name" ev) Json.to_str)
+                   complete)
+            in
+            check_bool
+              ("at least 6 distinct phases: " ^ String.concat "," phases)
+              true
+              (List.length phases >= 6);
+            List.iter
+              (fun p ->
+                check_bool ("phase present: " ^ p) true (List.mem p phases))
+              [ "parse"; "typing"; "vcgen"; "check_typing"; "sat_solve"; "cdcl" ];
+            (* Every complete event has the Chrome-required fields; every
+               tid that appears has a thread_name metadata row. *)
+            List.iter
+              (fun ev ->
+                check_bool "has ts" true (Json.member "ts" ev <> None);
+                check_bool "has dur" true (Json.member "dur" ev <> None);
+                check_bool "has pid" true (Json.member "pid" ev <> None);
+                check_bool "has tid" true (Json.member "tid" ev <> None))
+              complete;
+            let tids =
+              List.sort_uniq compare
+                (List.filter_map
+                   (fun ev -> Option.bind (Json.member "tid" ev) Json.to_int)
+                   complete)
+            in
+            let named =
+              List.filter_map
+                (fun ev ->
+                  if Json.member "ph" ev = Some (Json.String "M") then
+                    Option.bind (Json.member "tid" ev) Json.to_int
+                  else None)
+                events
+            in
+            List.iter
+              (fun tid ->
+                check_bool
+                  (Printf.sprintf "thread_name for tid %d" tid)
+                  true (List.mem tid named))
+              tids));
+    Alcotest.test_case "collapsed stacks cover the span paths" `Quick
+      (fun () ->
+        with_tracing (fun () ->
+            ignore
+              (Alive.Refine.check
+                 (Alive.Parser.parse_transform
+                    "Name: c\n%r = add %a, 0\n=>\n%r = %a\n"));
+            let lines =
+              String.split_on_char '\n' (String.trim (Trace.collapsed ()))
+            in
+            check_bool "has lines" true (lines <> []);
+            List.iter
+              (fun line ->
+                match String.rindex_opt line ' ' with
+                | None -> Alcotest.failf "malformed collapsed line: %s" line
+                | Some i ->
+                    let n =
+                      int_of_string_opt
+                        (String.sub line (i + 1) (String.length line - i - 1))
+                    in
+                    check_bool ("self time is a number: " ^ line) true
+                      (n <> None && get n >= 0))
+              lines;
+            check_bool "a nested path exists" true
+              (List.exists (fun l -> String.contains l ';') lines)))
+  ]
+
+(* --- Metrics registry --- *)
+
+let metrics_tests =
+  [
+    Alcotest.test_case "histogram percentiles within bucket error" `Quick
+      (fun () ->
+        Metrics.reset ();
+        let h = Metrics.histogram "test.latency" in
+        (* 1ms..100ms uniformly: p50 ~ 50ms, p90 ~ 90ms. Log-scale buckets
+           guarantee <= ~9% relative error; allow 12%. *)
+        for i = 1 to 100 do
+          Metrics.observe h (float i /. 1000.0)
+        done;
+        let close p expect =
+          let v = Metrics.percentile h p in
+          check_bool
+            (Printf.sprintf "p%.0f=%.4f ~ %.4f" p v expect)
+            true
+            (Float.abs (v -. expect) /. expect < 0.12)
+        in
+        close 50.0 0.050;
+        close 90.0 0.090;
+        (* Extremes stay inside the observed range (the documented clamp)
+           and within bucket error of the true min/max. *)
+        let p0 = Metrics.percentile h 0.0 and p100 = Metrics.percentile h 100.0 in
+        check_bool "p0 >= min" true (p0 >= 0.001 -. 1e-12);
+        check_bool "p0 near min" true (p0 < 0.001 *. 1.12);
+        check_bool "p100 <= max" true (p100 <= 0.100 +. 1e-12);
+        check_bool "p100 near max" true (p100 > 0.100 /. 1.12);
+        Metrics.reset ());
+    Alcotest.test_case "counters and snapshot" `Quick (fun () ->
+        Metrics.reset ();
+        let c = Metrics.counter "test.count" in
+        Metrics.incr c;
+        Metrics.add c 41;
+        check_int "counter value" 42 (Metrics.counter_value c);
+        let h = Metrics.histogram "test.h" in
+        Metrics.observe h 2.0;
+        let snap = Metrics.snapshot () in
+        check_bool "counter in snapshot" true
+          (List.mem_assoc "test.count" snap.counters);
+        let hs =
+          List.find
+            (fun (s : Metrics.hist_snapshot) -> s.name = "test.h")
+            snap.histograms
+        in
+        check_int "one observation" 1 hs.count;
+        check_bool "total accumulated" true (Float.abs (hs.total_s -. 2.0) < 1e-9);
+        Metrics.reset ());
+    Alcotest.test_case "phase timing feeds histograms without tracing" `Quick
+      (fun () ->
+        Metrics.reset ();
+        Metrics.set_phase_timing true;
+        Fun.protect
+          ~finally:(fun () ->
+            Metrics.set_phase_timing false;
+            Metrics.reset ();
+            Trace.clear ())
+          (fun () ->
+            Trace.with_span "phase-only" (fun () -> ignore (Sys.opaque_identity 1));
+            check_int "no trace events buffered" 0
+              (List.length (Trace.drain ()));
+            let snap = Metrics.snapshot () in
+            check_bool "histogram recorded" true
+              (List.exists
+                 (fun (s : Metrics.hist_snapshot) ->
+                   s.name = "phase-only" && s.count = 1)
+                 snap.histograms)));
+    Alcotest.test_case "metrics JSON shape" `Quick (fun () ->
+        Metrics.reset ();
+        Metrics.observe (Metrics.histogram "ph") 0.5;
+        let json = parse_ok (Json.to_string (Metrics.to_json ())) in
+        let h = get (Json.member "histograms" json) in
+        let ph = get (Json.member "ph" h) in
+        check_int "count" 1 (get (Json.to_int (get (Json.member "count" ph))));
+        check_bool "p50 present" true (Json.member "p50_s" ph <> None);
+        check_bool "p95 present" true (Json.member "p95_s" ph <> None);
+        Metrics.reset ())
+  ]
+
+(* --- JSON parser --- *)
+
+let json_tests =
+  [
+    Alcotest.test_case "round-trips the printer" `Quick (fun () ->
+        let j =
+          Json.Obj
+            [
+              ("s", Json.String "a\"b\\c\nd\x01e");
+              ("n", Json.Int (-42));
+              ("f", Json.Float 1.5);
+              ("t", Json.Bool true);
+              ("nil", Json.Null);
+              ("l", Json.List [ Json.Int 1; Json.String "x"; Json.Obj [] ]);
+            ]
+        in
+        check_bool "roundtrip" true (Json.parse (Json.to_string j) = Ok j));
+    Alcotest.test_case "accepts escapes and whitespace" `Quick (fun () ->
+        match Json.parse "  { \"a\" : [ 1 , 2.5e1 , \"\\u0041\\n\" ] }  " with
+        | Ok (Json.Obj [ ("a", Json.List [ a; b; c ]) ]) ->
+            check_bool "int" true (a = Json.Int 1);
+            check_bool "float" true (b = Json.Float 25.0);
+            check_string "unicode escape" "A\n" (get (Json.to_str c))
+        | _ -> Alcotest.fail "parse failed");
+    Alcotest.test_case "rejects malformed input" `Quick (fun () ->
+        List.iter
+          (fun s ->
+            check_bool ("rejects " ^ s) true (Result.is_error (Json.parse s)))
+          [ "{"; "[1,]"; "{\"a\":}"; "\"unterminated"; "nul"; "1 2"; "" ])
+  ]
+
+(* --- Ledger --- *)
+
+let sample_record ?(wall = 7.0) ?(conflicts = 1000) ?(label = "test") () =
+  Ledger.make ~label ~jobs:2 ~tasks:218 ~budget_timeout_s:5.0
+    ~budget_conflicts:200000 ~wall_s:wall ~sat_s:4.0 ~queries:4861 ~conflicts
+    ~cegar_iterations:3
+    ~verdicts:[ ("invalid", 8); ("valid", 210) ]
+    ~phases:[ { Ledger.phase = "sat_solve"; count = 4861; total_s = 4.0 } ]
+    ()
+
+let ledger_tests =
+  [
+    Alcotest.test_case "record JSON round-trips" `Quick (fun () ->
+        let r = sample_record () in
+        match Ledger.of_json (parse_ok (Json.to_string (Ledger.to_json r))) with
+        | Error e -> Alcotest.fail e
+        | Ok r' ->
+            check_string "label" r.label r'.label;
+            check_int "tasks" r.tasks r'.tasks;
+            check_bool "wall" true (Float.abs (r.wall_s -. r'.wall_s) < 1e-9);
+            check_bool "verdicts" true (r.verdicts = r'.verdicts);
+            check_bool "phases" true (r.phases = r'.phases));
+    Alcotest.test_case "append/load keeps order" `Quick (fun () ->
+        let path = Filename.temp_file "ledger" ".jsonl" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            Sys.remove path;
+            Ledger.append ~path (sample_record ~label:"first" ());
+            Ledger.append ~path (sample_record ~label:"second" ());
+            match Ledger.load ~path with
+            | Error e -> Alcotest.fail e
+            | Ok rs ->
+                check_int "two records" 2 (List.length rs);
+                check_string "oldest first" "first" (List.nth rs 0).label;
+                check_string "newest last" "second" (List.nth rs 1).label));
+    Alcotest.test_case "diff flags only >threshold gating growth" `Quick
+      (fun () ->
+        let base = sample_record ~wall:1.0 ~conflicts:1000 () in
+        let fine = sample_record ~wall:1.1 ~conflicts:1100 () in
+        let bad = sample_record ~wall:1.2 ~conflicts:1000 () in
+        let d_fine = Ledger.diff ~baseline:base ~latest:fine () in
+        check_int "10% growth passes at 15%" 0 (List.length d_fine.regressions);
+        let d_bad = Ledger.diff ~baseline:base ~latest:bad () in
+        check_int "20% wall growth regresses" 1 (List.length d_bad.regressions);
+        check_string "the wall metric" "wall_s"
+          (List.hd d_bad.regressions).metric;
+        let d_strict = Ledger.diff ~threshold_pct:5.0 ~baseline:base ~latest:fine () in
+        check_int "10% growth fails at 5%" 2 (List.length d_strict.regressions);
+        let d_conf =
+          Ledger.diff ~baseline:base
+            ~latest:(sample_record ~wall:1.0 ~conflicts:2000 ())
+            ()
+        in
+        check_string "conflicts gate too" "conflicts"
+          (List.hd d_conf.regressions).metric;
+        (* Shrinking is never a regression. *)
+        let d_down =
+          Ledger.diff ~baseline:bad ~latest:base ()
+        in
+        check_int "improvement passes" 0 (List.length d_down.regressions))
+  ]
+
+(* --- Whole-pipeline smoke: instrumented corpus slice --- *)
+
+let smoke_tests =
+  [
+    Alcotest.test_case "instrumented slice matches uninstrumented verdicts"
+      `Slow (fun () ->
+        let entries =
+          List.filteri (fun i _ -> i < 20) Alive_suite.Registry.all
+        in
+        let tasks =
+          List.map
+            (fun (e : Alive_suite.Entry.t) ->
+              {
+                Engine.task_name = e.name;
+                widths = e.widths;
+                prepare = (fun () -> Alive_suite.Entry.parse e);
+              })
+            entries
+        in
+        let t0 = Alive_trace.Clock.now () in
+        let plain = Engine.verify_corpus ~jobs:1 tasks in
+        let plain_wall = Alive_trace.Clock.now () -. t0 in
+        check_int "nothing buffered when off" 0 (List.length (Trace.drain ()));
+        let traced =
+          with_tracing (fun () ->
+              Metrics.set_phase_timing true;
+              let r = Engine.verify_corpus ~jobs:1 tasks in
+              let events = Trace.drain () in
+              check_bool "one task span per entry" true
+                (List.length
+                   (List.filter
+                      (fun (e : Trace.event) -> e.phase = "task")
+                      events)
+                = List.length entries);
+              let snap = Metrics.snapshot () in
+              check_bool "sat_solve histogram populated" true
+                (List.exists
+                   (fun (s : Metrics.hist_snapshot) ->
+                     s.name = "sat_solve" && s.count > 0)
+                   snap.histograms);
+              r)
+        in
+        List.iter2
+          (fun a b ->
+            check_string
+              ("verdict stable for " ^ a.Engine.name)
+              (Engine.verdict_name a) (Engine.verdict_name b))
+          plain.results traced.results;
+        (* Tracing off must stay cheap; bound loose enough for CI noise
+           (the real near-zero guarantee is the microbench above). *)
+        check_bool
+          (Printf.sprintf "untraced slice %.2fs vs traced %.2fs" plain_wall
+             traced.wall)
+          true
+          (plain_wall < 2.0 *. traced.wall +. 0.5))
+  ]
+
+let suite =
+  ( "trace",
+    span_tests @ chrome_tests @ metrics_tests @ json_tests @ ledger_tests
+    @ smoke_tests )
