@@ -284,7 +284,12 @@ let parallel () =
         })
       corpus
   in
-  let run jobs = Alive_engine.Engine.verify_corpus ~jobs tasks in
+  let run jobs =
+    (* Each measured run starts with a cold verdict cache so within-run
+       caching is measured but nothing leaks across configurations. *)
+    Alive_smt.Vc_cache.clear ();
+    Alive_engine.Engine.verify_corpus ~jobs tasks
+  in
   (* Warm the hash-consing table so both runs pay the same setup. *)
   ignore (run 1);
   (* Under --json, collect per-phase histograms on the measured runs: both
@@ -293,6 +298,16 @@ let parallel () =
      performance ledger. *)
   if !json_enabled then Alive_trace.Metrics.set_phase_timing true;
   let r1 = run 1 in
+  (* A/B leg: the same jobs=1 run with the verdict cache and incremental
+     CEGAR switched off, so the solve-path optimizations stay measurable
+     run over run. The switches are restored afterwards. *)
+  let cache_was = Alive_smt.Vc_cache.enabled () in
+  let incr_was = Alive_smt.Solve.incremental_enabled () in
+  Alive_smt.Vc_cache.set_enabled false;
+  Alive_smt.Solve.set_incremental false;
+  let r_off = run 1 in
+  Alive_smt.Vc_cache.set_enabled cache_was;
+  Alive_smt.Solve.set_incremental incr_was;
   let n = Alive_engine.Engine.default_jobs () in
   let rn =
     if n > 1 then begin
@@ -303,13 +318,16 @@ let parallel () =
   in
   Printf.printf "  %d tasks, %d queries, %d conflicts total\n"
     (List.length r1.results) r1.total.queries r1.total.telemetry.conflicts;
-  Printf.printf "  --jobs 1:  wall %.2fs\n" r1.wall;
+  Printf.printf "  --jobs 1:  wall %.2fs  (cache %d/%d hit/miss)\n" r1.wall
+    r1.total.telemetry.cache_hits r1.total.telemetry.cache_misses;
+  Printf.printf "  --jobs 1, cache+incremental off:  wall %.2fs  (%d conflicts)\n"
+    r_off.wall r_off.total.telemetry.conflicts;
   Printf.printf "  --jobs %d:  wall %.2fs  (%.2fx speedup)\n" n rn.wall
     (r1.wall /. Float.max 1e-9 rn.wall);
   if n = 1 then
     Printf.printf "  (single-core host: run on a multi-core machine to see scaling)\n";
-  (* BENCH_parallel.json keeps its original schema; the new per-phase data
-     goes to BENCH_trace.json so downstream consumers don't break. *)
+  (* BENCH_parallel.json keeps its original keys; the A/B leg and the cache
+     counters are additions, so downstream consumers don't break. *)
   record_json "parallel"
     (Json.Obj
        [
@@ -320,6 +338,12 @@ let parallel () =
          ("speedup", Json.Float (r1.wall /. Float.max 1e-9 rn.wall));
          ("queries", Json.Int r1.total.queries);
          ("conflicts", Json.Int r1.total.telemetry.conflicts);
+         ("wall_1_nocache_s", Json.Float r_off.wall);
+         ("conflicts_nocache", Json.Int r_off.total.telemetry.conflicts);
+         ("cache_hits", Json.Int r1.total.telemetry.cache_hits);
+         ("cache_misses", Json.Int r1.total.telemetry.cache_misses);
+         ("peak_clauses", Json.Int r1.total.telemetry.peak_clauses);
+         ("peak_vars", Json.Int r1.total.telemetry.peak_vars);
        ]);
   if !json_enabled then begin
     record_json "trace"
@@ -345,7 +369,12 @@ let parallel () =
         ~tasks:(List.length rn.results) ~wall_s:rn.wall
         ~sat_s:rn.total.telemetry.sat_time ~queries:rn.total.queries
         ~conflicts:rn.total.telemetry.conflicts
-        ~cegar_iterations:rn.total.telemetry.cegar_iterations ~verdicts ()
+        ~cegar_iterations:rn.total.telemetry.cegar_iterations
+        ~cache_hits:rn.total.telemetry.cache_hits
+        ~cache_misses:rn.total.telemetry.cache_misses
+        ~cache_evictions:rn.total.telemetry.cache_evictions
+        ~peak_clauses:rn.total.telemetry.peak_clauses
+        ~peak_vars:rn.total.telemetry.peak_vars ~verdicts ()
     in
     if Sys.file_exists "bench" && Sys.is_directory "bench" then begin
       Alive_trace.Ledger.append ~path:"bench/ledger.jsonl" record;
@@ -518,11 +547,17 @@ let () =
   let args =
     List.filter
       (fun a ->
-        if a = "--json" then begin
-          json_enabled := true;
-          false
-        end
-        else true)
+        match a with
+        | "--json" ->
+            json_enabled := true;
+            false
+        | "--no-cache" ->
+            Alive_smt.Vc_cache.set_enabled false;
+            false
+        | "--no-incremental" ->
+            Alive_smt.Solve.set_incremental false;
+            false
+        | _ -> true)
       (List.tl (Array.to_list Sys.argv))
   in
   match args with
@@ -535,5 +570,7 @@ let () =
             (String.concat ", " (List.map fst targets));
           exit 1)
   | _ ->
-      Printf.eprintf "usage: %s [--json] [target]\n" Sys.argv.(0);
+      Printf.eprintf
+        "usage: %s [--json] [--no-cache] [--no-incremental] [target]\n"
+        Sys.argv.(0);
       exit 1

@@ -87,10 +87,58 @@ let metrics_arg =
           "Collect per-phase latency histograms and print the metrics \
            table (count, total, p50/p90/p95/max) after the run.")
 
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:
+          "Disable the canonical verdict cache: solve every query even when \
+           an alpha-equivalent one was already decided.")
+
+let no_incremental_arg =
+  Arg.(
+    value & flag
+    & info [ "no-incremental" ]
+        ~doc:
+          "Disable incremental CEGAR: build a fresh inner solver context \
+           per iteration instead of reusing one under assumptions.")
+
+let dump_cnf_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dump-cnf" ] ~docv:"DIR"
+        ~doc:
+          "Write every solved SAT query to $(docv) as a DIMACS file \
+           (qNNNNNN-RESULT.cnf), creating the directory if needed.")
+
+let encoding_arg =
+  Arg.(
+    value
+    & opt (enum [ ("tseitin", `Tseitin); ("pg", `Plaisted_greenbaum) ]) `Tseitin
+    & info [ "encoding" ] ~docv:"ENC"
+        ~doc:
+          "CNF encoding: $(b,tseitin) (default) or $(b,pg) \
+           (Plaisted-Greenbaum polarity-aware, fewer clauses per query; see \
+           docs/PERFORMANCE.md).")
+
 (* Flip the observability switches before any pipeline work runs. *)
 let setup_observability ~trace ~collapsed ~metrics =
   if trace <> None || collapsed <> None then Alive_trace.Trace.set_enabled true;
   if metrics then Alive_trace.Metrics.set_phase_timing true
+
+(* Flip the solve-path switches (cache, incremental CEGAR, CNF dumping,
+   encoding) before any query runs. *)
+let setup_solve_path ~no_cache ~no_incremental ~dump_cnf ~encoding =
+  if no_cache then Alive_smt.Vc_cache.set_enabled false;
+  if no_incremental then Alive_smt.Solve.set_incremental false;
+  Alive_smt.Bitblast.set_encoding encoding;
+  Option.iter
+    (fun dir ->
+      (try Unix.mkdir dir 0o755
+       with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      Alive_smt.Solve.set_dump_dir (Some dir))
+    dump_cnf
 
 let emit_observability ~trace ~collapsed ~metrics =
   Option.iter
@@ -134,11 +182,12 @@ let with_transforms file f =
 
 let verify_cmd =
   let run file widths quiet jobs timeout conflict_limit show_stats trace
-      collapsed metrics =
+      collapsed metrics no_cache no_incremental dump_cnf encoding =
     let widths = parse_widths widths in
     let jobs = resolve_jobs jobs in
     let budget = budget_of ~timeout ~conflict_limit in
     setup_observability ~trace ~collapsed ~metrics;
+    setup_solve_path ~no_cache ~no_incremental ~dump_cnf ~encoding;
     let code =
       with_transforms file (fun transforms ->
           let invalid = ref 0 and unknown = ref 0 in
@@ -195,7 +244,8 @@ let verify_cmd =
          :: Cmd.Exit.defaults))
     Term.(
       const run $ file_arg $ widths_arg $ quiet $ jobs_arg $ timeout_arg
-      $ conflict_limit_arg $ stats $ trace_arg $ collapsed_arg $ metrics_arg)
+      $ conflict_limit_arg $ stats $ trace_arg $ collapsed_arg $ metrics_arg
+      $ no_cache_arg $ no_incremental_arg $ dump_cnf_arg $ encoding_arg)
 
 let infer_cmd =
   let run file widths =

@@ -22,6 +22,13 @@ let trace_path = ref ""
 let metrics = ref false
 let metrics_json = ref ""
 let ledger_path = ref ""
+let no_cache = ref false
+let no_incremental = ref false
+let dump_cnf = ref ""
+
+let set_encoding_arg = function
+  | "pg" -> Alive_smt.Bitblast.set_encoding `Plaisted_greenbaum
+  | _ -> Alive_smt.Bitblast.set_encoding `Tseitin
 
 let speclist =
   [
@@ -58,6 +65,19 @@ let speclist =
       Arg.Set_string ledger_path,
       "FILE  append one performance-ledger record (JSONL) for this run; \
        implies per-phase timing" );
+    ( "--no-cache",
+      Arg.Set no_cache,
+      " disable the canonical verdict cache (solve every query)" );
+    ( "--no-incremental",
+      Arg.Set no_incremental,
+      " disable incremental CEGAR (fresh inner context per iteration)" );
+    ( "--dump-cnf",
+      Arg.Set_string dump_cnf,
+      "DIR  write every solved SAT query to DIR as DIMACS \
+       (qNNNNNN-RESULT.cnf)" );
+    ( "--encoding",
+      Arg.Symbol ([ "tseitin"; "pg" ], set_encoding_arg),
+      "  CNF encoding: tseitin (default) or pg (Plaisted-Greenbaum)" );
   ]
 
 let () =
@@ -77,6 +97,12 @@ let () =
   if !trace_path <> "" then Alive_trace.Trace.set_enabled true;
   if !metrics || !metrics_json <> "" || !ledger_path <> "" then
     Alive_trace.Metrics.set_phase_timing true;
+  if !no_cache then Alive_smt.Vc_cache.set_enabled false;
+  if !no_incremental then Alive_smt.Solve.set_incremental false;
+  if !dump_cnf <> "" then begin
+    (try Unix.mkdir !dump_cnf 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    Alive_smt.Solve.set_dump_dir (Some !dump_cnf)
+  end;
   let lint_errors =
     if not !lint then 0
     else begin
@@ -202,7 +228,12 @@ let () =
         ~wall_s:report.wall ~sat_s:report.total.telemetry.sat_time
         ~queries:report.total.queries
         ~conflicts:report.total.telemetry.conflicts
-        ~cegar_iterations:report.total.telemetry.cegar_iterations ~verdicts ()
+        ~cegar_iterations:report.total.telemetry.cegar_iterations
+        ~cache_hits:report.total.telemetry.cache_hits
+        ~cache_misses:report.total.telemetry.cache_misses
+        ~cache_evictions:report.total.telemetry.cache_evictions
+        ~peak_clauses:report.total.telemetry.peak_clauses
+        ~peak_vars:report.total.telemetry.peak_vars ~verdicts ()
     in
     Alive_trace.Ledger.append ~path:!ledger_path record;
     Printf.printf "ledger record appended to %s\n" !ledger_path

@@ -97,12 +97,15 @@ let pp_stats ppf s =
   Format.fprintf ppf
     "typings=%d queries=%d unknown=%d (timeout=%d conflicts=%d cegar=%d) \
      typing=%.3fs vcgen=%.3fs sat=%.3fs conflicts=%d decisions=%d \
-     propagations=%d clauses=%d vars=%d cegar=%d"
+     propagations=%d clauses=%d vars=%d peak_clauses=%d peak_vars=%d \
+     cegar=%d cache_hits=%d cache_misses=%d"
     s.typings_done s.queries s.unknowns s.unknown_reasons.by_timeout
     s.unknown_reasons.by_conflicts s.unknown_reasons.by_cegar s.typing_s
     s.vcgen_s s.telemetry.sat_time s.telemetry.conflicts s.telemetry.decisions
     s.telemetry.propagations s.telemetry.clauses s.telemetry.vars
-    s.telemetry.cegar_iterations
+    s.telemetry.peak_clauses s.telemetry.peak_vars
+    s.telemetry.cegar_iterations s.telemetry.cache_hits
+    s.telemetry.cache_misses
 
 (* Instruction names to check: defined on both sides (the root always is,
    by the scoping rules). Checked in target order. *)
@@ -157,16 +160,46 @@ let check_typing ?budget ?(stats = empty_stats ()) ?share_memory_reads
           (vc.precondition :: src_iv.defined :: src_iv.poison_free
          :: (vc.side_constraints @ memory_facts ()))
       in
+      let solve_uncached formula =
+        Solve.check_valid_ef ?budget ~telemetry:stats.telemetry ~exists
+          formula
+      in
       (* A counterexample ends the typing; a budget exhaustion is recorded
          and the remaining criteria still run — a later query may produce a
          definite counterexample, which outranks Unknown. *)
+      let solve_query formula =
+        (* The verdict cache fronts the solver: alpha-equivalent queries
+           (across typings, widths collapse only when sorts match, and
+           across transforms) hit this domain's cache. Unknown verdicts are
+           budget-dependent and never cached. *)
+        if not (Alive_smt.Vc_cache.enabled ()) then solve_uncached formula
+        else begin
+          let t = stats.telemetry in
+          let keyed = Alive_smt.Vc_cache.canon ~exists formula in
+          match Alive_smt.Vc_cache.find keyed with
+          | Some `Valid ->
+              t.cache_hits <- t.cache_hits + 1;
+              `Valid
+          | Some (`Invalid m) ->
+              t.cache_hits <- t.cache_hits + 1;
+              `Invalid m
+          | None ->
+              t.cache_misses <- t.cache_misses + 1;
+              let r = solve_uncached formula in
+              let stored =
+                match r with
+                | `Valid -> Alive_smt.Vc_cache.store keyed `Valid
+                | `Invalid m -> Alive_smt.Vc_cache.store keyed (`Invalid m)
+                | `Unknown _ -> 0
+              in
+              t.cache_evictions <- t.cache_evictions + stored;
+              r
+        end
+      in
       let run_check name kind formula =
         if !failure = None then begin
           incr queries;
-          match
-            Solve.check_valid_ef ?budget ~telemetry:stats.telemetry ~exists
-              formula
-          with
+          match solve_query formula with
           | `Valid -> ()
           | `Unknown reason ->
               incr unknowns;

@@ -272,13 +272,16 @@ let print_table ?(oc = stdout) report =
   Printf.fprintf oc
     "total: %d tasks (%d crashed), wall %.2fs with %d job(s); %d queries, %d \
      unknown (timeout=%d conflicts=%d cegar=%d), typing %.2fs, vcgen %.2fs, \
-     sat %.2fs, %d conflicts, %d clauses, %d cegar iterations\n"
+     sat %.2fs, %d conflicts, %d clauses (peak %d), %d vars (peak %d), %d \
+     cegar iterations, cache %d/%d hit/miss\n"
     (List.length report.results)
     report.crashed report.wall report.jobs t.Refine.queries t.Refine.unknowns
     u.Refine.by_timeout u.Refine.by_conflicts u.Refine.by_cegar
     t.Refine.typing_s t.Refine.vcgen_s t.Refine.telemetry.sat_time
     t.Refine.telemetry.conflicts t.Refine.telemetry.clauses
-    t.Refine.telemetry.cegar_iterations
+    t.Refine.telemetry.peak_clauses t.Refine.telemetry.vars
+    t.Refine.telemetry.peak_vars t.Refine.telemetry.cegar_iterations
+    t.Refine.telemetry.cache_hits t.Refine.telemetry.cache_misses
 
 let stats_json (s : Refine.stats) =
   Json.Obj
@@ -304,7 +307,12 @@ let stats_json (s : Refine.stats) =
       ("restarts", Json.Int s.Refine.telemetry.restarts);
       ("clauses", Json.Int s.Refine.telemetry.clauses);
       ("vars", Json.Int s.Refine.telemetry.vars);
+      ("peak_clauses", Json.Int s.Refine.telemetry.peak_clauses);
+      ("peak_vars", Json.Int s.Refine.telemetry.peak_vars);
       ("cegar_iterations", Json.Int s.Refine.telemetry.cegar_iterations);
+      ("cache_hits", Json.Int s.Refine.telemetry.cache_hits);
+      ("cache_misses", Json.Int s.Refine.telemetry.cache_misses);
+      ("cache_evictions", Json.Int s.Refine.telemetry.cache_evictions);
     ]
 
 let report_json report =

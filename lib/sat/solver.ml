@@ -42,20 +42,48 @@ module Cvec = struct
   let clear t = t.size <- 0
 end
 
+(* Watch list: clauses paired with a "blocker" literal (some other literal of
+   the clause, typically the other watch). If the blocker is already true the
+   clause is satisfied and propagation skips it without touching the clause's
+   memory — most watched clauses are skipped this way (MiniSat 2.2). *)
+module Wvec = struct
+  type t = {
+    mutable cls : clause array;
+    mutable blk : int array;
+    mutable size : int;
+  }
+
+  let create () = { cls = Array.make 4 Cvec.dummy; blk = Array.make 4 0; size = 0 }
+
+  let push t c b =
+    if t.size = Array.length t.cls then begin
+      let cls = Array.make (2 * t.size) Cvec.dummy in
+      Array.blit t.cls 0 cls 0 t.size;
+      t.cls <- cls;
+      let blk = Array.make (2 * t.size) 0 in
+      Array.blit t.blk 0 blk 0 t.size;
+      t.blk <- blk
+    end;
+    t.cls.(t.size) <- c;
+    t.blk.(t.size) <- b;
+    t.size <- t.size + 1
+end
+
 type t = {
   mutable nvars : int;
   mutable assign : Bytes.t; (* per var: 0 true, 1 false, 2 unassigned *)
   mutable level : int array;
-  mutable reason : clause option array;
+  mutable reason : clause array; (* Cvec.dummy = no reason (decision/fact) *)
   mutable act : float array;
   mutable phase : Bytes.t; (* saved phase per var: 0 true, 1 false *)
-  mutable watches : Cvec.t array; (* indexed by literal *)
+  mutable watches : Wvec.t array; (* indexed by literal *)
   heap : Heap.t;
   clauses : Cvec.t;
   learnts : Cvec.t;
   mutable trail : int array;
   mutable trail_size : int;
-  mutable trail_lim : int list; (* decision-level boundaries, newest first *)
+  mutable trail_lim : int array; (* trail boundary per decision level *)
+  mutable trail_lim_size : int; (* = current decision level *)
   mutable qhead : int;
   mutable var_inc : float;
   mutable cla_inc : float;
@@ -76,16 +104,17 @@ let create () =
     nvars = 0;
     assign = Bytes.make 64 '\002';
     level = Array.make 64 0;
-    reason = Array.make 64 None;
+    reason = Array.make 64 Cvec.dummy;
     act = Array.make 64 0.0;
     phase = Bytes.make 64 '\001';
-    watches = Array.init 128 (fun _ -> Cvec.create ());
+    watches = Array.init 128 (fun _ -> Wvec.create ());
     heap = Heap.create ();
     clauses = Cvec.create ();
     learnts = Cvec.create ();
     trail = Array.make 64 0;
     trail_size = 0;
-    trail_lim = [];
+    trail_lim = Array.make 64 0;
+    trail_lim_size = 0;
     qhead = 0;
     var_inc = 1.0;
     cla_inc = 1.0;
@@ -116,13 +145,13 @@ let new_var t =
     let level = Array.make n 0 in
     Array.blit t.level 0 level 0 v;
     t.level <- level;
-    let reason = Array.make n None in
+    let reason = Array.make n Cvec.dummy in
     Array.blit t.reason 0 reason 0 v;
     t.reason <- reason;
     let act = Array.make n 0.0 in
     Array.blit t.act 0 act 0 v;
     t.act <- act;
-    let watches = Array.init (2 * n) (fun _ -> Cvec.create ()) in
+    let watches = Array.init (2 * n) (fun _ -> Wvec.create ()) in
     Array.blit t.watches 0 watches 0 (2 * v);
     t.watches <- watches;
     let trail = Array.make n 0 in
@@ -135,7 +164,17 @@ let new_var t =
 (* Value of a literal: 0 = true, 1 = false, >= 2 = unassigned. *)
 let lit_value t l = Char.code (Bytes.unsafe_get t.assign (l lsr 1)) lxor (l land 1)
 
-let decision_level t = List.length t.trail_lim
+let decision_level t = t.trail_lim_size
+
+(* Open a new decision level at the current trail position. *)
+let push_level t =
+  if t.trail_lim_size = Array.length t.trail_lim then begin
+    let lim = Array.make (2 * t.trail_lim_size) 0 in
+    Array.blit t.trail_lim 0 lim 0 t.trail_lim_size;
+    t.trail_lim <- lim
+  end;
+  t.trail_lim.(t.trail_lim_size) <- t.trail_size;
+  t.trail_lim_size <- t.trail_lim_size + 1
 
 let var_bump t v =
   t.act.(v) <- t.act.(v) +. t.var_inc;
@@ -162,6 +201,7 @@ let cla_bump t c =
 
 let cla_decay_activity t = t.cla_inc <- t.cla_inc *. clause_decay
 
+(* [reason] is the implying clause, or [Cvec.dummy] for decisions/facts. *)
 let enqueue t l reason =
   Bytes.unsafe_set t.assign (l lsr 1) (Char.chr (l land 1));
   t.level.(var l) <- decision_level t;
@@ -169,7 +209,7 @@ let enqueue t l reason =
   t.trail.(t.trail_size) <- l;
   t.trail_size <- t.trail_size + 1
 
-let watch t l c = Cvec.push t.watches.(l) c
+let watch t l c b = Wvec.push t.watches.(l) c b
 
 (* Propagate all enqueued facts; return the conflicting clause, if any. *)
 let propagate t =
@@ -181,58 +221,72 @@ let propagate t =
     (* Clauses with watched literal ¬l (stored under [watches.(l)]) must find
        a new watch or propagate/conflict. *)
     let ws = t.watches.(l) in
-    let n = ws.Cvec.size in
+    let n = ws.Wvec.size in
     let j = ref 0 in
     (try
        for i = 0 to n - 1 do
-         let c = ws.Cvec.data.(i) in
-         if c.deleted then () (* drop lazily *)
+         let b = ws.Wvec.blk.(i) in
+         if lit_value t b = 0 then begin
+           (* Blocker already true: satisfied, skip without touching the
+              clause's memory. *)
+           ws.Wvec.cls.(!j) <- ws.Wvec.cls.(i);
+           ws.Wvec.blk.(!j) <- b;
+           incr j
+         end
          else begin
-           let lits = c.lits in
-           (* Ensure the false literal is at position 1. *)
-           if lits.(0) = neg l then begin
-             lits.(0) <- lits.(1);
-             lits.(1) <- neg l
-           end;
-           if lit_value t lits.(0) = 0 then begin
-             (* Clause already satisfied; keep the watch. *)
-             ws.Cvec.data.(!j) <- c;
-             incr j
-           end
+           let c = ws.Wvec.cls.(i) in
+           if c.deleted then () (* drop lazily *)
            else begin
-             (* Look for a non-false literal to watch. *)
-             let len = Array.length lits in
-             let k = ref 2 in
-             while !k < len && lit_value t lits.(!k) = 1 do
-               incr k
-             done;
-             if !k < len then begin
-               lits.(1) <- lits.(!k);
-               lits.(!k) <- neg l;
-               watch t (neg lits.(1)) c
-             end
-             else if lit_value t lits.(0) = 1 then begin
-               (* Conflict: copy the remaining watches and bail out. *)
-               ws.Cvec.data.(!j) <- c;
-               incr j;
-               for i' = i + 1 to n - 1 do
-                 ws.Cvec.data.(!j) <- ws.Cvec.data.(i');
-                 incr j
-               done;
-               conflict := Some c;
-               raise Exit
+             let lits = c.lits in
+             (* Ensure the false literal is at position 1. *)
+             if lits.(0) = neg l then begin
+               lits.(0) <- lits.(1);
+               lits.(1) <- neg l
+             end;
+             if lit_value t lits.(0) = 0 then begin
+               (* Clause already satisfied; keep the watch. *)
+               ws.Wvec.cls.(!j) <- c;
+               ws.Wvec.blk.(!j) <- lits.(0);
+               incr j
              end
              else begin
-               (* Unit: propagate lits.(0). *)
-               ws.Cvec.data.(!j) <- c;
-               incr j;
-               enqueue t lits.(0) (Some c)
+               (* Look for a non-false literal to watch. *)
+               let len = Array.length lits in
+               let k = ref 2 in
+               while !k < len && lit_value t lits.(!k) = 1 do
+                 incr k
+               done;
+               if !k < len then begin
+                 lits.(1) <- lits.(!k);
+                 lits.(!k) <- neg l;
+                 watch t (neg lits.(1)) c lits.(0)
+               end
+               else if lit_value t lits.(0) = 1 then begin
+                 (* Conflict: copy the remaining watches and bail out. *)
+                 ws.Wvec.cls.(!j) <- c;
+                 ws.Wvec.blk.(!j) <- lits.(0);
+                 incr j;
+                 for i' = i + 1 to n - 1 do
+                   ws.Wvec.cls.(!j) <- ws.Wvec.cls.(i');
+                   ws.Wvec.blk.(!j) <- ws.Wvec.blk.(i');
+                   incr j
+                 done;
+                 conflict := Some c;
+                 raise Exit
+               end
+               else begin
+                 (* Unit: propagate lits.(0). *)
+                 ws.Wvec.cls.(!j) <- c;
+                 ws.Wvec.blk.(!j) <- lits.(0);
+                 incr j;
+                 enqueue t lits.(0) c
+               end
              end
            end
          end
        done
      with Exit -> ());
-    ws.Cvec.size <- !j
+    ws.Wvec.size <- !j
   done;
   !conflict
 
@@ -243,16 +297,13 @@ let analyze t confl =
   let seen = t.seen in
   let counter = ref 0 in
   let p = ref (-1) in
-  let confl = ref (Some confl) in
+  let confl = ref confl in
   let btlevel = ref 0 in
   let index = ref (t.trail_size - 1) in
   let continue = ref true in
   while !continue do
-    let c =
-      match !confl with
-      | Some c -> c
-      | None -> assert false (* every inner resolvent has a reason *)
-    in
+    let c = !confl in
+    assert (c != Cvec.dummy) (* every inner resolvent has a reason *);
     if c.learnt then cla_bump t c;
     let lits = c.lits in
     let start = if !p = -1 then 0 else 1 in
@@ -286,15 +337,14 @@ let analyze t confl =
      tail literals still have their seen bit set here. *)
   let tail = !learnt in
   let redundant q =
-    match t.reason.(var q) with
-    | None -> false
-    | Some c ->
-        Array.for_all
-          (fun r ->
-            r = neg q
-            || Bytes.get seen (var r) = '\001'
-            || t.level.(var r) = 0)
-          c.lits
+    let c = t.reason.(var q) in
+    c != Cvec.dummy
+    && Array.for_all
+         (fun r ->
+           r = neg q
+           || Bytes.get seen (var r) = '\001'
+           || t.level.(var r) = 0)
+         c.lits
   in
   let minimized = List.filter (fun q -> not (redundant q)) tail in
   (* Recompute the backtrack level from the surviving literals. *)
@@ -307,23 +357,18 @@ let analyze t confl =
 
 let cancel_until t lvl =
   if decision_level t > lvl then begin
-    let rec bound lims n =
-      match lims with
-      | [] -> assert false
-      | b :: rest -> if n = lvl + 1 then (b, rest) else bound rest (n - 1)
-    in
-    let b, rest = bound t.trail_lim (decision_level t) in
+    let b = t.trail_lim.(lvl) in
     for i = t.trail_size - 1 downto b do
       let l = t.trail.(i) in
       let v = var l in
       Bytes.set t.phase v (if is_pos l then '\000' else '\001');
       Bytes.set t.assign v '\002';
-      t.reason.(v) <- None;
+      t.reason.(v) <- Cvec.dummy;
       if not (Heap.in_heap t.heap v) then Heap.insert t.heap ~act:t.act v
     done;
     t.trail_size <- b;
     t.qhead <- b;
-    t.trail_lim <- rest
+    t.trail_lim_size <- lvl
   end
 
 let add_clause t lits =
@@ -346,7 +391,7 @@ let add_clause t lits =
           assert (decision_level t = 0);
           if lit_value t l = 1 then t.ok <- false
           else if lit_value t l >= 2 then begin
-            enqueue t l None;
+            enqueue t l Cvec.dummy;
             if propagate t <> None then t.ok <- false
           end
       | l0 :: l1 :: _ ->
@@ -359,8 +404,8 @@ let add_clause t lits =
             }
           in
           Cvec.push t.clauses c;
-          watch t (neg l0) c;
-          watch t (neg l1) c
+          watch t (neg l0) c l1;
+          watch t (neg l1) c l0
     end
   end
 
@@ -369,7 +414,7 @@ let add_clause t lits =
 let record_learnt t lits =
   match lits with
   | [] -> t.ok <- false
-  | [ l ] -> enqueue t l None
+  | [ l ] -> enqueue t l Cvec.dummy
   | l0 :: _ ->
       let arr = Array.of_list lits in
       (* Position 1 must hold a literal of the highest remaining level so the
@@ -384,9 +429,9 @@ let record_learnt t lits =
       let c = { lits = arr; activity = 0.0; learnt = true; deleted = false } in
       Cvec.push t.learnts c;
       cla_bump t c;
-      watch t (neg arr.(0)) c;
-      watch t (neg arr.(1)) c;
-      enqueue t l0 (Some c)
+      watch t (neg arr.(0)) c arr.(1);
+      watch t (neg arr.(1)) c arr.(0);
+      enqueue t l0 c
 
 let reduce_db t =
   let n = t.learnts.Cvec.size in
@@ -396,7 +441,7 @@ let reduce_db t =
     Array.length c.lits > 0
     &&
     let l = c.lits.(0) in
-    lit_value t l = 0 && t.reason.(var l) == Some c
+    lit_value t l = 0 && t.reason.(var l) == c
   in
   let keep = n / 2 in
   Cvec.clear t.learnts;
@@ -466,23 +511,22 @@ let search t ~assumptions ~budget ~deadline =
         let dl = decision_level t in
         if dl < List.length assumptions then begin
           let a = List.nth assumptions dl in
-          if lit_value t a = 0 then begin
+          if lit_value t a = 0 then
             (* Already satisfied: open an empty level to keep indices aligned. *)
-            t.trail_lim <- t.trail_size :: t.trail_lim
-          end
+            push_level t
           else if lit_value t a = 1 then raise (Result false)
           else begin
-            t.trail_lim <- t.trail_size :: t.trail_lim;
-            enqueue t a None
+            push_level t;
+            enqueue t a Cvec.dummy
           end
         end
         else begin
           let v = pick_branch_var t in
           if v < 0 then raise (Result true);
           t.decisions <- t.decisions + 1;
-          t.trail_lim <- t.trail_size :: t.trail_lim;
+          push_level t;
           let sign = Bytes.get t.phase v = '\000' in
-          enqueue t (mk_lit v sign) None
+          enqueue t (mk_lit v sign) Cvec.dummy
         end
   done
 
@@ -545,6 +589,22 @@ let solve ?assumptions ?conflict_limit ?deadline t =
   | exception e ->
       finish "budget";
       raise e
+
+(* Snapshot of the instance for DIMACS dumping: level-0 facts as unit
+   clauses, then the problem clauses. Learnt clauses are redundant and
+   omitted. Safe to call between [solve]s regardless of the last answer —
+   only the level-0 prefix of the trail is read. *)
+let export t =
+  let cls = ref [] in
+  for i = t.clauses.Cvec.size - 1 downto 0 do
+    let c = t.clauses.Cvec.data.(i) in
+    if not c.deleted then cls := Array.to_list c.lits :: !cls
+  done;
+  let lvl0 = if t.trail_lim_size = 0 then t.trail_size else t.trail_lim.(0) in
+  for i = lvl0 - 1 downto 0 do
+    cls := [ t.trail.(i) ] :: !cls
+  done;
+  (t.nvars, !cls)
 
 let value t l =
   match lit_value t l with

@@ -53,6 +53,11 @@ val value : t -> lit -> bool
 (** Model value of a literal after a [solve] that returned [true]. Variables
     irrelevant to satisfaction default to their saved phase. *)
 
+val export : t -> int * lit list list
+(** [(nvars, clauses)] snapshot of the instance for DIMACS dumping: the
+    level-0 facts as unit clauses followed by the problem clauses. Learnt
+    clauses are omitted (they are implied). *)
+
 type stats = {
   conflicts : int;
   decisions : int;

@@ -1,13 +1,47 @@
-(* Tseitin encoding. Bitvectors become arrays of literals, least significant
+(* CNF encoding. Bitvectors become arrays of literals, least significant
    bit first. Constant bits reuse a single always-true variable, so the SAT
-   layer's level-0 simplification absorbs them for free. *)
+   layer's level-0 simplification absorbs them for free.
+
+   Formula-level gates use the Plaisted–Greenbaum polarity-tracked encoding:
+   a subformula that only ever occurs positively (it can only help satisfy
+   the assertion) gets just the output→definition clauses, a negative-only
+   one just the definition→output clauses, and only genuinely two-sided
+   occurrences (xor/iff children, ite conditions) pay for full Tseitin.
+   The encoding is satisfiability-preserving per asserted root, and any
+   model of the CNF restricted to the original variables is a model of the
+   asserted formulas, so counterexample extraction is unchanged.
+   Bit-level circuits (adders, multipliers, comparators' innards) keep the
+   two-sided encoding: their bits feed both phases structurally. *)
 
 module S = Alive_sat.Solver
+
+type polarity = Pos | Neg | Both
+
+let flip = function Pos -> Neg | Neg -> Pos | Both -> Both
+let pol_code = function Pos -> 1 | Neg -> 2 | Both -> 3
+
+(* Encoding selector. [`Plaisted_greenbaum] emits one-sided definitions for
+   one-sided subformulas — fewest clauses; [`Tseitin] forces every gate
+   two-sided — more clauses, stronger unit propagation. Which one wins is
+   an empirical, corpus-dependent question; the switch makes the comparison
+   a command-line flag instead of a rebuild. *)
+type encoding = Tseitin | Plaisted_greenbaum
+
+let encoding_flag = Atomic.make Tseitin
+
+let set_encoding e =
+  Atomic.set encoding_flag
+    (match e with `Tseitin -> Tseitin | `Plaisted_greenbaum -> Plaisted_greenbaum)
+
+let encoding () =
+  match Atomic.get encoding_flag with
+  | Tseitin -> `Tseitin
+  | Plaisted_greenbaum -> `Plaisted_greenbaum
 
 type t = {
   sat : S.t;
   true_lit : S.lit;
-  bool_memo : (int, S.lit) Hashtbl.t; (* term id -> literal *)
+  bool_memo : (int * int, S.lit) Hashtbl.t; (* (term id, polarity) -> literal *)
   bv_memo : (int, S.lit array) Hashtbl.t; (* term id -> bit literals *)
   var_bits : (string, S.lit array) Hashtbl.t;
   var_bools : (string, S.lit) Hashtbl.t;
@@ -34,9 +68,11 @@ let is_true t l = l = t.true_lit
 let is_false t l = l = lit_false t
 let is_const t l = is_true t l || is_false t l
 
-(* Gates. Each returns an output literal; constant inputs short-circuit. *)
+(* Gates. Each returns an output literal; constant inputs short-circuit.
+   [pol] is the polarity of the gate's output in the asserted formula:
+   [Pos] emits only the ¬o ∨ … direction, [Neg] only the o ∨ … direction. *)
 
-let and2 t a b =
+let and2 ?(pol = Both) t a b =
   if is_false t a || is_false t b then lit_false t
   else if is_true t a then b
   else if is_true t b then a
@@ -44,15 +80,17 @@ let and2 t a b =
   else if a = S.neg b then lit_false t
   else begin
     let o = fresh t in
-    S.add_clause t.sat [ S.neg o; a ];
-    S.add_clause t.sat [ S.neg o; b ];
-    S.add_clause t.sat [ o; S.neg a; S.neg b ];
+    if pol <> Neg then begin
+      S.add_clause t.sat [ S.neg o; a ];
+      S.add_clause t.sat [ S.neg o; b ]
+    end;
+    if pol <> Pos then S.add_clause t.sat [ o; S.neg a; S.neg b ];
     o
   end
 
-let or2 t a b = S.neg (and2 t (S.neg a) (S.neg b))
+let or2 ?(pol = Both) t a b = S.neg (and2 ~pol:(flip pol) t (S.neg a) (S.neg b))
 
-let andn t = function
+let andn ?(pol = Both) t = function
   | [] -> t.true_lit
   | [ l ] -> l
   | ls ->
@@ -67,31 +105,37 @@ let andn t = function
             if List.exists (fun l -> List.mem (S.neg l) ls) ls then lit_false t
             else begin
               let o = fresh t in
-              List.iter (fun l -> S.add_clause t.sat [ S.neg o; l ]) ls;
-              S.add_clause t.sat (o :: List.map S.neg ls);
+              if pol <> Neg then
+                List.iter (fun l -> S.add_clause t.sat [ S.neg o; l ]) ls;
+              if pol <> Pos then
+                S.add_clause t.sat (o :: List.map S.neg ls);
               o
             end
       end
 
-let orn t ls = S.neg (andn t (List.map S.neg ls))
+let orn ?(pol = Both) t ls = S.neg (andn ~pol:(flip pol) t (List.map S.neg ls))
 
-let xor2 t a b =
+let xor2 ?(pol = Both) t a b =
   if is_const t a then if is_true t a then S.neg b else b
   else if is_const t b then if is_true t b then S.neg a else a
   else if a = b then lit_false t
   else if a = S.neg b then t.true_lit
   else begin
     let o = fresh t in
-    S.add_clause t.sat [ S.neg o; a; b ];
-    S.add_clause t.sat [ S.neg o; S.neg a; S.neg b ];
-    S.add_clause t.sat [ o; S.neg a; b ];
-    S.add_clause t.sat [ o; a; S.neg b ];
+    if pol <> Neg then begin
+      S.add_clause t.sat [ S.neg o; a; b ];
+      S.add_clause t.sat [ S.neg o; S.neg a; S.neg b ]
+    end;
+    if pol <> Pos then begin
+      S.add_clause t.sat [ o; S.neg a; b ];
+      S.add_clause t.sat [ o; a; S.neg b ]
+    end;
     o
   end
 
-let iff2 t a b = S.neg (xor2 t a b)
+let iff2 ?(pol = Both) t a b = S.neg (xor2 ~pol:(flip pol) t a b)
 
-let ite_bool t c a b =
+let ite_bool ?(pol = Both) t c a b =
   if is_true t c then a
   else if is_false t c then b
   else if a = b then a
@@ -99,13 +143,17 @@ let ite_bool t c a b =
   else if is_false t a && is_true t b then S.neg c
   else begin
     let o = fresh t in
-    S.add_clause t.sat [ S.neg o; S.neg c; a ];
-    S.add_clause t.sat [ S.neg o; c; b ];
-    S.add_clause t.sat [ o; S.neg c; S.neg a ];
-    S.add_clause t.sat [ o; c; S.neg b ];
-    (* Redundant but propagation-friendly. *)
-    S.add_clause t.sat [ S.neg o; a; b ];
-    S.add_clause t.sat [ o; S.neg a; S.neg b ];
+    if pol <> Neg then begin
+      S.add_clause t.sat [ S.neg o; S.neg c; a ];
+      S.add_clause t.sat [ S.neg o; c; b ];
+      (* Redundant but propagation-friendly. *)
+      S.add_clause t.sat [ S.neg o; a; b ]
+    end;
+    if pol <> Pos then begin
+      S.add_clause t.sat [ o; S.neg c; S.neg a ];
+      S.add_clause t.sat [ o; c; S.neg b ];
+      S.add_clause t.sat [ o; S.neg a; S.neg b ]
+    end;
     o
   end
 
@@ -140,17 +188,21 @@ let adder t a b cin =
   done;
   out
 
-(* Unsigned less-than: scan from LSB to MSB keeping a running verdict. *)
-let ult_bits t a b =
+(* Unsigned less-than: scan from LSB to MSB keeping a running verdict. The
+   running verdict and the final and-gate inherit the comparison's polarity;
+   the per-bit equalities condition the ite, so they stay two-sided. *)
+let ult_bits ?(pol = Both) t a b =
   let n = Array.length a in
   let lt = ref (lit_false t) in
   for i = 0 to n - 1 do
-    lt := ite_bool t (iff2 t a.(i) b.(i)) !lt (and2 t (S.neg a.(i)) b.(i))
+    lt :=
+      ite_bool ~pol t (iff2 t a.(i) b.(i)) !lt
+        (and2 ~pol t (S.neg a.(i)) b.(i))
   done;
   !lt
 
-let eq_bits t a b =
-  andn t (Array.to_list (Array.map2 (iff2 t) a b))
+let eq_bits ?(pol = Both) t a b =
+  andn ~pol t (Array.to_list (Array.map2 (iff2 ~pol t) a b))
 
 (* Shift-and-add multiplier. *)
 let mul_bits t a b =
@@ -176,15 +228,34 @@ let shift_const_bits a k ~left ~fill =
 
 open Term
 
-let rec blast_bool t (term : Term.t) : S.lit =
-  match Hashtbl.find_opt t.bool_memo term.id with
+(* Memo lookup: a Both entry is fully defined and serves any polarity; a
+   one-sided entry only serves its own side. A term first encoded one-sided
+   and later needed two-sided is re-encoded fresh under Both — sound (the
+   old output stays partially constrained) at the cost of a few variables,
+   and rare in practice. *)
+let rec blast_bool ?(pol = Both) t (term : Term.t) : S.lit =
+  let pol = if Atomic.get encoding_flag = Tseitin then Both else pol in
+  let hit =
+    match Hashtbl.find_opt t.bool_memo (term.id, 3) with
+    | Some _ as h -> h
+    | None ->
+        if pol = Both then None
+        else Hashtbl.find_opt t.bool_memo (term.id, pol_code pol)
+  in
+  match hit with
   | Some l -> l
   | None ->
+      let store_pol = ref pol in
       let l =
         match term.node with
-        | True -> t.true_lit
-        | False -> lit_false t
+        | True ->
+            store_pol := Both;
+            t.true_lit
+        | False ->
+            store_pol := Both;
+            lit_false t
         | Var (name, Bool) -> (
+            store_pol := Both;
             match Hashtbl.find_opt t.var_bools name with
             | Some l -> l
             | None ->
@@ -192,23 +263,24 @@ let rec blast_bool t (term : Term.t) : S.lit =
                 Hashtbl.add t.var_bools name l;
                 l)
         | Var (_, Bv _) -> assert false
-        | Not a -> S.neg (blast_bool t a)
-        | And l -> andn t (List.map (blast_bool t) l)
-        | Or l -> orn t (List.map (blast_bool t) l)
+        | Not a -> S.neg (blast_bool ~pol:(flip pol) t a)
+        | And l -> andn ~pol t (List.map (blast_bool ~pol t) l)
+        | Or l -> orn ~pol t (List.map (blast_bool ~pol t) l)
         | Eq (a, b) when equal_sort (Term.sort a) Bool ->
-            iff2 t (blast_bool t a) (blast_bool t b)
-        | Eq (a, b) -> eq_bits t (blast_bv t a) (blast_bv t b)
-        | Ult (a, b) -> ult_bits t (blast_bv t a) (blast_bv t b)
+            (* iff children occur in both phases of either direction. *)
+            iff2 ~pol t (blast_bool t a) (blast_bool t b)
+        | Eq (a, b) -> eq_bits ~pol t (blast_bv t a) (blast_bv t b)
+        | Ult (a, b) -> ult_bits ~pol t (blast_bv t a) (blast_bv t b)
         | Slt (a, b) ->
             (* Flip sign bits, then compare unsigned: literal negation is
                free at the SAT level. *)
-            let flip bits =
+            let flip_sign bits =
               let bits = Array.copy bits in
               let n = Array.length bits in
               bits.(n - 1) <- S.neg bits.(n - 1);
               bits
             in
-            ult_bits t (flip (blast_bv t a)) (flip (blast_bv t b))
+            ult_bits ~pol t (flip_sign (blast_bv t a)) (flip_sign (blast_bv t b))
         | Ite _ ->
             (* Boolean ite is normalized away by the Term smart constructor. *)
             assert false
@@ -216,7 +288,7 @@ let rec blast_bool t (term : Term.t) : S.lit =
           ->
             assert false
       in
-      Hashtbl.add t.bool_memo term.id l;
+      Hashtbl.replace t.bool_memo (term.id, pol_code !store_pol) l;
       l
 
 and blast_bv t (term : Term.t) : S.lit array =
@@ -236,6 +308,7 @@ and blast_bv t (term : Term.t) : S.lit array =
         | Var (_, Bool) -> assert false
         | Bnot a -> Array.map S.neg (blast_bv t a)
         | Ite (c, a, b) ->
+            (* Result bits are consumed in both phases downstream. *)
             let c = blast_bool t c in
             Array.map2 (ite_bool t c) (blast_bv t a) (blast_bv t b)
         | Bbin (op, a, b) -> blast_bvop t op a b
@@ -292,13 +365,13 @@ and blast_bvop t op a b =
 
 module Trace = Alive_trace.Trace
 
-(* [lower] rewrites to the core fragment, [bitblast] runs the Tseitin
+(* [lower] rewrites to the core fragment, [bitblast] runs the polarity-aware
    encoding; both are memoized per context, so re-asserting shared
    subterms shows up as near-zero-duration spans. *)
 let lower_traced term = Trace.with_span "lower" (fun () -> Lower.lower term)
 
 let blast_bool_traced t term =
-  Trace.with_span "bitblast" (fun () -> blast_bool t term)
+  Trace.with_span "bitblast" (fun () -> blast_bool ~pol:Pos t term)
 
 let assert_formula t term =
   if not (equal_sort (Term.sort term) Bool) then
@@ -331,3 +404,5 @@ let model_value t name sort =
       | None -> Vbv (Bitvec.zero n))
 
 let stats t = S.stats t.sat
+
+let export t = S.export t.sat

@@ -1,9 +1,18 @@
-(** Tseitin bit-blasting of lowered terms into a CDCL SAT solver.
+(** Bit-blasting of lowered terms into a CDCL SAT solver, using the
+    Plaisted–Greenbaum polarity-tracked CNF encoding: subformulas that occur
+    under only one polarity get half the Tseitin clauses (positive-only
+    occurrences keep the output→definition direction, negative-only the
+    converse); xor/iff children and ite conditions are two-sided, as are all
+    bit-level arithmetic circuits. The encoding preserves satisfiability per
+    asserted root, and CNF models restricted to the original variables are
+    models of the asserted formulas, so counterexamples are extracted exactly
+    as under full Tseitin.
 
-    A context owns a SAT solver and memoization tables keyed by term id, so
-    shared subterms are encoded once. Formulas are asserted incrementally;
-    [check] may be called repeatedly, also under assumptions (used by the
-    CEGAR loop and attribute inference).
+    A context owns a SAT solver and memoization tables keyed by term id (and
+    requested polarity), so shared subterms are encoded once per polarity
+    regime. Formulas are asserted incrementally; [check] may be called
+    repeatedly, also under assumptions (used by the CEGAR loop and attribute
+    inference).
 
     Input terms must be in the bit-blaster's core fragment (see {!Lower});
     [assert_formula] and [check] lower their arguments automatically. *)
@@ -11,6 +20,15 @@
 type t
 
 val create : unit -> t
+
+val set_encoding : [ `Tseitin | `Plaisted_greenbaum ] -> unit
+(** Select the CNF encoding for subsequent blasting (a process-wide atomic).
+    [`Plaisted_greenbaum] emits one-sided gate definitions for one-sided
+    subformulas — fewest clauses and variables; [`Tseitin] keeps every gate
+    two-sided — more clauses but stronger unit propagation. The default is
+    chosen by benchmark (see docs/PERFORMANCE.md). *)
+
+val encoding : unit -> [ `Tseitin | `Plaisted_greenbaum ]
 
 val assert_formula : t -> Term.t -> unit
 (** Assert a Bool-sorted term. @raise Invalid_argument on bitvector sorts. *)
@@ -31,3 +49,7 @@ val model_value : t -> string -> Term.sort -> Term.value
 val stats : t -> Alive_sat.Solver.stats
 (** Underlying SAT solver telemetry (conflicts, decisions, propagations,
     restarts, clause and variable counts). *)
+
+val export : t -> int * Alive_sat.Solver.lit list list
+(** Snapshot of the underlying SAT instance (level-0 facts plus problem
+    clauses) for DIMACS dumping; see {!Alive_sat.Solver.export}. *)

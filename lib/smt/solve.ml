@@ -42,7 +42,12 @@ type telemetry = {
   mutable restarts : int;
   mutable clauses : int;
   mutable vars : int;
+  mutable peak_clauses : int;
+  mutable peak_vars : int;
   mutable cegar_iterations : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable cache_evictions : int;
 }
 
 let telemetry () =
@@ -55,7 +60,12 @@ let telemetry () =
     restarts = 0;
     clauses = 0;
     vars = 0;
+    peak_clauses = 0;
+    peak_vars = 0;
     cegar_iterations = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    cache_evictions = 0;
   }
 
 let add_telemetry ~into (t : telemetry) =
@@ -67,7 +77,12 @@ let add_telemetry ~into (t : telemetry) =
   into.restarts <- into.restarts + t.restarts;
   into.clauses <- into.clauses + t.clauses;
   into.vars <- into.vars + t.vars;
-  into.cegar_iterations <- into.cegar_iterations + t.cegar_iterations
+  into.peak_clauses <- max into.peak_clauses t.peak_clauses;
+  into.peak_vars <- max into.peak_vars t.peak_vars;
+  into.cegar_iterations <- into.cegar_iterations + t.cegar_iterations;
+  into.cache_hits <- into.cache_hits + t.cache_hits;
+  into.cache_misses <- into.cache_misses + t.cache_misses;
+  into.cache_evictions <- into.cache_evictions + t.cache_evictions
 
 (* A meter tracks what one logical query has consumed: the deadline is fixed
    at query start, the conflict allowance is drawn down across every solver
@@ -86,6 +101,30 @@ let start_meter ?telemetry:sink (b : budget) =
   }
 
 module Trace = Alive_trace.Trace
+
+(* --- Optional DIMACS dump of every solved query (--dump-cnf) --- *)
+
+let dump_dir : string option Atomic.t = Atomic.make None
+let set_dump_dir d = Atomic.set dump_dir d
+let dump_seq = Atomic.make 0
+
+let dump_query ctx result =
+  match Atomic.get dump_dir with
+  | None -> ()
+  | Some dir ->
+      let n = Atomic.fetch_and_add dump_seq 1 in
+      let tag =
+        match result with
+        | `Sat -> "sat"
+        | `Unsat -> "unsat"
+        | `Unknown r -> "unknown-" ^ reason_slug r
+      in
+      let file = Filename.concat dir (Printf.sprintf "q%06d-%s.cnf" n tag) in
+      let nvars, clauses = Bitblast.export ctx in
+      let oc = open_out file in
+      Printf.fprintf oc "c alive query %d result %s\n" n tag;
+      output_string oc (Alive_sat.Dimacs.print ~nvars clauses);
+      close_out oc
 
 (* One solver invocation under the meter, with stats deltas recorded.
    Returns [`Unknown] instead of letting [Budget_exceeded] escape. *)
@@ -130,18 +169,23 @@ let metered_check ?assumptions m ctx :
       ("vars", Trace.Int s1.vars);
     ];
   Trace.end_span sp;
+  dump_query ctx result;
   result
 
 (* Clause/variable counts grow during [assert_formula], outside any solve
    call, so they are charged once per context when the query is done with
-   it rather than as solve-time deltas. *)
+   it rather than as solve-time deltas. [clauses]/[vars] accumulate across
+   contexts; the peaks record the largest single context, which is what the
+   encoding's footprint per query actually is. *)
 let retire_ctx m ctx =
   match m.sink with
   | None -> ()
   | Some t ->
       let s = Bitblast.stats ctx in
       t.clauses <- t.clauses + s.clauses;
-      t.vars <- t.vars + s.vars
+      t.vars <- t.vars + s.vars;
+      t.peak_clauses <- max t.peak_clauses s.clauses;
+      t.peak_vars <- max t.peak_vars s.vars
 
 (* --- Public interface --- *)
 
@@ -185,6 +229,15 @@ let default_value = function
   | Term.Bool -> Term.Vbool false
   | Term.Bv n -> Term.Vbv (Bitvec.zero n)
 
+(* Incremental-CEGAR switch: keep one inner context alive across CEGAR
+   iterations, asserting each round's instantiation under a fresh guard
+   variable and solving with the guard assumed. Off, every round re-creates
+   and re-blasts the inner formula from scratch (the historical behavior,
+   kept for A/B comparison and differential testing). *)
+let incremental_flag = Atomic.make true
+let set_incremental b = Atomic.set incremental_flag b
+let incremental_enabled () = Atomic.get incremental_flag
+
 let check_valid_ef ?(budget = no_budget) ?telemetry ?max_iterations ~exists f =
   let max_iterations = Option.value max_iterations ~default:budget.max_cegar in
   match exists with
@@ -208,6 +261,40 @@ let check_valid_ef ?(budget = no_budget) ?telemetry ?max_iterations ~exists f =
       (* Seed with the all-zero candidate. *)
       add_candidate
         (Model.of_list (List.map (fun (n, s) -> (n, default_value s)) exists));
+      (* The inner ∃E check. Incremental mode keeps one context for the whole
+         query: round [i]'s instantiation f[O:=oᵢ] is asserted as
+         guardᵢ ⇒ f[O:=oᵢ] and solved assuming guardᵢ, so variable bits are
+         allocated once and learnt clauses carry across rounds. Earlier
+         guards are left unconstrained — the solver may simply set them
+         false — so each round sees exactly its own instantiation. *)
+      let use_incremental = incremental_enabled () in
+      let inner_ctx = ref None in
+      let inner_rounds = ref 0 in
+      let solve_inner f_inner =
+        if use_incremental then begin
+          let inner =
+            match !inner_ctx with
+            | Some c -> c
+            | None ->
+                let c = Bitblast.create () in
+                inner_ctx := Some c;
+                c
+          in
+          let guard =
+            Term.var (Printf.sprintf "!cegar.on%d" !inner_rounds) Term.Bool
+          in
+          incr inner_rounds;
+          Bitblast.assert_formula inner (Term.implies guard f_inner);
+          (inner, metered_check ~assumptions:[ guard ] m inner)
+        end
+        else begin
+          let inner = Bitblast.create () in
+          Bitblast.assert_formula inner f_inner;
+          let r = metered_check m inner in
+          retire_ctx m inner;
+          (inner, r)
+        end
+      in
       (* One refinement round under its own span, so iterations render as
          sibling slices rather than one ever-deepening nest. The recursion
          happens outside the span. *)
@@ -226,10 +313,7 @@ let check_valid_ef ?(budget = no_budget) ?telemetry ?max_iterations ~exists f =
                     outer_vars
                 in
                 let f_inner = Term.subst o_bindings f in
-                let inner = Bitblast.create () in
-                Bitblast.assert_formula inner f_inner;
-                let inner_result = metered_check m inner in
-                retire_ctx m inner;
+                let inner, inner_result = solve_inner f_inner in
                 match inner_result with
                 | `Unknown r -> `Stop (`Unknown r)
                 | `Unsat -> `Stop (`Invalid o_model)
@@ -263,5 +347,6 @@ let check_valid_ef ?(budget = no_budget) ?telemetry ?max_iterations ~exists f =
         end
       in
       let result = loop 0 in
+      (match !inner_ctx with Some c -> retire_ctx m c | None -> ());
       retire_ctx m outer;
       result

@@ -49,9 +49,16 @@ type telemetry = {
   mutable decisions : int;
   mutable propagations : int;
   mutable restarts : int;
-  mutable clauses : int;  (** clauses added to the contexts used *)
-  mutable vars : int;  (** SAT variables allocated *)
+  mutable clauses : int;  (** clauses added, summed over the contexts used *)
+  mutable vars : int;  (** SAT variables allocated, summed over contexts *)
+  mutable peak_clauses : int;
+      (** largest single context retired — the per-query encoding footprint
+          (summed with [max], not [+], by {!add_telemetry}) *)
+  mutable peak_vars : int;  (** likewise for variables *)
   mutable cegar_iterations : int;
+  mutable cache_hits : int;  (** verdict-cache hits (see {!Vc_cache}) *)
+  mutable cache_misses : int;
+  mutable cache_evictions : int;
 }
 
 val telemetry : unit -> telemetry
@@ -94,3 +101,21 @@ val check_valid_ef :
     than raising, as does exhausting the deadline or conflict allowance. *)
 
 val value_to_term : Term.value -> Term.t
+
+(** {1 Solve-path switches} *)
+
+val set_incremental : bool -> unit
+(** Toggle incremental CEGAR (default on): one inner context lives across
+    all CEGAR iterations of a query, each round's instantiation asserted
+    under a fresh guard variable and solved with that guard assumed, so
+    variable encodings and learnt clauses carry across rounds. Off, every
+    iteration builds a fresh inner context (the historical behavior). *)
+
+val incremental_enabled : unit -> bool
+
+val set_dump_dir : string option -> unit
+(** When set, every solver invocation writes its SAT instance to
+    [DIR/qNNNNNN-RESULT.cnf] in DIMACS format (level-0 facts plus problem
+    clauses) right after it is solved. The directory must exist. Files are
+    numbered by a process-wide atomic counter, so parallel runs interleave
+    safely. *)

@@ -565,6 +565,18 @@ let subst bindings t =
       match List.assoc_opt n bindings with Some t' -> t' | None -> orig)
     t
 
+(* Canonical alpha-renaming: variables become "!c0", "!c1", ... in
+   first-occurrence order ([vars] order), rebuilt through the smart
+   constructors. "!" cannot appear in surface-syntax identifiers, so
+   canonical names never collide with real ones. *)
+let canonicalize t =
+  let order = vars t in
+  let mapping =
+    List.mapi (fun i (n, s) -> (n, Printf.sprintf "!c%d" i, s)) order
+  in
+  let bindings = List.map (fun (n, c, s) -> (n, var c s)) mapping in
+  (subst bindings t, List.map (fun (n, c, _) -> (n, c)) mapping)
+
 let eval env t =
   let memo : (int, value) Hashtbl.t = Hashtbl.create 64 in
   let rec go t =

@@ -160,3 +160,11 @@ val subst : (string * t) list -> t -> t
 
 val eval : (string -> value) -> t -> value
 (** @raise Not_found if the valuation misses a variable. *)
+
+val canonicalize : t -> t * (string * string) list
+(** Rename every free variable to ["!cI"] where [I] is its index in
+    first-occurrence order, rebuilding through the smart constructors.
+    Alpha-equivalent terms canonicalize to the same (physically equal) term;
+    sorts are preserved, so the same pattern at two widths stays distinct.
+    Returns the canonical term and the original→canonical name mapping, in
+    first-occurrence order. *)

@@ -1,0 +1,114 @@
+(* Canonical verdict cache. A verification condition is keyed by its
+   canonicalized form — the hash-consed term with variables renamed by
+   first-occurrence order ([Term.canonicalize]) — plus the canonical names
+   of its existential variables, so alpha-equivalent queries collide and
+   everything else (including the same pattern at a different width, which
+   changes variable sorts) stays apart.
+
+   The tables are per-domain (the [lib/trace] buffer design): each worker
+   of the parallel engine fills its own cache with zero cross-domain
+   contention, at the cost of re-solving a query that another domain already
+   answered. Models are stored in the canonical namespace and renamed back
+   through the requesting query's own variable mapping on a hit, so a cached
+   counterexample is a counterexample for every alpha-equivalent VC.
+
+   Only definite verdicts are cached: [`Unknown] depends on the budget and
+   the wall clock, so caching it would make verdicts depend on history. *)
+
+module T = Term
+
+type entry = Valid | Invalid of Model.t (* model over canonical names *)
+
+type keyed = {
+  key : int * string list; (* canonical term id, canonical exists names *)
+  to_canon : (string * string) list; (* original -> canonical names *)
+}
+
+let enabled_flag = Atomic.make true
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
+
+(* Per-domain entry budget. FIFO eviction: the corpus is solved in one
+   sweep, so recency carries little signal and FIFO keeps store O(1). *)
+let default_capacity = 1 lsl 13
+let capacity = Atomic.make default_capacity
+let set_capacity n = Atomic.set capacity (max 1 n)
+
+type state = {
+  table : (int * string list, entry) Hashtbl.t;
+  order : (int * string list) Queue.t;
+}
+
+let registry : state list ref = ref []
+let registry_lock = Mutex.create ()
+
+let dls_key =
+  Domain.DLS.new_key (fun () ->
+      let st = { table = Hashtbl.create 1024; order = Queue.create () } in
+      Mutex.lock registry_lock;
+      registry := st :: !registry;
+      Mutex.unlock registry_lock;
+      st)
+
+let state () = Domain.DLS.get dls_key
+
+let clear () =
+  Mutex.lock registry_lock;
+  List.iter
+    (fun st ->
+      Hashtbl.reset st.table;
+      Queue.clear st.order)
+    !registry;
+  Mutex.unlock registry_lock
+
+let m_hits = Alive_trace.Metrics.counter "vc_cache.hits"
+let m_misses = Alive_trace.Metrics.counter "vc_cache.misses"
+let m_evictions = Alive_trace.Metrics.counter "vc_cache.evictions"
+
+let canon ~exists f =
+  let cf, mapping = T.canonicalize f in
+  (* Existentials that do not occur in the formula cannot affect the
+     verdict; dropping them lets more queries collide. *)
+  let enames =
+    List.sort compare
+      (List.filter_map (fun (n, _) -> List.assoc_opt n mapping) exists)
+  in
+  { key = (T.hash cf, enames); to_canon = mapping }
+
+let rename_model mapping m =
+  Model.of_list
+    (List.filter_map
+       (fun (n, v) -> Option.map (fun c -> (c, v)) (List.assoc_opt n mapping))
+       (Model.bindings m))
+
+let find k =
+  match Hashtbl.find_opt (state ()).table k.key with
+  | None ->
+      Alive_trace.Metrics.incr m_misses;
+      None
+  | Some Valid ->
+      Alive_trace.Metrics.incr m_hits;
+      Some `Valid
+  | Some (Invalid m) ->
+      Alive_trace.Metrics.incr m_hits;
+      let from_canon = List.map (fun (a, b) -> (b, a)) k.to_canon in
+      Some (`Invalid (rename_model from_canon m))
+
+let store k outcome =
+  let st = state () in
+  if Hashtbl.mem st.table k.key then 0
+  else begin
+    let entry =
+      match outcome with
+      | `Valid -> Valid
+      | `Invalid m -> Invalid (rename_model k.to_canon m)
+    in
+    Hashtbl.replace st.table k.key entry;
+    Queue.push k.key st.order;
+    if Hashtbl.length st.table > Atomic.get capacity then begin
+      Hashtbl.remove st.table (Queue.pop st.order);
+      Alive_trace.Metrics.incr m_evictions;
+      1
+    end
+    else 0
+  end

@@ -1,0 +1,42 @@
+(** Per-domain cache of verification-condition verdicts, keyed by the
+    canonicalized (alpha-renamed) formula and its existential variable set.
+
+    Alpha-equivalent queries share one entry; the same pattern at a
+    different bit width canonicalizes to a different term (sorts live in
+    the variables) and stays distinct. Each engine worker domain owns its
+    own table — no cross-domain contention, mirroring the trace-buffer
+    design — so a hit is always a query this domain solved earlier.
+
+    Only definite verdicts ([`Valid] / [`Invalid]) are cached; [`Unknown]
+    is budget-dependent. Counterexample models are stored canonically and
+    renamed into the requesting query's variables on a hit. Hits, misses
+    and evictions feed the ["vc_cache.*"] metrics counters. *)
+
+type keyed
+(** A canonicalized query: cache key plus the variable renaming needed to
+    translate models in and out of the canonical namespace. *)
+
+val canon : exists:(string * Term.sort) list -> Term.t -> keyed
+(** Canonicalize a query. [exists] names the existential variables (as in
+    {!Solve.check_valid_ef}); ones not free in the formula are ignored. *)
+
+val find : keyed -> [ `Valid | `Invalid of Model.t ] option
+(** Look up this domain's cache. On [`Invalid] the model is already renamed
+    back to the query's own variable names. Bumps hit/miss counters. *)
+
+val store : keyed -> [ `Valid | `Invalid of Model.t ] -> int
+(** Record a definite verdict; returns the number of entries evicted
+    (0 or 1). Storing an already-present key is a no-op. *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+(** Global on/off switch (an atomic; default on). When off, callers skip
+    the cache entirely — [find]/[store] themselves do not check it. *)
+
+val set_capacity : int -> unit
+(** Per-domain entry budget (default 8192). Oldest entries are evicted
+    first (FIFO). *)
+
+val clear : unit -> unit
+(** Empty every domain's table. Call only while no worker is verifying —
+    intended for A/B benchmarking and tests. *)

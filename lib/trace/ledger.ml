@@ -24,11 +24,16 @@ type record = {
   queries : int;
   conflicts : int;
   cegar_iterations : int;
+  cache_hits : int;  (* canonical verdict cache (schema >= 2; 0 before) *)
+  cache_misses : int;
+  cache_evictions : int;
+  peak_clauses : int;  (* largest single SAT context of the run *)
+  peak_vars : int;
   verdicts : (string * int) list;  (* verdict name -> count *)
   phases : phase_total list;
 }
 
-let schema_version = 1
+let schema_version = 2
 
 let iso8601 t =
   let tm = Unix.gmtime t in
@@ -59,8 +64,9 @@ let phases_of_metrics () =
     (Metrics.snapshot ()).histograms
 
 let make ~label ~jobs ~tasks ?(budget_timeout_s = 0.0) ?(budget_conflicts = 0)
-    ~wall_s ~sat_s ~queries ~conflicts ~cegar_iterations ~verdicts
-    ?(phases = phases_of_metrics ()) () =
+    ~wall_s ~sat_s ~queries ~conflicts ~cegar_iterations ?(cache_hits = 0)
+    ?(cache_misses = 0) ?(cache_evictions = 0) ?(peak_clauses = 0)
+    ?(peak_vars = 0) ~verdicts ?(phases = phases_of_metrics ()) () =
   {
     schema = schema_version;
     timestamp = iso8601 (Unix.gettimeofday ());
@@ -75,6 +81,11 @@ let make ~label ~jobs ~tasks ?(budget_timeout_s = 0.0) ?(budget_conflicts = 0)
     queries;
     conflicts;
     cegar_iterations;
+    cache_hits;
+    cache_misses;
+    cache_evictions;
+    peak_clauses;
+    peak_vars;
     verdicts;
     phases;
   }
@@ -101,6 +112,15 @@ let to_json r =
       ("queries", Json.Int r.queries);
       ("conflicts", Json.Int r.conflicts);
       ("cegar_iterations", Json.Int r.cegar_iterations);
+      ( "cache",
+        Json.Obj
+          [
+            ("hits", Json.Int r.cache_hits);
+            ("misses", Json.Int r.cache_misses);
+            ("evictions", Json.Int r.cache_evictions);
+          ] );
+      ("peak_clauses", Json.Int r.peak_clauses);
+      ("peak_vars", Json.Int r.peak_vars);
       ("verdicts", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) r.verdicts));
       ( "phases",
         Json.Obj
@@ -125,6 +145,7 @@ let of_json j =
   | None -> Error "ledger record: missing wall_s"
   | Some _ ->
       let budget = Option.value ~default:(Json.Obj []) (Json.member "budget" j) in
+      let cache = Option.value ~default:(Json.Obj []) (Json.member "cache" j) in
       let verdicts =
         match Option.bind (Json.member "verdicts" j) Json.to_obj with
         | None -> []
@@ -169,6 +190,19 @@ let of_json j =
           queries = int "queries" 0;
           conflicts = int "conflicts" 0;
           cegar_iterations = int "cegar_iterations" 0;
+          (* "cache" and the peaks are schema-2 keys; schema-1 records read
+             back as zeros. *)
+          cache_hits =
+            Option.value ~default:0
+              (Option.bind (Json.member "hits" cache) Json.to_int);
+          cache_misses =
+            Option.value ~default:0
+              (Option.bind (Json.member "misses" cache) Json.to_int);
+          cache_evictions =
+            Option.value ~default:0
+              (Option.bind (Json.member "evictions" cache) Json.to_int);
+          peak_clauses = int "peak_clauses" 0;
+          peak_vars = int "peak_vars" 0;
           verdicts;
           phases;
         }
@@ -247,6 +281,12 @@ let diff ?(threshold_pct = 15.0) ~baseline ~latest () =
     :: info "cegar_iterations"
          (float_of_int baseline.cegar_iterations)
          (float_of_int latest.cegar_iterations)
+    :: info "cache_hits"
+         (float_of_int baseline.cache_hits)
+         (float_of_int latest.cache_hits)
+    :: info "peak_clauses"
+         (float_of_int baseline.peak_clauses)
+         (float_of_int latest.peak_clauses)
     :: List.filter_map
          (fun p ->
            match

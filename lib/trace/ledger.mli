@@ -22,6 +22,13 @@ type record = {
   queries : int;
   conflicts : int;
   cegar_iterations : int;
+  cache_hits : int;
+      (** canonical verdict cache counters (schema >= 2; zero when reading
+          older records) *)
+  cache_misses : int;
+  cache_evictions : int;
+  peak_clauses : int;  (** largest single SAT context of the run *)
+  peak_vars : int;
   verdicts : (string * int) list;
   phases : phase_total list;
 }
@@ -39,6 +46,11 @@ val make :
   queries:int ->
   conflicts:int ->
   cegar_iterations:int ->
+  ?cache_hits:int ->
+  ?cache_misses:int ->
+  ?cache_evictions:int ->
+  ?peak_clauses:int ->
+  ?peak_vars:int ->
   verdicts:(string * int) list ->
   ?phases:phase_total list ->
   unit ->

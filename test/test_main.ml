@@ -9,6 +9,7 @@ let () =
       Test_opt.suite;
       Test_suite.suite;
       Test_engine.suite;
+      Test_differential.suite;
       Test_lint.suite;
       Test_trace.suite;
     ]

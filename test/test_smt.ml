@@ -395,7 +395,118 @@ let ef_tests =
           = `Valid));
   ]
 
+(* --- Canonical renaming and the verdict cache --- *)
+
+module Vc_cache = Alive_smt.Vc_cache
+
+let canon_tests =
+  [
+    Alcotest.test_case "alpha-equivalent terms canonicalize equal" `Quick
+      (fun () ->
+        (* Non-commutative operators, so the formula neither folds away nor
+           gets its operands reordered by the smart constructors. *)
+        let f a b = T.ult (T.sub a b) (T.udiv a b) in
+        let c1, m1 = T.canonicalize (f (T.var "x" (T.Bv 8)) (T.var "y" (T.Bv 8)))
+        and c2, m2 = T.canonicalize (f (T.var "p" (T.Bv 8)) (T.var "q" (T.Bv 8))) in
+        check_bool "same canonical term" true (T.equal c1 c2);
+        Alcotest.(check (list (pair string string)))
+          "mapping in first-occurrence order"
+          [ ("x", "!c0"); ("y", "!c1") ]
+          m1;
+        Alcotest.(check (list (pair string string)))
+          "second mapping mirrors the first"
+          [ ("p", "!c0"); ("q", "!c1") ]
+          m2);
+    Alcotest.test_case "different widths stay distinct" `Quick (fun () ->
+        let f w = T.eq (T.var "x" (T.Bv w)) (T.zero w) in
+        let c8, _ = T.canonicalize (f 8) and c16, _ = T.canonicalize (f 16) in
+        check_bool "not the same canonical term" false (T.equal c8 c16));
+    Alcotest.test_case "occurrence order matters, names do not" `Quick
+      (fun () ->
+        (* sub is not commutative: x - y and y - x canonicalize to the same
+           term (!c0 - !c1 both times), which is exactly right — the cache
+           key abstracts names, not structure. *)
+        let x = T.var "x" (T.Bv 8) and y = T.var "y" (T.Bv 8) in
+        let c1, _ = T.canonicalize (T.sub x y)
+        and c2, _ = T.canonicalize (T.sub y x) in
+        check_bool "alpha-equivalent up to renaming" true (T.equal c1 c2));
+  ]
+
+let vc_cache_tests =
+  let with_fresh_cache f =
+    Vc_cache.clear ();
+    Fun.protect ~finally:(fun () -> Vc_cache.clear ()) f
+  in
+  [
+    Alcotest.test_case "alpha-equivalent queries share an entry" `Quick
+      (fun () ->
+        with_fresh_cache (fun () ->
+            let q name = T.eq (T.var name (T.Bv 8)) (cv 8 7) in
+            let k1 = Vc_cache.canon ~exists:[] (q "x") in
+            check_bool "cold miss" true (Vc_cache.find k1 = None);
+            ignore (Vc_cache.store k1 `Valid);
+            let k2 = Vc_cache.canon ~exists:[] (q "y") in
+            check_bool "alpha-equivalent hit" true
+              (Vc_cache.find k2 = Some `Valid);
+            let k16 =
+              Vc_cache.canon ~exists:[] (T.eq (T.var "x" (T.Bv 16)) (cv 16 7))
+            in
+            check_bool "same pattern at another width misses" true
+              (Vc_cache.find k16 = None)));
+    Alcotest.test_case "models are renamed through the cache" `Quick
+      (fun () ->
+        with_fresh_cache (fun () ->
+            let q a b = T.and_ [ T.ult a b; T.eq b (cv 8 9) ] in
+            let k1 =
+              Vc_cache.canon ~exists:[]
+                (q (T.var "lo" (T.Bv 8)) (T.var "hi" (T.Bv 8)))
+            in
+            let model =
+              Model.of_list
+                [ ("lo", T.Vbv (bv 8 3)); ("hi", T.Vbv (bv 8 9)) ]
+            in
+            ignore (Vc_cache.store k1 (`Invalid model));
+            let k2 =
+              Vc_cache.canon ~exists:[]
+                (q (T.var "a" (T.Bv 8)) (T.var "b" (T.Bv 8)))
+            in
+            match Vc_cache.find k2 with
+            | Some (`Invalid m) ->
+                Alcotest.(check (option value_testable))
+                  "lo renamed to a" (Some (T.Vbv (bv 8 3))) (Model.find m "a");
+                Alcotest.(check (option value_testable))
+                  "hi renamed to b" (Some (T.Vbv (bv 8 9))) (Model.find m "b")
+            | _ -> Alcotest.fail "expected a renamed Invalid hit"));
+    Alcotest.test_case "existential variable set is part of the key" `Quick
+      (fun () ->
+        with_fresh_cache (fun () ->
+            let f = T.eq (T.var "u" (T.Bv 8)) (T.var "x" (T.Bv 8)) in
+            let k_ef = Vc_cache.canon ~exists:[ ("u", T.Bv 8) ] f in
+            ignore (Vc_cache.store k_ef `Valid);
+            let k_all = Vc_cache.canon ~exists:[] f in
+            check_bool "pure-forall query does not hit the EF entry" true
+              (Vc_cache.find k_all = None)));
+    Alcotest.test_case "FIFO eviction at capacity" `Quick (fun () ->
+        with_fresh_cache (fun () ->
+            Fun.protect
+              ~finally:(fun () -> Vc_cache.set_capacity 8192)
+              (fun () ->
+                Vc_cache.set_capacity 2;
+                let key i =
+                  Vc_cache.canon ~exists:[]
+                    (T.eq (T.var "x" (T.Bv 8)) (cv 8 i))
+                in
+                Alcotest.(check int) "no eviction" 0 (Vc_cache.store (key 1) `Valid);
+                Alcotest.(check int) "no eviction" 0 (Vc_cache.store (key 2) `Valid);
+                Alcotest.(check int) "oldest evicted" 1
+                  (Vc_cache.store (key 3) `Valid);
+                check_bool "first entry gone" true (Vc_cache.find (key 1) = None);
+                check_bool "newest entries live" true
+                  (Vc_cache.find (key 2) = Some `Valid
+                  && Vc_cache.find (key 3) = Some `Valid))));
+  ]
+
 let suite =
   ( "smt",
-    term_tests @ validity_tests @ ef_tests
+    term_tests @ validity_tests @ ef_tests @ canon_tests @ vc_cache_tests
     @ [ blast_agrees_with_eval; lower_preserves_eval; models_satisfy ] )

@@ -137,6 +137,9 @@ let chrome_tests =
     Alcotest.test_case "PR21245 trace has the pipeline phases" `Quick
       (fun () ->
         with_tracing (fun () ->
+            (* A warm verdict cache would short-circuit the solver and the
+               sat_solve/cdcl spans this test asserts on. *)
+            Alive_smt.Vc_cache.clear ();
             let e = get (Alive_suite.Registry.find "PR21245") in
             let t = Alive_suite.Entry.parse e in
             (match Alive.Refine.check ?widths:e.widths t with
@@ -416,6 +419,10 @@ let smoke_tests =
               })
             entries
         in
+        (* Both runs start from a cold verdict cache: the first would
+           otherwise warm it for the second, which then records no
+           sat_solve work at all. *)
+        Alive_smt.Vc_cache.clear ();
         let t0 = Alive_trace.Clock.now () in
         let plain = Engine.verify_corpus ~jobs:1 tasks in
         let plain_wall = Alive_trace.Clock.now () -. t0 in
@@ -423,6 +430,7 @@ let smoke_tests =
         let traced =
           with_tracing (fun () ->
               Metrics.set_phase_timing true;
+              Alive_smt.Vc_cache.clear ();
               let r = Engine.verify_corpus ~jobs:1 tasks in
               let events = Trace.drain () in
               check_bool "one task span per entry" true
