@@ -287,6 +287,125 @@ let infer_cmd =
           attribute assignment (§3.4 of the paper).")
     Term.(const run $ file_arg $ widths_arg)
 
+let infer_pre_cmd =
+  let run file widths jobs timeout conflict_limit json trace collapsed metrics
+      =
+    let widths = parse_widths widths in
+    let jobs = resolve_jobs jobs in
+    (* Inference needs a deadline for its progress guarantees: an absent
+       --timeout means 10s per query, not "no limit". *)
+    let budget =
+      Alive_smt.Solve.budget
+        ~timeout:(if timeout > 0.0 then timeout else 10.0)
+        ?conflict_limit:(if conflict_limit > 0 then Some conflict_limit else None)
+        ()
+    in
+    setup_observability ~trace ~collapsed ~metrics;
+    let code =
+      with_transforms file (fun transforms ->
+          let outcomes =
+            Alive_engine.Engine.map ~jobs
+              ~label:(fun (t : Alive.Ast.transform) -> t.name)
+              (fun t -> Alive_infer.Infer.infer ?widths ~budget t)
+              transforms
+          in
+          let failures = ref 0 in
+          List.iter
+            (fun (out : _ Alive_engine.Engine.outcome) ->
+              match out.result with
+              | Error e ->
+                  incr failures;
+                  Format.printf "%s: crashed: %s@." out.label
+                    e.Alive_engine.Engine.message
+              | Ok (o : Alive_infer.Infer.outcome) -> (
+                  match o.inferred with
+                  | Some p ->
+                      Format.printf "%s: Pre: %a@." out.label Alive.Ast.pp_pred
+                        p;
+                      Format.printf
+                        "  %d round(s), %d positive(s), %d negative(s), %d \
+                         validation(s), %.2fs@."
+                        o.rounds o.positives o.negatives o.validations
+                        o.elapsed;
+                      if o.note <> "" then Format.printf "  note: %s@." o.note
+                  | None ->
+                      incr failures;
+                      Format.printf "%s: no precondition found: %s@." out.label
+                        o.note))
+            outcomes;
+          Option.iter
+            (fun path ->
+              let module Json = Alive_engine.Json in
+              let outcome_json (out : _ Alive_engine.Engine.outcome) =
+                let rest =
+                  match out.result with
+                  | Error e ->
+                      [
+                        ("status", Json.String "crash");
+                        ("error", Json.String e.Alive_engine.Engine.message);
+                      ]
+                  | Ok (o : Alive_infer.Infer.outcome) ->
+                      [
+                        ( "status",
+                          Json.String
+                            (if o.inferred = None then "failed" else "inferred")
+                        );
+                        ( "inferred_pre",
+                          match o.inferred with
+                          | Some p ->
+                              Json.String
+                                (Format.asprintf "%a" Alive.Ast.pp_pred p)
+                          | None -> Json.Null );
+                        ("rounds", Json.Int o.rounds);
+                        ("positives", Json.Int o.positives);
+                        ("negatives", Json.Int o.negatives);
+                        ("atoms", Json.Int o.atoms);
+                        ("validations", Json.Int o.validations);
+                        ("note", Json.String o.note);
+                      ]
+                in
+                Json.Obj
+                  (("name", Json.String out.label)
+                  :: ("elapsed_s", Json.Float out.elapsed)
+                  :: rest)
+              in
+              Json.to_file path
+                (Json.Obj
+                   [
+                     ("mode", Json.String "infer-pre");
+                     ("entries", Json.List (List.map outcome_json outcomes));
+                   ]);
+              Printf.eprintf "report written to %s\n" path)
+            json;
+          if !failures > 0 then 1 else 0)
+    in
+    emit_observability ~trace ~collapsed ~metrics;
+    code
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the inference report as JSON to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "infer-pre"
+       ~doc:
+         "Infer a precondition for each transformation by \
+          counterexample-guided search: sample concrete examples, learn a \
+          separating conjunction of built-in predicates, validate it with \
+          the full verifier, and feed counterexamples back until it sticks. \
+          Any precondition already present is ignored. Exit 1 if no \
+          precondition could be inferred for some transformation."
+       ~exits:
+         (Cmd.Exit.info 1
+            ~doc:"inference failed for at least one transformation."
+         :: Cmd.Exit.defaults))
+    Term.(
+      const run $ file_arg $ widths_arg $ jobs_arg $ timeout_arg
+      $ conflict_limit_arg $ json $ trace_arg $ collapsed_arg $ metrics_arg)
+
 let codegen_cmd =
   let run file verify widths =
     let widths = parse_widths widths in
@@ -516,4 +635,12 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group ~default info
-          [ verify_cmd; infer_cmd; codegen_cmd; opt_cmd; lint_cmd; perf_cmd ]))
+          [
+            verify_cmd;
+            infer_cmd;
+            infer_pre_cmd;
+            codegen_cmd;
+            opt_cmd;
+            lint_cmd;
+            perf_cmd;
+          ]))

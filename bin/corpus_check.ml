@@ -13,6 +13,9 @@ module Json = Alive_engine.Json
 let jobs = ref 1
 let timeout = ref 0.0 (* seconds per query; 0 = none *)
 let conflicts = ref 0 (* conflict limit per query; 0 = none *)
+let infer_pre = ref false
+let limit = ref 0 (* infer-pre: cap on eligible entries; 0 = all *)
+let min_ok = ref 10 (* infer-pre: equal-or-weaker floor for exit 0 *)
 let stats = ref false
 let json_path = ref ""
 let category = ref ""
@@ -78,7 +81,217 @@ let speclist =
     ( "--encoding",
       Arg.Symbol ([ "tseitin"; "pg" ], set_encoding_arg),
       "  CNF encoding: tseitin (default) or pg (Plaisted-Greenbaum)" );
+    ( "--infer-pre",
+      Arg.Set infer_pre,
+      " instead of verifying, re-derive each hand-written precondition by \
+       counterexample-guided inference and compare the two" );
+    ( "--limit",
+      Arg.Set_int limit,
+      "N  (--infer-pre) use only the first N eligible entries (0 = all)" );
+    ( "--min-ok",
+      Arg.Set_int min_ok,
+      "N  (--infer-pre) exit 0 only if at least N entries re-derive an \
+       equal-or-weaker precondition (default 10)" );
   ]
+
+(* --infer-pre: run the Alive-Infer loop on every corpus entry that carries
+   a hand-written precondition and compare the re-derived predicate against
+   it. The hand-written precondition is the reference: [equal]/[weaker] is
+   a success, [stronger]/[incomparable] means the learner picked a sound
+   but different region, and [failed] carries the inference note. *)
+let run_infer_pre (entries : Alive_suite.Entry.t list) =
+  let jobs = if !jobs = 0 then Engine.default_jobs () else max 1 !jobs in
+  let eligible =
+    List.filter_map
+      (fun (e : Alive_suite.Entry.t) ->
+        match e.expected with
+        | Alive_suite.Entry.Expect_invalid -> None
+        | Alive_suite.Entry.Expect_valid -> (
+            match (try Some (Alive_suite.Entry.parse e) with _ -> None) with
+            | Some t
+              when t.Alive.Ast.pre <> Alive.Ast.Ptrue
+                   && not (Alive.Ast.has_memory_ops t) ->
+                Some (e, t)
+            | _ -> None))
+      entries
+  in
+  let eligible =
+    if !limit > 0 then List.filteri (fun i _ -> i < !limit) eligible
+    else eligible
+  in
+  if eligible = [] then begin
+    Printf.eprintf
+      "no eligible entries (expected-valid, register-only, non-trivial \
+       precondition)\n";
+    exit 1
+  end;
+  (* Inference needs a deadline to make progress guarantees, so unlike the
+     verify mode an absent --timeout means 10s per query, not "no limit". *)
+  let budget =
+    Alive_smt.Solve.budget
+      ~timeout:(if !timeout > 0.0 then !timeout else 10.0)
+      ?conflict_limit:(if !conflicts > 0 then Some !conflicts else None)
+      ()
+  in
+  let render_pred p = Format.asprintf "%a" Alive.Ast.pp_pred p in
+  let status_of (o, cmp) =
+    match (o.Alive_infer.Infer.inferred, cmp) with
+    | None, _ -> "failed"
+    | Some _, Some c -> Alive_infer.Infer.cmp_name c
+    | Some _, None -> "failed"
+  in
+  let on_outcome (out : _ Engine.outcome) =
+    match out.result with
+    | Error err -> Printf.printf "%-55s %6.2fs CRASH: %s\n%!" out.label out.elapsed err.Engine.message
+    | Ok ((o, _) as r) ->
+        let detail =
+          match o.Alive_infer.Infer.inferred with
+          | Some p -> "pre: " ^ render_pred p
+          | None -> o.note
+        in
+        if (not !quiet) || status_of r <> "equal" then
+          Printf.printf "%-55s %6.2fs %-12s %s\n%!" out.label out.elapsed
+            (status_of r) detail
+  in
+  let t0 = Unix.gettimeofday () in
+  let outcomes =
+    Engine.map ~jobs ~on_outcome
+      ~label:(fun ((e : Alive_suite.Entry.t), _) -> e.name)
+      (fun ((e : Alive_suite.Entry.t), t) ->
+        let o = Alive_infer.Infer.infer ?widths:e.widths ~budget t in
+        let cmp =
+          match o.Alive_infer.Infer.inferred with
+          | None -> None
+          | Some p ->
+              Some
+                (Alive_infer.Infer.compare_preds ?widths:e.widths ~budget t
+                   t.Alive.Ast.pre p)
+        in
+        (o, cmp))
+      eligible
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  let statuses =
+    List.map
+      (fun (out : _ Engine.outcome) ->
+        match out.result with Error _ -> "crash" | Ok r -> status_of r)
+      outcomes
+  in
+  let count s = List.length (List.filter (String.equal s) statuses) in
+  let ok = count "equal" + count "weaker" in
+  let infer_s =
+    List.fold_left
+      (fun acc (out : _ Engine.outcome) ->
+        match out.result with Ok (o, _) -> acc +. o.Alive_infer.Infer.elapsed | Error _ -> acc)
+      0.0 outcomes
+  in
+  let total =
+    List.fold_left
+      (fun acc (out : _ Engine.outcome) ->
+        match out.result with
+        | Ok (o, _) -> Alive.Refine.merge_stats acc o.Alive_infer.Infer.stats
+        | Error _ -> acc)
+      (Alive.Refine.empty_stats ()) outcomes
+  in
+  Printf.printf
+    "infer-pre: %d entries, %d equal, %d weaker, %d stronger, %d \
+     incomparable, %d unknown-cmp, %d failed, %d crashed; wall %.2fs with \
+     %d job(s), %d queries, %d validations\n"
+    (List.length outcomes) (count "equal") (count "weaker") (count "stronger")
+    (count "incomparable") (count "unknown") (count "failed") (count "crash")
+    wall jobs total.Alive.Refine.queries
+    (List.fold_left
+       (fun acc (out : _ Engine.outcome) ->
+         match out.result with
+         | Ok (o, _) -> acc + o.Alive_infer.Infer.validations
+         | Error _ -> acc)
+       0 outcomes);
+  if !json_path <> "" then begin
+    let entry_json ((e : Alive_suite.Entry.t), (t : Alive.Ast.transform))
+        (out : _ Engine.outcome) =
+      let base =
+        [
+          ("name", Json.String e.name);
+          ("file", Json.String e.file);
+          ("hand_pre", Json.String (render_pred t.pre));
+          ("elapsed_s", Json.Float out.elapsed);
+        ]
+      in
+      let rest =
+        match out.result with
+        | Error err ->
+            [
+              ("status", Json.String "crash");
+              ("error", Json.String err.Engine.message);
+            ]
+        | Ok ((o, _) as r) ->
+            [
+              ("status", Json.String (status_of r));
+              ( "inferred_pre",
+                match o.Alive_infer.Infer.inferred with
+                | Some p -> Json.String (render_pred p)
+                | None -> Json.Null );
+              ("rounds", Json.Int o.rounds);
+              ("positives", Json.Int o.positives);
+              ("negatives", Json.Int o.negatives);
+              ("atoms", Json.Int o.atoms);
+              ("validations", Json.Int o.validations);
+              ("note", Json.String o.note);
+            ]
+      in
+      Json.Obj (base @ rest)
+    in
+    let j =
+      Json.Obj
+        [
+          ("mode", Json.String "infer-pre");
+          ("entries", Json.List (List.map2 entry_json eligible outcomes));
+          ("equal_or_weaker", Json.Int ok);
+          ("min_ok", Json.Int !min_ok);
+          ("wall_s", Json.Float wall);
+          ("infer_s", Json.Float infer_s);
+        ]
+    in
+    Json.to_file !json_path j;
+    Printf.printf "report written to %s\n" !json_path
+  end;
+  if !trace_path <> "" then begin
+    Alive_trace.Trace.write_chrome !trace_path;
+    Printf.printf "trace written to %s\n" !trace_path
+  end;
+  if !metrics then Alive_trace.Metrics.render_table ();
+  if !metrics_json <> "" then begin
+    Json.to_file !metrics_json (Alive_trace.Metrics.to_json ());
+    Printf.printf "metrics written to %s\n" !metrics_json
+  end;
+  if !ledger_path <> "" then begin
+    let verdicts =
+      List.sort_uniq compare statuses
+      |> List.map (fun s -> (s, count s))
+    in
+    let label =
+      if !category = "" then "corpus_check.infer"
+      else "corpus_check.infer:" ^ !category
+    in
+    let record =
+      Alive_trace.Ledger.make ~label ~jobs
+        ~tasks:(List.length outcomes)
+        ~budget_timeout_s:(if !timeout > 0.0 then !timeout else 10.0)
+        ~budget_conflicts:!conflicts ~wall_s:wall
+        ~sat_s:total.Alive.Refine.telemetry.sat_time ~infer_s
+        ~queries:total.Alive.Refine.queries
+        ~conflicts:total.Alive.Refine.telemetry.conflicts
+        ~cegar_iterations:total.Alive.Refine.telemetry.cegar_iterations
+        ~cache_hits:total.Alive.Refine.telemetry.cache_hits
+        ~cache_misses:total.Alive.Refine.telemetry.cache_misses
+        ~cache_evictions:total.Alive.Refine.telemetry.cache_evictions
+        ~peak_clauses:total.Alive.Refine.telemetry.peak_clauses
+        ~peak_vars:total.Alive.Refine.telemetry.peak_vars ~verdicts ()
+    in
+    Alive_trace.Ledger.append ~path:!ledger_path record;
+    Printf.printf "ledger record appended to %s\n" !ledger_path
+  end;
+  exit (if ok >= min !min_ok (List.length outcomes) then 0 else 1)
 
 let () =
   Arg.parse speclist
@@ -103,6 +316,7 @@ let () =
     (try Unix.mkdir !dump_cnf 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
     Alive_smt.Solve.set_dump_dir (Some !dump_cnf)
   end;
+  if !infer_pre then run_infer_pre entries;
   let lint_errors =
     if not !lint then 0
     else begin
@@ -146,7 +360,7 @@ let () =
   let mismatches = ref 0 and undecided = ref 0 in
   let classify (r : Engine.task_result) =
     match r.outcome with
-    | Error msg -> `Undecided ("CRASH: " ^ msg)
+    | Error e -> `Undecided ("CRASH: " ^ e.Engine.message)
     | Ok res -> (
         match res.verdict with
         | Alive.Refine.Unknown u ->

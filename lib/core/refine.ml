@@ -122,13 +122,13 @@ type typing_outcome =
   | Typing_unsupported of string
 
 let check_typing ?budget ?(stats = empty_stats ()) ?share_memory_reads
-    (t : Ast.transform) typing =
+    ?precise_pre (t : Ast.transform) typing =
   let module Trace = Alive_trace.Trace in
   Trace.with_span ~meta:[ ("transform", Trace.Str t.name) ] "check_typing"
   @@ fun () ->
   let vcgen_t0 = Alive_trace.Clock.now () in
   let vc_result =
-    match Vcgen.run ?share_memory_reads typing t with
+    match Vcgen.run ?share_memory_reads ?precise_pre typing t with
     | vc -> Ok vc
     | exception Vcgen.Unsupported msg -> Error msg
   in
@@ -273,7 +273,8 @@ type result = {
   cex_vc : (Typing.env * Vcgen.vc) option;
 }
 
-let run ?widths ?max_typings ?share_memory_reads ?budget (t : Ast.transform) =
+let run ?widths ?max_typings ?share_memory_reads ?precise_pre ?budget
+    (t : Ast.transform) =
   let t0 = Unix.gettimeofday () in
   let typing_t0 = Alive_trace.Clock.now () in
   let typings = Typing.enumerate ?widths ?max_typings t in
@@ -307,7 +308,10 @@ let run ?widths ?max_typings ?share_memory_reads ?budget (t : Ast.transform) =
                 finish (Valid { typings_checked = stats.typings_done }) stats
                   None)
         | typing :: rest -> (
-            match check_typing ?budget ~stats ?share_memory_reads t typing with
+            match
+              check_typing ?budget ~stats ?share_memory_reads ?precise_pre t
+                typing
+            with
             | Typing_ok, stats -> go stats first_unknown rest
             | Typing_cex (cex, vc), stats ->
                 finish (Invalid cex) stats (Some (typing, vc))

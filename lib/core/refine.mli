@@ -85,6 +85,7 @@ val check_typing :
   ?budget:Alive_smt.Solve.budget ->
   ?stats:stats ->
   ?share_memory_reads:bool ->
+  ?precise_pre:bool ->
   Ast.transform ->
   Typing.env ->
   typing_outcome * stats
@@ -104,12 +105,15 @@ val run :
   ?widths:int list ->
   ?max_typings:int ->
   ?share_memory_reads:bool ->
+  ?precise_pre:bool ->
   ?budget:Alive_smt.Solve.budget ->
   Ast.transform ->
   result
 (** Check every feasible typing sequentially. An [Invalid] stops the scan;
     an [Unknown] is remembered but the remaining typings still run, since a
-    later definite counterexample outranks it. *)
+    later definite counterexample outranks it. [precise_pre] selects the
+    two-sided reading of precondition predicate calls (see {!Vcgen.run});
+    precondition inference relies on it. *)
 
 val check :
   ?widths:int list ->

@@ -232,6 +232,24 @@ let rec pred_term env ~lookup st p =
   | Por (a, b) -> T.or_ [ pred_term env ~lookup st a; pred_term env ~lookup st b ]
   | Pnot a -> T.not_ (pred_term env ~lookup st a)
 
+(* The fully precise reading of a predicate: every [Pcall] becomes its
+   underlying fact, with no must-analysis variables. This is the semantics
+   inference and precondition comparison need — two predicates are compared
+   as facts about the inputs, not as obligations on an abstract analysis. *)
+let rec pred_term_precise env ~lookup p =
+  match p with
+  | Ptrue | Pcmp _ ->
+      let st = { analysis_vars = []; side = []; counter = 0 } in
+      pred_term env ~lookup st p
+  | Pcall (name, args) -> predicate_fact env ~lookup name args
+  | Pand (a, b) ->
+      T.and_
+        [ pred_term_precise env ~lookup a; pred_term_precise env ~lookup b ]
+  | Por (a, b) ->
+      T.or_
+        [ pred_term_precise env ~lookup a; pred_term_precise env ~lookup b ]
+  | Pnot a -> T.not_ (pred_term_precise env ~lookup a)
+
 (* --- Instruction semantics --- *)
 
 (* --- Memory (§3.3) --- *)
@@ -660,7 +678,8 @@ let alloca_constraints mem =
   in
   List.map block_ok mem.allocas @ disjoint mem.allocas
 
-let run_untraced ?(share_memory_reads = true) env (t : transform) =
+let run_untraced ?(share_memory_reads = true) ?(precise_pre = false) env
+    (t : transform) =
   let mem = fresh_mem_ctx ~share_reads:share_memory_reads in
   let src_builder, src = build_side env ~side_tag:"src" ~base:[] ~mem t.src in
   (* A target operand naming a source temporary denotes the value the source
@@ -675,7 +694,17 @@ let run_untraced ?(share_memory_reads = true) env (t : transform) =
     | Some iv -> iv.value
     | None -> input_var name (value_bits env name)
   in
-  let precondition = pred_term env ~lookup st t.pre in
+  (* The default reading models analysis predicates as one-sided facts
+     (the may-analysis variable can be false even when the fact holds) —
+     right for hand-written preconditions, where [!hasOneUse(%x)] means
+     "the analysis did not prove it". Precondition inference needs the
+     two-sided [precise_pre] reading instead: a learned [Pnot (Pcall _)]
+     must mean the fact is false, or counterexample models and concrete
+     evaluation disagree on it. *)
+  let precondition =
+    if precise_pre then pred_term_precise env ~lookup t.pre
+    else pred_term env ~lookup st t.pre
+  in
   (* The input set I: program inputs and abstract constants. *)
   let info =
     match Scoping.check t with
@@ -708,8 +737,8 @@ let run_untraced ?(share_memory_reads = true) env (t : transform) =
     memory;
   }
 
-let run ?share_memory_reads env (t : transform) =
+let run ?share_memory_reads ?precise_pre env (t : transform) =
   Alive_trace.Trace.with_span
     ~meta:[ ("transform", Alive_trace.Trace.Str t.name) ]
     "vcgen"
-    (fun () -> run_untraced ?share_memory_reads env t)
+    (fun () -> run_untraced ?share_memory_reads ?precise_pre env t)

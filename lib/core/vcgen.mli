@@ -56,11 +56,23 @@ exception Unsupported of string
 val input_var : string -> int -> Alive_smt.Term.t
 (** The SMT variable standing for input or constant [name] at a width. *)
 
-val run : ?share_memory_reads:bool -> Typing.env -> Ast.transform -> vc
+val run :
+  ?share_memory_reads:bool ->
+  ?precise_pre:bool ->
+  Typing.env ->
+  Ast.transform ->
+  vc
 (** [share_memory_reads] (default true) selects the eager encoding of
     §3.3.3 in which identical initial-memory read addresses share one SMT
     variable; [false] falls back to the classical Ackermann expansion (one
     fresh variable per read) for the encoding-ablation benchmark.
+    [precise_pre] (default false) encodes the precondition with
+    {!pred_term_precise} — every predicate call becomes its underlying
+    fact, with no one-sided analysis variables — which is what candidate
+    validation during precondition inference needs: under the default
+    reading a negated predicate call is satisfiable even where the fact
+    holds, so counterexample models would disagree with concrete
+    evaluation.
     @raise Unsupported for constructs outside the implemented fragment. *)
 
 val cexpr_term :
@@ -73,3 +85,18 @@ val cexpr_term :
     [%value] references (§2.2 constant language + built-in functions).
     Exposed for the optimizer's concrete precondition evaluation and tests.
 *)
+
+val cexpr_width : Typing.env -> Ast.cexpr -> int
+(** The width of a constant expression, resolved through its first named
+    leaf. @raise Unsupported on fully literal expressions. *)
+
+val pred_term_precise :
+  Typing.env ->
+  lookup:(string -> Alive_smt.Term.t) ->
+  Ast.pred ->
+  Alive_smt.Term.t
+(** Translate a precondition with every built-in predicate read as its
+    precise underlying fact — no must-analysis variables, no side
+    constraints. Used by precondition inference to compare two predicates
+    as facts about the inputs ([hasOneUse] still reads as [true]).
+    @raise Unsupported outside the implemented fragment. *)

@@ -22,10 +22,20 @@ let default_jobs () = max 1 (Domain.recommended_domain_count ())
 
 (* --- Generic fault-isolated pool --- *)
 
+type task_error = { message : string; backtrace : string }
+
+let pp_task_error ppf e =
+  Format.pp_print_string ppf e.message;
+  if e.backtrace <> "" then
+    String.split_on_char '\n' e.backtrace
+    |> List.iter (fun line ->
+           if line <> "" then Format.fprintf ppf "@\n  %s" line)
+
 type 'b outcome = {
   index : int;
   label : string;
-  result : ('b, string) result;  (* [Error]: the task raised; text of exn *)
+  result : ('b, task_error) result;
+      (* [Error]: the task raised; text of exn + backtrace *)
   elapsed : float;
 }
 
@@ -38,11 +48,24 @@ let run_one ~index ~label f x =
     Trace.with_span
       ~meta:[ ("name", Trace.Str label); ("index", Trace.Int index) ]
       "task"
-      (fun () -> try Ok (f x) with e -> Error (Printexc.to_string e))
+      (fun () ->
+        try Ok (f x)
+        with e ->
+          (* Capture the raw backtrace before anything else runs — the next
+             allocation or exception would clobber it. *)
+          let bt = Printexc.get_raw_backtrace () in
+          Error
+            {
+              message = Printexc.to_string e;
+              backtrace = Printexc.raw_backtrace_to_string bt;
+            })
   in
   { index; label; result; elapsed = Unix.gettimeofday () -. t0 }
 
 let map ?jobs ?on_outcome ~label f items =
+  (* Fault isolation is only debuggable if the runtime records backtraces;
+     flip it on for the whole process rather than losing them silently. *)
+  if not (Printexc.backtrace_status ()) then Printexc.record_backtrace true;
   let items = Array.of_list items in
   let n = Array.length items in
   let jobs = max 1 (min n (Option.value jobs ~default:(default_jobs ()))) in
@@ -94,7 +117,7 @@ let reduce_typings (t : Alive.Ast.transform) outcomes =
   let outcome_of (o : (Refine.typing_outcome * Refine.stats) outcome) =
     match o.result with
     | Ok (oc, _) -> oc
-    | Error msg -> Refine.Typing_unsupported ("task crashed: " ^ msg)
+    | Error e -> Refine.Typing_unsupported ("task crashed: " ^ e.message)
   in
   let stopper =
     List.find_opt
@@ -176,7 +199,7 @@ type task = {
 
 type task_result = {
   name : string;
-  outcome : (Refine.result, string) result;
+  outcome : (Refine.result, task_error) result;
   elapsed : float;  (* wall seconds on the worker, including parsing *)
 }
 
@@ -337,7 +360,11 @@ let report_json report =
                let extra =
                  match r.outcome with
                  | Ok res -> [ ("stats", stats_json res.Refine.stats) ]
-                 | Error msg -> [ ("error", Json.String msg) ]
+                 | Error e ->
+                     [
+                       ("error", Json.String e.message);
+                       ("backtrace", Json.String e.backtrace);
+                     ]
                in
                Json.Obj (base @ extra))
              report.results) );

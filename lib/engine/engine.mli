@@ -16,11 +16,22 @@ val default_jobs : unit -> int
 
 (** {1 Generic fault-isolated pool} *)
 
+type task_error = {
+  message : string;  (** the exception text *)
+  backtrace : string;
+      (** raw backtrace captured at the raise point (may be empty when the
+          runtime recorded none) *)
+}
+
+val pp_task_error : Format.formatter -> task_error -> unit
+(** The message, then the indented backtrace when there is one. *)
+
 type 'b outcome = {
   index : int;  (** position in the input list *)
   label : string;
-  result : ('b, string) result;
-      (** [Error] carries the exception text when the task raised *)
+  result : ('b, task_error) result;
+      (** [Error] carries the exception text and backtrace when the task
+          raised *)
   elapsed : float;  (** wall seconds on the worker *)
 }
 
@@ -63,7 +74,7 @@ type task = {
 
 type task_result = {
   name : string;
-  outcome : (Alive.Refine.result, string) result;
+  outcome : (Alive.Refine.result, task_error) result;
   elapsed : float;
 }
 

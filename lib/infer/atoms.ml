@@ -1,0 +1,148 @@
+(* The candidate vocabulary: every atom a learned precondition may use.
+   Ordering matters — the greedy learner prefers earlier atoms on ties, so
+   cheap/weak comparison atoms come before the sharper structural
+   predicates, and positive forms come before their negations. *)
+
+open Alive.Ast
+module Typing = Alive.Typing
+module Scoping = Alive.Scoping
+
+let same_class classes a b =
+  List.exists (fun g -> List.mem a g && List.mem b g) classes
+
+(* All ordered pairs (a, b), a <> b, drawn from one list. *)
+let ordered_pairs xs =
+  List.concat_map
+    (fun a -> List.filter_map (fun b -> if a == b then None else Some (a, b)) xs)
+    xs
+
+let unordered_pairs xs =
+  let rec go = function
+    | [] -> []
+    | x :: rest -> List.map (fun y -> (x, y)) rest @ go rest
+  in
+  go xs
+
+let vocabulary (t : transform) (info : Scoping.info) =
+  let classes =
+    match Typing.classes t with Ok c -> c | Error _ -> []
+  in
+  let consts = List.map (fun c -> Cabs c) info.constants in
+  let cint n = Cint (Int64.of_int n) in
+  (* Tier 1: sign/zero comparisons of a single constant. *)
+  let unary_cmp =
+    List.concat_map
+      (fun c ->
+        [
+          Pcmp (Pne, c, cint 0);
+          Pcmp (Peq, c, cint 0);
+          Pcmp (Psgt, c, cint 0);
+          Pcmp (Psge, c, cint 0);
+          Pcmp (Pslt, c, cint 0);
+          Pcmp (Psle, c, cint 0);
+          Pcmp (Pne, c, cint 1);
+          Pcmp (Pne, c, cint (-1));
+        ])
+      consts
+  in
+  (* Tier 2: comparisons between two constants of one typing class. *)
+  let pair_cmp =
+    List.concat_map
+      (fun (a, b) ->
+        match (a, b) with
+        | Cabs na, Cabs nb when same_class classes na nb ->
+            [
+              Pcmp (Pne, a, b);
+              Pcmp (Peq, a, b);
+              Pcmp (Pult, a, b);
+              Pcmp (Pule, a, b);
+              Pcmp (Pslt, a, b);
+              Pcmp (Psle, a, b);
+            ]
+        | _ -> [])
+      (ordered_pairs consts)
+  in
+  (* Shift-style bounds: C u< width(%x), and C1+C2 u< width(%x) for the
+     two-shift accumulation patterns. width() evaluates at the left
+     operand's width, so only the summed pair needs one typing class. *)
+  let width_bounds =
+    List.concat_map
+      (fun c ->
+        List.map
+          (fun x -> Pcmp (Pult, c, Cfun ("width", [ Cval x ])))
+          info.inputs)
+      consts
+    @ List.concat_map
+        (fun (na, nb) ->
+          if same_class classes na nb then
+            List.map
+              (fun x ->
+                Pcmp
+                  ( Pult,
+                    Cbin (Cadd, Cabs na, Cabs nb),
+                    Cfun ("width", [ Cval x ]) ))
+              info.inputs
+          else [])
+        (unordered_pairs info.constants)
+  in
+  (* Tier 3: structural predicates over constants and inputs. *)
+  let structural_const =
+    List.concat_map
+      (fun c ->
+        [
+          Pcall ("isPowerOf2", [ c ]);
+          Pcall ("isPowerOf2OrZero", [ c ]);
+          Pcall ("isSignBit", [ c ]);
+          Pcall ("isShiftedMask", [ c ]);
+        ])
+      consts
+  in
+  let structural_pair =
+    List.concat_map
+      (fun (na, nb) ->
+        if same_class classes na nb then
+          let a = Cabs na and b = Cabs nb in
+          Pcmp (Peq, Cbin (Cand, a, b), cint 0)
+          :: List.map
+               (fun p -> Pcall (p, [ a; b ]))
+               [
+                 "WillNotOverflowSignedAdd";
+                 "WillNotOverflowUnsignedAdd";
+                 "WillNotOverflowSignedSub";
+                 "WillNotOverflowUnsignedSub";
+                 "WillNotOverflowSignedMul";
+                 "WillNotOverflowUnsignedMul";
+               ]
+        else [])
+      (unordered_pairs info.constants)
+  in
+  let masked =
+    List.concat_map
+      (fun c ->
+        List.concat_map
+          (fun x ->
+            match c with
+            | Cabs nc when same_class classes nc x ->
+                [
+                  Pcall ("MaskedValueIsZero", [ Cval x; c ]);
+                  Pcall ("MaskedValueIsZero", [ Cval x; Cun (Cnot, c) ]);
+                ]
+            | _ -> [])
+          info.inputs)
+      consts
+  in
+  let structural = structural_const @ structural_pair @ masked in
+  (* Negations of the structural predicates (comparison atoms already have
+     their duals above). *)
+  let negations = List.map (fun p -> Pnot p) structural in
+  let all = unary_cmp @ pair_cmp @ width_bounds @ structural @ negations in
+  (* Structural dedup, preserving first occurrence. *)
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun p ->
+      if Hashtbl.mem seen p then false
+      else begin
+        Hashtbl.replace seen p ();
+        true
+      end)
+    all

@@ -1,0 +1,17 @@
+(** Candidate predicate vocabulary for precondition inference.
+
+    Atoms are drawn from the §2.3 built-in predicate language plus
+    comparison atoms over abstract constants — exactly what hand-written
+    corpus preconditions use, so a learned precondition is always
+    expressible (and verifiable) in the existing surface language.
+
+    Atoms that relate two names are only generated when type inference
+    already forces those names into one typing class: an atom must never
+    add a typing constraint, or candidate preconditions would shrink the
+    feasible-typing set and change what "valid" means. *)
+
+val vocabulary :
+  Alive.Ast.transform -> Alive.Scoping.info -> Alive.Ast.pred list
+(** Candidate atoms for a transformation, ordered weakest-first (the
+    greedy learner breaks ties towards earlier atoms, biasing towards
+    weaker preconditions). Deduplicated; never contains [Ptrue]. *)

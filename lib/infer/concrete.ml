@@ -1,0 +1,374 @@
+(* Concrete semantics for precondition inference: Bitvec evaluation of the
+   constant/predicate language (mirroring Vcgen's precise encoding), plus
+   lowering of both templates to executable IR under one typing and one
+   binding of abstract constants, so Interp can label concrete examples. *)
+
+open Alive.Ast
+module Typing = Alive.Typing
+module Vcgen = Alive.Vcgen
+module Scoping = Alive.Scoping
+
+type binds = (string * Bitvec.t) list
+
+exception Eval_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Eval_error s)) fmt
+
+let lookup binds name =
+  match List.assoc_opt name binds with
+  | Some v -> v
+  | None -> fail "unbound name %s" name
+
+let cexpr_width env e =
+  try Vcgen.cexpr_width env e
+  with Vcgen.Unsupported m -> raise (Eval_error m)
+
+(* The concrete twin of Vcgen.cexpr_term: same operators, same built-in
+   functions, over Bitvec instead of Term. Keep the two in lockstep — the
+   differential test in test_infer.ml checks them against each other. *)
+let rec eval_cexpr env ~binds ~width e =
+  let recur = eval_cexpr env ~binds ~width in
+  match e with
+  | Cint n -> Bitvec.make ~width n
+  | Cbool b -> Bitvec.of_int ~width (if b then 1 else 0)
+  | Cabs name | Cval name -> lookup binds name
+  | Cun (Cneg, e) -> Bitvec.neg (recur e)
+  | Cun (Cnot, e) -> Bitvec.lognot (recur e)
+  | Cbin (op, a, b) ->
+      let a = recur a and b = recur b in
+      let f =
+        match op with
+        | Cadd -> Bitvec.add
+        | Csub -> Bitvec.sub
+        | Cmul -> Bitvec.mul
+        | Csdiv -> Bitvec.sdiv
+        | Cudiv -> Bitvec.udiv
+        | Csrem -> Bitvec.srem
+        | Curem -> Bitvec.urem
+        | Cshl -> Bitvec.shl
+        | Clshr -> Bitvec.lshr
+        | Cashr -> Bitvec.ashr
+        | Cand -> Bitvec.logand
+        | Cor -> Bitvec.logor
+        | Cxor -> Bitvec.logxor
+      in
+      f a b
+  | Cfun ("abs", [ a ]) -> Bitvec.abs (recur a)
+  | Cfun ("log2", [ a ]) -> Bitvec.log2 (recur a)
+  | Cfun ("umax", [ a; b ]) -> Bitvec.umax (recur a) (recur b)
+  | Cfun ("umin", [ a; b ]) -> Bitvec.umin (recur a) (recur b)
+  | Cfun ("smax", [ a; b ]) -> Bitvec.smax (recur a) (recur b)
+  | Cfun ("smin", [ a; b ]) -> Bitvec.smin (recur a) (recur b)
+  | Cfun ("width", [ a ]) -> Bitvec.of_int ~width (cexpr_width env a)
+  | Cfun (f, args) -> fail "constant function %s/%d" f (List.length args)
+
+(* The precise reading of each built-in predicate — the concrete twin of
+   Vcgen.predicate_fact. *)
+let predicate_fact env ~binds name args =
+  let term ?w e =
+    let width = match w with Some w -> w | None -> cexpr_width env e in
+    eval_cexpr env ~binds ~width e
+  in
+  let power_of_two_or_zero x =
+    Bitvec.is_zero (Bitvec.logand x (Bitvec.sub x (Bitvec.one (Bitvec.width x))))
+  in
+  match (name, args) with
+  | "isPowerOf2", [ a ] -> Bitvec.is_power_of_two (term a)
+  | "isPowerOf2OrZero", [ a ] -> power_of_two_or_zero (term a)
+  | "isSignBit", [ a ] ->
+      let x = term a in
+      Bitvec.equal x (Bitvec.min_signed (Bitvec.width x))
+  | "isShiftedMask", [ a ] ->
+      let x = term a in
+      let one = Bitvec.one (Bitvec.width x) in
+      let filled = Bitvec.logor x (Bitvec.sub x one) in
+      let succ = Bitvec.add filled one in
+      (not (Bitvec.is_zero x)) && power_of_two_or_zero succ
+  | "MaskedValueIsZero", [ v; mask ] ->
+      let mv = term v in
+      let mm = eval_cexpr env ~binds ~width:(Bitvec.width mv) mask in
+      Bitvec.is_zero (Bitvec.logand mv mm)
+  | "WillNotOverflowSignedAdd", [ a; b ] ->
+      not (Bitvec.add_overflows_signed (term a) (term b))
+  | "WillNotOverflowUnsignedAdd", [ a; b ] ->
+      not (Bitvec.add_overflows_unsigned (term a) (term b))
+  | "WillNotOverflowSignedSub", [ a; b ] ->
+      not (Bitvec.sub_overflows_signed (term a) (term b))
+  | "WillNotOverflowUnsignedSub", [ a; b ] ->
+      not (Bitvec.sub_overflows_unsigned (term a) (term b))
+  | "WillNotOverflowSignedMul", [ a; b ] ->
+      not (Bitvec.mul_overflows_signed (term a) (term b))
+  | "WillNotOverflowUnsignedMul", [ a; b ] ->
+      not (Bitvec.mul_overflows_unsigned (term a) (term b))
+  | ("hasOneUse" | "OneUse"), [ _ ] -> true
+  | _ -> fail "predicate %s/%d" name (List.length args)
+
+let rec eval_pred env ~binds p =
+  match p with
+  | Ptrue -> true
+  | Pcmp (op, a, b) ->
+      let width =
+        try cexpr_width env a with Eval_error _ -> cexpr_width env b
+      in
+      let ta = eval_cexpr env ~binds ~width a
+      and tb = eval_cexpr env ~binds ~width b in
+      let f =
+        match op with
+        | Peq -> Bitvec.equal
+        | Pne -> fun a b -> not (Bitvec.equal a b)
+        | Pslt -> Bitvec.slt
+        | Psle -> Bitvec.sle
+        | Psgt -> fun a b -> Bitvec.slt b a
+        | Psge -> fun a b -> Bitvec.sle b a
+        | Pult -> Bitvec.ult
+        | Pule -> Bitvec.ule
+        | Pugt -> fun a b -> Bitvec.ult b a
+        | Puge -> fun a b -> Bitvec.ule b a
+      in
+      f ta tb
+  | Pcall (name, args) -> predicate_fact env ~binds name args
+  | Pand (a, b) -> eval_pred env ~binds a && eval_pred env ~binds b
+  | Por (a, b) -> eval_pred env ~binds a || eval_pred env ~binds b
+  | Pnot a -> not (eval_pred env ~binds a)
+
+(* --- Template lowering --- *)
+
+let ir_binop = function
+  | Add -> Ir.Add
+  | Sub -> Ir.Sub
+  | Mul -> Ir.Mul
+  | UDiv -> Ir.Udiv
+  | SDiv -> Ir.Sdiv
+  | URem -> Ir.Urem
+  | SRem -> Ir.Srem
+  | Shl -> Ir.Shl
+  | LShr -> Ir.Lshr
+  | AShr -> Ir.Ashr
+  | And -> Ir.And
+  | Or -> Ir.Or
+  | Xor -> Ir.Xor
+
+let ir_attr = function Nsw -> Ir.Nsw | Nuw -> Ir.Nuw | Exact -> Ir.Exact
+
+let ir_conv = function
+  | Zext -> Ir.Zext
+  | Sext -> Ir.Sext
+  | Trunc -> Ir.Trunc
+  | (Bitcast | Ptrtoint | Inttoptr) as c ->
+      fail "conversion %s is outside the executable fragment" (conv_name c)
+
+let ir_cond = function
+  | Ceq -> Ir.Eq
+  | Cne -> Ir.Ne
+  | Cugt -> Ir.Ugt
+  | Cuge -> Ir.Uge
+  | Cult -> Ir.Ult
+  | Cule -> Ir.Ule
+  | Csgt -> Ir.Sgt
+  | Csge -> Ir.Sge
+  | Cslt -> Ir.Slt
+  | Csle -> Ir.Sle
+
+let value_width env = Typing.width_of_value env
+
+let lower env ~binds (info : Scoping.info) (t : transform) =
+  try
+    let root =
+      match info.root with
+      | Some r -> r
+      | None -> fail "store-rooted template (no root value)"
+    in
+    let rename sigma n =
+      match List.assoc_opt n sigma with Some n' -> n' | None -> n
+    in
+    let value_of sigma ~width (o : toperand) =
+      match o.op with
+      | Var n -> Ir.Var (rename sigma n)
+      | ConstOp e -> Ir.Const (eval_cexpr env ~binds ~width e)
+      | Undef -> Ir.Undef width
+    in
+    let op_width (o : toperand) =
+      match o.op with
+      | Var n -> Some (value_width env n)
+      | ConstOp e -> ( try Some (cexpr_width env e) with Eval_error _ -> None)
+      | Undef -> None
+    in
+    let either_width a b =
+      match op_width a with
+      | Some w -> w
+      | None -> (
+          match op_width b with
+          | Some w -> w
+          | None -> fail "cannot type an operand pair of bare literals")
+    in
+    (* [name] is the IR name (possibly renamed); the typing env only knows
+       [orig], so widths resolve through it. *)
+    let lower_def sigma ~orig name inst =
+      let w = value_width env orig in
+      let inst' =
+        match inst with
+        | Binop (op, attrs, a, b) ->
+            Ir.Binop
+              ( ir_binop op,
+                List.map ir_attr attrs,
+                value_of sigma ~width:w a,
+                value_of sigma ~width:w b )
+        | Icmp (c, a, b) ->
+            let ow = either_width a b in
+            Ir.Icmp
+              (ir_cond c, value_of sigma ~width:ow a, value_of sigma ~width:ow b)
+        | Select (c, a, b) ->
+            Ir.Select
+              ( value_of sigma ~width:1 c,
+                value_of sigma ~width:w a,
+                value_of sigma ~width:w b )
+        | Conv (cv, a, _) -> (
+            match op_width a with
+            | Some ow -> Ir.Conv (ir_conv cv, value_of sigma ~width:ow a)
+            | None -> fail "conversion of a bare literal operand")
+        | Copy a ->
+            (* [x | 0]: preserves value and poison, executable in Ir. *)
+            Ir.Binop (Ir.Or, [], value_of sigma ~width:w a, Ir.Const (Bitvec.zero w))
+        | Alloca _ | Load _ | Gep _ -> fail "memory instruction"
+      in
+      { Ir.name; width = w; inst = inst' }
+    in
+    let defs_of stmts name_of =
+      (* [name_of] decides the IR name for each definition; shadowing
+         renames thread through subsequent operands via [sigma]. *)
+      let sigma = ref [] in
+      let defs =
+        List.map
+          (fun stmt ->
+            match stmt with
+            | Def (n, _, inst) ->
+                let d = lower_def !sigma ~orig:n (name_of n) inst in
+                if d.Ir.name <> n then sigma := (n, d.Ir.name) :: !sigma;
+                d
+            | Store _ -> fail "store instruction"
+            | Unreachable -> fail "unreachable")
+          stmts
+      in
+      (defs, !sigma)
+    in
+    let params =
+      List.map (fun n -> (n, value_width env n)) info.inputs
+    in
+    let src_defs, _ = defs_of t.src Fun.id in
+    (* Keep only the source defs a given set of roots transitively needs:
+       unrelated source instructions may have their own UB, which would
+       wrongly abort the run. *)
+    let prune defs roots =
+      let needed = Hashtbl.create 8 in
+      List.iter (fun r -> Hashtbl.replace needed r ()) roots;
+      List.iter
+        (fun (d : Ir.def) ->
+          if Hashtbl.mem needed d.Ir.name then
+            List.iter
+              (function
+                | Ir.Var v -> Hashtbl.replace needed v ()
+                | Ir.Const _ | Ir.Undef _ -> ())
+              (match d.Ir.inst with
+              | Ir.Binop (_, _, a, b) | Ir.Icmp (_, a, b) -> [ a; b ]
+              | Ir.Select (a, b, c) -> [ a; b; c ]
+              | Ir.Conv (_, a) | Ir.Freeze a -> [ a ]))
+        (List.rev defs);
+      List.filter (fun (d : Ir.def) -> Hashtbl.mem needed d.Ir.name) defs
+    in
+    let src_names = List.map (fun (d : Ir.def) -> d.Ir.name) src_defs in
+    let src_func =
+      {
+        Ir.fname = t.name ^ ".src";
+        params;
+        body = prune src_defs [ root ];
+        ret = Ir.Var root;
+      }
+    in
+    (* Target defs that shadow a source def or an input are renamed; their
+       operands, resolved through the accumulated renaming, still read the
+       source computation until the shadowing definition runs. *)
+    let taken = Hashtbl.create 8 in
+    List.iter (fun n -> Hashtbl.replace taken n ()) src_names;
+    List.iter (fun (n, _) -> Hashtbl.replace taken n ()) params;
+    let fresh_name n =
+      if not (Hashtbl.mem taken n) then begin
+        Hashtbl.replace taken n ();
+        n
+      end
+      else begin
+        let n' = ref (n ^ "~t") in
+        while Hashtbl.mem taken !n' do
+          n' := !n' ^ "~"
+        done;
+        Hashtbl.replace taken !n' ();
+        !n'
+      end
+    in
+    let tgt_defs, tgt_sigma = defs_of t.tgt fresh_name in
+    let tgt_ret = rename tgt_sigma root in
+    let referenced =
+      List.concat_map
+        (fun (d : Ir.def) ->
+          List.filter_map
+            (function Ir.Var v -> Some v | _ -> None)
+            (match d.Ir.inst with
+            | Ir.Binop (_, _, a, b) | Ir.Icmp (_, a, b) -> [ a; b ]
+            | Ir.Select (a, b, c) -> [ a; b; c ]
+            | Ir.Conv (_, a) | Ir.Freeze a -> [ a ]))
+        tgt_defs
+    in
+    let needed_src =
+      List.filter (fun n -> List.mem n src_names) (tgt_ret :: referenced)
+    in
+    let tgt_func =
+      {
+        Ir.fname = t.name ^ ".tgt";
+        params;
+        body = prune src_defs needed_src @ tgt_defs;
+        ret = Ir.Var tgt_ret;
+      }
+    in
+    match (Ir.validate src_func, Ir.validate tgt_func) with
+    | Ok (), Ok () -> Ok (src_func, tgt_func)
+    | Error e, _ -> Error ("lowered source is ill-formed: " ^ e)
+    | _, Error e -> Error ("lowered target is ill-formed: " ^ e)
+  with
+  | Eval_error m -> Error m
+  | Vcgen.Unsupported m -> Error m
+  | Invalid_argument m -> Error m
+  | Not_found -> Error "name outside the typing environment"
+
+(* --- Example classification --- *)
+
+type label = Pos | Neg | Skip
+
+let func_mentions_undef (f : Ir.func) =
+  let is_undef = function Ir.Undef _ -> true | _ -> false in
+  is_undef f.Ir.ret
+  || List.exists
+       (fun (d : Ir.def) ->
+         List.exists is_undef
+           (match d.Ir.inst with
+           | Ir.Binop (_, _, a, b) | Ir.Icmp (_, a, b) -> [ a; b ]
+           | Ir.Select (a, b, c) -> [ a; b; c ]
+           | Ir.Conv (_, a) | Ir.Freeze a -> [ a ]))
+       f.Ir.body
+
+let classify ~src ~tgt args =
+  match
+    (Interp.run ~policy:Interp.Zero src args, Interp.run ~policy:Interp.Zero tgt args)
+  with
+  | Ok (Interp.Ub | Interp.Ret Interp.Poison), Ok _ ->
+      (* Anything refines a UB/poison source, so the example says nothing
+         about where the transform usefully fires; counting it as positive
+         would reward preconditions that only admit broken sources. *)
+      Skip
+  | Ok s, Ok t ->
+      if Interp.refines s t then Pos
+      else if func_mentions_undef src || func_mentions_undef tgt then
+        (* Pinning undef to zero makes the run deterministic but can turn a
+           refinement that holds for *some* undef choice into a spurious
+           mismatch; do not trust such examples as negatives. *)
+        Skip
+      else Neg
+  | _ -> Skip

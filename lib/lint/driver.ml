@@ -220,13 +220,14 @@ let lint_corpus ?jobs (entries : Entry.t list) : report =
       (fun (o : _ Alive_engine.Engine.outcome) ->
         match o.Alive_engine.Engine.result with
         | Ok fs -> fs
-        | Error msg ->
+        | Error e ->
             [
               {
                 diag =
                   D.make ~rule:"lint.crash" ~severity:D.Error
                     ~where:(D.span ~file:o.Alive_engine.Engine.label 1)
-                    (Printf.sprintf "lint crashed: %s" msg);
+                    (Printf.sprintf "lint crashed: %s"
+                       e.Alive_engine.Engine.message);
                 transform = o.Alive_engine.Engine.label;
                 allowlisted = false;
               }

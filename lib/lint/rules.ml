@@ -363,6 +363,26 @@ let check_literal_widths ~file (t : transform) =
   |> check_stmts t.tgt (Alive.Ast.tgt_line t.locs)
   |> List.rev
 
+(* ---- Vacuous preconditions ---- *)
+
+(* Transformations proven correct with their precondition dropped
+   entirely, so the hand-written clause restricts nothing. The lint pass
+   stays SMT-free by design: this list is the cached result of the full
+   verifier, re-derived and enforced by the vacuous-precondition property
+   test (test_infer.ml) — change it there first when the corpus drifts. *)
+let vacuous_preconditions = [ "AddSub:add-neg-const-is-sub" ]
+
+let check_vacuous ~file (t : transform) =
+  if t.pre <> Ptrue && List.mem t.name vacuous_preconditions then
+    [
+      D.make ~rule:"dead-precondition.vacuous" ~severity:D.Warning
+        ~where:(D.span ?file (Alive.Ast.pre_line t.locs))
+        ~hint:"drop the precondition: the rewrite is valid without it"
+        "the whole precondition is vacuous: the transformation is correct \
+         unconditionally";
+    ]
+  else []
+
 (* ---- Entry point ---- *)
 
 let check ?file ?(canonical = true) (t : transform) =
@@ -372,5 +392,6 @@ let check ?file ?(canonical = true) (t : transform) =
       check_constants ~file t;
       check_literal_widths ~file t;
       check_precondition ~file t;
+      check_vacuous ~file t;
       check_cost ~file ~canonical t;
     ]

@@ -7,7 +7,14 @@ let udivrem_circuit a b =
   let w = width a in
   let wide = w + 1 in
   let b' = zext b wide in
-  let r = ref (zero wide) in
+  (* [Term.zero] requires a representable constant (width <= 64); the
+     circuit runs at w + 1, which exceeds it at width 64, so the wide zero
+     is assembled structurally there. *)
+  let r =
+    ref
+      (if wide <= Bitvec.max_width then zero wide
+       else concat (zero (wide - Bitvec.max_width)) (zero Bitvec.max_width))
+  in
   let qbits = Array.make w fls in
   for i = w - 1 downto 0 do
     (* r = (r << 1) | a_i  — built structurally: drop the top bit, append. *)

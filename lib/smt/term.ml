@@ -164,6 +164,14 @@ let is_const_zero t = match t.node with BvConst c -> Bitvec.is_zero c | _ -> fal
 let is_const_ones t =
   match t.node with BvConst c -> Bitvec.is_all_ones c | _ -> false
 
+let is_const_one t =
+  (* Inspect the constant rather than build [Bitvec.one w]: terms can be
+     wider than [Bitvec.max_width] (the overflow encodings double the
+     width), where no constant is representable. *)
+  match t.node with
+  | BvConst c -> Bitvec.equal c (Bitvec.one (Bitvec.width c))
+  | _ -> false
+
 let not_ t =
   match t.node with
   | True -> fls
@@ -337,9 +345,9 @@ let bbin op a b =
       | Add when is_const_zero a -> b
       | Add when is_const_zero b -> a
       | Sub when is_const_zero b -> a
-      | Sub when a == b -> zero w
+      | Sub when a == b && w <= Bitvec.max_width -> zero w
       | Mul when is_const_zero a || is_const_zero b -> zero w
-      | Mul when as_const a = Some (Bitvec.one w) -> b
+      | Mul when is_const_one a -> b
       | Band when is_const_zero a || is_const_zero b -> zero w
       | Band when is_const_ones a -> b
       | Band when is_const_ones b -> a
@@ -350,7 +358,7 @@ let bbin op a b =
       | Bor when a == b -> a
       | Bxor when is_const_zero a -> b
       | Bxor when is_const_zero b -> a
-      | Bxor when a == b -> zero w
+      | Bxor when a == b && w <= Bitvec.max_width -> zero w
       | (Shl | Lshr | Ashr) when is_const_zero b -> a
       | (Shl | Lshr) when is_const_zero a -> zero w
       | _ -> hashcons (Bbin (op, a, b)) (Bv w))
@@ -380,9 +388,13 @@ let extract ~hi ~lo t =
     | Extract (_, lo', a) -> hashcons (Extract (hi + lo', lo + lo', a)) (Bv (hi - lo + 1))
     | _ -> hashcons (Extract (hi, lo, t)) (Bv (hi - lo + 1))
 
+(* The width-changing folds below only fire when the result still fits a
+   [Bitvec]; wider results (the overflow encodings build 2w-bit terms) keep
+   the symbolic node and are handled by the bit-blaster. *)
 let concat a b =
   match (a.node, b.node) with
-  | BvConst c1, BvConst c2 -> const (Bitvec.concat c1 c2)
+  | BvConst c1, BvConst c2 when width a + width b <= Bitvec.max_width ->
+      const (Bitvec.concat c1 c2)
   | _ -> hashcons (Concat (a, b)) (Bv (width a + width b))
 
 let zext t w =
@@ -391,7 +403,7 @@ let zext t w =
   else if w = cur then t
   else
     match t.node with
-    | BvConst c -> const (Bitvec.zext c w)
+    | BvConst c when w <= Bitvec.max_width -> const (Bitvec.zext c w)
     | _ -> hashcons (Zext (w - cur, t)) (Bv w)
 
 let sext t w =
@@ -400,7 +412,7 @@ let sext t w =
   else if w = cur then t
   else
     match t.node with
-    | BvConst c -> const (Bitvec.sext c w)
+    | BvConst c when w <= Bitvec.max_width -> const (Bitvec.sext c w)
     | _ -> hashcons (Sext (w - cur, t)) (Bv w)
 
 let trunc t w =

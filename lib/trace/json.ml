@@ -99,14 +99,19 @@ let parse_exn s =
     else fail ("expected " ^ kw)
   in
   let add_utf8 buf cp =
-    (* BMP-only decoding of \uXXXX escapes; enough for our own output. *)
     if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
     else if cp < 0x800 then begin
       Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
       Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
     end
-    else begin
+    else if cp < 0x10000 then begin
       Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
       Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
       Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
     end
@@ -132,13 +137,40 @@ let parse_exn s =
             | 'r' -> Buffer.add_char buf '\r'
             | 't' -> Buffer.add_char buf '\t'
             | 'u' ->
-                if !pos + 4 >= n then fail "truncated \\u escape";
-                let hex = String.sub s (!pos + 1) 4 in
-                (match int_of_string_opt ("0x" ^ hex) with
-                | Some cp ->
-                    add_utf8 buf cp;
-                    pos := !pos + 4
-                | None -> fail "bad \\u escape")
+                (* Four hex digits after the current position; leaves [pos]
+                   on the last digit (the shared [incr pos] below steps past
+                   it). *)
+                let read_hex4 () =
+                  if !pos + 4 >= n then fail "truncated \\u escape";
+                  let v = ref 0 in
+                  for k = 1 to 4 do
+                    let d =
+                      match s.[!pos + k] with
+                      | '0' .. '9' as c -> Char.code c - Char.code '0'
+                      | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+                      | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+                      | _ -> fail "bad \\u escape"
+                    in
+                    v := (!v * 16) + d
+                  done;
+                  pos := !pos + 4;
+                  !v
+                in
+                let cp = read_hex4 () in
+                if cp >= 0xD800 && cp <= 0xDBFF then begin
+                  (* High surrogate: only valid as the first half of a
+                     \uD8xx\uDCxx pair encoding a non-BMP code point. *)
+                  if !pos + 2 >= n || s.[!pos + 1] <> '\\' || s.[!pos + 2] <> 'u'
+                  then fail "unpaired high surrogate";
+                  pos := !pos + 2;
+                  let lo = read_hex4 () in
+                  if lo < 0xDC00 || lo > 0xDFFF then
+                    fail "unpaired high surrogate";
+                  add_utf8 buf (0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00))
+                end
+                else if cp >= 0xDC00 && cp <= 0xDFFF then
+                  fail "lone low surrogate"
+                else add_utf8 buf cp
             | _ -> fail "bad escape");
             incr pos;
             go ()

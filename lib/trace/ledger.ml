@@ -21,6 +21,7 @@ type record = {
   budget_conflicts : int;  (* 0 = none *)
   wall_s : float;
   sat_s : float;
+  infer_s : float;  (* precondition-inference wall (schema >= 3; 0 before) *)
   queries : int;
   conflicts : int;
   cegar_iterations : int;
@@ -33,7 +34,7 @@ type record = {
   phases : phase_total list;
 }
 
-let schema_version = 2
+let schema_version = 3
 
 let iso8601 t =
   let tm = Unix.gmtime t in
@@ -64,7 +65,8 @@ let phases_of_metrics () =
     (Metrics.snapshot ()).histograms
 
 let make ~label ~jobs ~tasks ?(budget_timeout_s = 0.0) ?(budget_conflicts = 0)
-    ~wall_s ~sat_s ~queries ~conflicts ~cegar_iterations ?(cache_hits = 0)
+    ~wall_s ~sat_s ?(infer_s = 0.0) ~queries ~conflicts ~cegar_iterations
+    ?(cache_hits = 0)
     ?(cache_misses = 0) ?(cache_evictions = 0) ?(peak_clauses = 0)
     ?(peak_vars = 0) ~verdicts ?(phases = phases_of_metrics ()) () =
   {
@@ -78,6 +80,7 @@ let make ~label ~jobs ~tasks ?(budget_timeout_s = 0.0) ?(budget_conflicts = 0)
     budget_conflicts;
     wall_s;
     sat_s;
+    infer_s;
     queries;
     conflicts;
     cegar_iterations;
@@ -109,6 +112,7 @@ let to_json r =
           ] );
       ("wall_s", Json.Float r.wall_s);
       ("sat_s", Json.Float r.sat_s);
+      ("infer_s", Json.Float r.infer_s);
       ("queries", Json.Int r.queries);
       ("conflicts", Json.Int r.conflicts);
       ("cegar_iterations", Json.Int r.cegar_iterations);
@@ -187,6 +191,8 @@ let of_json j =
               (Option.bind (Json.member "conflict_limit" budget) Json.to_int);
           wall_s = flt "wall_s" 0.0;
           sat_s = flt "sat_s" 0.0;
+          (* "infer_s" is a schema-3 key; older records read back as 0. *)
+          infer_s = flt "infer_s" 0.0;
           queries = int "queries" 0;
           conflicts = int "conflicts" 0;
           cegar_iterations = int "cegar_iterations" 0;
@@ -276,6 +282,7 @@ let diff ?(threshold_pct = 15.0) ~baseline ~latest () =
   in
   let informational =
     info "sat_s" baseline.sat_s latest.sat_s
+    :: info "infer_s" baseline.infer_s latest.infer_s
     :: info "queries" (float_of_int baseline.queries)
          (float_of_int latest.queries)
     :: info "cegar_iterations"

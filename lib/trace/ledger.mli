@@ -19,6 +19,9 @@ type record = {
   budget_conflicts : int;  (** 0 = none *)
   wall_s : float;
   sat_s : float;
+  infer_s : float;
+      (** wall time spent in precondition inference (schema >= 3; zero when
+          reading older records) *)
   queries : int;
   conflicts : int;
   cegar_iterations : int;
@@ -43,6 +46,7 @@ val make :
   ?budget_conflicts:int ->
   wall_s:float ->
   sat_s:float ->
+  ?infer_s:float ->
   queries:int ->
   conflicts:int ->
   cegar_iterations:int ->

@@ -237,4 +237,181 @@ let property_tests =
         sle (smin a b) a && sle a (smax a b));
   ]
 
-let suite = ("bitvec", unit_tests @ property_tests)
+(* --- Differential: Bitvec vs the SMT bit-blasted circuits ---
+
+   The Term smart constructors fold constant operands through Bitvec itself,
+   so feeding constants straight in would only test Bitvec against Bitvec.
+   Instead the operands are bound by equalities on fresh variables: the
+   operation is then lowered through the independent SAT circuits (ripple
+   adders, barrel shifter, restoring division at width+1) and agreement with
+   Bitvec is an Unsat answer to "the inputs are (a, b) and the circuit
+   output differs from what Bitvec computed". Inputs are fully constrained,
+   so each query solves by unit propagation. *)
+
+module T = Alive_smt.Term
+module Solve = Alive_smt.Solve
+
+let str_bv x = Format.asprintf "%a:i%d" pp x (width x)
+
+let agree2 name expected apply a b =
+  let x = T.var "x" (T.Bv (width a)) and y = T.var "y" (T.Bv (width b)) in
+  match
+    Solve.check_sat
+      [ T.eq x (T.const a); T.eq y (T.const b); T.distinct (apply x y) expected ]
+  with
+  | Solve.Unsat -> ()
+  | Solve.Sat _ ->
+      Alcotest.failf "%s: circuit disagrees with Bitvec on %s, %s" name
+        (str_bv a) (str_bv b)
+  | Solve.Unknown _ ->
+      Alcotest.failf "%s: solver gave up on %s, %s" name (str_bv a) (str_bv b)
+
+let agree1 name expected apply a =
+  let x = T.var "x" (T.Bv (width a)) in
+  match Solve.check_sat [ T.eq x (T.const a); T.distinct (apply x) expected ] with
+  | Solve.Unsat -> ()
+  | Solve.Sat _ ->
+      Alcotest.failf "%s: circuit disagrees with Bitvec on %s" name (str_bv a)
+  | Solve.Unknown _ -> Alcotest.failf "%s: solver gave up on %s" name (str_bv a)
+
+let bv_op name bv_f t_f a b = agree2 name (T.const (bv_f a b)) (t_f) a b
+let bool_op name bv_f t_f a b = agree2 name (T.bool_ (bv_f a b)) (t_f) a b
+
+(* Cheap ops: ripple adders, gates, comparators. *)
+let cheap_ops =
+  [
+    ("add", add, T.add); ("sub", sub, T.sub);
+    ("and", logand, T.band); ("or", logor, T.bor); ("xor", logxor, T.bxor);
+  ]
+
+(* Expensive circuits (shift-add multiplier, restoring divider) get a
+   tighter input list at the big widths. *)
+let costly_ops =
+  [
+    ("mul", mul, T.mul);
+    ("udiv", udiv, T.udiv); ("sdiv", sdiv, T.sdiv);
+    ("urem", urem, T.urem); ("srem", srem, T.srem);
+  ]
+
+let shift_ops = [ ("shl", shl, T.shl); ("lshr", lshr, T.lshr); ("ashr", ashr, T.ashr) ]
+
+let cmp_ops =
+  [ ("ult", ult, T.ult); ("ule", ule, T.ule); ("slt", slt, T.slt); ("sle", sle, T.sle) ]
+
+let ovf_cheap =
+  [
+    ("add_overflows_signed", add_overflows_signed, T.add_overflows_signed);
+    ("add_overflows_unsigned", add_overflows_unsigned, T.add_overflows_unsigned);
+    ("sub_overflows_signed", sub_overflows_signed, T.sub_overflows_signed);
+    ("sub_overflows_unsigned", sub_overflows_unsigned, T.sub_overflows_unsigned);
+  ]
+
+(* 2w-bit multiplications inside. *)
+let ovf_costly =
+  [
+    ("mul_overflows_signed", mul_overflows_signed, T.mul_overflows_signed);
+    ("mul_overflows_unsigned", mul_overflows_unsigned, T.mul_overflows_unsigned);
+  ]
+
+let dedup_pairs ps =
+  List.sort_uniq (fun (a, b) (c, d) ->
+      match compare a c with 0 -> compare b d | n -> n)
+    ps
+
+(* Boundary pairs: zero divisors, INT_MIN / -1, sign-bit-adjacent values,
+   the alternating pattern, and carries across the top bit. *)
+let boundary_pairs w =
+  let z = zero w and o = one w and m = all_ones w
+  and mn = min_signed w and mx = max_signed w
+  and p = make ~width:w 0x5555_5555_5555_5555L
+  and two = make ~width:w 2L and three = make ~width:w 3L in
+  dedup_pairs
+    [
+      (z, z); (o, z); (mn, z); (m, z);   (* division by zero *)
+      (mn, m);                           (* INT_MIN / -1 wraps *)
+      (m, m); (mn, o); (mx, o); (mx, mx);
+      (p, three); (m, o); (o, m); (two, three); (mn, mx); (p, p);
+    ]
+
+let costly_pairs w =
+  let z = zero w and o = one w and m = all_ones w
+  and mn = min_signed w and mx = max_signed w
+  and p = make ~width:w 0x5555_5555_5555_5555L
+  and three = make ~width:w 3L in
+  if w <= 8 then boundary_pairs w
+  else dedup_pairs [ (o, z); (mn, z); (mn, m); (m, m); (mx, o); (p, three) ]
+
+let shift_pairs w =
+  let amounts =
+    (* [of_int] masks to the width, so 64 probes shift-by-(2^w mod ...) at
+       narrow widths and the exact amount = width boundary at w = 64. *)
+    List.sort_uniq Stdlib.compare [ 0; 1; w - 1; w; 64 ]
+    |> List.map (fun n -> of_int ~width:w n)
+  in
+  let bases =
+    [ one w; all_ones w; min_signed w; make ~width:w 0x5555_5555_5555_5555L ]
+  in
+  dedup_pairs (List.concat_map (fun b -> List.map (fun s -> (b, s)) amounts) bases)
+
+let differential_width w =
+  Alcotest.test_case
+    (Printf.sprintf "agrees with the SAT circuits at width %d" w)
+    `Slow
+    (fun () ->
+      let run ops pairs kind =
+        List.iter
+          (fun (name, bv_f, t_f) ->
+            List.iter (fun (a, b) -> kind name bv_f t_f a b) pairs)
+          ops
+      in
+      run cheap_ops (boundary_pairs w) bv_op;
+      run costly_ops (costly_pairs w) bv_op;
+      run shift_ops (shift_pairs w) bv_op;
+      run cmp_ops (boundary_pairs w) bool_op;
+      run ovf_cheap (boundary_pairs w) bool_op;
+      run ovf_costly (costly_pairs w) bool_op;
+      (* Unary and width-changing ops at the same boundary values. *)
+      let values = List.sort_uniq compare (List.map fst (boundary_pairs w)) in
+      List.iter
+        (fun a ->
+          agree1 "bnot" (T.const (lognot a)) T.bnot a;
+          agree1 "bneg" (T.const (neg a)) T.bneg a;
+          if w < 64 then begin
+            agree1 "zext64" (T.const (zext a 64)) (fun x -> T.zext x 64) a;
+            agree1 "sext64" (T.const (sext a 64)) (fun x -> T.sext x 64) a
+          end;
+          if w > 1 then begin
+            agree1 "trunc1" (T.const (trunc a 1)) (fun x -> T.trunc x 1) a;
+            agree1 "extract-top"
+              (T.const (extract a ~hi:(w - 1) ~lo:(w - 1)))
+              (fun x -> T.extract ~hi:(w - 1) ~lo:(w - 1) x)
+              a
+          end;
+          if w = 63 then
+            (* concat across the 64-bit boundary *)
+            agree1 "concat-1" (T.const (concat (one 1) a))
+              (fun x -> T.concat (T.const (one 1)) x)
+              a)
+        values)
+
+(* Width 1 is small enough to check every input exhaustively. *)
+let differential_exhaustive_w1 =
+  Alcotest.test_case "exhaustive agreement at width 1" `Slow (fun () ->
+      let values = [ zero 1; one 1 ] in
+      List.iter
+        (fun a ->
+          List.iter
+            (fun b ->
+              List.iter
+                (fun (name, bv_f, t_f) -> bv_op name bv_f t_f a b)
+                (cheap_ops @ costly_ops @ shift_ops);
+              List.iter
+                (fun (name, bv_f, t_f) -> bool_op name bv_f t_f a b)
+                (cmp_ops @ ovf_cheap @ ovf_costly))
+            values)
+        values)
+
+let differential_tests =
+  [ differential_exhaustive_w1 ] @ List.map differential_width [ 1; 63; 64 ]
+
+let suite = ("bitvec", unit_tests @ property_tests @ differential_tests)

@@ -116,7 +116,7 @@ let pool_tests =
             check_int "index" i o.index;
             match o.result with
             | Ok sq -> check_int "value" ((i + 1) * (i + 1)) sq
-            | Error e -> Alcotest.failf "task %d crashed: %s" i e)
+            | Error e -> Alcotest.failf "task %d crashed: %s" i e.message)
           outcomes);
     Alcotest.test_case "a raising task is isolated, not fatal" `Quick
       (fun () ->
@@ -126,9 +126,9 @@ let pool_tests =
             [ 1; 2; 3 ]
         in
         match List.map (fun (o : int Engine.outcome) -> o.result) outcomes with
-        | [ Ok 2; Error msg; Ok 4 ] ->
+        | [ Ok 2; Error e; Ok 4 ] ->
             check_bool "exception text preserved" true
-              (Astring.String.is_infix ~affix:"boom" msg)
+              (Astring.String.is_infix ~affix:"boom" e.message)
         | _ -> Alcotest.fail "wrong outcomes");
     Alcotest.test_case "parallel typing check agrees with sequential" `Quick
       (fun () ->
@@ -193,7 +193,34 @@ let corpus_tests =
         check_string "hard gave up" "unknown:conflicts"
           (Engine.verdict_name (by_name "hard"));
         check_string "crash isolated" "crash" (Engine.verdict_name (by_name "crashy"));
-        check_bool "stats flowed up" true (report.total.queries > 0));
+        check_bool "stats flowed up" true (report.total.queries > 0);
+        (* The crash's Error payload carries the exception text and a
+           backtrace, and both reach the JSON report. *)
+        (match (by_name "crashy").outcome with
+        | Error e ->
+            check_bool "exception text" true
+              (Astring.String.is_infix ~affix:"synthetic parse failure"
+                 e.Engine.message)
+        | Ok _ -> Alcotest.fail "crashy did not crash");
+        let json = Engine.report_json report in
+        let results =
+          match Json.member "results" json with
+          | Some (Json.List l) -> l
+          | _ -> Alcotest.fail "no results in report JSON"
+        in
+        let crashy =
+          List.find
+            (fun r -> Json.member "name" r = Some (Json.String "crashy"))
+            results
+        in
+        check_bool "error text in JSON" true
+          (match Json.member "error" crashy with
+          | Some (Json.String _) -> true
+          | _ -> false);
+        check_bool "backtrace field in JSON" true
+          (match Json.member "backtrace" crashy with
+          | Some (Json.String _) -> true
+          | _ -> false));
     Alcotest.test_case "parallel corpus verdicts equal sequential" `Slow
       (fun () ->
         let entries = Alive_suite.Registry.by_file "Shifts" in

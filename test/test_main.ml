@@ -11,5 +11,6 @@ let () =
       Test_engine.suite;
       Test_differential.suite;
       Test_lint.suite;
+      Test_infer.suite;
       Test_trace.suite;
     ]

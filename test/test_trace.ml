@@ -334,7 +334,55 @@ let json_tests =
         List.iter
           (fun s ->
             check_bool ("rejects " ^ s) true (Result.is_error (Json.parse s)))
-          [ "{"; "[1,]"; "{\"a\":}"; "\"unterminated"; "nul"; "1 2"; "" ])
+          [ "{"; "[1,]"; "{\"a\":}"; "\"unterminated"; "nul"; "1 2"; "" ]);
+    Alcotest.test_case "decodes surrogate pairs to UTF-8" `Quick (fun () ->
+        (* U+1D11E MUSICAL SYMBOL G CLEF = \uD834\uDD1E = f0 9d 84 9e *)
+        (match Json.parse "\"\\uD834\\uDD1E\"" with
+        | Ok (Json.String s) ->
+            check_string "G clef" "\xf0\x9d\x84\x9e" s
+        | _ -> Alcotest.fail "surrogate pair did not parse");
+        (* Lowest and highest astral code points via pairs. *)
+        (match Json.parse "\"\\ud800\\udc00\"" with
+        | Ok (Json.String s) -> check_string "U+10000" "\xf0\x90\x80\x80" s
+        | _ -> Alcotest.fail "U+10000 did not parse");
+        (match Json.parse "\"\\uDBFF\\uDFFF\"" with
+        | Ok (Json.String s) -> check_string "U+10FFFF" "\xf4\x8f\xbf\xbf" s
+        | _ -> Alcotest.fail "U+10FFFF did not parse");
+        (* A pair embedded between ordinary characters. *)
+        match Json.parse "\"a\\uD83D\\uDE00b\"" with
+        | Ok (Json.String s) ->
+            check_string "embedded emoji" "a\xf0\x9f\x98\x80b" s
+        | _ -> Alcotest.fail "embedded pair did not parse");
+    Alcotest.test_case "rejects lone and malformed surrogates" `Quick
+      (fun () ->
+        List.iter
+          (fun s ->
+            check_bool ("rejects " ^ s) true (Result.is_error (Json.parse s)))
+          [
+            (* lone high surrogate: end of string, non-escape after, or a
+               non-low-surrogate escape after *)
+            "\"\\uD834\"";
+            "\"\\uD834x\"";
+            "\"\\uD834\\n\"";
+            "\"\\uD834\\u0041\"";
+            "\"\\uD834\\uD834\"";
+            (* lone low surrogate *)
+            "\"\\uDD1E\"";
+            (* truncated second escape *)
+            "\"\\uD834\\u12\"";
+            (* non-hex digits, including underscores int_of_string would
+               otherwise accept *)
+            "\"\\u00_1\"";
+            "\"\\u00g1\"";
+          ]);
+    Alcotest.test_case "non-BMP strings survive a print/parse cycle" `Quick
+      (fun () ->
+        (* The printer passes raw UTF-8 bytes through untouched; the parser
+           must agree with itself on strings that began as \u pairs. *)
+        match Json.parse "{\"k\":\"\\uD83D\\uDCA9 done\"}" with
+        | Ok j ->
+            check_bool "reparse equals" true (Json.parse (Json.to_string j) = Ok j)
+        | Error e -> Alcotest.fail e)
   ]
 
 (* --- Ledger --- *)
