@@ -575,10 +575,20 @@ let perf_diff_cmd =
         | Error e ->
             Printf.eprintf "perf diff: %s\n" e;
             1
-        | Ok base ->
-            let d = Ledger.diff ~threshold_pct:threshold ~baseline:base ~latest () in
-            Ledger.render_diff d;
-            if d.Ledger.regressions <> [] then 3 else 0)
+        | Ok base -> (
+            (* Records from different schemas are not comparable: fields the
+               older schema lacks read back as zeros, so a diff would report
+               nonsense deltas instead of a regression. Refuse loudly. *)
+            match Ledger.schema_mismatch ~baseline:base ~latest with
+            | Some msg ->
+                Printf.eprintf "perf diff: %s\n" msg;
+                3
+            | None ->
+                let d =
+                  Ledger.diff ~threshold_pct:threshold ~baseline:base ~latest ()
+                in
+                Ledger.render_diff d;
+                if d.Ledger.regressions <> [] then 3 else 0))
   in
   let ledger =
     Arg.(
@@ -610,7 +620,11 @@ let perf_diff_cmd =
          "Compare the newest ledger record against a baseline and flag \
           regressions on the gating metrics (wall time, SAT conflicts)."
        ~exits:
-         (Cmd.Exit.info 3 ~doc:"a gating metric regressed past the threshold."
+         (Cmd.Exit.info 3
+            ~doc:
+              "a gating metric regressed past the threshold, or the baseline \
+               and latest records carry different schema versions (not \
+               comparable)."
          :: Cmd.Exit.defaults))
     Term.(const run $ ledger $ baseline $ threshold)
 
@@ -621,6 +635,171 @@ let perf_cmd =
          "Cross-run performance tracking over the ledger written by \
           instrumented corpus runs (see docs/OBSERVABILITY.md).")
     [ perf_diff_cmd ]
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path the daemon listens on.")
+
+let serve_cmd =
+  let module Daemon = Alive_service.Daemon in
+  let run socket store jobs no_compact quiet =
+    let config =
+      {
+        Daemon.socket_path = socket;
+        store_dir = store;
+        jobs;
+        compact_on_exit = not no_compact;
+        log = (if quiet then None else Some stderr);
+      }
+    in
+    match Daemon.serve config with
+    | Ok () -> 0
+    | Error e ->
+        Printf.eprintf "serve: %s\n" e;
+        1
+  in
+  let store =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:
+            "Back the daemon with the persistent verdict store in $(docv) \
+             (created if missing). Verdicts survive restarts; the store is \
+             compacted on clean shutdown.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Worker domains in the solver pool (default: all cores).")
+  in
+  let no_compact =
+    Arg.(
+      value & flag
+      & info [ "no-compact" ] ~doc:"Skip store compaction on shutdown.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No request log on stderr.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the verification daemon: parse/lint/verify/infer-pre requests \
+          over a Unix-domain socket (length-prefixed JSON, see \
+          docs/SERVICE.md), solved on a persistent domain pool through the \
+          disk-backed verdict store. Stops cleanly on SIGINT/SIGTERM or a \
+          client 'shutdown' request.")
+    Term.(const run $ socket_arg $ store $ jobs $ no_compact $ quiet)
+
+let client_cmd =
+  let module Client = Alive_service.Client in
+  let module Json = Alive_trace.Json in
+  let read_input = function
+    | None -> None
+    | Some "-" ->
+        Some (In_channel.input_all stdin)
+    | Some path -> Some (In_channel.with_open_text path In_channel.input_all)
+  in
+  let run socket op file name timeout conflicts =
+    match Client.connect socket with
+    | Error e ->
+        Printf.eprintf "client: %s\n" e;
+        1
+    | Ok c ->
+        Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+        let text () =
+          match read_input file with
+          | Some t -> Ok t
+          | None -> Error (Printf.sprintf "op %S needs FILE (or '-')" op)
+        in
+        let result =
+          match op with
+          | "ping" -> Client.ping c
+          | "metrics" -> Client.metrics c
+          | "store-stats" -> Client.store_stats c
+          | "shutdown" -> Client.shutdown c
+          | "parse" -> Result.bind (text ()) (fun text -> Client.parse c ~text)
+          | "lint" -> Result.bind (text ()) (fun text -> Client.lint c ~text)
+          | "digests" ->
+              Result.bind (text ()) (fun text ->
+                  Client.digests c ?name ~text ())
+          | "verify" ->
+              Result.bind (text ()) (fun text ->
+                  Client.verify c ?name ?timeout
+                    ?conflict_limit:conflicts ~text ())
+          | "infer-pre" ->
+              Result.bind (text ()) (fun text ->
+                  Client.infer_pre c ?name ?timeout
+                    ?conflict_limit:conflicts ~text ())
+          | other ->
+              (* Forwarded verbatim: the daemon is the authority on the
+                 operation set, and an unknown op comes back as an
+                 in-protocol error without dropping the connection — which
+                 is also how CI smokes the malformed-request path. *)
+              let args =
+                Option.map
+                  (fun t -> Json.Obj [ ("text", Json.String t) ])
+                  (read_input file)
+              in
+              Client.call c ~op:other ?args ()
+        in
+        (match result with
+        | Ok j ->
+            print_endline (Json.to_string j);
+            0
+        | Error e ->
+            Printf.eprintf "client: %s\n" e;
+            1)
+  in
+  let op =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"OP"
+          ~doc:
+            "Operation: ping, parse, lint, verify, infer-pre, metrics, \
+             store-stats, or shutdown.")
+  in
+  let file =
+    Arg.(
+      value
+      & pos 1 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:"Input .opt file ('-' for stdin) for text-taking ops.")
+  in
+  let name_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "name" ] ~docv:"NAME"
+          ~doc:"Restrict to the transformation with this name.")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Per-query wall budget.")
+  in
+  let conflicts =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "conflicts" ] ~docv:"N" ~doc:"Per-query SAT conflict budget.")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "One request to a running 'alive serve' daemon; prints the JSON \
+          result on stdout. Exit 1 on connection or request errors."
+       ~exits:
+         (Cmd.Exit.info 1 ~doc:"connection or request failed."
+         :: Cmd.Exit.defaults))
+    Term.(const run $ socket_arg $ op $ file $ name_arg $ timeout $ conflicts)
 
 let default =
   Term.(ret (const (`Help (`Pager, None))))
@@ -643,4 +822,6 @@ let () =
             opt_cmd;
             lint_cmd;
             perf_cmd;
+            serve_cmd;
+            client_cmd;
           ]))

@@ -2,6 +2,15 @@
    engine. The CI smoke job runs this; the bench harness prints Table 3 from
    the same data.
 
+   Three solve paths share the classification and reporting below:
+   - in-process (default): Engine.verify_corpus on a local domain pool;
+   - --store DIR: same, with the persistent verdict store installed under
+     the cache, so verdicts survive across runs;
+   - --via SOCKET: thin client to an `alive serve` daemon; the daemon owns
+     the pool and the store, this process only sends entries and counts.
+   --changed-since (with --store) skips entries whose canonical query
+   digests all have stored verdicts, replaying the stored outcome.
+
    Exit codes: 0 every entry matched its expected verdict; 1 at least one
    mismatch (a definite wrong answer); 2 no mismatches but some entries were
    undecided (budget exhausted / crashed), so the run proved less than the
@@ -9,6 +18,7 @@
 
 module Engine = Alive_engine.Engine
 module Json = Alive_engine.Json
+module Store = Alive_service.Store
 
 let jobs = ref 1
 let timeout = ref 0.0 (* seconds per query; 0 = none *)
@@ -28,6 +38,9 @@ let ledger_path = ref ""
 let no_cache = ref false
 let no_incremental = ref false
 let dump_cnf = ref ""
+let via = ref "" (* daemon socket; "" = solve in-process *)
+let store_dir = ref "" (* persistent verdict store; "" = none *)
+let changed_since = ref "" (* baseline rev label; "" = full run *)
 
 let set_encoding_arg = function
   | "pg" -> Alive_smt.Bitblast.set_encoding `Plaisted_greenbaum
@@ -81,6 +94,20 @@ let speclist =
     ( "--encoding",
       Arg.Symbol ([ "tseitin"; "pg" ], set_encoding_arg),
       "  CNF encoding: tseitin (default) or pg (Plaisted-Greenbaum)" );
+    ( "--via",
+      Arg.Set_string via,
+      "SOCKET  send entries to the 'alive serve' daemon at SOCKET instead \
+       of solving in-process (one client connection per job)" );
+    ( "--store",
+      Arg.Set_string store_dir,
+      "DIR  persistent verdict store: warm the solve path from DIR and \
+       write every new verdict through (opened read-only with --via, since \
+       the daemon owns its own store)" );
+    ( "--changed-since",
+      Arg.Set_string changed_since,
+      "REV  incremental mode (needs --store): skip entries whose canonical \
+       query digests all have stored verdicts, replaying the stored \
+       outcome; REV labels the baseline in the summary" );
     ( "--infer-pre",
       Arg.Set infer_pre,
       " instead of verifying, re-derive each hand-written precondition by \
@@ -93,6 +120,142 @@ let speclist =
       "N  (--infer-pre) exit 0 only if at least N entries re-derive an \
        equal-or-weaker precondition (default 10)" );
   ]
+
+(* --via: thin-client mode. One daemon connection per worker thread,
+   entries pulled from a shared index; the daemon does all the solving (on
+   its own domain pool, through its own verdict store) and this side only
+   marshals, classifies against the expected verdict, and counts. *)
+
+type via_totals = {
+  mutable vq : int;  (* queries *)
+  mutable vsat : float;
+  mutable vconf : int;
+  mutable vcegar : int;
+  mutable vch : int;  (* daemon-side in-memory cache hits *)
+  mutable vcm : int;
+  mutable vsh : int;  (* daemon-side store hits *)
+  mutable vsm : int;
+  mutable verr : int;  (* transport/daemon errors *)
+}
+
+let run_via ~socket ~jobs ~mismatches ~undecided
+    (entries : Alive_suite.Entry.t list) =
+  let module Client = Alive_service.Client in
+  let arr = Array.of_list entries in
+  let n = Array.length arr in
+  let results = Array.make n ("", "", 0.0) in
+  let lock = Mutex.create () in
+  let tv =
+    {
+      vq = 0;
+      vsat = 0.0;
+      vconf = 0;
+      vcegar = 0;
+      vch = 0;
+      vcm = 0;
+      vsh = 0;
+      vsm = 0;
+      verr = 0;
+    }
+  in
+  let next = Atomic.make 0 in
+  let num j k =
+    Option.value ~default:0 (Option.bind (Json.member k j) Json.to_int)
+  in
+  let fnum j k =
+    Option.value ~default:0.0 (Option.bind (Json.member k j) Json.to_float)
+  in
+  let is_unknown v =
+    String.length v >= 7 && String.sub v 0 7 = "unknown"
+  in
+  let t0 = Unix.gettimeofday () in
+  let worker () =
+    let client = Result.to_option (Client.connect socket) in
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        let e = arr.(i) in
+        let q0 = Unix.gettimeofday () in
+        let resp =
+          match client with
+          | None -> Error ("cannot connect to daemon at " ^ socket)
+          | Some c ->
+              Client.verify c ?widths:e.widths
+                ?timeout:(if !timeout > 0.0 then Some !timeout else None)
+                ?conflict_limit:
+                  (if !conflicts > 0 then Some !conflicts else None)
+                ~text:e.text ()
+        in
+        let elapsed = Unix.gettimeofday () -. q0 in
+        let verdict, detail =
+          match resp with
+          | Error msg -> ("error", msg)
+          | Ok (Json.List (_ :: _ as items)) ->
+              let vs =
+                List.map
+                  (fun j ->
+                    Option.value ~default:"error"
+                      (Option.bind (Json.member "verdict" j) Json.to_str))
+                  items
+              in
+              Mutex.lock lock;
+              List.iter
+                (fun j ->
+                  tv.vq <- tv.vq + num j "queries";
+                  tv.vch <- tv.vch + num j "cache_hits";
+                  tv.vcm <- tv.vcm + num j "cache_misses";
+                  tv.vsh <- tv.vsh + num j "store_hits";
+                  tv.vsm <- tv.vsm + num j "store_misses";
+                  tv.vconf <- tv.vconf + num j "conflicts";
+                  tv.vcegar <- tv.vcegar + num j "cegar";
+                  tv.vsat <- tv.vsat +. fnum j "sat_s")
+                items;
+              Mutex.unlock lock;
+              (* An entry's text can hold several transforms; a definite
+                 failure outranks unknown outranks valid, as in the local
+                 scan. *)
+              let bad =
+                List.find_opt
+                  (fun v -> v = "invalid" || v = "type-error" || v = "unsupported")
+                  vs
+              in
+              let unk = List.find_opt is_unknown vs in
+              (match (bad, unk) with
+              | Some v, _ -> (v, "")
+              | None, Some v -> (v, "")
+              | None, None -> ("valid", ""))
+          | Ok _ -> ("error", "malformed verify response")
+        in
+        results.(i) <- (e.name, verdict, elapsed);
+        Mutex.lock lock;
+        (if verdict = "error" || is_unknown verdict then begin
+           incr undecided;
+           if verdict = "error" then tv.verr <- tv.verr + 1;
+           Printf.printf "%-55s %6.2fs %s\n%!" e.name elapsed
+             (if verdict = "error" then "ERROR: " ^ detail
+              else "UNKNOWN: " ^ verdict)
+         end
+         else
+           let valid = verdict = "valid" in
+           let want_valid = e.expected = Alive_suite.Entry.Expect_valid in
+           if valid <> want_valid then begin
+             incr mismatches;
+             Printf.printf "%-55s %6.2fs MISMATCH: %s\n%!" e.name elapsed
+               verdict
+           end
+           else if not !quiet then
+             Printf.printf "%-55s %6.2fs ok\n%!" e.name elapsed);
+        Mutex.unlock lock;
+        loop ()
+      end
+    in
+    loop ();
+    Option.iter Client.close client
+  in
+  let jobs = max 1 (min jobs (max 1 n)) in
+  let threads = Array.init jobs (fun _ -> Thread.create worker ()) in
+  Array.iter Thread.join threads;
+  (Array.to_list results, Unix.gettimeofday () -. t0, tv)
 
 (* --infer-pre: run the Alive-Infer loop on every corpus entry that carries
    a hand-written precondition and compare the re-derived predicate against
@@ -345,6 +508,93 @@ let () =
            ())
     else None
   in
+  (* --- Persistent store / incremental partition --- *)
+  let budget_str =
+    String.concat " "
+      ((if !timeout > 0.0 then [ Printf.sprintf "timeout=%gs" !timeout ]
+        else [])
+      @
+      if !conflicts > 0 then [ Printf.sprintf "conflicts=%d" !conflicts ]
+      else [])
+  in
+  let store =
+    if !store_dir = "" then None
+    else
+      (* With --via the daemon owns the writable store; this process only
+         needs digest lookups, which a read-only replay provides even while
+         the daemon holds the write lock. *)
+      let readonly = !via <> "" in
+      match Store.open_store ~readonly !store_dir with
+      | Ok s ->
+          if not readonly then begin
+            Store.set_context ~budget:budget_str s;
+            Store.install_backing s
+          end;
+          Some s
+      | Error e ->
+          Printf.eprintf "store: %s\n" e;
+          exit 1
+  in
+  if !changed_since <> "" && store = None then begin
+    Printf.eprintf "--changed-since requires --store DIR\n";
+    exit 1
+  end;
+  let mismatches = ref 0 and undecided = ref 0 in
+  (* An entry whose refinement queries all have stored verdicts needs no
+     solving: replay the stored outcome. The walk mirrors the verifier's
+     scan order — within a typing, a stored Invalid settles the entry (the
+     original run stopped there, so later digests were never stored); a
+     missing digest means the entry's VCs changed (or were never fully
+     decided) and it must be re-verified. *)
+  let covered_by_store s (e : Alive_suite.Entry.t) =
+    match
+      (try Ok (Alive_suite.Entry.parse e) with ex -> Error (Printexc.to_string ex))
+    with
+    | Error _ -> `Changed
+    | Ok t -> (
+        match Alive.Refine.query_digests ?widths:e.widths t with
+        | Error _ -> `Changed
+        | Ok typings ->
+            let rec scan_typings = function
+              | [] -> `Covered `Valid
+              | digests :: rest -> (
+                  let rec scan = function
+                    | [] -> `Typing_valid
+                    | d :: more -> (
+                        match Store.lookup_verdict s d with
+                        | None -> `Missing
+                        | Some `Valid -> scan more
+                        | Some (`Invalid _) -> `Typing_invalid)
+                  in
+                  match scan digests with
+                  | `Missing -> `Changed
+                  | `Typing_invalid -> `Covered `Invalid
+                  | `Typing_valid -> scan_typings rest)
+            in
+            scan_typings typings)
+  in
+  let skipped, entries =
+    if !changed_since = "" then ([], entries)
+    else
+      List.partition_map
+        (fun (e : Alive_suite.Entry.t) ->
+          match covered_by_store (Option.get store) e with
+          | `Covered v -> Either.Left (e, v)
+          | `Changed -> Either.Right e)
+        entries
+  in
+  List.iter
+    (fun ((e : Alive_suite.Entry.t), v) ->
+      let valid = v = `Valid in
+      let want_valid = e.expected = Alive_suite.Entry.Expect_valid in
+      if valid <> want_valid then begin
+        incr mismatches;
+        Printf.printf "%-55s   skip MISMATCH (store replay: %s)\n%!" e.name
+          (if valid then "valid" else "invalid")
+      end
+      else if not !quiet then
+        Printf.printf "%-55s   skip ok (store)\n%!" e.name)
+    skipped;
   let expected = Hashtbl.create 64 in
   let tasks =
     List.map
@@ -357,7 +607,6 @@ let () =
         })
       entries
   in
-  let mismatches = ref 0 and undecided = ref 0 in
   let classify (r : Engine.task_result) =
     match r.outcome with
     | Error e -> `Undecided ("CRASH: " ^ e.Engine.message)
@@ -394,19 +643,137 @@ let () =
         if not !quiet then Printf.printf "%-55s %6.2fs ok\n%!" r.name r.elapsed
   in
   let jobs = if !jobs = 0 then Engine.default_jobs () else max 1 !jobs in
-  let report = Engine.verify_corpus ~jobs ?budget ~on_result tasks in
-  if !stats then Engine.print_table report
-  else
+  let n_skipped = List.length skipped in
+  let since_label =
+    if !changed_since = "" then ""
+    else
+      Printf.sprintf " (since %s: %d skipped, %d re-verified)" !changed_since
+        n_skipped (List.length entries)
+  in
+  if !via <> "" then begin
+    let results, wall, tv =
+      run_via ~socket:!via ~jobs ~mismatches ~undecided entries
+    in
     Printf.printf
-      "done: %d entries, %d mismatches, %d undecided; wall %.2fs with %d \
-       job(s), %d queries, sat %.2fs, %d conflicts, %d cegar iterations\n"
-      (List.length report.results)
-      !mismatches !undecided report.wall report.jobs report.total.queries
-      report.total.telemetry.sat_time report.total.telemetry.conflicts
-      report.total.telemetry.cegar_iterations;
-  if !json_path <> "" then begin
-    Json.to_file !json_path (Engine.report_json report);
-    Printf.printf "report written to %s\n" !json_path
+      "done: %d entries%s, %d mismatches, %d undecided; wall %.2fs with %d \
+       client job(s) via %s; %d queries, sat %.2fs, cache %d/%d store %d/%d \
+       hit/miss\n"
+      (List.length results) since_label !mismatches !undecided wall jobs !via
+      tv.vq tv.vsat tv.vch tv.vcm tv.vsh tv.vsm;
+    if !json_path <> "" then begin
+      let entry_json (name, verdict, elapsed) =
+        Json.Obj
+          [
+            ("name", Json.String name);
+            ("verdict", Json.String verdict);
+            ("elapsed_s", Json.Float elapsed);
+          ]
+      in
+      let j =
+        Json.Obj
+          [
+            ("mode", Json.String "via");
+            ("socket", Json.String !via);
+            ("skipped", Json.Int n_skipped);
+            ("entries", Json.List (List.map entry_json results));
+            ("mismatches", Json.Int !mismatches);
+            ("undecided", Json.Int !undecided);
+            ("wall_s", Json.Float wall);
+            ("queries", Json.Int tv.vq);
+            ("sat_s", Json.Float tv.vsat);
+            ("cache_hits", Json.Int tv.vch);
+            ("cache_misses", Json.Int tv.vcm);
+            ("store_hits", Json.Int tv.vsh);
+            ("store_misses", Json.Int tv.vsm);
+            ("errors", Json.Int tv.verr);
+          ]
+      in
+      Json.to_file !json_path j;
+      Printf.printf "report written to %s\n" !json_path
+    end;
+    if !ledger_path <> "" then begin
+      let verdicts = Hashtbl.create 8 in
+      List.iter
+        (fun (_, v, _) ->
+          Hashtbl.replace verdicts v
+            (1 + Option.value ~default:0 (Hashtbl.find_opt verdicts v)))
+        results;
+      let verdicts =
+        List.sort compare
+          (Hashtbl.fold (fun k v acc -> (k, v) :: acc) verdicts [])
+      in
+      let label =
+        if !category = "" then "corpus_check.via"
+        else "corpus_check.via:" ^ !category
+      in
+      let record =
+        Alive_trace.Ledger.make ~label ~jobs
+          ~tasks:(List.length results)
+          ~budget_timeout_s:!timeout ~budget_conflicts:!conflicts
+          ~wall_s:wall ~sat_s:tv.vsat ~queries:tv.vq ~conflicts:tv.vconf
+          ~cegar_iterations:tv.vcegar ~cache_hits:tv.vch ~cache_misses:tv.vcm
+          ~requests:(List.length results)
+          ~store_hits:tv.vsh ~store_misses:tv.vsm ~verdicts ()
+      in
+      Alive_trace.Ledger.append ~path:!ledger_path record;
+      Printf.printf "ledger record appended to %s\n" !ledger_path
+    end
+  end
+  else begin
+    let report = Engine.verify_corpus ~jobs ?budget ~on_result tasks in
+    if !stats then Engine.print_table report
+    else
+      Printf.printf
+        "done: %d entries%s, %d mismatches, %d undecided; wall %.2fs with %d \
+         job(s), %d queries, sat %.2fs, %d conflicts, %d cegar iterations, \
+         store %d/%d hit/miss\n"
+        (List.length report.results)
+        since_label !mismatches !undecided report.wall report.jobs
+        report.total.queries report.total.telemetry.sat_time
+        report.total.telemetry.conflicts
+        report.total.telemetry.cegar_iterations
+        report.total.telemetry.store_hits report.total.telemetry.store_misses;
+    if !json_path <> "" then begin
+      Json.to_file !json_path (Engine.report_json report);
+      Printf.printf "report written to %s\n" !json_path
+    end;
+    if !ledger_path <> "" then begin
+      (* One verdict histogram line per run; verdict names carry the unknown
+         reason ("unknown:timeout", ...), so regressions in decidability are
+         visible across runs too. *)
+      let verdicts = Hashtbl.create 8 in
+      List.iter
+        (fun r ->
+          let v = Engine.verdict_name r in
+          Hashtbl.replace verdicts v
+            (1 + Option.value ~default:0 (Hashtbl.find_opt verdicts v)))
+        report.results;
+      let verdicts =
+        List.sort compare
+          (Hashtbl.fold (fun k v acc -> (k, v) :: acc) verdicts [])
+      in
+      let label =
+        if !category = "" then "corpus_check" else "corpus_check:" ^ !category
+      in
+      let record =
+        Alive_trace.Ledger.make ~label ~jobs:report.jobs
+          ~tasks:(List.length report.results)
+          ~budget_timeout_s:!timeout ~budget_conflicts:!conflicts
+          ~wall_s:report.wall ~sat_s:report.total.telemetry.sat_time
+          ~queries:report.total.queries
+          ~conflicts:report.total.telemetry.conflicts
+          ~cegar_iterations:report.total.telemetry.cegar_iterations
+          ~cache_hits:report.total.telemetry.cache_hits
+          ~cache_misses:report.total.telemetry.cache_misses
+          ~cache_evictions:report.total.telemetry.cache_evictions
+          ~peak_clauses:report.total.telemetry.peak_clauses
+          ~peak_vars:report.total.telemetry.peak_vars
+          ~store_hits:report.total.telemetry.store_hits
+          ~store_misses:report.total.telemetry.store_misses ~verdicts ()
+      in
+      Alive_trace.Ledger.append ~path:!ledger_path record;
+      Printf.printf "ledger record appended to %s\n" !ledger_path
+    end
   end;
   if !trace_path <> "" then begin
     Alive_trace.Trace.write_chrome !trace_path;
@@ -417,40 +784,17 @@ let () =
     Json.to_file !metrics_json (Alive_trace.Metrics.to_json ());
     Printf.printf "metrics written to %s\n" !metrics_json
   end;
-  if !ledger_path <> "" then begin
-    (* One verdict histogram line per run; verdict names carry the unknown
-       reason ("unknown:timeout", ...), so regressions in decidability are
-       visible across runs too. *)
-    let verdicts = Hashtbl.create 8 in
-    List.iter
-      (fun r ->
-        let v = Engine.verdict_name r in
-        Hashtbl.replace verdicts v
-          (1 + Option.value ~default:0 (Hashtbl.find_opt verdicts v)))
-      report.results;
-    let verdicts =
-      List.sort compare
-        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) verdicts [])
-    in
-    let label =
-      if !category = "" then "corpus_check" else "corpus_check:" ^ !category
-    in
-    let record =
-      Alive_trace.Ledger.make ~label ~jobs:report.jobs
-        ~tasks:(List.length report.results)
-        ~budget_timeout_s:!timeout ~budget_conflicts:!conflicts
-        ~wall_s:report.wall ~sat_s:report.total.telemetry.sat_time
-        ~queries:report.total.queries
-        ~conflicts:report.total.telemetry.conflicts
-        ~cegar_iterations:report.total.telemetry.cegar_iterations
-        ~cache_hits:report.total.telemetry.cache_hits
-        ~cache_misses:report.total.telemetry.cache_misses
-        ~cache_evictions:report.total.telemetry.cache_evictions
-        ~peak_clauses:report.total.telemetry.peak_clauses
-        ~peak_vars:report.total.telemetry.peak_vars ~verdicts ()
-    in
-    Alive_trace.Ledger.append ~path:!ledger_path record;
-    Printf.printf "ledger record appended to %s\n" !ledger_path
-  end;
+  (match store with
+  | None -> ()
+  | Some s ->
+      if !via = "" then Store.remove_backing ();
+      let st = Store.stats s in
+      if !via = "" && (st.appended > 0 || st.segments > 1) then
+        Store.compact s;
+      if not !quiet then
+        Printf.printf
+          "store: %d live verdict(s) in %d segment(s), %d appended this run\n"
+          st.live st.segments st.appended;
+      Store.close s);
   if !mismatches > 0 || lint_errors > 0 then exit 1
   else if !undecided > 0 then exit 2

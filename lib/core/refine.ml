@@ -115,6 +115,64 @@ let checked_names (vc : Vcgen.vc) =
       if List.mem_assoc name vc.src.defs then Some name else None)
     vc.tgt.defs
 
+(* The refinement queries of one typing, in scan order. Construction is
+   deliberately separate from solving: the canonical digests of these
+   formulas are the persistent verdict store's keys, and incremental
+   re-verification ([query_digests]) must reproduce them byte-for-byte
+   without running the solver. The memory congruence facts accumulate as
+   reads are issued, so the construction order below is part of the
+   contract and must match what [check_typing] solves. *)
+let typing_queries (vc : Vcgen.vc) =
+  (* Memory constraints: α from allocas plus the Ackermann congruence facts
+     for initial-memory reads. Both are definitional and must back every
+     check, not only criterion 4 — two loads through structurally different
+     but equal addresses are related only by the congruence constraints. *)
+  let memory_facts () =
+    match vc.memory with
+    | Some m -> m.alloca @ m.congruence ()
+    | None -> []
+  in
+  let psi_for name =
+    let src_iv = List.assoc name vc.src.defs in
+    T.and_
+      (vc.precondition :: src_iv.defined :: src_iv.poison_free
+     :: (vc.side_constraints @ memory_facts ()))
+  in
+  let value_queries =
+    List.concat_map
+      (fun name ->
+        let psi = psi_for name in
+        let src_iv = List.assoc name vc.src.defs in
+        let tgt_iv = List.assoc name vc.tgt.defs in
+        [
+          (name, Counterexample.Not_defined, T.implies psi tgt_iv.defined);
+          (name, Counterexample.More_poison, T.implies psi tgt_iv.poison_free);
+          ( name,
+            Counterexample.Value_mismatch,
+            T.implies psi (T.eq src_iv.value tgt_iv.value) );
+        ])
+      (checked_names vc)
+  in
+  (* Criterion 4 (§3.3.2): the final memories agree at every address. The
+     probe address is a fresh universal variable; congruence constraints
+     are collected after both reads so they cover the probe. *)
+  match vc.memory with
+  | None -> value_queries
+  | Some m ->
+      let probe = T.var "%addr.probe" (T.Bv 32) in
+      let src_byte = m.src_read probe and tgt_byte = m.tgt_read probe in
+      let psi4 =
+        T.and_
+          ((vc.precondition :: vc.side_constraints)
+          @ m.alloca @ m.congruence ())
+      in
+      value_queries
+      @ [
+          ( "memory",
+            Counterexample.Value_mismatch,
+            T.implies psi4 (T.eq src_byte tgt_byte) );
+        ]
+
 type typing_outcome =
   | Typing_ok
   | Typing_cex of Counterexample.t * Vcgen.vc
@@ -145,21 +203,6 @@ let check_typing ?budget ?(stats = empty_stats ()) ?share_memory_reads
       in
       let failure = ref None in
       let gave_up = ref None in
-      (* Memory constraints: α from allocas plus the Ackermann congruence facts
-         for initial-memory reads. Both are definitional and must back every
-         check, not only criterion 4 — two loads through structurally different
-         but equal addresses are related only by the congruence constraints. *)
-      let memory_facts () =
-        match vc.memory with
-        | Some m -> m.alloca @ m.congruence ()
-        | None -> []
-      in
-      let psi_for name =
-        let src_iv = List.assoc name vc.src.defs in
-        T.and_
-          (vc.precondition :: src_iv.defined :: src_iv.poison_free
-         :: (vc.side_constraints @ memory_facts ()))
-      in
       let solve_uncached formula =
         Solve.check_valid_ef ?budget ~telemetry:stats.telemetry ~exists
           formula
@@ -170,33 +213,52 @@ let check_typing ?budget ?(stats = empty_stats ()) ?share_memory_reads
       let solve_query formula =
         (* The verdict cache fronts the solver: alpha-equivalent queries
            (across typings, widths collapse only when sorts match, and
-           across transforms) hit this domain's cache. Unknown verdicts are
-           budget-dependent and never cached. *)
+           across transforms) hit this domain's cache; with a persistent
+           backing installed, misses fall through to the disk store by
+           content digest. Unknown verdicts are budget-dependent and never
+           cached. *)
         if not (Alive_smt.Vc_cache.enabled ()) then solve_uncached formula
         else begin
-          let t = stats.telemetry in
+          let tl = stats.telemetry in
           let keyed = Alive_smt.Vc_cache.canon ~exists formula in
           match Alive_smt.Vc_cache.find keyed with
-          | Some `Valid ->
-              t.cache_hits <- t.cache_hits + 1;
-              `Valid
-          | Some (`Invalid m) ->
-              t.cache_hits <- t.cache_hits + 1;
-              `Invalid m
+          | Some (r, Alive_smt.Vc_cache.Memory) ->
+              tl.cache_hits <- tl.cache_hits + 1;
+              (r :> [ `Valid | `Invalid of Alive_smt.Model.t
+                    | `Unknown of Solve.reason ])
+          | Some (r, Alive_smt.Vc_cache.Backing) ->
+              tl.store_hits <- tl.store_hits + 1;
+              (r :> [ `Valid | `Invalid of Alive_smt.Model.t
+                    | `Unknown of Solve.reason ])
           | None ->
-              t.cache_misses <- t.cache_misses + 1;
+              tl.cache_misses <- tl.cache_misses + 1;
+              if Alive_smt.Vc_cache.backing_installed () then
+                tl.store_misses <- tl.store_misses + 1;
+              (* Snapshot the telemetry around the solve so the published
+                 verdict carries what *this query* cost, not the run. *)
+              let sat0 = tl.sat_time
+              and conf0 = tl.conflicts
+              and cegar0 = tl.cegar_iterations in
               let r = solve_uncached formula in
+              let cost =
+                {
+                  Alive_smt.Vc_cache.sat_s = tl.sat_time -. sat0;
+                  conflicts = tl.conflicts - conf0;
+                  cegar_iterations = tl.cegar_iterations - cegar0;
+                }
+              in
               let stored =
                 match r with
-                | `Valid -> Alive_smt.Vc_cache.store keyed `Valid
-                | `Invalid m -> Alive_smt.Vc_cache.store keyed (`Invalid m)
+                | `Valid -> Alive_smt.Vc_cache.store ~cost keyed `Valid
+                | `Invalid m ->
+                    Alive_smt.Vc_cache.store ~cost keyed (`Invalid m)
                 | `Unknown _ -> 0
               in
-              t.cache_evictions <- t.cache_evictions + stored;
+              tl.cache_evictions <- tl.cache_evictions + stored;
               r
         end
       in
-      let run_check name kind formula =
+      let run_check (name, kind, formula) =
         if !failure = None then begin
           incr queries;
           match solve_query formula with
@@ -217,33 +279,7 @@ let check_typing ?budget ?(stats = empty_stats ()) ?share_memory_reads
                   }
         end
       in
-      List.iter
-        (fun name ->
-          let psi = psi_for name in
-          let src_iv = List.assoc name vc.src.defs in
-          let tgt_iv = List.assoc name vc.tgt.defs in
-          run_check name Counterexample.Not_defined
-            (T.implies psi tgt_iv.defined);
-          run_check name Counterexample.More_poison
-            (T.implies psi tgt_iv.poison_free);
-          run_check name Counterexample.Value_mismatch
-            (T.implies psi (T.eq src_iv.value tgt_iv.value)))
-        (checked_names vc);
-      (* Criterion 4 (§3.3.2): the final memories agree at every address. The
-         probe address is a fresh universal variable; congruence constraints
-         are collected after both reads so they cover the probe. *)
-      (match vc.memory with
-      | None -> ()
-      | Some m ->
-          let probe = T.var "%addr.probe" (T.Bv 32) in
-          let src_byte = m.src_read probe and tgt_byte = m.tgt_read probe in
-          let psi4 =
-            T.and_
-              ((vc.precondition :: vc.side_constraints)
-              @ m.alloca @ m.congruence ())
-          in
-          run_check "memory" Counterexample.Value_mismatch
-            (T.implies psi4 (T.eq src_byte tgt_byte)));
+      List.iter run_check (typing_queries vc);
       let stats =
         {
           stats with
@@ -326,6 +362,29 @@ let run ?widths ?max_typings ?share_memory_reads ?precise_pre ?budget
                 finish (Unsupported_feature msg) stats None)
       in
       go (empty_stats ()) None typings
+
+let query_digests ?widths ?max_typings ?share_memory_reads ?precise_pre
+    (t : Ast.transform) =
+  let exception Unsupported_here of string in
+  match Typing.enumerate ?widths ?max_typings t with
+  | Error e -> Error (Format.asprintf "%a" Typing.pp_error e)
+  | Ok typings -> (
+      try
+        Ok
+          (List.map
+             (fun typing ->
+               match Vcgen.run ?share_memory_reads ?precise_pre typing t with
+               | vc ->
+                   let exists = vc.src.undefs in
+                   List.map
+                     (fun (_, _, formula) ->
+                       Alive_smt.Vc_cache.digest
+                         (Alive_smt.Vc_cache.canon ~exists formula))
+                     (typing_queries vc)
+               | exception Vcgen.Unsupported msg ->
+                   raise (Unsupported_here msg))
+             typings)
+      with Unsupported_here msg -> Error msg)
 
 let check_with_vc ?widths ?max_typings ?share_memory_reads ?budget t =
   let r = run ?widths ?max_typings ?share_memory_reads ?budget t in

@@ -125,6 +125,30 @@ val check :
 (** [share_memory_reads] selects the §3.3.3 memory encoding variant; see
     {!Vcgen.run}. *)
 
+val typing_queries :
+  Vcgen.vc -> (string * Counterexample.kind * Alive_smt.Term.t) list
+(** The refinement queries of one typing's VC, in exact scan order: per
+    checked name the definedness, poison and value criteria, then the
+    memory criterion when present. This is the construction [check_typing]
+    solves and [query_digests] fingerprints — the two must agree
+    byte-for-byte, so it is factored here. *)
+
+val query_digests :
+  ?widths:int list ->
+  ?max_typings:int ->
+  ?share_memory_reads:bool ->
+  ?precise_pre:bool ->
+  Ast.transform ->
+  (string list list, string) Stdlib.result
+(** The content digests ({!Alive_smt.Vc_cache.digest}) of every refinement
+    query this transform would solve, one inner list per feasible typing in
+    scan order — without invoking the solver. These are exactly the keys
+    {!run} files verdicts under in the persistent store, which is what makes
+    incremental re-verification ([corpus_check --changed-since]) sound: an
+    entry whose digests all have stored verdicts needs no solving. [Error]
+    on a type error or an unsupported construct (such entries are always
+    re-verified). *)
+
 val check_with_vc :
   ?widths:int list ->
   ?max_typings:int ->

@@ -100,6 +100,123 @@ let map ?jobs ?on_outcome ~label f items =
   end;
   Array.to_list (Array.map Option.get results)
 
+(* --- Persistent request-level pool ---
+
+   [map] spins domains up per batch, which is right for one-shot CLI runs
+   but wrong for a daemon: domain spawn costs milliseconds and the service
+   wants request latency in that range. A [Pool.t] keeps [jobs] worker
+   domains alive across requests, fed from one locked queue; each submitted
+   thunk resolves a future. Faults stay isolated: a raising thunk fails its
+   own future (same [task_error] shape as [map]) and the worker survives. *)
+
+module Pool = struct
+  type t = {
+    queue : (unit -> unit) Queue.t;
+    lock : Mutex.t;
+    work_ready : Condition.t;
+    mutable stopping : bool;
+    mutable domains : unit Domain.t array;
+    depth : int Atomic.t; (* queued, not yet picked up *)
+    pool_jobs : int;
+  }
+
+  type 'a future = {
+    flock : Mutex.t;
+    fcond : Condition.t;
+    mutable cell : ('a, task_error) result option;
+  }
+
+  let jobs p = p.pool_jobs
+  let depth p = Atomic.get p.depth
+
+  let worker pool () =
+    let rec loop () =
+      Mutex.lock pool.lock;
+      while Queue.is_empty pool.queue && not pool.stopping do
+        Condition.wait pool.work_ready pool.lock
+      done;
+      let job =
+        if Queue.is_empty pool.queue then None
+        else Some (Queue.pop pool.queue)
+      in
+      Mutex.unlock pool.lock;
+      match job with
+      | None -> () (* stopping and drained *)
+      | Some j ->
+          Atomic.decr pool.depth;
+          j ();
+          loop ()
+    in
+    loop ()
+
+  let create ?jobs:j () =
+    if not (Printexc.backtrace_status ()) then Printexc.record_backtrace true;
+    let pool_jobs = max 1 (Option.value j ~default:(default_jobs ())) in
+    let pool =
+      {
+        queue = Queue.create ();
+        lock = Mutex.create ();
+        work_ready = Condition.create ();
+        stopping = false;
+        domains = [||];
+        depth = Atomic.make 0;
+        pool_jobs;
+      }
+    in
+    pool.domains <- Array.init pool_jobs (fun _ -> Domain.spawn (worker pool));
+    pool
+
+  let submit pool f =
+    let fut = { flock = Mutex.create (); fcond = Condition.create (); cell = None } in
+    let job () =
+      let result =
+        try Ok (f ())
+        with e ->
+          let bt = Printexc.get_raw_backtrace () in
+          Error
+            {
+              message = Printexc.to_string e;
+              backtrace = Printexc.raw_backtrace_to_string bt;
+            }
+      in
+      Mutex.lock fut.flock;
+      fut.cell <- Some result;
+      Condition.broadcast fut.fcond;
+      Mutex.unlock fut.flock
+    in
+    Mutex.lock pool.lock;
+    if pool.stopping then begin
+      Mutex.unlock pool.lock;
+      invalid_arg "Engine.Pool.submit: pool is shut down"
+    end;
+    Queue.push job pool.queue;
+    Atomic.incr pool.depth;
+    Condition.signal pool.work_ready;
+    Mutex.unlock pool.lock;
+    fut
+
+  let await fut =
+    Mutex.lock fut.flock;
+    while fut.cell = None do
+      Condition.wait fut.fcond fut.flock
+    done;
+    let r = Option.get fut.cell in
+    Mutex.unlock fut.flock;
+    r
+
+  let run pool f = await (submit pool f)
+
+  let shutdown pool =
+    Mutex.lock pool.lock;
+    if not pool.stopping then begin
+      pool.stopping <- true;
+      Condition.broadcast pool.work_ready;
+      Mutex.unlock pool.lock;
+      Array.iter Domain.join pool.domains
+    end
+    else Mutex.unlock pool.lock
+end
+
 (* --- Per-typing fan-out inside one transformation --- *)
 
 (* Deterministic reduction replicating the sequential scan of [Refine.run]:
@@ -296,7 +413,7 @@ let print_table ?(oc = stdout) report =
     "total: %d tasks (%d crashed), wall %.2fs with %d job(s); %d queries, %d \
      unknown (timeout=%d conflicts=%d cegar=%d), typing %.2fs, vcgen %.2fs, \
      sat %.2fs, %d conflicts, %d clauses (peak %d), %d vars (peak %d), %d \
-     cegar iterations, cache %d/%d hit/miss\n"
+     cegar iterations, cache %d/%d hit/miss, store %d/%d hit/miss\n"
     (List.length report.results)
     report.crashed report.wall report.jobs t.Refine.queries t.Refine.unknowns
     u.Refine.by_timeout u.Refine.by_conflicts u.Refine.by_cegar
@@ -305,6 +422,7 @@ let print_table ?(oc = stdout) report =
     t.Refine.telemetry.peak_clauses t.Refine.telemetry.vars
     t.Refine.telemetry.peak_vars t.Refine.telemetry.cegar_iterations
     t.Refine.telemetry.cache_hits t.Refine.telemetry.cache_misses
+    t.Refine.telemetry.store_hits t.Refine.telemetry.store_misses
 
 let stats_json (s : Refine.stats) =
   Json.Obj
@@ -336,6 +454,8 @@ let stats_json (s : Refine.stats) =
       ("cache_hits", Json.Int s.Refine.telemetry.cache_hits);
       ("cache_misses", Json.Int s.Refine.telemetry.cache_misses);
       ("cache_evictions", Json.Int s.Refine.telemetry.cache_evictions);
+      ("store_hits", Json.Int s.Refine.telemetry.store_hits);
+      ("store_misses", Json.Int s.Refine.telemetry.store_misses);
     ]
 
 let report_json report =

@@ -48,6 +48,47 @@ val map :
     finishes, serialized by a mutex, in completion order. With [jobs = 1]
     everything runs on the calling domain. *)
 
+(** {1 Persistent request-level pool}
+
+    {!map} spawns domains per batch — fine for one-shot CLI runs, too slow
+    for a daemon serving many small requests. A {!Pool.t} keeps its worker
+    domains alive across submissions; the [alive serve] daemon owns one and
+    dispatches each request onto it. *)
+
+module Pool : sig
+  type t
+
+  type 'a future
+  (** A pending result; resolved exactly once by the worker. *)
+
+  val create : ?jobs:int -> unit -> t
+  (** Spawn [jobs] (default {!default_jobs}) worker domains, idle until
+      work arrives. *)
+
+  val submit : t -> (unit -> 'a) -> 'a future
+  (** Enqueue a thunk; returns immediately. The thunk runs on some worker
+      domain; if it raises, the future resolves to [Error] (same
+      {!task_error} shape as {!map}) and the worker survives. Raises
+      [Invalid_argument] after {!shutdown}. *)
+
+  val await : 'a future -> ('a, task_error) result
+  (** Block (condition-variable wait, no spinning) until resolved. Safe
+      from any thread or domain, and from several at once. *)
+
+  val run : t -> (unit -> 'a) -> ('a, task_error) result
+  (** [await (submit t f)]. *)
+
+  val depth : t -> int
+  (** Jobs queued and not yet picked up by a worker — the daemon's
+      queue-depth gauge. *)
+
+  val jobs : t -> int
+
+  val shutdown : t -> unit
+  (** Drain the queue (already-submitted jobs still run), then join every
+      worker. Idempotent; concurrent [submit]s that lose the race raise. *)
+end
+
 (** {1 Per-typing fan-out} *)
 
 val check_parallel :

@@ -1,0 +1,55 @@
+(** Thin synchronous client for the [alive serve] daemon.
+
+    One connection carries one request at a time; responses arrive in
+    request order. Callers that want parallelism (e.g.
+    [corpus_check --via]) open one connection per worker thread. Not
+    thread-safe per handle. *)
+
+module Json = Alive_trace.Json
+
+type t
+
+val connect : string -> (t, string) result
+(** Connect to the daemon's Unix socket at the given path. *)
+
+val close : t -> unit
+
+val call : t -> op:string -> ?args:Json.t -> unit -> (Json.t, string) result
+(** One round-trip: send the request, block for its response, unwrap
+    [result]/[error]. *)
+
+(** {1 Convenience wrappers} *)
+
+val ping : t -> (Json.t, string) result
+val shutdown : t -> (Json.t, string) result
+val metrics : t -> (Json.t, string) result
+val store_stats : t -> (Json.t, string) result
+
+val verify :
+  t ->
+  ?name:string ->
+  ?widths:int list ->
+  ?timeout:float ->
+  ?conflict_limit:int ->
+  text:string ->
+  unit ->
+  (Json.t, string) result
+(** Verify the transformations in [text] (restricted to [name] if given)
+    on the daemon's pool, through its verdict store. *)
+
+val parse : t -> text:string -> (Json.t, string) result
+val lint : t -> text:string -> (Json.t, string) result
+
+val digests :
+  t -> ?name:string -> text:string -> unit -> (Json.t, string) result
+(** Canonical query digests (the verdict-store keys) of every typing of the
+    transformations in [text], without solving anything. *)
+
+val infer_pre :
+  t ->
+  ?name:string ->
+  ?timeout:float ->
+  ?conflict_limit:int ->
+  text:string ->
+  unit ->
+  (Json.t, string) result

@@ -1,0 +1,463 @@
+(* The `alive serve` daemon: verification as a service over a Unix-domain
+   socket.
+
+   Threading model (OCaml 5 domains + systhreads):
+   - the calling thread runs the accept loop, polling a stop flag between
+     [Unix.select] rounds so SIGINT/SIGTERM turn into a clean shutdown;
+   - each connection gets a systhread that reads frames and answers them in
+     order — connection threads only parse, marshal, and block, so hundreds
+     are cheap;
+   - solver work (verify, infer-pre) is submitted to a persistent
+     [Engine.Pool] of worker domains and awaited on the connection thread,
+     which is where the parallelism actually lives. Parse and lint requests
+     are answered inline: they are microseconds, not worth a pool hop.
+
+   Every worker domain sees the daemon's verdict store through the
+   [Vc_cache] backing, so verdicts accumulate across requests, connections,
+   and daemon restarts. Shutdown (signal, or the "shutdown" op) stops
+   accepting, wakes the connection threads by closing their sockets, drains
+   the pool, compacts the store, and removes the socket file. *)
+
+module Json = Alive_trace.Json
+module Metrics = Alive_trace.Metrics
+module Engine = Alive_engine.Engine
+
+type config = {
+  socket_path : string;
+  store_dir : string option;
+  jobs : int option;
+  compact_on_exit : bool;
+  log : out_channel option;  (* request log; None = quiet *)
+}
+
+let default_config ~socket_path =
+  {
+    socket_path;
+    store_dir = None;
+    jobs = None;
+    compact_on_exit = true;
+    log = None;
+  }
+
+(* --- Metrics --- *)
+
+let m_requests = Metrics.counter "service.requests"
+let m_errors = Metrics.counter "service.errors"
+let g_queue = Metrics.gauge "service.queue_depth"
+let g_connections = Metrics.gauge "service.connections"
+let h_request = Metrics.histogram "service.request_s"
+
+let op_counter =
+  (* Per-op request counters, created on first use. *)
+  let tbl = Hashtbl.create 16 in
+  let lock = Mutex.create () in
+  fun op ->
+    Mutex.lock lock;
+    let c =
+      match Hashtbl.find_opt tbl op with
+      | Some c -> c
+      | None ->
+          let c = Metrics.counter ("service.requests." ^ op) in
+          Hashtbl.add tbl op c;
+          c
+    in
+    Mutex.unlock lock;
+    c
+
+(* --- Shared daemon state --- *)
+
+type t = {
+  config : config;
+  pool : Engine.Pool.t;
+  store : Store.t option;
+  started_at : float;
+  stop : bool Atomic.t;
+  conns : (Unix.file_descr, Thread.t) Hashtbl.t;
+  conns_lock : Mutex.t;
+}
+
+let logf t fmt =
+  Printf.ksprintf
+    (fun s ->
+      match t.config.log with
+      | None -> ()
+      | Some oc ->
+          Printf.fprintf oc "[serve] %s\n" s;
+          flush oc)
+    fmt
+
+(* --- Request arguments --- *)
+
+let arg_str args k = Option.bind (Json.member k args) Json.to_str
+
+let arg_text args =
+  match arg_str args "text" with
+  | Some s -> Ok s
+  | None -> Error "missing required string argument \"text\""
+
+let arg_budget args =
+  let timeout = Option.bind (Json.member "timeout" args) Json.to_float in
+  let conflict_limit = Option.bind (Json.member "conflicts" args) Json.to_int in
+  match (timeout, conflict_limit) with
+  | None, None -> None
+  | _ -> Some (Alive_smt.Solve.budget ?timeout ?conflict_limit ())
+
+let arg_widths args =
+  Option.bind (Json.member "widths" args) (fun j ->
+      Option.map
+        (List.filter_map Json.to_int)
+        (Json.to_list j))
+
+let parse_transforms args =
+  match arg_text args with
+  | Error _ as e -> e
+  | Ok text -> (
+      match Alive.Parser.parse_file_diag text with
+      | Ok ts -> (
+          match arg_str args "name" with
+          | None -> Ok ts
+          | Some name -> (
+              match
+                List.filter (fun (t : Alive.Ast.transform) -> t.name = name) ts
+              with
+              | [] -> Error (Printf.sprintf "no transform named %S in text" name)
+              | ts -> Ok ts))
+      | Error d -> Error (Alive.Diagnostics.render d))
+
+(* --- Handlers --- *)
+
+let verdict_json (r : Alive.Refine.result) =
+  let s = r.stats in
+  let name =
+    match r.verdict with
+    | Alive.Refine.Valid _ -> "valid"
+    | Alive.Refine.Invalid _ -> "invalid"
+    | Alive.Refine.Unknown u -> "unknown:" ^ Alive_smt.Solve.reason_slug u.reason
+    | Alive.Refine.Type_error _ -> "type-error"
+    | Alive.Refine.Unsupported_feature _ -> "unsupported"
+  in
+  Json.Obj
+    [
+      ("verdict", Json.String name);
+      ("detail", Json.String (Format.asprintf "%a" Alive.Refine.pp_verdict r.verdict));
+      ("typings", Json.Int s.typings_done);
+      ("queries", Json.Int s.queries);
+      ("cache_hits", Json.Int s.telemetry.cache_hits);
+      ("cache_misses", Json.Int s.telemetry.cache_misses);
+      ("store_hits", Json.Int s.telemetry.store_hits);
+      ("store_misses", Json.Int s.telemetry.store_misses);
+      ("conflicts", Json.Int s.telemetry.conflicts);
+      ("cegar", Json.Int s.telemetry.cegar_iterations);
+      ("sat_s", Json.Float s.telemetry.sat_time);
+      ("elapsed_s", Json.Float s.elapsed);
+    ]
+
+let handle_ping t =
+  Ok
+    (Json.Obj
+       [
+         ("pong", Json.Bool true);
+         ("pid", Json.Int (Unix.getpid ()));
+         ("rev", Json.String (Alive_trace.Ledger.git_rev ()));
+         ("jobs", Json.Int (Engine.Pool.jobs t.pool));
+         ("uptime_s", Json.Float (Unix.gettimeofday () -. t.started_at));
+         ("store", Json.Bool (t.store <> None));
+       ])
+
+let handle_parse args =
+  match parse_transforms args with
+  | Error e -> Error e
+  | Ok ts ->
+      Ok
+        (Json.Obj
+           [
+             ("count", Json.Int (List.length ts));
+             ( "transforms",
+               Json.List
+                 (List.map
+                    (fun (tr : Alive.Ast.transform) -> Json.String tr.name)
+                    ts) );
+           ])
+
+let handle_lint args =
+  match parse_transforms args with
+  | Error e -> Error e
+  | Ok ts -> Ok (Alive_lint.Driver.to_json (Alive_lint.Driver.lint_transforms ts))
+
+(* Awaiting the pool future blocks only this connection's thread. *)
+let on_pool t f =
+  match Engine.Pool.run t.pool f with
+  | Ok v -> v
+  | Error (e : Engine.task_error) -> Error ("task crashed: " ^ e.message)
+
+let handle_verify t args =
+  match parse_transforms args with
+  | Error e -> Error e
+  | Ok ts ->
+      let budget = arg_budget args and widths = arg_widths args in
+      on_pool t (fun () ->
+          Ok
+            (Json.List
+               (List.map
+                  (fun (tr : Alive.Ast.transform) ->
+                    let r = Alive.Refine.run ?widths ?budget tr in
+                    match verdict_json r with
+                    | Json.Obj fields ->
+                        Json.Obj (("name", Json.String tr.name) :: fields)
+                    | j -> j)
+                  ts)))
+
+let handle_infer_pre t args =
+  match parse_transforms args with
+  | Error e -> Error e
+  | Ok ts ->
+      let budget = arg_budget args and widths = arg_widths args in
+      on_pool t (fun () ->
+          Ok
+            (Json.List
+               (List.map
+                  (fun (tr : Alive.Ast.transform) ->
+                    let o = Alive_infer.Infer.infer ?widths ?budget tr in
+                    Json.Obj
+                      [
+                        ("name", Json.String o.transform);
+                        ( "pre",
+                          match o.inferred with
+                          | Some p ->
+                              Json.String
+                                (Format.asprintf "%a" Alive.Ast.pp_pred p)
+                          | None -> Json.Null );
+                        ("rounds", Json.Int o.rounds);
+                        ("validations", Json.Int o.validations);
+                        ("note", Json.String o.note);
+                        ("elapsed_s", Json.Float o.elapsed);
+                      ])
+                  ts)))
+
+let handle_digests args =
+  match parse_transforms args with
+  | Error e -> Error e
+  | Ok ts ->
+      let widths = arg_widths args in
+      Ok
+        (Json.List
+           (List.map
+              (fun (tr : Alive.Ast.transform) ->
+                match Alive.Refine.query_digests ?widths tr with
+                | Ok typings ->
+                    Json.Obj
+                      [
+                        ("name", Json.String tr.name);
+                        ( "typings",
+                          Json.List
+                            (List.map
+                               (fun ds ->
+                                 Json.List
+                                   (List.map (fun d -> Json.String d) ds))
+                               typings) );
+                      ]
+                | Error e ->
+                    Json.Obj
+                      [
+                        ("name", Json.String tr.name);
+                        ("error", Json.String e);
+                      ])
+              ts))
+
+let handle_store_stats t =
+  match t.store with
+  | None -> Error "daemon is running without a store"
+  | Some s -> Ok (Store.stats_json s)
+
+let dispatch t op args =
+  match op with
+  | "ping" -> handle_ping t
+  | "parse" -> handle_parse args
+  | "lint" -> handle_lint args
+  | "verify" -> handle_verify t args
+  | "infer-pre" -> handle_infer_pre t args
+  | "digests" -> handle_digests args
+  | "metrics" -> Ok (Metrics.to_json ())
+  | "store-stats" -> handle_store_stats t
+  | "shutdown" ->
+      Atomic.set t.stop true;
+      Ok (Json.Obj [ ("stopping", Json.Bool true) ])
+  | other -> Error (Printf.sprintf "unknown operation %S" other)
+
+(* --- Connections --- *)
+
+let serve_connection t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let respond j = try Protocol.write_frame oc j with Sys_error _ -> () in
+  let rec loop () =
+    match Protocol.read_frame ic with
+    | Error Protocol.Closed -> ()
+    | Error (Protocol.Framing e) ->
+        (* The stream is desynchronized; answering would be garbage. *)
+        Metrics.incr m_errors;
+        logf t "dropping connection: %s" e
+    | Error (Protocol.Payload e) ->
+        Metrics.incr m_errors;
+        respond (Protocol.error_response ~id:Json.Null ("bad request: " ^ e));
+        loop ()
+    | Ok req -> (
+        match Protocol.parse_request req with
+        | Error e ->
+            Metrics.incr m_errors;
+            respond (Protocol.error_response ~id:(Protocol.response_id req) e);
+            loop ()
+        | Ok (id, op, args) ->
+            Metrics.incr m_requests;
+            Metrics.incr (op_counter op);
+            let t0 = Unix.gettimeofday () in
+            let result =
+              try dispatch t op args
+              with e -> Error ("internal error: " ^ Printexc.to_string e)
+            in
+            Metrics.observe h_request (Unix.gettimeofday () -. t0);
+            (match result with
+            | Ok r -> respond (Protocol.ok_response ~id r)
+            | Error e ->
+                Metrics.incr m_errors;
+                respond (Protocol.error_response ~id e));
+            logf t "%s -> %s (%.3fs)" op
+              (match result with Ok _ -> "ok" | Error e -> "error: " ^ e)
+              (Unix.gettimeofday () -. t0);
+            if Atomic.get t.stop then () else loop ())
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Mutex.lock t.conns_lock;
+      Hashtbl.remove t.conns fd;
+      Metrics.set_gauge g_connections (Hashtbl.length t.conns);
+      Mutex.unlock t.conns_lock)
+    loop
+
+(* --- Lifecycle --- *)
+
+let install_signal_handlers t =
+  let stop _ = Atomic.set t.stop true in
+  (try Sys.set_signal Sys.sigint (Sys.Signal_handle stop)
+   with Invalid_argument _ | Sys_error _ -> ());
+  (try Sys.set_signal Sys.sigterm (Sys.Signal_handle stop)
+   with Invalid_argument _ | Sys_error _ -> ());
+  (* A client vanishing mid-response must not kill the daemon. *)
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ | Sys_error _ -> ()
+
+(* A stale socket file from a crashed daemon blocks bind; a live daemon's
+   socket answers a ping. Refuse only the latter. *)
+let claim_socket socket_path =
+  if not (Sys.file_exists socket_path) then Ok ()
+  else
+    match Client.connect socket_path with
+    | Ok c ->
+        let alive = Result.is_ok (Client.ping c) in
+        Client.close c;
+        if alive then
+          Error (socket_path ^ ": a daemon is already serving this socket")
+        else begin
+          Sys.remove socket_path;
+          Ok ()
+        end
+    | Error _ ->
+        Sys.remove socket_path;
+        Ok ()
+
+let serve config =
+  let socket_path = config.socket_path in
+  match claim_socket socket_path with
+  | Error _ as e -> e
+  | Ok () -> (
+      let store_r =
+        match config.store_dir with
+        | None -> Ok None
+        | Some dir -> Result.map Option.some (Store.open_store dir)
+      in
+      match store_r with
+      | Error _ as e -> e
+      | Ok store -> (
+          let pool = Engine.Pool.create ?jobs:config.jobs () in
+          let t =
+            {
+              config;
+              pool;
+              store;
+              started_at = Unix.gettimeofday ();
+              stop = Atomic.make false;
+              conns = Hashtbl.create 16;
+              conns_lock = Mutex.create ();
+            }
+          in
+          Option.iter Store.install_backing store;
+          install_signal_handlers t;
+          let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          match
+            Unix.bind listen_fd (Unix.ADDR_UNIX socket_path);
+            Unix.listen listen_fd 64
+          with
+          | exception Unix.Unix_error (e, _, _) ->
+              Unix.close listen_fd;
+              Engine.Pool.shutdown pool;
+              Option.iter Store.close store;
+              Error
+                (Printf.sprintf "cannot listen on %s: %s" socket_path
+                   (Unix.error_message e))
+          | () ->
+              logf t "listening on %s (%d worker domains, store: %s)"
+                socket_path (Engine.Pool.jobs pool)
+                (match config.store_dir with Some d -> d | None -> "none");
+              (* Accept loop: select with a short timeout so the stop flag
+                 (set by a signal handler or the shutdown op) is honored
+                 within a quarter second. *)
+              let rec accept_loop () =
+                if Atomic.get t.stop then ()
+                else begin
+                  Metrics.set_gauge g_queue (Engine.Pool.depth pool);
+                  (match Unix.select [ listen_fd ] [] [] 0.25 with
+                  | [], _, _ -> ()
+                  | _ :: _, _, _ -> (
+                      match Unix.accept listen_fd with
+                      | fd, _ ->
+                          Mutex.lock t.conns_lock;
+                          let th =
+                            Thread.create (fun () -> serve_connection t fd) ()
+                          in
+                          Hashtbl.replace t.conns fd th;
+                          Metrics.set_gauge g_connections
+                            (Hashtbl.length t.conns);
+                          Mutex.unlock t.conns_lock
+                      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+                  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+                  accept_loop ()
+                end
+              in
+              accept_loop ();
+              logf t "shutting down";
+              (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+              (* Wake idle connection threads (blocked in read_frame) by
+                 shutting their sockets down, then join them. *)
+              let threads =
+                Mutex.lock t.conns_lock;
+                let l = Hashtbl.fold (fun fd th acc -> (fd, th) :: acc) t.conns [] in
+                Mutex.unlock t.conns_lock;
+                l
+              in
+              List.iter
+                (fun (fd, _) ->
+                  try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE
+                  with Unix.Unix_error _ -> ())
+                threads;
+              List.iter (fun (_, th) -> Thread.join th) threads;
+              Engine.Pool.shutdown pool;
+              Option.iter
+                (fun s ->
+                  if config.compact_on_exit then Store.compact s;
+                  Store.close s)
+                store;
+              Store.remove_backing ();
+              (try Sys.remove socket_path with Sys_error _ -> ());
+              logf t "stopped";
+              Ok ()))

@@ -1,0 +1,28 @@
+(** The [alive serve] daemon: parse / lint / verify / infer-pre requests
+    over a Unix-domain socket ({!Protocol}), dispatched onto a persistent
+    {!Alive_engine.Engine.Pool} of worker domains, with verdicts read from
+    and written through a disk-persistent {!Store}.
+
+    Connection handling runs on systhreads (cheap, blocking); solving runs
+    on the domain pool (parallel). Request counts, per-op counters, error
+    counts, queue depth, connection count, and request latency feed the
+    ["service.*"] instruments of {!Alive_trace.Metrics}, which the
+    ["metrics"] operation exposes to clients. *)
+
+type config = {
+  socket_path : string;
+  store_dir : string option;  (** [None]: serve without persistence *)
+  jobs : int option;  (** worker domains; default {!Alive_engine.Engine.default_jobs} *)
+  compact_on_exit : bool;
+  log : out_channel option;  (** request log; [None] = quiet *)
+}
+
+val default_config : socket_path:string -> config
+
+val serve : config -> (unit, string) result
+(** Run until SIGINT/SIGTERM or a client's ["shutdown"] request. Returns
+    [Ok ()] after a clean shutdown: all connection threads joined, worker
+    pool drained, store compacted (if [compact_on_exit]) and closed, socket
+    file removed. [Error] when the socket is already served by a live
+    daemon, the store cannot be opened (held write lock, future schema), or
+    the socket cannot be bound. *)

@@ -1,0 +1,90 @@
+(* Wire protocol of the `alive serve` daemon: length-prefixed JSON frames
+   over a Unix-domain socket.
+
+   A frame is `%08x` (payload byte length, lowercase hex), a newline, the
+   payload, a trailing newline. The trailing newline is not counted in the
+   length; it is there so a transcript of the stream is line-readable and a
+   human can drive the daemon with a couple of printf's.
+
+   Requests:  {"id": N, "op": "<name>", "args": {...}}
+   Responses: {"id": N, "ok": true,  "result": ...}
+            | {"id": N, "ok": false, "error": "..."}
+
+   One response per request, in order, on the same connection. Requests the
+   daemon cannot parse at all get a response with "id": null. *)
+
+module Json = Alive_trace.Json
+
+(* Large enough for any corpus entry plus its report; small enough that a
+   garbage length prefix cannot make the reader allocate gigabytes. *)
+let max_frame = 16 * 1024 * 1024
+
+let write_frame oc (j : Json.t) =
+  let payload = Json.to_string j in
+  if String.length payload > max_frame then
+    invalid_arg "Protocol.write_frame: payload exceeds max_frame";
+  Printf.fprintf oc "%08x\n" (String.length payload);
+  output_string oc payload;
+  output_char oc '\n';
+  flush oc
+
+type read_error =
+  | Closed  (* clean EOF at a frame boundary *)
+  | Framing of string  (* stream desynchronized: caller must drop it *)
+  | Payload of string  (* well-framed but unparseable JSON *)
+
+let read_frame ic =
+  match input_line ic with
+  | exception End_of_file -> Error Closed
+  | line -> (
+      let line =
+        (* input_line strips '\n' but not a '\r' from a curious client. *)
+        if String.length line > 0 && line.[String.length line - 1] = '\r' then
+          String.sub line 0 (String.length line - 1)
+        else line
+      in
+      match int_of_string_opt ("0x" ^ line) with
+      | None -> Error (Framing (Printf.sprintf "bad length prefix %S" line))
+      | Some n when n < 0 || n > max_frame ->
+          Error (Framing (Printf.sprintf "frame length %d out of range" n))
+      | Some n -> (
+          let buf = Bytes.create n in
+          match really_input ic buf 0 n with
+          | exception End_of_file -> Error (Framing "truncated frame")
+          | () -> (
+              (match input_char ic with
+              | '\n' | exception End_of_file -> ()
+              | _ -> ());
+              match Json.parse (Bytes.to_string buf) with
+              | Ok j -> Ok j
+              | Error e -> Error (Payload e))))
+
+(* --- Request/response shapes --- *)
+
+let request ~id ~op ?(args = Json.Obj []) () =
+  Json.Obj [ ("id", Json.Int id); ("op", Json.String op); ("args", args) ]
+
+let ok_response ~id result =
+  Json.Obj [ ("id", id); ("ok", Json.Bool true); ("result", result) ]
+
+let error_response ~id msg =
+  Json.Obj [ ("id", id); ("ok", Json.Bool false); ("error", Json.String msg) ]
+
+let response_id j = Option.value (Json.member "id" j) ~default:Json.Null
+
+let parse_request j =
+  match
+    ( Option.bind (Json.member "op" j) Json.to_str,
+      Json.member "id" j )
+  with
+  | Some op, Some id ->
+      Ok (id, op, Option.value (Json.member "args" j) ~default:(Json.Obj []))
+  | Some op, None -> Ok (Json.Null, op, Option.value (Json.member "args" j) ~default:(Json.Obj []))
+  | None, _ -> Error "request has no \"op\" field"
+
+let parse_response j =
+  match (Json.member "ok" j, Json.member "result" j, Json.member "error" j) with
+  | Some (Json.Bool true), Some r, _ -> Ok r
+  | Some (Json.Bool false), _, Some (Json.String e) -> Error e
+  | Some (Json.Bool false), _, _ -> Error "daemon error (no message)"
+  | _ -> Error "malformed response frame"

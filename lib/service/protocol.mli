@@ -1,0 +1,44 @@
+(** Wire protocol of the [alive serve] daemon: length-prefixed JSON frames
+    over a Unix-domain socket.
+
+    A frame is [%08x] (the payload's byte length in lowercase hex), a
+    newline, the JSON payload, and a trailing newline (uncounted, for
+    human-readable transcripts). Requests are
+    [{"id": N, "op": "...", "args": {...}}]; responses echo the id with
+    either [{"ok": true, "result": ...}] or [{"ok": false, "error": "..."}].
+    One response per request, in order, per connection. The full operation
+    list lives in [docs/SERVICE.md]. *)
+
+module Json = Alive_trace.Json
+
+val max_frame : int
+(** 16 MiB. Frames beyond it are refused on both ends. *)
+
+val write_frame : out_channel -> Json.t -> unit
+(** Write and flush one frame.
+    @raise Invalid_argument when the payload exceeds {!max_frame}. *)
+
+type read_error =
+  | Closed  (** clean EOF at a frame boundary *)
+  | Framing of string
+      (** stream desynchronized (bad length prefix, truncated payload):
+          the connection must be dropped *)
+  | Payload of string  (** well-framed but unparseable JSON: recoverable *)
+
+val read_frame : in_channel -> (Json.t, read_error) result
+
+(** {1 Request/response shapes} *)
+
+val request : id:int -> op:string -> ?args:Json.t -> unit -> Json.t
+val ok_response : id:Json.t -> Json.t -> Json.t
+val error_response : id:Json.t -> string -> Json.t
+
+val response_id : Json.t -> Json.t
+(** The [id] member, or [Null]. *)
+
+val parse_request : Json.t -> (Json.t * string * Json.t, string) result
+(** [(id, op, args)]; a missing id becomes [Null], missing args an empty
+    object. *)
+
+val parse_response : Json.t -> (Json.t, string) result
+(** The [result] on success, the daemon's error message otherwise. *)

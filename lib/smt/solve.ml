@@ -48,6 +48,8 @@ type telemetry = {
   mutable cache_hits : int;
   mutable cache_misses : int;
   mutable cache_evictions : int;
+  mutable store_hits : int;
+  mutable store_misses : int;
 }
 
 let telemetry () =
@@ -66,6 +68,8 @@ let telemetry () =
     cache_hits = 0;
     cache_misses = 0;
     cache_evictions = 0;
+    store_hits = 0;
+    store_misses = 0;
   }
 
 let add_telemetry ~into (t : telemetry) =
@@ -82,7 +86,9 @@ let add_telemetry ~into (t : telemetry) =
   into.cegar_iterations <- into.cegar_iterations + t.cegar_iterations;
   into.cache_hits <- into.cache_hits + t.cache_hits;
   into.cache_misses <- into.cache_misses + t.cache_misses;
-  into.cache_evictions <- into.cache_evictions + t.cache_evictions
+  into.cache_evictions <- into.cache_evictions + t.cache_evictions;
+  into.store_hits <- into.store_hits + t.store_hits;
+  into.store_misses <- into.store_misses + t.store_misses
 
 (* A meter tracks what one logical query has consumed: the deadline is fixed
    at query start, the conflict allowance is drawn down across every solver

@@ -59,6 +59,10 @@ type telemetry = {
   mutable cache_hits : int;  (** verdict-cache hits (see {!Vc_cache}) *)
   mutable cache_misses : int;
   mutable cache_evictions : int;
+  mutable store_hits : int;
+      (** persistent verdict-store hits/misses, counted only while a store
+          backing is installed (see {!Vc_cache.set_backing}) *)
+  mutable store_misses : int;
 }
 
 val telemetry : unit -> telemetry

@@ -17,7 +17,7 @@ let equal_sort a b =
   | Bv n, Bv m -> n = m
   | (Bool | Bv _), _ -> false
 
-type t = { id : int; node : node; sort : sort }
+type t = { id : int; fp : int; node : node; sort : sort }
 
 and node =
   | True
@@ -69,6 +69,110 @@ let pp_bvop ppf op =
     | Band -> "bvand"
     | Bor -> "bvor"
     | Bxor -> "bvxor")
+
+(* Content fingerprint: a structural hash that is independent of
+   hash-consing id assignment. Smart constructors order the children of
+   commutative operators by content ([content_compare] below), never by id
+   — ids depend on the global table's insertion order, which differs
+   between processes and between domain interleavings, and the persistent
+   verdict store keys on the canonical term's serialized structure, so the
+   same query must normalize to the same shape everywhere. *)
+let mix h x = ((h * 0x1000193) lxor x) land max_int
+let fp_sort = function Bool -> 0 | Bv w -> w + 1
+
+let fp_node = function
+  | True -> 1
+  | False -> 2
+  | Var (n, s) -> mix (mix 3 (Hashtbl.hash n)) (fp_sort s)
+  | BvConst c -> mix (mix 4 (Bitvec.hash c)) (Bitvec.width c)
+  | Not a -> mix 5 a.fp
+  | And l -> List.fold_left (fun h t -> mix h t.fp) 6 l
+  | Or l -> List.fold_left (fun h t -> mix h t.fp) 7 l
+  | Eq (a, b) -> mix (mix 8 a.fp) b.fp
+  | Ult (a, b) -> mix (mix 9 a.fp) b.fp
+  | Slt (a, b) -> mix (mix 10 a.fp) b.fp
+  | Ite (c, t, e) -> mix (mix (mix 11 c.fp) t.fp) e.fp
+  | Bnot a -> mix 12 a.fp
+  | Bbin (o, a, b) -> mix (mix (mix 13 (Hashtbl.hash o)) a.fp) b.fp
+  | Extract (h, l, a) -> mix (mix (mix 14 h) l) a.fp
+  | Concat (a, b) -> mix (mix 15 a.fp) b.fp
+  | Zext (n, a) -> mix (mix 16 n) a.fp
+  | Sext (n, a) -> mix (mix 17 n) a.fp
+
+let node_rank = function
+  | True -> 0
+  | False -> 1
+  | Var _ -> 2
+  | BvConst _ -> 3
+  | Not _ -> 4
+  | And _ -> 5
+  | Or _ -> 6
+  | Eq _ -> 7
+  | Ult _ -> 8
+  | Slt _ -> 9
+  | Ite _ -> 10
+  | Bnot _ -> 11
+  | Bbin _ -> 12
+  | Extract _ -> 13
+  | Concat _ -> 14
+  | Zext _ -> 15
+  | Sext _ -> 16
+
+(* Total order by content. The fingerprint decides almost always; the
+   structural walk below only runs on fingerprint collisions, and returns 0
+   exactly for physically equal terms (hash-consing makes structural
+   equality physical). *)
+let rec content_compare a b =
+  if a == b then 0
+  else
+    let c = Int.compare a.fp b.fp in
+    if c <> 0 then c
+    else
+      let c = Int.compare (node_rank a.node) (node_rank b.node) in
+      if c <> 0 then c
+      else
+        match (a.node, b.node) with
+        | True, True | False, False -> 0
+        | Var (n1, s1), Var (n2, s2) ->
+            let c = String.compare n1 n2 in
+            if c <> 0 then c else Stdlib.compare s1 s2
+        | BvConst c1, BvConst c2 -> Bitvec.compare c1 c2
+        | Not x, Not y | Bnot x, Bnot y -> content_compare x y
+        | And l1, And l2 | Or l1, Or l2 -> compare_list l1 l2
+        | Eq (a1, b1), Eq (a2, b2)
+        | Ult (a1, b1), Ult (a2, b2)
+        | Slt (a1, b1), Slt (a2, b2)
+        | Concat (a1, b1), Concat (a2, b2) ->
+            compare_pair (a1, b1) (a2, b2)
+        | Ite (c1, t1, e1), Ite (c2, t2, e2) ->
+            let c = content_compare c1 c2 in
+            if c <> 0 then c else compare_pair (t1, e1) (t2, e2)
+        | Bbin (o1, a1, b1), Bbin (o2, a2, b2) ->
+            let c = Stdlib.compare o1 o2 in
+            if c <> 0 then c else compare_pair (a1, b1) (a2, b2)
+        | Extract (h1, l1, a1), Extract (h2, l2, a2) ->
+            let c = Int.compare h1 h2 in
+            if c <> 0 then c
+            else
+              let c = Int.compare l1 l2 in
+              if c <> 0 then c else content_compare a1 a2
+        | Zext (n1, a1), Zext (n2, a2) | Sext (n1, a1), Sext (n2, a2) ->
+            let c = Int.compare n1 n2 in
+            if c <> 0 then c else content_compare a1 a2
+        | _ -> 0 (* unreachable: ranks differ *)
+
+and compare_pair (a1, b1) (a2, b2) =
+  let c = content_compare a1 a2 in
+  if c <> 0 then c else content_compare b1 b2
+
+and compare_list l1 l2 =
+  match (l1, l2) with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | x :: xs, y :: ys ->
+      let c = content_compare x y in
+      if c <> 0 then c else compare_list xs ys
 
 (* Structural hashing/equality on nodes, using child ids. *)
 module Node_key = struct
@@ -130,7 +234,7 @@ let hashcons node sort =
     match Table.find_opt table node with
     | Some t -> t
     | None ->
-        let t = { id = !next_id; node; sort } in
+        let t = { id = !next_id; fp = fp_node node; node; sort } in
         incr next_id;
         Table.add table node t;
         t
@@ -180,7 +284,7 @@ let not_ t =
   | _ -> hashcons (Not t) Bool
 
 (* N-ary conjunction/disjunction: flatten one level, drop units, sort and
-   dedup by id, detect complementary pairs. *)
+   dedup by content, detect complementary pairs. *)
 let and_ terms =
   let rec flatten acc = function
     | [] -> Some acc
@@ -194,7 +298,7 @@ let and_ terms =
   match flatten [] terms with
   | None -> fls
   | Some acc -> (
-      let acc = List.sort_uniq compare acc in
+      let acc = List.sort_uniq content_compare acc in
       let complementary =
         List.exists
           (fun t -> match t.node with Not a -> List.memq a acc | _ -> false)
@@ -220,7 +324,7 @@ let or_ terms =
   match flatten [] terms with
   | None -> tru
   | Some acc -> (
-      let acc = List.sort_uniq compare acc in
+      let acc = List.sort_uniq content_compare acc in
       let complementary =
         List.exists
           (fun t -> match t.node with Not a -> List.memq a acc | _ -> false)
@@ -250,7 +354,7 @@ let eq a b =
     | _, False -> not_ a
     | _ ->
         (* Canonical argument order for commutativity. *)
-        let a, b = if a.id <= b.id then (a, b) else (b, a) in
+        let a, b = if content_compare a b <= 0 then (a, b) else (b, a) in
         hashcons (Eq (a, b)) Bool
 
 let iff a b = eq a b
@@ -339,7 +443,7 @@ let bbin op a b =
       (* Light algebraic folding; only identities that are unconditionally
          sound in SMT-LIB semantics. *)
       let a, b =
-        if commutative op && a.id > b.id then (b, a) else (a, b)
+        if commutative op && content_compare a b > 0 then (b, a) else (a, b)
       in
       match op with
       | Add when is_const_zero a -> b
@@ -578,13 +682,96 @@ let subst bindings t =
     t
 
 (* Canonical alpha-renaming: variables become "!c0", "!c1", ... in
-   first-occurrence order ([vars] order), rebuilt through the smart
-   constructors. "!" cannot appear in surface-syntax identifiers, so
-   canonical names never collide with real ones. *)
+   first-occurrence order, rebuilt through the smart constructors. "!"
+   cannot appear in surface-syntax identifiers, so canonical names never
+   collide with real ones.
+
+   First occurrence is taken over a traversal that visits the children of
+   commutative operators in NAME-INSENSITIVE order (an order- and
+   name-blind fingerprint, content order only as tie-break): the stored
+   term itself is content-sorted, and content depends on variable names, so
+   walking it directly would number alpha-equivalent terms differently and
+   they would no longer collide in the verdict cache. *)
 let canonicalize t =
-  let order = vars t in
+  let ni_memo : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let rec ni t =
+    match Hashtbl.find_opt ni_memo t.id with
+    | Some h -> h
+    | None ->
+        let h =
+          match t.node with
+          | True -> 1
+          | False -> 2
+          | Var (_, s) -> mix 3 (fp_sort s)
+          | BvConst c -> mix (mix 4 (Bitvec.hash c)) (Bitvec.width c)
+          | Not a -> mix 5 (ni a)
+          | And l ->
+              List.fold_left mix 6
+                (List.sort Int.compare (List.map ni l))
+          | Or l ->
+              List.fold_left mix 7
+                (List.sort Int.compare (List.map ni l))
+          | Eq (a, b) ->
+              (* [eq] orders its arguments by (name-dependent) content, so
+                 the fingerprint must be symmetric; likewise commutative
+                 [Bbin] below. *)
+              let x = ni a and y = ni b in
+              mix (mix 8 (min x y)) (max x y)
+          | Ult (a, b) -> mix (mix 9 (ni a)) (ni b)
+          | Slt (a, b) -> mix (mix 10 (ni a)) (ni b)
+          | Ite (c, a, b) -> mix (mix (mix 11 (ni c)) (ni a)) (ni b)
+          | Bnot a -> mix 12 (ni a)
+          | Bbin (o, a, b) when commutative o ->
+              let x = ni a and y = ni b in
+              mix (mix (mix 13 (Hashtbl.hash o)) (min x y)) (max x y)
+          | Bbin (o, a, b) ->
+              mix (mix (mix 13 (Hashtbl.hash o)) (ni a)) (ni b)
+          | Extract (hi, lo, a) -> mix (mix (mix 14 hi) lo) (ni a)
+          | Concat (a, b) -> mix (mix 15 (ni a)) (ni b)
+          | Zext (n, a) -> mix (mix 16 n) (ni a)
+          | Sext (n, a) -> mix (mix 17 n) (ni a)
+        in
+        Hashtbl.add ni_memo t.id h;
+        h
+  in
+  let ni_compare a b =
+    let c = Int.compare (ni a) (ni b) in
+    if c <> 0 then c else content_compare a b
+  in
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let visited : (int, unit) Hashtbl.t = Hashtbl.create 256 in
+  let order = ref [] in
+  let rec walk t =
+    if not (Hashtbl.mem visited t.id) then begin
+      Hashtbl.add visited t.id ();
+      match t.node with
+      | True | False | BvConst _ -> ()
+      | Var (n, s) ->
+          if not (Hashtbl.mem seen n) then begin
+            Hashtbl.add seen n ();
+            order := (n, s) :: !order
+          end
+      | And l | Or l -> List.iter walk (List.sort ni_compare l)
+      | Eq (a, b) ->
+          if ni_compare a b <= 0 then (walk a; walk b) else (walk b; walk a)
+      | Bbin (o, a, b) when commutative o ->
+          if ni_compare a b <= 0 then (walk a; walk b) else (walk b; walk a)
+      | Not a | Bnot a | Extract (_, _, a) | Zext (_, a) | Sext (_, a) ->
+          walk a
+      | Ult (a, b) | Slt (a, b) | Concat (a, b) | Bbin (_, a, b) ->
+          walk a;
+          walk b
+      | Ite (c, a, b) ->
+          walk c;
+          walk a;
+          walk b
+    end
+  in
+  walk t;
   let mapping =
-    List.mapi (fun i (n, s) -> (n, Printf.sprintf "!c%d" i, s)) order
+    List.mapi
+      (fun i (n, s) -> (n, Printf.sprintf "!c%d" i, s))
+      (List.rev !order)
   in
   let bindings = List.map (fun (n, c, s) -> (n, var c s)) mapping in
   (subst bindings t, List.map (fun (n, c, _) -> (n, c)) mapping)

@@ -15,7 +15,14 @@ type sort = Bool | Bv of int
 val pp_sort : Format.formatter -> sort -> unit
 val equal_sort : sort -> sort -> bool
 
-type t = private { id : int; node : node; sort : sort }
+type t = private {
+  id : int;  (** hash-consing id: unique per process, insertion-ordered *)
+  fp : int;
+      (** content fingerprint: a structural hash independent of id
+          assignment, identical for this term in every process *)
+  node : node;
+  sort : sort;
+}
 
 and node =
   | True
@@ -23,7 +30,7 @@ and node =
   | Var of string * sort
   | BvConst of Bitvec.t
   | Not of t
-  | And of t list (* >= 2 elements, sorted by id, no duplicates *)
+  | And of t list (* >= 2 elements, sorted by content, no duplicates *)
   | Or of t list (* likewise *)
   | Eq of t * t (* arguments of equal sort; Bool equality is iff *)
   | Ult of t * t
@@ -136,6 +143,15 @@ val equal : t -> t -> bool
 (** Pointer equality (valid by hash-consing). *)
 
 val compare : t -> t -> int
+(** By hash-consing id: fast and total, but process-local. *)
+
+val content_compare : t -> t -> int
+(** Total order by term content, identical in every process; zero exactly
+    on (physically) equal terms. Commutative smart constructors
+    ([and_]/[or_]/[eq]) normalize child order with this, which is what
+    makes canonical digests — the persistent verdict-store keys —
+    reproducible across daemon runs and domain interleavings. *)
+
 val hash : t -> int
 
 val vars : t -> (string * sort) list

@@ -21,7 +21,9 @@ type entry = Valid | Invalid of Model.t (* model over canonical names *)
 
 type keyed = {
   key : int * string list; (* canonical term id, canonical exists names *)
+  canon_term : T.t; (* the canonical formula, for the content digest *)
   to_canon : (string * string) list; (* original -> canonical names *)
+  mutable dig : string option; (* memoized content digest *)
 }
 
 let enabled_flag = Atomic.make true
@@ -64,6 +66,8 @@ let clear () =
 let m_hits = Alive_trace.Metrics.counter "vc_cache.hits"
 let m_misses = Alive_trace.Metrics.counter "vc_cache.misses"
 let m_evictions = Alive_trace.Metrics.counter "vc_cache.evictions"
+let m_store_hits = Alive_trace.Metrics.counter "vc_cache.store_hits"
+let m_store_misses = Alive_trace.Metrics.counter "vc_cache.store_misses"
 
 let canon ~exists f =
   let cf, mapping = T.canonicalize f in
@@ -73,7 +77,109 @@ let canon ~exists f =
     List.sort compare
       (List.filter_map (fun (n, _) -> List.assoc_opt n mapping) exists)
   in
-  { key = (T.hash cf, enames); to_canon = mapping }
+  { key = (T.hash cf, enames); canon_term = cf; to_canon = mapping; dig = None }
+
+(* --- Content digest ---
+
+   The in-memory key is the canonical term's hash-consing id — assigned in
+   table-insertion order, so meaningless outside this process. A persistent
+   store needs a key derived from the term's content alone. Serialize the
+   canonical term as a DAG (one line per distinct subterm, children referred
+   to by sequence number) so shared subterms are written once — a naive
+   pretty-print of an ite chain with sharing is exponential — and digest
+   that together with the existential name set. Variable sorts are written
+   explicitly: two widths of the same pattern must never collide. *)
+
+let serialize_dag buf (t : T.t) =
+  let seen : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let next = ref 0 in
+  let sort_tag (s : T.sort) =
+    match s with T.Bool -> "b" | T.Bv w -> "v" ^ string_of_int w
+  in
+  let rec go (t : T.t) =
+    match Hashtbl.find_opt seen t.T.id with
+    | Some i -> i
+    | None ->
+        let kids, tag =
+          match t.T.node with
+          | T.True -> ([], "T")
+          | T.False -> ([], "F")
+          | T.Var (n, s) -> ([], "V" ^ n ^ ":" ^ sort_tag s)
+          | T.BvConst c ->
+              ( [],
+                "C" ^ Bitvec.to_string_hex c ^ ":"
+                ^ string_of_int (Bitvec.width c) )
+          | T.Not a -> ([ a ], "!")
+          | T.And l -> (l, "&")
+          | T.Or l -> (l, "|")
+          | T.Eq (a, b) -> ([ a; b ], "=")
+          | T.Ult (a, b) -> ([ a; b ], "u<")
+          | T.Slt (a, b) -> ([ a; b ], "s<")
+          | T.Ite (c, a, b) -> ([ c; a; b ], "?")
+          | T.Bnot a -> ([ a ], "~")
+          | T.Bbin (op, a, b) ->
+              ([ a; b ], Format.asprintf "%a" T.pp_bvop op)
+          | T.Extract (hi, lo, a) ->
+              ([ a ], Printf.sprintf "x%d:%d" hi lo)
+          | T.Concat (a, b) -> ([ a; b ], ".")
+          | T.Zext (n, a) -> ([ a ], "z" ^ string_of_int n)
+          | T.Sext (n, a) -> ([ a ], "s" ^ string_of_int n)
+        in
+        let ids = List.map go kids in
+        let i = !next in
+        incr next;
+        Hashtbl.add seen t.T.id i;
+        Buffer.add_string buf tag;
+        List.iter
+          (fun c ->
+            Buffer.add_char buf ' ';
+            Buffer.add_string buf (string_of_int c))
+          ids;
+        Buffer.add_char buf '\n';
+        i
+  in
+  ignore (go t)
+
+let serialization k =
+  let buf = Buffer.create 4096 in
+  serialize_dag buf k.canon_term;
+  Buffer.add_char buf 'E';
+  List.iter
+    (fun n ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf n)
+    (snd k.key);
+  Buffer.contents buf
+
+let digest k =
+  match k.dig with
+  | Some d -> d
+  | None ->
+      let d = Digest.to_hex (Digest.string (serialization k)) in
+      k.dig <- Some d;
+      d
+
+(* --- Persistent backing ---
+
+   The disk store (lib/service) plugs in underneath: a lookup consulted on
+   in-memory misses, keyed by the content digest, and a publish callback
+   fed every definite verdict this process solves. Injected as closures so
+   lib/smt does not depend on the service layer. Models cross the boundary
+   in the canonical namespace. *)
+
+type query_cost = { sat_s : float; conflicts : int; cegar_iterations : int }
+
+type backing = {
+  lookup : string -> [ `Valid | `Invalid of Model.t ] option;
+  publish :
+    string -> cost:query_cost option -> [ `Valid | `Invalid of Model.t ] -> unit;
+}
+
+let backing : backing option Atomic.t = Atomic.make None
+let set_backing b = Atomic.set backing b
+let backing_installed () = Atomic.get backing <> None
+
+type hit_source = Memory | Backing
 
 let rename_model mapping m =
   Model.of_list
@@ -81,20 +187,55 @@ let rename_model mapping m =
        (fun (n, v) -> Option.map (fun c -> (c, v)) (List.assoc_opt n mapping))
        (Model.bindings m))
 
-let find k =
-  match Hashtbl.find_opt (state ()).table k.key with
-  | None ->
-      Alive_trace.Metrics.incr m_misses;
-      None
-  | Some Valid ->
-      Alive_trace.Metrics.incr m_hits;
-      Some `Valid
-  | Some (Invalid m) ->
-      Alive_trace.Metrics.incr m_hits;
-      let from_canon = List.map (fun (a, b) -> (b, a)) k.to_canon in
-      Some (`Invalid (rename_model from_canon m))
+(* Install a canonical-namespace entry into this domain's table, evicting
+   FIFO past capacity; shared by [store] and backing-hit adoption. *)
+let install st key entry =
+  if Hashtbl.mem st.table key then 0
+  else begin
+    Hashtbl.replace st.table key entry;
+    Queue.push key st.order;
+    if Hashtbl.length st.table > Atomic.get capacity then begin
+      Hashtbl.remove st.table (Queue.pop st.order);
+      Alive_trace.Metrics.incr m_evictions;
+      1
+    end
+    else 0
+  end
 
-let store k outcome =
+let to_requester k = function
+  | Valid -> `Valid
+  | Invalid m ->
+      let from_canon = List.map (fun (a, b) -> (b, a)) k.to_canon in
+      `Invalid (rename_model from_canon m)
+
+let find k =
+  let st = state () in
+  match Hashtbl.find_opt st.table k.key with
+  | Some e ->
+      Alive_trace.Metrics.incr m_hits;
+      Some (to_requester k e, Memory)
+  | None -> (
+      match Atomic.get backing with
+      | None ->
+          Alive_trace.Metrics.incr m_misses;
+          None
+      | Some b -> (
+          match b.lookup (digest k) with
+          | Some outcome ->
+              Alive_trace.Metrics.incr m_store_hits;
+              (* Adopt into the in-memory table: the next alpha-equivalent
+                 query on this domain hits without the digest round-trip. *)
+              let entry =
+                match outcome with `Valid -> Valid | `Invalid m -> Invalid m
+              in
+              ignore (install st k.key entry);
+              Some (to_requester k entry, Backing)
+          | None ->
+              Alive_trace.Metrics.incr m_misses;
+              Alive_trace.Metrics.incr m_store_misses;
+              None))
+
+let store ?cost k outcome =
   let st = state () in
   if Hashtbl.mem st.table k.key then 0
   else begin
@@ -103,12 +244,10 @@ let store k outcome =
       | `Valid -> Valid
       | `Invalid m -> Invalid (rename_model k.to_canon m)
     in
-    Hashtbl.replace st.table k.key entry;
-    Queue.push k.key st.order;
-    if Hashtbl.length st.table > Atomic.get capacity then begin
-      Hashtbl.remove st.table (Queue.pop st.order);
-      Alive_trace.Metrics.incr m_evictions;
-      1
-    end
-    else 0
+    (match Atomic.get backing with
+    | None -> ()
+    | Some b ->
+        b.publish (digest k) ~cost
+          (match entry with Valid -> `Valid | Invalid m -> `Invalid m));
+    install st k.key entry
   end

@@ -30,11 +30,14 @@ type record = {
   cache_evictions : int;
   peak_clauses : int;  (* largest single SAT context of the run *)
   peak_vars : int;
+  requests : int;  (* daemon/service fields (schema >= 4; 0 before) *)
+  store_hits : int;  (* persistent verdict store *)
+  store_misses : int;
   verdicts : (string * int) list;  (* verdict name -> count *)
   phases : phase_total list;
 }
 
-let schema_version = 3
+let schema_version = 4
 
 let iso8601 t =
   let tm = Unix.gmtime t in
@@ -68,7 +71,8 @@ let make ~label ~jobs ~tasks ?(budget_timeout_s = 0.0) ?(budget_conflicts = 0)
     ~wall_s ~sat_s ?(infer_s = 0.0) ~queries ~conflicts ~cegar_iterations
     ?(cache_hits = 0)
     ?(cache_misses = 0) ?(cache_evictions = 0) ?(peak_clauses = 0)
-    ?(peak_vars = 0) ~verdicts ?(phases = phases_of_metrics ()) () =
+    ?(peak_vars = 0) ?(requests = 0) ?(store_hits = 0) ?(store_misses = 0)
+    ~verdicts ?(phases = phases_of_metrics ()) () =
   {
     schema = schema_version;
     timestamp = iso8601 (Unix.gettimeofday ());
@@ -89,6 +93,9 @@ let make ~label ~jobs ~tasks ?(budget_timeout_s = 0.0) ?(budget_conflicts = 0)
     cache_evictions;
     peak_clauses;
     peak_vars;
+    requests;
+    store_hits;
+    store_misses;
     verdicts;
     phases;
   }
@@ -125,6 +132,13 @@ let to_json r =
           ] );
       ("peak_clauses", Json.Int r.peak_clauses);
       ("peak_vars", Json.Int r.peak_vars);
+      ( "store",
+        Json.Obj
+          [
+            ("requests", Json.Int r.requests);
+            ("hits", Json.Int r.store_hits);
+            ("misses", Json.Int r.store_misses);
+          ] );
       ("verdicts", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) r.verdicts));
       ( "phases",
         Json.Obj
@@ -150,6 +164,7 @@ let of_json j =
   | Some _ ->
       let budget = Option.value ~default:(Json.Obj []) (Json.member "budget" j) in
       let cache = Option.value ~default:(Json.Obj []) (Json.member "cache" j) in
+      let store = Option.value ~default:(Json.Obj []) (Json.member "store" j) in
       let verdicts =
         match Option.bind (Json.member "verdicts" j) Json.to_obj with
         | None -> []
@@ -209,6 +224,17 @@ let of_json j =
               (Option.bind (Json.member "evictions" cache) Json.to_int);
           peak_clauses = int "peak_clauses" 0;
           peak_vars = int "peak_vars" 0;
+          (* "store" is a schema-4 key; older records read back as zeros
+             and the schema field flags them as not comparable. *)
+          requests =
+            Option.value ~default:0
+              (Option.bind (Json.member "requests" store) Json.to_int);
+          store_hits =
+            Option.value ~default:0
+              (Option.bind (Json.member "hits" store) Json.to_int);
+          store_misses =
+            Option.value ~default:0
+              (Option.bind (Json.member "misses" store) Json.to_int);
           verdicts;
           phases;
         }
@@ -261,6 +287,21 @@ type diff = {
   regressions : delta list;
 }
 
+(* Records from different schema versions are not comparable: fields the
+   older schema lacks read back as zeros, so a diff would report phantom
+   regressions (or, worse, silently compare zeros and pass). PR 4's
+   schema-1 records exhibited exactly that. *)
+let schema_mismatch ~baseline ~latest =
+  if baseline.schema = latest.schema then None
+  else
+    Some
+      (Printf.sprintf
+         "schema mismatch: baseline record is schema %d, latest is schema \
+          %d; fields missing from the older schema read back as zeros, so \
+          the records are not comparable. Re-seed the baseline with a \
+          schema-%d record."
+         baseline.schema latest.schema schema_version)
+
 let pct_change base now =
   if base = 0.0 then if now = 0.0 then 0.0 else Float.infinity
   else (now -. base) /. base *. 100.0
@@ -291,6 +332,9 @@ let diff ?(threshold_pct = 15.0) ~baseline ~latest () =
     :: info "cache_hits"
          (float_of_int baseline.cache_hits)
          (float_of_int latest.cache_hits)
+    :: info "store_hits"
+         (float_of_int baseline.store_hits)
+         (float_of_int latest.store_hits)
     :: info "peak_clauses"
          (float_of_int baseline.peak_clauses)
          (float_of_int latest.peak_clauses)

@@ -32,11 +32,24 @@ type record = {
   cache_evictions : int;
   peak_clauses : int;  (** largest single SAT context of the run *)
   peak_vars : int;
+  requests : int;
+      (** daemon/service requests served by this run (schema >= 4; zero
+          when reading older records) *)
+  store_hits : int;  (** persistent verdict-store hits *)
+  store_misses : int;
   verdicts : (string * int) list;
   phases : phase_total list;
 }
 
 val schema_version : int
+
+val git_rev : unit -> string
+(** Short revision for provenance stamps: [GITHUB_SHA] env, else
+    [git rev-parse], else ["unknown"]. Also used by the service verdict
+    store. *)
+
+val iso8601 : float -> string
+(** Render a [Unix.gettimeofday]-style timestamp as ISO-8601 UTC. *)
 
 val make :
   label:string ->
@@ -55,6 +68,9 @@ val make :
   ?cache_evictions:int ->
   ?peak_clauses:int ->
   ?peak_vars:int ->
+  ?requests:int ->
+  ?store_hits:int ->
+  ?store_misses:int ->
   verdicts:(string * int) list ->
   ?phases:phase_total list ->
   unit ->
@@ -88,6 +104,12 @@ type diff = {
   deltas : delta list;
   regressions : delta list;
 }
+
+val schema_mismatch : baseline:record -> latest:record -> string option
+(** [Some message] when the two records carry different schema versions.
+    Such records are not comparable — fields missing from the older schema
+    read back as zeros — so callers must refuse to diff them rather than
+    silently compare zeros ([alive_cli perf diff] exits 3). *)
 
 val diff : ?threshold_pct:float -> baseline:record -> latest:record -> unit -> diff
 (** Gating metrics are wall time and SAT conflicts: either growing more

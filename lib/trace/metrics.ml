@@ -84,9 +84,17 @@ let add c n = ignore (Atomic.fetch_and_add c.cell n)
 let incr c = add c 1
 let counter_value c = Atomic.get c.cell
 
+(* --- Gauges --- *)
+
+type gauge = { gname : string; glevel : int Atomic.t }
+
+let set_gauge g n = Atomic.set g.glevel n
+let add_gauge g n = ignore (Atomic.fetch_and_add g.glevel n)
+let gauge_value g = Atomic.get g.glevel
+
 (* --- Registry --- *)
 
-type instrument = Counter of counter | Histogram of histogram
+type instrument = Counter of counter | Histogram of histogram | Gauge of gauge
 
 let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
 let reg_lock = Mutex.create ()
@@ -99,8 +107,8 @@ let histogram name =
   with_registry (fun () ->
       match Hashtbl.find_opt registry name with
       | Some (Histogram h) -> h
-      | Some (Counter _) ->
-          invalid_arg ("Metrics.histogram: " ^ name ^ " is a counter")
+      | Some _ ->
+          invalid_arg ("Metrics.histogram: " ^ name ^ " is not a histogram")
       | None ->
           let h =
             {
@@ -120,12 +128,21 @@ let counter name =
   with_registry (fun () ->
       match Hashtbl.find_opt registry name with
       | Some (Counter c) -> c
-      | Some (Histogram _) ->
-          invalid_arg ("Metrics.counter: " ^ name ^ " is a histogram")
+      | Some _ -> invalid_arg ("Metrics.counter: " ^ name ^ " is not a counter")
       | None ->
           let c = { cname = name; cell = Atomic.make 0 } in
           Hashtbl.replace registry name (Counter c);
           c)
+
+let gauge name =
+  with_registry (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (Gauge g) -> g
+      | Some _ -> invalid_arg ("Metrics.gauge: " ^ name ^ " is not a gauge")
+      | None ->
+          let g = { gname = name; glevel = Atomic.make 0 } in
+          Hashtbl.replace registry name (Gauge g);
+          g)
 
 let observe_phase =
   (* The span hot path: one registry lookup per finished span, only when
@@ -137,6 +154,7 @@ let reset () =
       Hashtbl.iter
         (fun _ -> function
           | Counter c -> Atomic.set c.cell 0
+          | Gauge g -> Atomic.set g.glevel 0
           | Histogram h ->
               Mutex.lock h.hlock;
               Array.fill h.counts 0 nbuckets 0;
@@ -163,6 +181,7 @@ type hist_snapshot = {
 
 type snapshot = {
   counters : (string * int) list;  (** sorted by name *)
+  gauges : (string * int) list;  (** sorted by name *)
   histograms : hist_snapshot list;  (** sorted by name *)
 }
 
@@ -185,15 +204,17 @@ let snapshot_histogram h =
   s
 
 let snapshot () =
-  let counters = ref [] and histograms = ref [] in
+  let counters = ref [] and gauges = ref [] and histograms = ref [] in
   with_registry (fun () ->
       Hashtbl.iter
         (fun name -> function
           | Counter c -> counters := (name, Atomic.get c.cell) :: !counters
+          | Gauge g -> gauges := (name, Atomic.get g.glevel) :: !gauges
           | Histogram h -> histograms := snapshot_histogram h :: !histograms)
         registry);
   {
     counters = List.sort (fun (a, _) (b, _) -> compare a b) !counters;
+    gauges = List.sort (fun (a, _) (b, _) -> compare a b) !gauges;
     histograms =
       List.sort (fun a b -> compare a.name b.name) !histograms;
   }
@@ -222,6 +243,13 @@ let render_table ?(oc = stdout) () =
       List.iter
         (fun (name, v) -> Printf.fprintf oc "  %-*s %12d\n" name_w name v)
         nonzero
+    end;
+    let gauges = List.filter (fun (_, v) -> v <> 0) snap.gauges in
+    if gauges <> [] then begin
+      Printf.fprintf oc "gauges:\n";
+      List.iter
+        (fun (name, v) -> Printf.fprintf oc "  %-*s %12d\n" name_w name v)
+        gauges
     end
   end
 
@@ -249,4 +277,6 @@ let to_json () =
              snap.histograms) );
       ( "counters",
         Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) snap.counters) );
+      ( "gauges",
+        Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) snap.gauges) );
     ]

@@ -47,6 +47,24 @@ val add : counter -> int -> unit
 val incr : counter -> unit
 val counter_value : counter -> int
 
+(** {1 Gauges}
+
+    Point-in-time levels (queue depth, open connections, live store keys):
+    set or moved up and down, reported at their current value rather than
+    accumulated. *)
+
+type gauge
+
+val gauge : string -> gauge
+(** Find or register the gauge with this name.
+    @raise Invalid_argument if the name is registered as something else. *)
+
+val set_gauge : gauge -> int -> unit
+val add_gauge : gauge -> int -> unit
+(** Move the level by a (possibly negative) delta. *)
+
+val gauge_value : gauge -> int
+
 (** {1 Snapshots} *)
 
 type hist_snapshot = {
@@ -63,6 +81,7 @@ type hist_snapshot = {
 
 type snapshot = {
   counters : (string * int) list;  (** sorted by name *)
+  gauges : (string * int) list;  (** sorted by name *)
   histograms : hist_snapshot list;  (** sorted by name *)
 }
 
@@ -76,4 +95,5 @@ val render_table : ?oc:out_channel -> unit -> unit
 
 val to_json : unit -> Json.t
 (** [{"histograms": {phase: {count, total_s, p50_s, ...}}, "counters":
-    {...}}] — only histograms with observations are included. *)
+    {...}, "gauges": {...}}] — only histograms with observations are
+    included. *)

@@ -1,0 +1,500 @@
+(* The verification service: wire-protocol framing, the disk-persistent
+   verdict store's durability guarantees (torn writes, corruption,
+   newest-wins replay, compaction, locking, future schemas), digest
+   determinism under racing domains, and an in-process daemon round-trip.
+
+   Store tests each work in a fresh temp directory under the system temp
+   dir, removed on exit; the daemon test binds its socket there too. *)
+
+module Json = Alive_trace.Json
+module Protocol = Alive_service.Protocol
+module Store = Alive_service.Store
+module Client = Alive_service.Client
+module Daemon = Alive_service.Daemon
+module Model = Alive_smt.Model
+module T = Alive_smt.Term
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+let get = Option.get
+
+let dir_counter = ref 0
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+
+let with_temp_dir f =
+  incr dir_counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "alive-svc-%d-%d" (Unix.getpid ()) !dir_counter)
+  in
+  rm_rf dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let open_rw dir = Result.get_ok (Store.open_store dir)
+let open_ro dir = Result.get_ok (Store.open_store ~readonly:true dir)
+
+(* The documented line format: 8 hex chars of the payload's MD5, a space,
+   the payload. Reimplemented here so the tests pin the on-disk format
+   rather than whatever the library happens to write. *)
+let line_of payload =
+  String.sub (Digest.to_hex (Digest.string payload)) 0 8 ^ " " ^ payload
+
+let segment dir = Filename.concat dir "segment-0001.jsonl"
+
+let read_lines path =
+  In_channel.with_open_text path In_channel.input_all
+  |> String.split_on_char '\n'
+  |> List.filter (fun l -> l <> "")
+
+let write_lines path lines =
+  Out_channel.with_open_text path (fun oc ->
+      List.iter
+        (fun l ->
+          Out_channel.output_string oc l;
+          Out_channel.output_char oc '\n')
+        lines)
+
+let append_raw path s =
+  let oc = open_out_gen [ Open_append; Open_wronly ] 0o644 path in
+  output_string oc s;
+  close_out oc
+
+let bv w n = T.Vbv (Bitvec.make ~width:w (Int64.of_int n))
+
+let some_model = Model.of_list [ ("!c0", bv 8 5); ("!c1", T.Vbool true) ]
+
+(* --- Protocol framing --- *)
+
+let with_pipe f =
+  let r, w = Unix.pipe () in
+  let ic = Unix.in_channel_of_descr r and oc = Unix.out_channel_of_descr w in
+  Fun.protect
+    ~finally:(fun () ->
+      close_in_noerr ic;
+      close_out_noerr oc)
+    (fun () -> f ic oc)
+
+let protocol_tests =
+  [
+    Alcotest.test_case "frames round-trip" `Quick (fun () ->
+        with_pipe (fun ic oc ->
+            let reqs =
+              [
+                Protocol.request ~id:1 ~op:"ping" ();
+                Protocol.request ~id:2 ~op:"verify"
+                  ~args:(Json.Obj [ ("text", Json.String "a\nmulti\nline") ])
+                  ();
+                Json.Obj [ ("unicode", Json.String "π ∧ ¬δ") ];
+              ]
+            in
+            List.iter (Protocol.write_frame oc) reqs;
+            List.iter
+              (fun sent ->
+                match Protocol.read_frame ic with
+                | Ok got ->
+                    check_string "frame" (Json.to_string sent)
+                      (Json.to_string got)
+                | Error _ -> Alcotest.fail "read_frame failed")
+              reqs));
+    Alcotest.test_case "clean EOF is Closed, garbage is Framing" `Quick
+      (fun () ->
+        with_pipe (fun ic oc ->
+            close_out oc;
+            match Protocol.read_frame ic with
+            | Error Protocol.Closed -> ()
+            | _ -> Alcotest.fail "expected Closed");
+        with_pipe (fun ic oc ->
+            output_string oc "not a length prefix\n";
+            flush oc;
+            match Protocol.read_frame ic with
+            | Error (Protocol.Framing _) -> ()
+            | _ -> Alcotest.fail "expected Framing"));
+    Alcotest.test_case "bad JSON is Payload and the stream stays usable"
+      `Quick (fun () ->
+        with_pipe (fun ic oc ->
+            let bad = "{oops" in
+            Printf.fprintf oc "%08x\n%s\n" (String.length bad) bad;
+            flush oc;
+            Protocol.write_frame oc (Protocol.request ~id:7 ~op:"ping" ());
+            (match Protocol.read_frame ic with
+            | Error (Protocol.Payload _) -> ()
+            | _ -> Alcotest.fail "expected Payload");
+            match Protocol.read_frame ic with
+            | Ok j ->
+                check_string "next frame intact" "ping"
+                  (get (Option.bind (Json.member "op" j) Json.to_str))
+            | Error _ -> Alcotest.fail "stream desynchronized"));
+    Alcotest.test_case "request/response shapes parse back" `Quick (fun () ->
+        let req =
+          Protocol.request ~id:3 ~op:"lint"
+            ~args:(Json.Obj [ ("text", Json.String "t") ])
+            ()
+        in
+        (match Protocol.parse_request req with
+        | Ok (id, op, args) ->
+            check_int "id" 3 (get (Json.to_int id));
+            check_string "op" "lint" op;
+            check_string "args" "t"
+              (get (Option.bind (Json.member "text" args) Json.to_str))
+        | Error e -> Alcotest.fail e);
+        let id = Json.Int 3 in
+        (match Protocol.parse_response (Protocol.ok_response ~id Json.Null) with
+        | Ok Json.Null -> ()
+        | _ -> Alcotest.fail "ok response");
+        match Protocol.parse_response (Protocol.error_response ~id "boom") with
+        | Error "boom" -> ()
+        | _ -> Alcotest.fail "error response");
+  ]
+
+(* --- Store durability --- *)
+
+let store_tests =
+  [
+    Alcotest.test_case "verdicts round-trip a close with provenance" `Quick
+      (fun () ->
+        with_temp_dir (fun dir ->
+            let s = open_rw dir in
+            Store.set_context ~rev:"rev-abc" ~budget:"5s" s;
+            Store.publish s "d-valid" `Valid;
+            Store.publish
+              ~cost:
+                { Alive_smt.Vc_cache.sat_s = 0.25; conflicts = 42;
+                  cegar_iterations = 3 }
+              s "d-invalid" (`Invalid some_model);
+            Store.close s;
+            let s = open_rw dir in
+            let e = get (Store.lookup s "d-valid") in
+            check_bool "valid" true (e.Store.verdict = `Valid);
+            check_string "rev" "rev-abc" e.Store.rev;
+            check_string "budget" "5s" e.Store.budget;
+            check_bool "timestamp" true (String.length e.Store.timestamp > 0);
+            let e = get (Store.lookup s "d-invalid") in
+            (match e.Store.verdict with
+            | `Invalid m ->
+                check_bool "model" true (Model.find m "!c0" = Some (bv 8 5));
+                check_bool "model bool" true
+                  (Model.find m "!c1" = Some (T.Vbool true))
+            | `Valid -> Alcotest.fail "expected invalid");
+            let c = get e.Store.cost in
+            check_int "conflicts" 42 c.Alive_smt.Vc_cache.conflicts;
+            check_int "cegar" 3 c.Alive_smt.Vc_cache.cegar_iterations;
+            check_int "live" 2 (Store.stats s).Store.live;
+            Store.close s));
+    Alcotest.test_case "a torn final line is dropped quietly" `Quick
+      (fun () ->
+        with_temp_dir (fun dir ->
+            let s = open_rw dir in
+            Store.publish s "d1" `Valid;
+            Store.publish s "d2" `Valid;
+            Store.close s;
+            (* A writer killed mid-append leaves a partial line. *)
+            append_raw (segment dir) "1a2b3c4d {\"k\":\"d3\",\"v\":\"val";
+            let s = open_rw dir in
+            let st = Store.stats s in
+            check_int "live" 2 st.Store.live;
+            check_int "truncated" 1 st.Store.truncated;
+            check_int "corrupt" 0 st.Store.corrupt;
+            check_bool "d3 absent" false (Store.mem s "d3");
+            (* The handle appends past the torn line without issue. *)
+            Store.publish s "d3" `Valid;
+            Store.close s;
+            let s = open_rw dir in
+            check_bool "d3 present after reopen" true (Store.mem s "d3");
+            Store.close s));
+    Alcotest.test_case "mid-segment corruption is counted, rest survives"
+      `Quick (fun () ->
+        with_temp_dir (fun dir ->
+            let s = open_rw dir in
+            Store.publish s "d1" `Valid;
+            Store.publish s "d2" `Valid;
+            Store.publish s "d3" `Valid;
+            Store.close s;
+            (match read_lines (segment dir) with
+            | header :: r1 :: _r2 :: rest ->
+                write_lines (segment dir)
+                  (header :: r1 :: "00000000 {\"k\":\"d2\",\"v\":\"valid\"}"
+                  :: rest)
+            | _ -> Alcotest.fail "unexpected segment shape");
+            let s = open_rw dir in
+            let st = Store.stats s in
+            check_int "live" 2 st.Store.live;
+            check_int "corrupt" 1 st.Store.corrupt;
+            check_bool "d1 survives" true (Store.mem s "d1");
+            check_bool "d3 survives" true (Store.mem s "d3");
+            check_bool "d2 dropped" false (Store.mem s "d2");
+            Store.close s));
+    Alcotest.test_case "newest wins, compaction collapses history" `Quick
+      (fun () ->
+        with_temp_dir (fun dir ->
+            let s = open_rw dir in
+            Store.publish s "d" `Valid;
+            (* Different kind: overrides in the table and on disk. *)
+            Store.publish s "d" (`Invalid some_model);
+            check_bool "in-handle override" true
+              (match Store.lookup_verdict s "d" with
+              | Some (`Invalid _) -> true
+              | _ -> false);
+            Store.close s;
+            (* A later segment overrides an earlier one on replay. *)
+            let seg2 = Filename.concat dir "segment-0002.jsonl" in
+            write_lines seg2
+              [
+                line_of "{\"magic\":\"alive-verdict-store\",\"schema\":1}";
+                line_of "{\"k\":\"d\",\"v\":\"valid\"}";
+              ];
+            let s = open_rw dir in
+            check_bool "segment override" true
+              (Store.lookup_verdict s "d" = Some `Valid);
+            check_int "two segments" 2 (Store.stats s).Store.segments;
+            Store.compact s;
+            let st = Store.stats s in
+            check_int "one segment" 1 st.Store.segments;
+            Store.close s;
+            let s = open_rw dir in
+            check_bool "survives compaction" true
+              (Store.lookup_verdict s "d" = Some `Valid);
+            check_int "replay is collapsed" 1 (Store.stats s).Store.replayed;
+            Store.close s));
+    Alcotest.test_case "compaction writes sorted digests" `Quick (fun () ->
+        with_temp_dir (fun dir ->
+            let s = open_rw dir in
+            List.iter
+              (fun d -> Store.publish s d `Valid)
+              [ "zz"; "aa"; "mm"; "ff" ];
+            Store.compact s;
+            Store.close s;
+            let seg =
+              Filename.concat dir
+                (get
+                   (List.find_opt
+                      (fun f -> Filename.check_suffix f ".jsonl")
+                      (Array.to_list (Sys.readdir dir))))
+            in
+            let keys =
+              List.filter_map
+                (fun l ->
+                  match Json.parse (String.sub l 9 (String.length l - 9)) with
+                  | Ok j -> Option.bind (Json.member "k" j) Json.to_str
+                  | Error _ -> None)
+                (read_lines seg)
+            in
+            check_bool "sorted" true (keys = List.sort compare keys);
+            check_int "all four" 4 (List.length keys)));
+    Alcotest.test_case "refuses a future schema" `Quick (fun () ->
+        with_temp_dir (fun dir ->
+            write_lines (segment dir)
+              [
+                line_of "{\"magic\":\"alive-verdict-store\",\"schema\":99}";
+                line_of "{\"k\":\"d\",\"v\":\"valid\"}";
+              ];
+            match Store.open_store dir with
+            | Error e ->
+                check_bool "mentions schema" true
+                  (Astring.String.is_infix ~affix:"schema" e)
+            | Ok _ -> Alcotest.fail "opened a future-schema store"));
+    Alcotest.test_case "write lock excludes writers, readonly coexists"
+      `Quick (fun () ->
+        with_temp_dir (fun dir ->
+            let s = open_rw dir in
+            Store.publish s "d" `Valid;
+            (* [lockf] locks are per-process, so the contending writer must
+               be a separate process: re-exec this binary in its lock-probe
+               mode (see [test_main]; [fork] is unavailable with domains). *)
+            let env =
+              Array.append (Unix.environment ())
+                [| "ALIVE_STORE_LOCK_PROBE=" ^ dir |]
+            in
+            let pid =
+              Unix.create_process_env Sys.executable_name
+                [| Sys.executable_name |] env Unix.stdin Unix.stdout
+                Unix.stderr
+            in
+            let _, status = Unix.waitpid [] pid in
+            check_bool "child writer refused" true (status = Unix.WEXITED 0);
+            let ro = open_ro dir in
+            check_bool "readonly sees data" true (Store.mem ro "d");
+            check_bool "readonly publish refused" true
+              (match Store.publish ro "x" `Valid with
+              | () -> false
+              | exception Invalid_argument _ -> true);
+            Store.close ro;
+            Store.close s;
+            (* Lock released: a new writer gets in. *)
+            let s = open_rw dir in
+            Store.close s));
+    Alcotest.test_case "concurrent publishers through one handle" `Quick
+      (fun () ->
+        with_temp_dir (fun dir ->
+            let s = open_rw dir in
+            let worker k () =
+              for i = 0 to 99 do
+                Store.publish s (Printf.sprintf "w%d-%03d" k i) `Valid
+              done
+            in
+            let doms = List.init 4 (fun k -> Domain.spawn (worker k)) in
+            List.iter Domain.join doms;
+            Store.close s;
+            let s = open_rw dir in
+            let st = Store.stats s in
+            check_int "all records durable" 400 st.Store.live;
+            check_int "no corruption" 0 (st.Store.corrupt + st.Store.truncated);
+            Store.close s));
+    Alcotest.test_case "re-publishing the same kind does not grow the log"
+      `Quick (fun () ->
+        with_temp_dir (fun dir ->
+            let s = open_rw dir in
+            Store.publish s "d" `Valid;
+            let before = (Store.stats s).Store.appended in
+            Store.publish s "d" `Valid;
+            Store.publish s "d" `Valid;
+            check_int "no-op appends" before (Store.stats s).Store.appended;
+            Store.close s));
+  ]
+
+(* --- Digest determinism ---
+
+   The store is only sound if canonical digests depend on the query's
+   content alone — not on hash-consing insertion order, which varies
+   between processes and with domain interleaving. In-process re-derivation
+   cannot exercise the insertion-order axis (the first construction freezes
+   the table), so the digests of two entries that historically diverged
+   under racing domains are pinned as golden values: any schedule- or
+   process-dependence, and any accidental change to the canonical
+   serialization, shows up as a mismatch. A deliberate encoding change must
+   update these values — and by doing so declares every existing store
+   stale, which is exactly the contract. Four domains recompute them
+   concurrently to keep the racing path exercised. *)
+
+let digests_of text =
+  let tr = Alive.Parser.parse_transform text in
+  match Alive.Refine.query_digests tr with
+  | Ok dss -> List.concat dss
+  | Error e -> Alcotest.fail e
+
+let combined text = Digest.to_hex (Digest.string (String.concat "," (digests_of text)))
+
+let golden =
+  [
+    ( "Name: sub-of-neg\n\
+       %nb = sub 0, %B\n%r = sub %A, %nb\n=>\n%r = add %A, %B\n",
+      "c6dfc768589edfe2661ce39055ebff64" );
+    ( "Name: add-neg\n\
+       %nb = sub 0, %B\n%r = add %A, %nb\n=>\n%r = sub %A, %B\n",
+      "24cf0c749f36e02f30fa982cd1dd74c3" );
+  ]
+
+let determinism_tests =
+  [
+    Alcotest.test_case "store keys match their golden digests" `Quick
+      (fun () ->
+        List.iter
+          (fun (text, want) -> check_string "combined digest" want (combined text))
+          golden);
+    Alcotest.test_case "racing domains derive the same keys" `Quick (fun () ->
+        let run _ () = List.map (fun (text, _) -> combined text) golden in
+        let doms = List.init 4 (fun k -> Domain.spawn (run k)) in
+        let got = List.map Domain.join doms in
+        let want = List.map snd golden in
+        List.iteri
+          (fun k per_domain ->
+            check_bool (Printf.sprintf "domain %d" k) true (per_domain = want))
+          got);
+  ]
+
+(* --- Daemon end-to-end --- *)
+
+let daemon_tests =
+  [
+    Alcotest.test_case "daemon round-trips over its socket" `Quick (fun () ->
+        with_temp_dir (fun dir ->
+            let socket = Filename.concat dir "d.sock" in
+            let config =
+              {
+                (Daemon.default_config ~socket_path:socket) with
+                Daemon.store_dir = Some (Filename.concat dir "store");
+                jobs = Some 2;
+              }
+            in
+            let outcome = ref (Error "daemon did not run") in
+            let th = Thread.create (fun () -> outcome := Daemon.serve config) () in
+            let rec connect tries =
+              match Client.connect socket with
+              | Ok c -> c
+              | Error e ->
+                  if tries = 0 then Alcotest.fail ("connect: " ^ e)
+                  else begin
+                    Thread.delay 0.05;
+                    connect (tries - 1)
+                  end
+            in
+            let c = connect 100 in
+            Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+            let text = "Name: t\n%r = add %a, 0\n=>\n%r = %a\n" in
+            (match Client.ping c with
+            | Ok j ->
+                check_int "jobs" 2
+                  (get (Option.bind (Json.member "jobs" j) Json.to_int));
+                check_bool "store attached" true
+                  (Json.member "store" j = Some (Json.Bool true))
+            | Error e -> Alcotest.fail ("ping: " ^ e));
+            (match Client.parse c ~text with
+            | Ok j ->
+                check_int "count" 1
+                  (get (Option.bind (Json.member "count" j) Json.to_int))
+            | Error e -> Alcotest.fail ("parse: " ^ e));
+            (match Client.verify c ~text () with
+            | Ok (Json.List [ j ]) ->
+                check_string "verdict" "valid"
+                  (get (Option.bind (Json.member "verdict" j) Json.to_str))
+            | Ok _ -> Alcotest.fail "verify shape"
+            | Error e -> Alcotest.fail ("verify: " ^ e));
+            (* Second verify of the same text: answered from the store. *)
+            (match Client.verify c ~text () with
+            | Ok (Json.List [ j ]) ->
+                check_bool "store hits" true
+                  (get (Option.bind (Json.member "store_hits" j) Json.to_int)
+                  > 0)
+            | Ok _ -> Alcotest.fail "verify shape"
+            | Error e -> Alcotest.fail ("verify: " ^ e));
+            (match Client.digests c ~text () with
+            | Ok (Json.List [ j ]) ->
+                check_bool "has typings" true (Json.member "typings" j <> None)
+            | Ok _ -> Alcotest.fail "digests shape"
+            | Error e -> Alcotest.fail ("digests: " ^ e));
+            (* A malformed request gets an error, not a dropped connection. *)
+            (match Client.call c ~op:"no-such-op" () with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.fail "unknown op accepted");
+            (match Client.call c ~op:"verify" () with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.fail "verify without text accepted");
+            (match Client.store_stats c with
+            | Ok j ->
+                check_bool "store grew" true
+                  (get (Option.bind (Json.member "live" j) Json.to_int) > 0)
+            | Error e -> Alcotest.fail ("store-stats: " ^ e));
+            (match Client.metrics c with
+            | Ok _ -> ()
+            | Error e -> Alcotest.fail ("metrics: " ^ e));
+            (match Client.shutdown c with
+            | Ok _ -> ()
+            | Error e -> Alcotest.fail ("shutdown: " ^ e));
+            Thread.join th;
+            (match !outcome with
+            | Ok () -> ()
+            | Error e -> Alcotest.fail ("serve: " ^ e));
+            check_bool "socket removed" false (Sys.file_exists socket)));
+  ]
+
+let suite =
+  ("service", protocol_tests @ store_tests @ determinism_tests @ daemon_tests)

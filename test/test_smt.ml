@@ -447,7 +447,7 @@ let vc_cache_tests =
             ignore (Vc_cache.store k1 `Valid);
             let k2 = Vc_cache.canon ~exists:[] (q "y") in
             check_bool "alpha-equivalent hit" true
-              (Vc_cache.find k2 = Some `Valid);
+              (Vc_cache.find k2 = Some (`Valid, Vc_cache.Memory));
             let k16 =
               Vc_cache.canon ~exists:[] (T.eq (T.var "x" (T.Bv 16)) (cv 16 7))
             in
@@ -471,7 +471,7 @@ let vc_cache_tests =
                 (q (T.var "a" (T.Bv 8)) (T.var "b" (T.Bv 8)))
             in
             match Vc_cache.find k2 with
-            | Some (`Invalid m) ->
+            | Some (`Invalid m, _) ->
                 Alcotest.(check (option value_testable))
                   "lo renamed to a" (Some (T.Vbv (bv 8 3))) (Model.find m "a");
                 Alcotest.(check (option value_testable))
@@ -502,8 +502,8 @@ let vc_cache_tests =
                   (Vc_cache.store (key 3) `Valid);
                 check_bool "first entry gone" true (Vc_cache.find (key 1) = None);
                 check_bool "newest entries live" true
-                  (Vc_cache.find (key 2) = Some `Valid
-                  && Vc_cache.find (key 3) = Some `Valid))));
+                  (Vc_cache.find (key 2) = Some (`Valid, Vc_cache.Memory)
+                  && Vc_cache.find (key 3) = Some (`Valid, Vc_cache.Memory)))));
   ]
 
 let suite =
