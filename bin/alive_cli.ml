@@ -103,6 +103,15 @@ let no_incremental_arg =
           "Disable incremental CEGAR: build a fresh inner solver context \
            per iteration instead of reusing one under assumptions.")
 
+let no_static_arg =
+  Arg.(
+    value & flag
+    & info [ "no-static" ]
+        ~doc:
+          "Disable the tier-0 static prover (abstract interpretation over \
+           known bits, ranges and congruences; see docs/ANALYSIS.md): every \
+           query goes straight to the cache/store/SAT path.")
+
 let dump_cnf_arg =
   Arg.(
     value
@@ -129,8 +138,10 @@ let setup_observability ~trace ~collapsed ~metrics =
 
 (* Flip the solve-path switches (cache, incremental CEGAR, CNF dumping,
    encoding) before any query runs. *)
-let setup_solve_path ~no_cache ~no_incremental ~dump_cnf ~encoding =
+let setup_solve_path ?(no_static = false) ~no_cache ~no_incremental ~dump_cnf
+    ~encoding () =
   if no_cache then Alive_smt.Vc_cache.set_enabled false;
+  if no_static then Alive_absint.Prover.set_enabled false;
   if no_incremental then Alive_smt.Solve.set_incremental false;
   Alive_smt.Bitblast.set_encoding encoding;
   Option.iter
@@ -182,12 +193,13 @@ let with_transforms file f =
 
 let verify_cmd =
   let run file widths quiet jobs timeout conflict_limit show_stats trace
-      collapsed metrics no_cache no_incremental dump_cnf encoding =
+      collapsed metrics no_cache no_static no_incremental dump_cnf encoding =
     let widths = parse_widths widths in
     let jobs = resolve_jobs jobs in
     let budget = budget_of ~timeout ~conflict_limit in
     setup_observability ~trace ~collapsed ~metrics;
-    setup_solve_path ~no_cache ~no_incremental ~dump_cnf ~encoding;
+    setup_solve_path ~no_static ~no_cache ~no_incremental ~dump_cnf ~encoding
+      ();
     let code =
       with_transforms file (fun transforms ->
           let invalid = ref 0 and unknown = ref 0 in
@@ -245,7 +257,8 @@ let verify_cmd =
     Term.(
       const run $ file_arg $ widths_arg $ quiet $ jobs_arg $ timeout_arg
       $ conflict_limit_arg $ stats $ trace_arg $ collapsed_arg $ metrics_arg
-      $ no_cache_arg $ no_incremental_arg $ dump_cnf_arg $ encoding_arg)
+      $ no_cache_arg $ no_static_arg $ no_incremental_arg $ dump_cnf_arg
+      $ encoding_arg)
 
 let infer_cmd =
   let run file widths =

@@ -36,6 +36,8 @@ let metrics = ref false
 let metrics_json = ref ""
 let ledger_path = ref ""
 let no_cache = ref false
+let no_static = ref false
+let static_report_path = ref ""
 let no_incremental = ref false
 let dump_cnf = ref ""
 let via = ref "" (* daemon socket; "" = solve in-process *)
@@ -81,6 +83,14 @@ let speclist =
       Arg.Set_string ledger_path,
       "FILE  append one performance-ledger record (JSONL) for this run; \
        implies per-phase timing" );
+    ( "--no-static",
+      Arg.Set no_static,
+      " disable the tier-0 static prover (abstract interpretation); every \
+       query goes to the cache/store/SAT path — the parity baseline" );
+    ( "--static-report",
+      Arg.Set_string static_report_path,
+      "FILE  run only the tier-0 static prover over the selected entries, \
+       write a JSON report (per-suite breakdown) to FILE, and exit" );
     ( "--no-cache",
       Arg.Set no_cache,
       " disable the canonical verdict cache (solve every query)" );
@@ -135,6 +145,7 @@ type via_totals = {
   mutable vcm : int;
   mutable vsh : int;  (* daemon-side store hits *)
   mutable vsm : int;
+  mutable vst : int;  (* daemon-side statically proved queries *)
   mutable verr : int;  (* transport/daemon errors *)
 }
 
@@ -155,6 +166,7 @@ let run_via ~socket ~jobs ~mismatches ~undecided
       vcm = 0;
       vsh = 0;
       vsm = 0;
+      vst = 0;
       verr = 0;
     }
   in
@@ -206,6 +218,7 @@ let run_via ~socket ~jobs ~mismatches ~undecided
                   tv.vcm <- tv.vcm + num j "cache_misses";
                   tv.vsh <- tv.vsh + num j "store_hits";
                   tv.vsm <- tv.vsm + num j "store_misses";
+                  tv.vst <- tv.vst + num j "static_proved";
                   tv.vconf <- tv.vconf + num j "conflicts";
                   tv.vcegar <- tv.vcegar + num j "cegar";
                   tv.vsat <- tv.vsat +. fnum j "sat_s")
@@ -449,12 +462,103 @@ let run_infer_pre (entries : Alive_suite.Entry.t list) =
         ~cache_misses:total.Alive.Refine.telemetry.cache_misses
         ~cache_evictions:total.Alive.Refine.telemetry.cache_evictions
         ~peak_clauses:total.Alive.Refine.telemetry.peak_clauses
-        ~peak_vars:total.Alive.Refine.telemetry.peak_vars ~verdicts ()
+        ~peak_vars:total.Alive.Refine.telemetry.peak_vars
+        ~static_proved:total.Alive.Refine.telemetry.static_proved ~verdicts ()
     in
     Alive_trace.Ledger.append ~path:!ledger_path record;
     Printf.printf "ledger record appended to %s\n" !ledger_path
   end;
   exit (if ok >= min !min_ok (List.length outcomes) then 0 else 1)
+
+(* --- --static-report: tier-0 coverage artifact (no SAT, no cache) --- *)
+
+let run_static_report ~path (entries : Alive_suite.Entry.t list) =
+  let t0 = Unix.gettimeofday () in
+  let rows = ref [] in
+  let suites : (string, int * int) Hashtbl.t = Hashtbl.create 16 in
+  let total = ref 0 and complete = ref 0 and unsound = ref 0 in
+  List.iter
+    (fun (e : Alive_suite.Entry.t) ->
+      incr total;
+      let summary =
+        match Alive_suite.Entry.parse e with
+        | exception exn -> Error (Printexc.to_string exn)
+        | tr -> Alive.Refine.static_report ?widths:e.widths tr
+      in
+      let typ, q, disch, comp, err =
+        match summary with
+        | Ok s ->
+            ( s.Alive.Refine.static_typings,
+              s.static_queries,
+              s.static_discharged,
+              s.static_complete,
+              None )
+        | Error m -> (0, 0, 0, false, Some m)
+      in
+      if comp then incr complete;
+      (* A statically proved expected-invalid entry is a soundness bug in
+         the prover, not a coverage win; fail loudly. *)
+      if comp && e.expected = Alive_suite.Entry.Expect_invalid then begin
+        incr unsound;
+        Printf.eprintf
+          "static-report: UNSOUND: %s (%s) is expected-invalid but the \
+           static tier proved it\n"
+          e.name e.file
+      end;
+      let en, pr =
+        match Hashtbl.find_opt suites e.file with
+        | Some p -> p
+        | None -> (0, 0)
+      in
+      Hashtbl.replace suites e.file (en + 1, if comp then pr + 1 else pr);
+      rows :=
+        Json.Obj
+          ([
+             ("name", Json.String e.name);
+             ("file", Json.String e.file);
+             ("typings", Json.Int typ);
+             ("queries", Json.Int q);
+             ("discharged", Json.Int disch);
+             ("complete", Json.Bool comp);
+           ]
+          @ match err with None -> [] | Some m -> [ ("error", Json.String m) ])
+        :: !rows)
+    entries;
+  let wall = Unix.gettimeofday () -. t0 in
+  let by_suite =
+    Hashtbl.fold (fun file (en, pr) acc -> (file, en, pr) :: acc) suites []
+    |> List.sort compare
+  in
+  let doc =
+    Json.Obj
+      [
+        ("schema_version", Json.Int 1);
+        ("entries", Json.Int !total);
+        ("complete", Json.Int !complete);
+        ("unsound", Json.Int !unsound);
+        ("wall_s", Json.Float wall);
+        ( "suites",
+          Json.List
+            (List.map
+               (fun (file, en, pr) ->
+                 Json.Obj
+                   [
+                     ("file", Json.String file);
+                     ("entries", Json.Int en);
+                     ("complete", Json.Int pr);
+                   ])
+               by_suite) );
+        ("rows", Json.List (List.rev !rows));
+      ]
+  in
+  Json.to_file path doc;
+  List.iter
+    (fun (file, en, pr) -> Printf.printf "  %-16s %3d/%3d\n" file pr en)
+    by_suite;
+  Printf.printf
+    "static-report: %d/%d entries fully discharged by tier 0 in %.2fs -> %s\n%!"
+    !complete !total wall path;
+  exit (if !unsound > 0 then 1 else 0)
 
 let () =
   Arg.parse speclist
@@ -474,11 +578,14 @@ let () =
   if !metrics || !metrics_json <> "" || !ledger_path <> "" then
     Alive_trace.Metrics.set_phase_timing true;
   if !no_cache then Alive_smt.Vc_cache.set_enabled false;
+  if !no_static then Alive_absint.Prover.set_enabled false;
   if !no_incremental then Alive_smt.Solve.set_incremental false;
   if !dump_cnf <> "" then begin
     (try Unix.mkdir !dump_cnf 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
     Alive_smt.Solve.set_dump_dir (Some !dump_cnf)
   end;
+  if !static_report_path <> "" then
+    run_static_report ~path:!static_report_path entries;
   if !infer_pre then run_infer_pre entries;
   let lint_errors =
     if not !lint then 0
@@ -657,9 +764,9 @@ let () =
     Printf.printf
       "done: %d entries%s, %d mismatches, %d undecided; wall %.2fs with %d \
        client job(s) via %s; %d queries, sat %.2fs, cache %d/%d store %d/%d \
-       hit/miss\n"
+       hit/miss, %d static-proved\n"
       (List.length results) since_label !mismatches !undecided wall jobs !via
-      tv.vq tv.vsat tv.vch tv.vcm tv.vsh tv.vsm;
+      tv.vq tv.vsat tv.vch tv.vcm tv.vsh tv.vsm tv.vst;
     if !json_path <> "" then begin
       let entry_json (name, verdict, elapsed) =
         Json.Obj
@@ -685,6 +792,7 @@ let () =
             ("cache_misses", Json.Int tv.vcm);
             ("store_hits", Json.Int tv.vsh);
             ("store_misses", Json.Int tv.vsm);
+            ("static_proved", Json.Int tv.vst);
             ("errors", Json.Int tv.verr);
           ]
       in
@@ -713,7 +821,8 @@ let () =
           ~wall_s:wall ~sat_s:tv.vsat ~queries:tv.vq ~conflicts:tv.vconf
           ~cegar_iterations:tv.vcegar ~cache_hits:tv.vch ~cache_misses:tv.vcm
           ~requests:(List.length results)
-          ~store_hits:tv.vsh ~store_misses:tv.vsm ~verdicts ()
+          ~store_hits:tv.vsh ~store_misses:tv.vsm ~static_proved:tv.vst
+          ~verdicts ()
       in
       Alive_trace.Ledger.append ~path:!ledger_path record;
       Printf.printf "ledger record appended to %s\n" !ledger_path
@@ -726,13 +835,14 @@ let () =
       Printf.printf
         "done: %d entries%s, %d mismatches, %d undecided; wall %.2fs with %d \
          job(s), %d queries, sat %.2fs, %d conflicts, %d cegar iterations, \
-         store %d/%d hit/miss\n"
+         store %d/%d hit/miss, %d static-proved\n"
         (List.length report.results)
         since_label !mismatches !undecided report.wall report.jobs
         report.total.queries report.total.telemetry.sat_time
         report.total.telemetry.conflicts
         report.total.telemetry.cegar_iterations
-        report.total.telemetry.store_hits report.total.telemetry.store_misses;
+        report.total.telemetry.store_hits report.total.telemetry.store_misses
+        report.total.telemetry.static_proved;
     if !json_path <> "" then begin
       Json.to_file !json_path (Engine.report_json report);
       Printf.printf "report written to %s\n" !json_path
@@ -769,7 +879,8 @@ let () =
           ~peak_clauses:report.total.telemetry.peak_clauses
           ~peak_vars:report.total.telemetry.peak_vars
           ~store_hits:report.total.telemetry.store_hits
-          ~store_misses:report.total.telemetry.store_misses ~verdicts ()
+          ~store_misses:report.total.telemetry.store_misses
+          ~static_proved:report.total.telemetry.static_proved ~verdicts ()
       in
       Alive_trace.Ledger.append ~path:!ledger_path record;
       Printf.printf "ledger record appended to %s\n" !ledger_path

@@ -1,0 +1,134 @@
+(* Backward demanded-bits over straight-line SSA: for every name in a
+   function, which bits of its value can influence the function's return
+   value. The complement is a soundness guarantee — flipping a
+   non-demanded bit of any input cannot change the (UB-free) result —
+   which is exactly what the property tests check against the reference
+   interpreter.
+
+   Transfer directions mirror computeDemandedBits: bitwise ops demand the
+   same mask of both operands; add/sub/mul carry only upward, so operands
+   are demanded up to the highest demanded result bit; constant shifts
+   move the mask; everything else (division, comparisons, variable shift
+   amounts) conservatively demands every bit. *)
+
+let low_mask w n =
+  if n >= w then Bitvec.all_ones w
+  else if n <= 0 then Bitvec.zero w
+  else Bitvec.lognot (Bitvec.shl (Bitvec.all_ones w) (Bitvec.of_int ~width:w n))
+
+(* Bits up to and including the highest set bit of the mask. *)
+let up_to_highest w mask = low_mask w (w - Bitvec.clz mask)
+
+let shift_amount_const (v : Ir.value) =
+  match v with Ir.Const c -> Some c | _ -> None
+
+let demanded (f : Ir.func) : (string, Bitvec.t) Hashtbl.t =
+  let tbl : (string, Bitvec.t) Hashtbl.t = Hashtbl.create 16 in
+  let demand_value (v : Ir.value) (mask : Bitvec.t) =
+    match v with
+    | Ir.Var n ->
+        let cur =
+          match Hashtbl.find_opt tbl n with
+          | Some m -> m
+          | None -> Bitvec.zero (Bitvec.width mask)
+        in
+        Hashtbl.replace tbl n (Bitvec.logor cur mask)
+    | Ir.Const _ | Ir.Undef _ -> ()
+  in
+  let full v = demand_value v (Bitvec.all_ones (Ir.value_width f v)) in
+  (* the caller demands every bit of the return value *)
+  full f.Ir.ret;
+  (* single backward sweep: straight-line SSA means every use of a def is
+     below it, so by the time we reach a def its demand is complete *)
+  List.iter
+    (fun (d : Ir.def) ->
+      let w = d.Ir.width in
+      let dm =
+        match Hashtbl.find_opt tbl d.Ir.name with
+        | Some m -> m
+        | None -> Bitvec.zero w
+      in
+      if not (Bitvec.is_zero dm) then
+        match d.Ir.inst with
+        | Ir.Binop ((Ir.And | Ir.Or | Ir.Xor) as op, _, a, b) ->
+            (* a constant on one side shrinks what the other side can
+               influence: [and] passes only the constant's ones through,
+               [or] only its zeros *)
+            let against = function
+              | Ir.Const c -> (
+                  match op with
+                  | Ir.And -> Bitvec.logand dm c
+                  | Ir.Or -> Bitvec.logand dm (Bitvec.lognot c)
+                  | _ -> dm)
+              | _ -> dm
+            in
+            demand_value a (against b);
+            demand_value b (against a)
+        | Ir.Binop ((Ir.Add | Ir.Sub | Ir.Mul), _, a, b) ->
+            let m = up_to_highest w dm in
+            demand_value a m;
+            demand_value b m
+        | Ir.Binop (Ir.Shl, _, a, s) -> (
+            match shift_amount_const s with
+            | Some k when Bitvec.ult k (Bitvec.of_int ~width:w w) ->
+                demand_value a (Bitvec.lshr dm k)
+            | Some _ -> ()  (* over-shift: result is 0, nothing demanded *)
+            | None -> full a; full s)
+        | Ir.Binop (Ir.Lshr, _, a, s) -> (
+            match shift_amount_const s with
+            | Some k when Bitvec.ult k (Bitvec.of_int ~width:w w) ->
+                demand_value a (Bitvec.shl dm k)
+            | Some _ -> ()
+            | None -> full a; full s)
+        | Ir.Binop (Ir.Ashr, _, a, s) -> (
+            match shift_amount_const s with
+            | Some k when Bitvec.ult k (Bitvec.of_int ~width:w w) ->
+                let m = Bitvec.shl dm k in
+                let m =
+                  (* demanded bits shifted out the top re-demand the sign *)
+                  if Bitvec.is_zero (Bitvec.lshr dm (Bitvec.of_int ~width:w (w - Bitvec.to_int k)))
+                  then m
+                  else Bitvec.logor m (Bitvec.min_signed w)
+                in
+                demand_value a m
+            | Some _ -> demand_value a (Bitvec.min_signed w)
+            | None -> full a; full s)
+        | Ir.Binop ((Ir.Udiv | Ir.Sdiv | Ir.Urem | Ir.Srem), _, a, b) ->
+            full a;
+            full b
+        | Ir.Icmp (_, a, b) ->
+            full a;
+            full b
+        | Ir.Select (c, a, b) ->
+            full c;
+            demand_value a dm;
+            demand_value b dm
+        | Ir.Conv (conv, v) -> (
+            let ws = Ir.value_width f v in
+            match conv with
+            | Ir.Zext -> demand_value v (Bitvec.trunc dm ws)
+            | Ir.Sext ->
+                let m = Bitvec.trunc dm ws in
+                let m =
+                  if Bitvec.is_zero (Bitvec.lshr dm (Bitvec.of_int ~width:w ws))
+                  then m
+                  else Bitvec.logor m (Bitvec.min_signed ws)
+                in
+                demand_value v m
+            | Ir.Trunc -> demand_value v (Bitvec.zext dm ws))
+        | Ir.Freeze v -> demand_value v dm)
+    (List.rev f.Ir.body);
+  tbl
+
+let demanded_of f name =
+  let tbl = demanded f in
+  match Hashtbl.find_opt tbl name with
+  | Some m -> m
+  | None -> (
+      (* unreferenced name: nothing demanded *)
+      match Ir.def_of f name with
+      | Some d -> Bitvec.zero d.Ir.width
+      | None -> (
+          match List.assoc_opt name f.Ir.params with
+          | Some w -> Bitvec.zero w
+          | None -> raise Not_found))

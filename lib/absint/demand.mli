@@ -1,0 +1,13 @@
+(** Backward demanded-bits over straight-line SSA functions: for each
+    name, the mask of bits of its value that can influence the function's
+    return value. Guarantee (property-tested against the interpreter):
+    flipping a non-demanded bit of any input cannot change a UB-free
+    run's result. *)
+
+val demanded : Ir.func -> (string, Bitvec.t) Hashtbl.t
+(** One backward sweep; names that cannot influence the result may be
+    absent (absent = nothing demanded). *)
+
+val demanded_of : Ir.func -> string -> Bitvec.t
+(** Convenience single-name query.
+    @raise Not_found for names not in the function. *)

@@ -1,0 +1,128 @@
+(* Algebraic normalization of bitvector terms into canonical linear sums
+
+     c0 + Σ ci · ai   (mod 2^w)
+
+   where the atoms [ai] are hash-consed terms the normalizer cannot
+   decompose further (variables, non-constant products, divisions, ...)
+   and the coefficients are nonzero width-w constants. Subtraction,
+   bitwise-not (~x = -1 - x), multiplication by constants, shifts by
+   constants (x << k = x · 2^k) and — given a disjointness oracle —
+   [or]/[xor] of bit-disjoint operands all collapse into sum arithmetic,
+   so syntactically different spellings of the same linear function
+   normalize to the same sum. All arithmetic is mod 2^w, which is exactly
+   the machine semantics, so no overflow side conditions are needed. *)
+
+module T = Alive_smt.Term
+
+type sum = {
+  width : int;
+  const : Bitvec.t;
+  terms : (T.t * Bitvec.t) list;
+      (* sorted by [T.content_compare] on the atom, coefficients nonzero *)
+}
+
+let of_const c = { width = Bitvec.width c; const = c; terms = [] }
+
+let of_atom t =
+  let w = T.width t in
+  { width = w; const = Bitvec.zero w; terms = [ (t, Bitvec.one w) ] }
+
+let merge s1 s2 =
+  let rec go l1 l2 =
+    match (l1, l2) with
+    | [], l | l, [] -> l
+    | (a1, c1) :: r1, (a2, c2) :: r2 ->
+        let cmp = T.content_compare a1 a2 in
+        if cmp = 0 then
+          let c = Bitvec.add c1 c2 in
+          if Bitvec.is_zero c then go r1 r2 else (a1, c) :: go r1 r2
+        else if cmp < 0 then (a1, c1) :: go r1 l2
+        else (a2, c2) :: go l1 r2
+  in
+  {
+    width = s1.width;
+    const = Bitvec.add s1.const s2.const;
+    terms = go s1.terms s2.terms;
+  }
+
+let scale k s =
+  if Bitvec.is_zero k then of_const (Bitvec.zero s.width)
+  else
+    {
+      s with
+      const = Bitvec.mul k s.const;
+      terms =
+        List.filter_map
+          (fun (a, c) ->
+            let c = Bitvec.mul k c in
+            if Bitvec.is_zero c then None else Some (a, c))
+          s.terms;
+    }
+
+let neg s = scale (Bitvec.all_ones s.width) s
+let sub s1 s2 = merge s1 (neg s2)
+
+let as_const s = if s.terms = [] then Some s.const else None
+
+let equal s1 s2 =
+  Bitvec.equal s1.const s2.const
+  && List.length s1.terms = List.length s2.terms
+  && List.for_all2
+       (fun (a1, c1) (a2, c2) -> T.equal a1 a2 && Bitvec.equal c1 c2)
+       s1.terms s2.terms
+
+(* Rebuild a term from a sum (through the smart constructors, so the
+   result is hash-consed and folded). *)
+let to_term s =
+  let w = s.width in
+  let prod (a, c) = if Bitvec.equal c (Bitvec.one w) then a else T.mul (T.const c) a in
+  let body =
+    match s.terms with
+    | [] -> None
+    | t :: ts -> Some (List.fold_left (fun acc t -> T.add acc (prod t)) (prod t) ts)
+  in
+  match body with
+  | None -> T.const s.const
+  | Some b -> if Bitvec.is_zero s.const then b else T.add (T.const s.const) b
+
+(* [disjoint a b] must only answer [true] when the two terms can share no
+   set bit (then a|b = a^b = a+b). *)
+let normalize ?(disjoint = fun _ _ -> false) (t : T.t) =
+  let memo : (int, sum) Hashtbl.t = Hashtbl.create 32 in
+  let rec go t =
+    match Hashtbl.find_opt memo t.T.id with
+    | Some s -> s
+    | None ->
+        let s = build t in
+        Hashtbl.replace memo t.T.id s;
+        s
+  and build t =
+    let w = T.width t in
+    match t.T.node with
+    | T.BvConst c -> of_const c
+    | T.Bbin (T.Add, a, b) -> merge (go a) (go b)
+    | T.Bbin (T.Sub, a, b) -> sub (go a) (go b)
+    | T.Bnot a -> merge (of_const (Bitvec.all_ones w)) (neg (go a))
+    | T.Bbin (T.Mul, a, b) -> (
+        let na = go a and nb = go b in
+        match (as_const na, as_const nb) with
+        | Some c, _ -> scale c nb
+        | _, Some c -> scale c na
+        | None, None -> of_atom t)
+    | T.Bbin (T.Shl, a, { T.node = T.BvConst k; _ }) ->
+        let ki = if Bitvec.ult k (Bitvec.of_int ~width:w w) then Bitvec.to_int k else w in
+        if ki >= w then of_const (Bitvec.zero w)
+        else scale (Bitvec.shl (Bitvec.one w) (Bitvec.of_int ~width:w ki)) (go a)
+    | T.Bbin ((T.Bor | T.Bxor), a, b) when disjoint a b -> merge (go a) (go b)
+    | _ -> of_atom t
+  in
+  go t
+
+(* Decide [a = b] as far as the sums go: [True] when the difference is
+   identically zero, [False] when it is a nonzero constant. *)
+let decide_eq ?disjoint a b =
+  let d = sub (normalize ?disjoint a) (normalize ?disjoint b) in
+  match as_const d with
+  | Some c ->
+      if Bitvec.is_zero c then Domain.True else Domain.False
+  | None -> Domain.Unknown

@@ -1,0 +1,37 @@
+(** Algebraic normalization of bitvector terms into canonical linear sums
+    [c0 + Σ ci·ai] (mod 2^w). Subtraction, bitwise-not, constant
+    multiplication, constant shifts and (given a disjointness oracle)
+    bit-disjoint [or]/[xor] all collapse into sum arithmetic, so different
+    spellings of the same linear function normalize identically. *)
+
+type sum = {
+  width : int;
+  const : Bitvec.t;
+  terms : (Alive_smt.Term.t * Bitvec.t) list;
+      (** atoms sorted by content, coefficients nonzero *)
+}
+
+val of_const : Bitvec.t -> sum
+val of_atom : Alive_smt.Term.t -> sum
+val merge : sum -> sum -> sum
+val scale : Bitvec.t -> sum -> sum
+val neg : sum -> sum
+val sub : sum -> sum -> sum
+val as_const : sum -> Bitvec.t option
+val equal : sum -> sum -> bool
+val to_term : sum -> Alive_smt.Term.t
+
+val normalize :
+  ?disjoint:(Alive_smt.Term.t -> Alive_smt.Term.t -> bool) ->
+  Alive_smt.Term.t ->
+  sum
+(** [disjoint a b] must only answer [true] when the two terms can share no
+    set bit (then [a|b = a^b = a+b]). *)
+
+val decide_eq :
+  ?disjoint:(Alive_smt.Term.t -> Alive_smt.Term.t -> bool) ->
+  Alive_smt.Term.t ->
+  Alive_smt.Term.t ->
+  Domain.tribool
+(** [True] when the difference normalizes to zero, [False] when it
+    normalizes to a nonzero constant, [Unknown] otherwise. *)

@@ -98,14 +98,14 @@ let pp_stats ppf s =
     "typings=%d queries=%d unknown=%d (timeout=%d conflicts=%d cegar=%d) \
      typing=%.3fs vcgen=%.3fs sat=%.3fs conflicts=%d decisions=%d \
      propagations=%d clauses=%d vars=%d peak_clauses=%d peak_vars=%d \
-     cegar=%d cache_hits=%d cache_misses=%d"
+     cegar=%d cache_hits=%d cache_misses=%d static_proved=%d"
     s.typings_done s.queries s.unknowns s.unknown_reasons.by_timeout
     s.unknown_reasons.by_conflicts s.unknown_reasons.by_cegar s.typing_s
     s.vcgen_s s.telemetry.sat_time s.telemetry.conflicts s.telemetry.decisions
     s.telemetry.propagations s.telemetry.clauses s.telemetry.vars
     s.telemetry.peak_clauses s.telemetry.peak_vars
     s.telemetry.cegar_iterations s.telemetry.cache_hits
-    s.telemetry.cache_misses
+    s.telemetry.cache_misses s.telemetry.static_proved
 
 (* Instruction names to check: defined on both sides (the root always is,
    by the scoping rules). Checked in target order. *)
@@ -211,13 +211,45 @@ let check_typing ?budget ?(stats = empty_stats ()) ?share_memory_reads
          and the remaining criteria still run — a later query may produce a
          definite counterexample, which outranks Unknown. *)
       let solve_query formula =
+        (* Tier 0: try to discharge the query statically — abstract
+           interpretation plus algebraic normalization on the exact
+           encoded term, so a static `Valid is a verdict on the same
+           formula the solver would see. Sound for proving only; anything
+           unproved falls through to the cache and the solver. *)
+        let static_proved =
+          Alive_absint.Prover.enabled ()
+          && (match Alive_absint.Prover.prove_valid ~exists formula with
+             | r -> r
+             | exception _ -> false)
+        in
+        if static_proved then begin
+          let tl = stats.telemetry in
+          tl.static_proved <- tl.static_proved + 1;
+          (* Publish to the cache/store so replay paths (and other
+             processes sharing the backing) see the same verdict with
+             static provenance. *)
+          if Alive_smt.Vc_cache.enabled () then begin
+            let keyed = Alive_smt.Vc_cache.canon ~exists formula in
+            let cost =
+              {
+                Alive_smt.Vc_cache.sat_s = 0.0;
+                conflicts = 0;
+                cegar_iterations = 0;
+                static = true;
+              }
+            in
+            tl.cache_evictions <-
+              tl.cache_evictions + Alive_smt.Vc_cache.store ~cost keyed `Valid
+          end;
+          `Valid
+        end
         (* The verdict cache fronts the solver: alpha-equivalent queries
            (across typings, widths collapse only when sorts match, and
            across transforms) hit this domain's cache; with a persistent
            backing installed, misses fall through to the disk store by
            content digest. Unknown verdicts are budget-dependent and never
            cached. *)
-        if not (Alive_smt.Vc_cache.enabled ()) then solve_uncached formula
+        else if not (Alive_smt.Vc_cache.enabled ()) then solve_uncached formula
         else begin
           let tl = stats.telemetry in
           let keyed = Alive_smt.Vc_cache.canon ~exists formula in
@@ -245,6 +277,7 @@ let check_typing ?budget ?(stats = empty_stats ()) ?share_memory_reads
                   Alive_smt.Vc_cache.sat_s = tl.sat_time -. sat0;
                   conflicts = tl.conflicts - conf0;
                   cegar_iterations = tl.cegar_iterations - cegar0;
+                  static = false;
                 }
               in
               let stored =
@@ -384,6 +417,52 @@ let query_digests ?widths ?max_typings ?share_memory_reads ?precise_pre
                | exception Vcgen.Unsupported msg ->
                    raise (Unsupported_here msg))
              typings)
+      with Unsupported_here msg -> Error msg)
+
+type static_summary = {
+  static_typings : int;
+  static_queries : int;
+  static_discharged : int;
+  static_complete : bool;
+}
+
+let static_report ?widths ?max_typings ?share_memory_reads
+    (t : Ast.transform) =
+  let exception Unsupported_here of string in
+  match Typing.enumerate ?widths ?max_typings t with
+  | Error e -> Error (Format.asprintf "%a" Typing.pp_error e)
+  | Ok typings -> (
+      try
+        let typings_n = ref 0 and queries = ref 0 and discharged = ref 0 in
+        let complete = ref true in
+        List.iter
+          (fun typing ->
+            match Vcgen.run ?share_memory_reads typing t with
+            | vc ->
+                incr typings_n;
+                let exists = vc.src.undefs in
+                List.iter
+                  (fun (_, _, formula) ->
+                    incr queries;
+                    let proved =
+                      match
+                        Alive_absint.Prover.prove_valid ~exists formula
+                      with
+                      | r -> r
+                      | exception _ -> false
+                    in
+                    if proved then incr discharged else complete := false)
+                  (typing_queries vc)
+            | exception Vcgen.Unsupported msg ->
+                raise (Unsupported_here msg))
+          typings;
+        Ok
+          {
+            static_typings = !typings_n;
+            static_queries = !queries;
+            static_discharged = !discharged;
+            static_complete = (!complete && !queries > 0);
+          }
       with Unsupported_here msg -> Error msg)
 
 let check_with_vc ?widths ?max_typings ?share_memory_reads ?budget t =

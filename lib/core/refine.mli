@@ -149,6 +149,26 @@ val query_digests :
     on a type error or an unsupported construct (such entries are always
     re-verified). *)
 
+type static_summary = {
+  static_typings : int;  (** feasible typings examined *)
+  static_queries : int;  (** refinement queries examined *)
+  static_discharged : int;  (** queries the static prover discharged *)
+  static_complete : bool;
+      (** every query of every feasible typing was statically proved — the
+          transform's validity needs no solver at all *)
+}
+
+val static_report :
+  ?widths:int list ->
+  ?max_typings:int ->
+  ?share_memory_reads:bool ->
+  Ast.transform ->
+  (static_summary, string) Stdlib.result
+(** Run only the tier-0 static prover over every refinement query of every
+    feasible typing — no SAT, no cache. Powers [corpus_check
+    --static-report] and the golden coverage test. [Error] on a type error
+    or an unsupported construct. *)
+
 val check_with_vc :
   ?widths:int list ->
   ?max_typings:int ->

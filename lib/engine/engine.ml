@@ -413,7 +413,8 @@ let print_table ?(oc = stdout) report =
     "total: %d tasks (%d crashed), wall %.2fs with %d job(s); %d queries, %d \
      unknown (timeout=%d conflicts=%d cegar=%d), typing %.2fs, vcgen %.2fs, \
      sat %.2fs, %d conflicts, %d clauses (peak %d), %d vars (peak %d), %d \
-     cegar iterations, cache %d/%d hit/miss, store %d/%d hit/miss\n"
+     cegar iterations, cache %d/%d hit/miss, store %d/%d hit/miss, %d \
+     static-proved\n"
     (List.length report.results)
     report.crashed report.wall report.jobs t.Refine.queries t.Refine.unknowns
     u.Refine.by_timeout u.Refine.by_conflicts u.Refine.by_cegar
@@ -423,6 +424,7 @@ let print_table ?(oc = stdout) report =
     t.Refine.telemetry.peak_vars t.Refine.telemetry.cegar_iterations
     t.Refine.telemetry.cache_hits t.Refine.telemetry.cache_misses
     t.Refine.telemetry.store_hits t.Refine.telemetry.store_misses
+    t.Refine.telemetry.static_proved
 
 let stats_json (s : Refine.stats) =
   Json.Obj
@@ -456,6 +458,7 @@ let stats_json (s : Refine.stats) =
       ("cache_evictions", Json.Int s.Refine.telemetry.cache_evictions);
       ("store_hits", Json.Int s.Refine.telemetry.store_hits);
       ("store_misses", Json.Int s.Refine.telemetry.store_misses);
+      ("static_proved", Json.Int s.Refine.telemetry.static_proved);
     ]
 
 let report_json report =

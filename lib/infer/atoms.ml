@@ -23,6 +23,24 @@ let unordered_pairs xs =
   in
   go xs
 
+(* Atoms the abstract interpreter refutes at every analysis width can
+   never hold on a matched instance — admitting them would only burn
+   learner samples and SMT calls on conjunctions equivalent to [false].
+   The dual (statically-true atoms) is pruned too: such an atom separates
+   nothing. Uses the same widths-agreement discipline as the lint rules. *)
+let analysis_widths = [ 4; 8; 16; 32 ]
+
+let statically_decided (t : transform) =
+  let envs =
+    List.map
+      (fun w -> Alive_lint.Abstract.env_of_source ~width:w t.src)
+      analysis_widths
+  in
+  fun atom ->
+    let vs = List.map (fun env -> Alive_lint.Abstract.eval_pred env atom) envs in
+    List.for_all (fun v -> v = Alive_lint.Abstract.False) vs
+    || List.for_all (fun v -> v = Alive_lint.Abstract.True) vs
+
 let vocabulary (t : transform) (info : Scoping.info) =
   let classes =
     match Typing.classes t with Ok c -> c | Error _ -> []
@@ -138,11 +156,15 @@ let vocabulary (t : transform) (info : Scoping.info) =
   let all = unary_cmp @ pair_cmp @ width_bounds @ structural @ negations in
   (* Structural dedup, preserving first occurrence. *)
   let seen = Hashtbl.create 64 in
-  List.filter
-    (fun p ->
-      if Hashtbl.mem seen p then false
-      else begin
-        Hashtbl.replace seen p ();
-        true
-      end)
-    all
+  let deduped =
+    List.filter
+      (fun p ->
+        if Hashtbl.mem seen p then false
+        else begin
+          Hashtbl.replace seen p ();
+          true
+        end)
+      all
+  in
+  let decided = statically_decided t in
+  List.filter (fun p -> not (decided p)) deduped

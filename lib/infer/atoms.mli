@@ -14,4 +14,8 @@ val vocabulary :
   Alive.Ast.transform -> Alive.Scoping.info -> Alive.Ast.pred list
 (** Candidate atoms for a transformation, ordered weakest-first (the
     greedy learner breaks ties towards earlier atoms, biasing towards
-    weaker preconditions). Deduplicated; never contains [Ptrue]. *)
+    weaker preconditions). Deduplicated; never contains [Ptrue]. Atoms the
+    abstract interpreter ({!Alive_lint.Abstract}) decides statically at
+    every analysis width are pruned: a statically-false atom can never
+    hold on a matched instance, and a statically-true one separates
+    nothing — either way it would only waste learner samples. *)

@@ -37,10 +37,50 @@ let transfer_add_carry w a b ~carry_zero ~carry_one =
     ones = logand possible_sum_one known;
   }
 
+let fully_known k = Bitvec.is_all_ones (Bitvec.logor k.zeros k.ones)
+let known_value k = if fully_known k then Some k.ones else None
+
+(* Mask of the [n] lowest bits at width [w] ([n >= w] gives all ones). *)
+let low_mask w n =
+  if n >= w then Bitvec.all_ones w
+  else Bitvec.lognot (Bitvec.shl (Bitvec.all_ones w) (Bitvec.of_int ~width:w n))
+
+(* Consecutive known-zero low bits / known low bits (of either value). *)
+let trailing_known_zeros k = Bitvec.ctz (Bitvec.lognot k.zeros)
+let trailing_known k = Bitvec.ctz (Bitvec.lognot (Bitvec.logor k.zeros k.ones))
+let leading_known_zeros k = Bitvec.clz (Bitvec.lognot k.zeros)
+
+let sign_known_zero w k = Bitvec.bit k.zeros (w - 1)
+
+(* Exact concrete fold on Bitvec (SMT-LIB total) semantics. Inputs on which
+   the IR operation is UB (division by zero, over-shift) have no defined
+   execution, so any answer is vacuously sound there; everywhere else the
+   two semantics agree. *)
+let concrete_binop op =
+  match op with
+  | And -> Bitvec.logand
+  | Or -> Bitvec.logor
+  | Xor -> Bitvec.logxor
+  | Add -> Bitvec.add
+  | Sub -> Bitvec.sub
+  | Mul -> Bitvec.mul
+  | Udiv -> Bitvec.udiv
+  | Sdiv -> Bitvec.sdiv
+  | Urem -> Bitvec.urem
+  | Srem -> Bitvec.srem
+  | Shl -> Bitvec.shl
+  | Lshr -> Bitvec.lshr
+  | Ashr -> Bitvec.ashr
+
 (* Known bits of a binary operation from the operands' known bits. Only the
    cheap, obviously sound transfer functions are implemented; everything
    else degrades to unknown, as a must-analysis may. *)
-let transfer_binop op w a b =
+let rec transfer_binop op w a b =
+  match (known_value a, known_value b) with
+  | Some va, Some vb -> of_const (concrete_binop op va vb)
+  | _ -> transfer_binop_partial op w a b
+
+and transfer_binop_partial op w a b =
   match op with
   | And ->
       {
@@ -94,7 +134,79 @@ let transfer_binop op w a b =
       (* a - b = a + ~b + 1. *)
       transfer_add_carry w a { zeros = b.ones; ones = b.zeros }
         ~carry_zero:false ~carry_one:true
-  | Udiv | Sdiv | Urem | Srem | Mul -> unknown w
+  | Mul ->
+      (* Two low-end facts compose. Trailing zeros add: a value with [i]
+         trailing zeros times one with [j] has at least [i+j]. And the
+         product modulo 2^k depends only on the operands modulo 2^k, so
+         when both operands' low [k] bits are known the product's are too
+         (read off [a.ones * b.ones], whose low [k] bits match any
+         concretization's product). *)
+      let tz = min w (trailing_known_zeros a + trailing_known_zeros b) in
+      let k = min (trailing_known a) (trailing_known b) in
+      let prod = Bitvec.mul a.ones b.ones in
+      let mask_tz = low_mask w tz and mask_k = low_mask w k in
+      {
+        zeros =
+          Bitvec.logor
+            (Bitvec.logand (Bitvec.lognot prod) mask_k)
+            mask_tz;
+        ones = Bitvec.logand prod mask_k;
+      }
+  | Udiv -> (
+      (* Unsigned division by a known power of two is exactly a logical
+         right shift. *)
+      match known_value b with
+      | Some d when Bitvec.is_power_of_two d ->
+          let s = Bitvec.of_int ~width:w (Bitvec.ctz d) in
+          {
+            zeros =
+              Bitvec.logor (Bitvec.lshr a.zeros s)
+                (Bitvec.lognot (Bitvec.lshr (Bitvec.all_ones w) s));
+            ones = Bitvec.lshr a.ones s;
+          }
+      | _ -> unknown w)
+  | Urem -> (
+      (* Remainder by a known power of two keeps exactly the low bits. *)
+      match known_value b with
+      | Some d when Bitvec.is_power_of_two d ->
+          let mask = Bitvec.sub d (Bitvec.one w) in
+          {
+            zeros = Bitvec.logor a.zeros (Bitvec.lognot mask);
+            ones = Bitvec.logand a.ones mask;
+          }
+      | _ -> unknown w)
+  | Sdiv -> (
+      (* A provably non-negative dividend divided by a known positive power
+         of two truncates towards zero, which coincides with [lshr]. *)
+      match known_value b with
+      | Some d
+        when sign_known_zero w a
+             && Bitvec.is_power_of_two d
+             && not (Bitvec.bit d (w - 1)) ->
+          transfer_binop Udiv w a b
+      | _ -> unknown w)
+  | Srem ->
+      if sign_known_zero w a then begin
+        (* SMT-LIB [srem x y] with [x >= 0] lands in [0, x] for every [y]
+           (including [srem x 0 = x]), so the dividend's leading known-zero
+           run survives; by a power of two it is exactly a low-bit mask. *)
+        let high = leading_known_zeros a in
+        let base =
+          { zeros = Bitvec.lognot (low_mask w (w - high));
+            ones = Bitvec.zero w }
+        in
+        match known_value b with
+        | Some d when Bitvec.is_power_of_two d ->
+            let mask = Bitvec.sub d (Bitvec.one w) in
+            {
+              zeros =
+                Bitvec.logor base.zeros
+                  (Bitvec.logor a.zeros (Bitvec.lognot mask));
+              ones = Bitvec.logand a.ones mask;
+            }
+        | _ -> base
+      end
+      else unknown w
 
 let known_bits f v =
   let memo : (string, known_bits) Hashtbl.t = Hashtbl.create 16 in
@@ -183,6 +295,17 @@ let is_known_non_negative f v =
   let kb = known_bits f v in
   Bitvec.bit kb.zeros (w - 1)
 
+(* Signed bounds of a known-bits concretization set: when the sign bit is
+   known the extremal patterns are the unsigned ones; otherwise widen the
+   unknown sign bit in each direction. *)
+let smin_of w k =
+  if Bitvec.bit k.zeros (w - 1) then k.ones
+  else Bitvec.logor k.ones (Bitvec.min_signed w)
+
+let smax_of w k =
+  if Bitvec.bit k.ones (w - 1) then Bitvec.lognot k.zeros
+  else Bitvec.logand (Bitvec.lognot k.zeros) (Bitvec.max_signed w)
+
 let will_not_overflow f op ~signed a b =
   (* Decide via the extremal values compatible with the known bits. *)
   let w = value_width f a in
@@ -190,13 +313,40 @@ let will_not_overflow f op ~signed a b =
   let min_of k = k.ones in
   let max_of k = Bitvec.lognot k.zeros in
   if signed then
-    (* Only the easy case: both provably non-negative with headroom. *)
+    let int_min = Int64.neg (Int64.shift_left 1L (w - 1))
+    and int_max = Int64.sub (Int64.shift_left 1L (w - 1)) 1L in
+    let lo k = Bitvec.to_signed_int64 (smin_of w k)
+    and hi k = Bitvec.to_signed_int64 (smax_of w k) in
     match op with
     | `Add ->
-        Bitvec.bit ka.zeros (w - 1)
-        && Bitvec.bit kb.zeros (w - 1)
-        && not (Bitvec.add_overflows_signed (max_of ka) (max_of kb))
-    | `Sub | `Mul -> false
+        (* Monotone in both operands, so the extreme corners bound every
+           pair; int64 holds them exactly for w <= 63. *)
+        w <= 63
+        && Int64.add (lo ka) (lo kb) >= int_min
+        && Int64.add (hi ka) (hi kb) <= int_max
+    | `Sub ->
+        (* The difference is monotone in both bounds, so the two extreme
+           corners bound every pair; int64 holds them exactly for w <= 63
+           (each operand magnitude is below 2^62... really 2^(w-1) <= 2^62,
+           so the difference needs at most w+1 <= 64 bits). *)
+        w <= 63
+        && Int64.sub (lo ka) (hi kb) >= int_min
+        && Int64.sub (hi ka) (lo kb) <= int_max
+    | `Mul ->
+        (* Small-operand case: for w <= 32 every corner product fits in 64
+           bits (magnitudes at most 2^31, products at most 2^62), and the
+           extreme products over a box are attained at its corners. *)
+        w <= 32
+        &&
+        let corners =
+          [
+            Int64.mul (lo ka) (lo kb);
+            Int64.mul (lo ka) (hi kb);
+            Int64.mul (hi ka) (lo kb);
+            Int64.mul (hi ka) (hi kb);
+          ]
+        in
+        List.for_all (fun p -> p >= int_min && p <= int_max) corners
   else
     match op with
     | `Add -> not (Bitvec.add_overflows_unsigned (max_of ka) (max_of kb))

@@ -14,12 +14,21 @@ val unknown : int -> known_bits
 val of_const : Bitvec.t -> known_bits
 (** Every bit known. *)
 
+val concrete_binop : Ir.binop -> Bitvec.t -> Bitvec.t -> Bitvec.t
+(** Exact concrete fold under SMT-LIB total semantics (division by zero
+    and over-shift get their total-function results; UB inputs are
+    vacuous for must-claims). Shared with the abstract domains. *)
+
 val transfer_binop : Ir.binop -> int -> known_bits -> known_bits -> known_bits
-(** The per-instruction transfer function at width [w]. Sound for
-    [And]/[Or]/[Xor], shifts with fully-known in-range amounts, and
-    [Add]/[Sub] (ripple-carry bound propagation); anything else degrades
-    to {!unknown}. Exposed for the DSL-level lint domain and for the
-    exhaustive differential tests against {!Interp}. *)
+(** The per-instruction transfer function at width [w]. Fully-known
+    operands fold exactly. Sound partial transfers exist for
+    [And]/[Or]/[Xor], shifts with fully-known in-range amounts,
+    [Add]/[Sub] (ripple-carry bound propagation), [Mul] (trailing zeros
+    add, and the low [k] bits are known when both operands' low [k] bits
+    are), [Udiv]/[Urem] by a known power of two (exact shift/mask), and
+    the non-negative-dividend cases of [Sdiv]/[Srem]; anything else
+    degrades to {!unknown}. Exposed for the DSL-level lint domain and for
+    the exhaustive differential tests against {!Interp}. *)
 
 val known_bits : Ir.func -> Ir.value -> known_bits
 (** Forward propagation through the def-use graph. Constants are fully

@@ -1,91 +1,60 @@
-(* Known-bits abstract interpretation over Alive *templates* (Core.Ast), as
-   opposed to Analysis, which works on concrete IR. Template inputs and
+(* Abstract interpretation over Alive *templates* (Core.Ast), as opposed to
+   [Alive_absint.Query], which works on concrete IR. Template inputs and
    abstract constants concretize to anything, so they start at ⊤; literals
-   are fully known; instruction transfer reuses Analysis.transfer_binop.
+   are singletons; instruction transfer reuses the reduced product of known
+   bits × ranges × congruence from [Alive_absint.Domain].
 
    Everything is evaluated at a caller-chosen *analysis width*. The DSL is
    width-polymorphic, so a single width proves nothing by itself — the lint
    rules re-run the evaluation at several widths and only report facts on
    which all widths agree. [width(...)] always evaluates to ⊤ for the same
-   reason. *)
+   reason.
+
+   [~kb_only:true] collapses every computed value to its known-bits
+   component, reproducing the pre-range precision; the rules compare the
+   two modes to attribute a finding to the range/congruence domains. *)
 
 open Alive.Ast
+module Dom = Alive_absint.Domain
 
-type kb = Analysis.known_bits
+type av = Dom.t
 
-(* ---- Three-valued (Kleene) logic ---- *)
+(* ---- Three-valued (Kleene) logic, re-exported from the domain ---- *)
 
-type tribool = True | False | Unknown
+type tribool = Dom.tribool = True | False | Unknown
 
-let tri_not = function True -> False | False -> True | Unknown -> Unknown
+let tri_not = Dom.tri_not
+let tri_and = Dom.tri_and
+let tri_or = Dom.tri_or
+let tri_of_bool = Dom.tri_of_bool
 
-let tri_and a b =
-  match (a, b) with
-  | False, _ | _, False -> False
-  | True, True -> True
-  | _ -> Unknown
+(* ---- Helpers ---- *)
 
-let tri_or a b =
-  match (a, b) with
-  | True, _ | _, True -> True
-  | False, False -> False
-  | _ -> Unknown
+let known_value (d : av) = Dom.is_singleton d
+let fully_known (d : av) = known_value d <> None
 
-let tri_of_bool b = if b then True else False
+(* ---- Environment: template value name → abstract value ---- *)
 
-(* ---- Known-bits helpers ---- *)
+type env = { width : int; kb_only : bool; vals : (string, av) Hashtbl.t }
 
-let fully_known (k : kb) =
-  Bitvec.is_all_ones (Bitvec.logor k.Analysis.zeros k.Analysis.ones)
+(* Collapse to the known-bits component in kb-only mode; [Dom.of_kb]
+   re-derives the ranges the old known-bits linter computed on the fly, so
+   the collapsed mode matches its precision exactly. *)
+let clamp env (d : av) = if env.kb_only then Dom.of_kb d.Dom.width d.Dom.kb else d
 
-let known_value (k : kb) = if fully_known k then Some k.Analysis.ones else None
-
-(* Unsigned and signed bounds of the concretization set. *)
-let umin_of (k : kb) = k.Analysis.ones
-let umax_of (k : kb) = Bitvec.lognot k.Analysis.zeros
-
-let smin_of ~w (k : kb) =
-  if Bitvec.bit k.Analysis.zeros (w - 1) then k.Analysis.ones
-  else Bitvec.logor k.Analysis.ones (Bitvec.min_signed w)
-
-let smax_of ~w (k : kb) =
-  if Bitvec.bit k.Analysis.ones (w - 1) then Bitvec.lognot k.Analysis.zeros
-  else Bitvec.logand (Bitvec.lognot k.Analysis.zeros) (Bitvec.max_signed w)
-
-let join (a : kb) (b : kb) =
-  {
-    Analysis.zeros = Bitvec.logand a.Analysis.zeros b.Analysis.zeros;
-    ones = Bitvec.logand a.Analysis.ones b.Analysis.ones;
-  }
-
-(* ---- Three-valued comparisons ---- *)
-
-let tri_eq (a : kb) (b : kb) =
-  if
-    (not (Bitvec.is_zero (Bitvec.logand a.Analysis.ones b.Analysis.zeros)))
-    || not (Bitvec.is_zero (Bitvec.logand a.Analysis.zeros b.Analysis.ones))
-  then False
-  else if fully_known a && fully_known b then True
-  else Unknown
-
-let tri_ult a b =
-  if Bitvec.ult (umax_of a) (umin_of b) then True
-  else if Bitvec.ule (umax_of b) (umin_of a) then False
-  else Unknown
-
-let tri_slt ~w a b =
-  if Bitvec.slt (smax_of ~w a) (smin_of ~w b) then True
-  else if Bitvec.sle (smax_of ~w b) (smin_of ~w a) then False
-  else Unknown
-
-(* ---- Environment: template value name → known bits ---- *)
-
-type env = { width : int; vals : (string, kb) Hashtbl.t }
+(* In kb-only mode the transfer must be the raw known-bits one: collapsing
+   the product transfer's result would smuggle range facts back into the
+   known bits through [Dom.of_kb]'s reduction (e.g. urem by 3 bounds the
+   result to [0,2], which reduction turns into known-zero high bits). *)
+let dom_binop env op w (da : av) (db : av) =
+  if env.kb_only then
+    Dom.of_kb w (Analysis.transfer_binop op w da.Dom.kb db.Dom.kb)
+  else Dom.binop op w da db
 
 let lookup env ~w name =
   match Hashtbl.find_opt env.vals name with
-  | Some k when Bitvec.width k.Analysis.zeros = w -> k
-  | Some _ | None -> Analysis.unknown w
+  | Some d when d.Dom.width = w -> d
+  | Some _ | None -> Dom.top w
 
 let cbinop_ir = function
   | Cadd -> Ir.Add
@@ -102,55 +71,35 @@ let cbinop_ir = function
   | Cor -> Ir.Or
   | Cxor -> Ir.Xor
 
-let cbinop_concrete = function
-  | Cadd -> Bitvec.add
-  | Csub -> Bitvec.sub
-  | Cmul -> Bitvec.mul
-  | Csdiv -> Bitvec.sdiv
-  | Cudiv -> Bitvec.udiv
-  | Csrem -> Bitvec.srem
-  | Curem -> Bitvec.urem
-  | Cshl -> Bitvec.shl
-  | Clshr -> Bitvec.lshr
-  | Cashr -> Bitvec.ashr
-  | Cand -> Bitvec.logand
-  | Cor -> Bitvec.logor
-  | Cxor -> Bitvec.logxor
-
 (* ---- Constant expressions ---- *)
 
-let rec eval_cexpr env ~w e : kb =
+let rec eval_cexpr env ~w e : av =
   match e with
-  | Cint n -> Analysis.of_const (Bitvec.make ~width:w n)
-  | Cbool b -> Analysis.of_const (Bitvec.of_int ~width:w (if b then 1 else 0))
-  | Cabs _ -> Analysis.unknown w (* abstract constants concretize freely *)
+  | Cint n -> Dom.singleton (Bitvec.make ~width:w n)
+  | Cbool b -> Dom.singleton (Bitvec.of_int ~width:w (if b then 1 else 0))
+  | Cabs _ -> Dom.top w (* abstract constants concretize freely *)
   | Cval name -> lookup env ~w name
-  | Cun (Cnot, a) ->
-      let k = eval_cexpr env ~w a in
-      { Analysis.zeros = k.Analysis.ones; ones = k.Analysis.zeros }
+  | Cun (Cnot, a) -> clamp env (Dom.bnot (eval_cexpr env ~w a))
   | Cun (Cneg, a) ->
-      let k = eval_cexpr env ~w a in
-      Analysis.transfer_binop Ir.Sub w
-        (Analysis.of_const (Bitvec.zero w))
-        k
-  | Cbin (op, a, b) -> (
-      let ka = eval_cexpr env ~w a and kb = eval_cexpr env ~w b in
-      match (known_value ka, known_value kb) with
-      | Some va, Some vb -> Analysis.of_const (cbinop_concrete op va vb)
-      | _ -> Analysis.transfer_binop (cbinop_ir op) w ka kb)
+      dom_binop env Ir.Sub w
+        (Dom.singleton (Bitvec.zero w))
+        (eval_cexpr env ~w a)
+  | Cbin (op, a, b) ->
+      let da = eval_cexpr env ~w a and db = eval_cexpr env ~w b in
+      dom_binop env (cbinop_ir op) w da db
   | Cfun ("width", _) ->
       (* width-polymorphic: never assume the analysis width is the real one *)
-      Analysis.unknown w
+      Dom.top w
   | Cfun (name, args) -> (
-      let ks = List.map (eval_cexpr env ~w) args in
-      match (name, List.map known_value ks) with
-      | "abs", [ Some a ] -> Analysis.of_const (Bitvec.abs a)
-      | "log2", [ Some a ] -> Analysis.of_const (Bitvec.log2 a)
-      | "umax", [ Some a; Some b ] -> Analysis.of_const (Bitvec.umax a b)
-      | "umin", [ Some a; Some b ] -> Analysis.of_const (Bitvec.umin a b)
-      | "smax", [ Some a; Some b ] -> Analysis.of_const (Bitvec.smax a b)
-      | "smin", [ Some a; Some b ] -> Analysis.of_const (Bitvec.smin a b)
-      | _ -> Analysis.unknown w)
+      let ds = List.map (eval_cexpr env ~w) args in
+      match (name, List.map known_value ds) with
+      | "abs", [ Some a ] -> Dom.singleton (Bitvec.abs a)
+      | "log2", [ Some a ] -> Dom.singleton (Bitvec.log2 a)
+      | "umax", [ Some a; Some b ] -> Dom.singleton (Bitvec.umax a b)
+      | "umin", [ Some a; Some b ] -> Dom.singleton (Bitvec.umin a b)
+      | "smax", [ Some a; Some b ] -> Dom.singleton (Bitvec.smax a b)
+      | "smin", [ Some a; Some b ] -> Dom.singleton (Bitvec.smin a b)
+      | _ -> Dom.top w)
 
 (* Width of an expression through its annotated/known leaves; [None] means
    "no demand", in which case the analysis width applies. *)
@@ -158,9 +107,7 @@ let rec cexpr_width env e =
   match e with
   | Cint _ | Cbool _ | Cabs _ -> None
   | Cval name ->
-      Option.map
-        (fun k -> Bitvec.width k.Analysis.zeros)
-        (Hashtbl.find_opt env.vals name)
+      Option.map (fun d -> d.Dom.width) (Hashtbl.find_opt env.vals name)
   | Cun (_, a) -> cexpr_width env a
   | Cbin (_, a, b) -> (
       match cexpr_width env a with
@@ -193,42 +140,8 @@ let inst_width ~default ty inst =
 let eval_operand env ~w (t : toperand) =
   match t.op with
   | Var name -> lookup env ~w name
-  | Undef -> Analysis.unknown w
+  | Undef -> Dom.top w
   | ConstOp e -> eval_cexpr env ~w e
-
-let zext_kb (k : kb) wt =
-  let ws = Bitvec.width k.Analysis.zeros in
-  if ws > wt then Analysis.unknown wt
-  else
-    {
-      Analysis.zeros =
-        Bitvec.lognot (Bitvec.zext (Bitvec.lognot k.Analysis.zeros) wt);
-      ones = Bitvec.zext k.Analysis.ones wt;
-    }
-
-let sext_kb (k : kb) wt =
-  let ws = Bitvec.width k.Analysis.zeros in
-  if ws > wt then Analysis.unknown wt
-  else if Bitvec.bit k.Analysis.zeros (ws - 1) then zext_kb k wt
-  else if Bitvec.bit k.Analysis.ones (ws - 1) then
-    {
-      Analysis.zeros = Bitvec.zext k.Analysis.zeros wt;
-      ones = Bitvec.lognot (Bitvec.zext (Bitvec.lognot k.Analysis.ones) wt);
-    }
-  else
-    {
-      Analysis.zeros = Bitvec.zext k.Analysis.zeros wt;
-      ones = Bitvec.zext k.Analysis.ones wt;
-    }
-
-let trunc_kb (k : kb) wt =
-  let ws = Bitvec.width k.Analysis.zeros in
-  if wt > ws then Analysis.unknown wt
-  else
-    {
-      Analysis.zeros = Bitvec.trunc k.Analysis.zeros wt;
-      ones = Bitvec.trunc k.Analysis.ones wt;
-    }
 
 let eval_icmp env cond a b =
   let w =
@@ -236,137 +149,113 @@ let eval_icmp env cond a b =
     | Some w, _ | None, Some w -> w
     | None, None -> env.width
   in
-  let ka = eval_operand env ~w a and kb = eval_operand env ~w b in
+  let da = eval_operand env ~w a and db = eval_operand env ~w b in
   match cond with
-  | Ceq -> tri_eq ka kb
-  | Cne -> tri_not (tri_eq ka kb)
-  | Cult -> tri_ult ka kb
-  | Cule -> tri_not (tri_ult kb ka)
-  | Cugt -> tri_ult kb ka
-  | Cuge -> tri_not (tri_ult ka kb)
-  | Cslt -> tri_slt ~w ka kb
-  | Csle -> tri_not (tri_slt ~w kb ka)
-  | Csgt -> tri_slt ~w kb ka
-  | Csge -> tri_not (tri_slt ~w ka kb)
+  | Ceq -> Dom.tri_eq da db
+  | Cne -> tri_not (Dom.tri_eq da db)
+  | Cult -> Dom.tri_ult da db
+  | Cule -> tri_not (Dom.tri_ult db da)
+  | Cugt -> Dom.tri_ult db da
+  | Cuge -> tri_not (Dom.tri_ult da db)
+  | Cslt -> Dom.tri_slt da db
+  | Csle -> tri_not (Dom.tri_slt db da)
+  | Csgt -> Dom.tri_slt db da
+  | Csge -> tri_not (Dom.tri_slt da db)
+
+(* The abstract value of one instruction, given an environment holding its
+   operands. Shared by the source interpretation below and the
+   target-statically-poison lint rule. *)
+let eval_inst env ~w inst : av =
+  match inst with
+  | Binop (op, _, a, b) ->
+      let da = eval_operand env ~w a and db = eval_operand env ~w b in
+      dom_binop env (Alive_opt.Matcher.ir_binop op) w da db
+  | Icmp (cond, a, b) -> (
+      match eval_icmp env cond a b with
+      | True -> Dom.singleton (Bitvec.one 1)
+      | False -> Dom.singleton (Bitvec.zero 1)
+      | Unknown -> Dom.top 1)
+  | Select (c, a, b) -> (
+      let dc = eval_operand env ~w:1 c in
+      let da = eval_operand env ~w a and db = eval_operand env ~w b in
+      match known_value dc with
+      | Some v when Bitvec.is_true v -> da
+      | Some _ -> db
+      | None -> Dom.join da db)
+  | Conv (cv, a, _) -> (
+      let ws =
+        match operand_width a with
+        | Some w' -> w'
+        | None -> (
+            match a.op with
+            | Var n -> (
+                match Hashtbl.find_opt env.vals n with
+                | Some d -> d.Dom.width
+                | None -> env.width)
+            | _ -> env.width)
+      in
+      let da = eval_operand env ~w:ws a in
+      match cv with
+      | Zext -> if ws > w then Dom.top w else clamp env (Dom.zext da w)
+      | Sext -> if ws > w then Dom.top w else clamp env (Dom.sext da w)
+      | Trunc -> if w > ws then Dom.top w else clamp env (Dom.trunc da w)
+      | Bitcast | Ptrtoint | Inttoptr -> Dom.top w)
+  | Copy a -> eval_operand env ~w a
+  | Alloca _ | Load _ | Gep _ -> Dom.top w
 
 (* Abstractly execute the source pattern at analysis width [width]: inputs
    and abstract constants are ⊤, each definition gets the transfer of its
    instruction. Statements are processed in order (templates are SSA). *)
-let env_of_source ~width (stmts : stmt list) =
-  let env = { width; vals = Hashtbl.create 16 } in
+let env_of_source ?(kb_only = false) ~width (stmts : stmt list) =
+  let env = { width; kb_only; vals = Hashtbl.create 16 } in
   List.iter
     (fun st ->
       match st with
       | Store _ | Unreachable -> ()
       | Def (name, ty, inst) ->
           let w = inst_width ~default:width ty inst in
-          let k =
-            match inst with
-            | Binop (op, _, a, b) -> (
-                let ka = eval_operand env ~w a
-                and kb = eval_operand env ~w b in
-                match (known_value ka, known_value kb) with
-                | Some va, Some vb ->
-                    Analysis.of_const
-                      (cbinop_concrete
-                         (match op with
-                         | Add -> Cadd
-                         | Sub -> Csub
-                         | Mul -> Cmul
-                         | UDiv -> Cudiv
-                         | SDiv -> Csdiv
-                         | URem -> Curem
-                         | SRem -> Csrem
-                         | Shl -> Cshl
-                         | LShr -> Clshr
-                         | AShr -> Cashr
-                         | And -> Cand
-                         | Or -> Cor
-                         | Xor -> Cxor)
-                         va vb)
-                | _ ->
-                    Analysis.transfer_binop (Alive_opt.Matcher.ir_binop op) w
-                      ka kb)
-            | Icmp (cond, a, b) -> (
-                match eval_icmp env cond a b with
-                | True -> Analysis.of_const (Bitvec.one 1)
-                | False -> Analysis.of_const (Bitvec.zero 1)
-                | Unknown -> Analysis.unknown 1)
-            | Select (c, a, b) -> (
-                let kc = eval_operand env ~w:1 c in
-                let ka = eval_operand env ~w a
-                and kb = eval_operand env ~w b in
-                match known_value kc with
-                | Some v when Bitvec.is_true v -> ka
-                | Some _ -> kb
-                | None -> join ka kb)
-            | Conv (cv, a, _) -> (
-                let ws =
-                  match operand_width a with
-                  | Some w' -> w'
-                  | None -> (
-                      match a.op with
-                      | Var n -> (
-                          match Hashtbl.find_opt env.vals n with
-                          | Some k -> Bitvec.width k.Analysis.zeros
-                          | None -> width)
-                      | _ -> width)
-                in
-                let ka = eval_operand env ~w:ws a in
-                match cv with
-                | Zext -> zext_kb ka w
-                | Sext -> sext_kb ka w
-                | Trunc -> trunc_kb ka w
-                | Bitcast | Ptrtoint | Inttoptr -> Analysis.unknown w)
-            | Copy a -> eval_operand env ~w a
-            | Alloca _ | Load _ | Gep _ -> Analysis.unknown w
-          in
-          Hashtbl.replace env.vals name k)
+          Hashtbl.replace env.vals name (eval_inst env ~w inst))
     stmts;
   env
 
-(* ---- Predicates ---- *)
+(* ---- Statically poisonous instructions (for the target lint rule) ---- *)
 
-(* Conservative three-valued overflow reasoning from value bounds; width is
-   at most 32 here, so 64-bit ints hold every sum/product exactly. *)
-let tri_will_not_overflow ~w op ~signed ka kb =
-  let open Int64 in
-  if signed then begin
-    let lo k = Bitvec.to_signed_int64 (smin_of ~w k)
-    and hi k = Bitvec.to_signed_int64 (smax_of ~w k) in
-    let la, ha, lb, hb = (lo ka, hi ka, lo kb, hi kb) in
-    let corners =
+(* [True] when every concretization of the instruction's operands makes it
+   immediately undefined or poison under the LLVM semantics: division or
+   remainder by zero, or a shift by at least the bit width. Evaluated over
+   the source environment, so a target instruction feeding on matched
+   values inherits their constraints. *)
+let inst_always_poison env ~w inst : tribool =
+  match inst with
+  | Binop (op, _, _, b) -> (
+      let db = eval_operand env ~w b in
       match op with
-      | `Add -> [ add la lb; add ha hb ]
-      | `Sub -> [ sub la hb; sub ha lb ]
-      | `Mul -> [ mul la lb; mul la hb; mul ha lb; mul ha hb ]
-    in
-    let minv = List.fold_left min (List.hd corners) corners
-    and maxv = List.fold_left max (List.hd corners) corners in
-    let int_min = neg (shift_left 1L (w - 1))
-    and int_max = sub (shift_left 1L (w - 1)) 1L in
-    if minv >= int_min && maxv <= int_max then True
-    else if minv > int_max || maxv < int_min then False
-    else Unknown
-  end
-  else begin
-    let lo k = Bitvec.to_int64 (umin_of k)
-    and hi k = Bitvec.to_int64 (umax_of k) in
-    let la, ha, lb, hb = (lo ka, hi ka, lo kb, hi kb) in
-    let modulus = shift_left 1L w in
-    match op with
-    | `Add ->
-        if add ha hb < modulus then True
-        else if add la lb >= modulus then False
-        else Unknown
-    | `Sub ->
-        (* "overflow" = borrow: a < b somewhere *)
-        if la >= hb then True else if ha < lb then False else Unknown
-    | `Mul ->
-        if mul ha hb < modulus then True
-        else if mul la lb >= modulus then False
-        else Unknown
-  end
+      | UDiv | SDiv | URem | SRem ->
+          Dom.tri_eq db (Dom.singleton (Bitvec.zero w))
+      | Shl | LShr | AShr ->
+          (* poison iff shift amount ≥ w *)
+          tri_not (Dom.tri_ult db (Dom.singleton (Bitvec.of_int ~width:w w)))
+      | Add | Sub | Mul | And | Or | Xor -> False)
+  | Icmp _ | Select _ | Conv _ | Copy _ | Alloca _ | Load _ | Gep _ -> False
+
+(* Per-target-statement poison verdicts: interpret the source pattern, then
+   extend the environment definition by definition through the target,
+   asking [inst_always_poison] before each binding. Indices follow the
+   statement list, so the caller can map them to source lines. *)
+let target_poison ~width src tgt =
+  let env = env_of_source ~width src in
+  List.mapi
+    (fun i st ->
+      match st with
+      | Store _ | Unreachable -> (i, False)
+      | Def (name, ty, inst) ->
+          let w = inst_width ~default:width ty inst in
+          let v = inst_always_poison env ~w inst in
+          Hashtbl.replace env.vals name (eval_inst env ~w inst);
+          (i, v))
+    tgt
+
+(* ---- Predicates ---- *)
 
 let pcall_width env args =
   match List.find_map (cexpr_width env) args with
@@ -375,28 +264,14 @@ let pcall_width env args =
 
 let eval_pcall env name args =
   let w = pcall_width env args in
-  let ks = List.map (eval_cexpr env ~w) args in
-  match (name, ks) with
-  | ("isPowerOf2" | "isPowerOf2OrZero"), [ k ] -> (
-      let or_zero = name = "isPowerOf2OrZero" in
-      match known_value k with
-      | Some v ->
-          tri_of_bool (Bitvec.is_power_of_two v || (or_zero && Bitvec.is_zero v))
-      | None ->
-          if Bitvec.popcount k.Analysis.ones >= 2 then False else Unknown)
-  | "isSignBit", [ k ] -> (
-      match known_value k with
-      | Some v -> tri_of_bool (Bitvec.equal v (Bitvec.min_signed w))
-      | None ->
-          if
-            Bitvec.bit k.Analysis.zeros (w - 1)
-            || not
-                 (Bitvec.is_zero
-                    (Bitvec.logand k.Analysis.ones (Bitvec.max_signed w)))
-          then False
-          else Unknown)
-  | "isShiftedMask", [ k ] -> (
-      match known_value k with
+  let ds = List.map (eval_cexpr env ~w) args in
+  match (name, ds) with
+  | ("isPowerOf2" | "isPowerOf2OrZero"), [ d ] ->
+      Dom.tri_is_power_of_two ~or_zero:(name = "isPowerOf2OrZero") d
+  | "isSignBit", [ d ] ->
+      Dom.tri_eq d (Dom.singleton (Bitvec.min_signed w))
+  | "isShiftedMask", [ d ] -> (
+      match known_value d with
       | Some c ->
           let filled = Bitvec.logor c (Bitvec.sub c (Bitvec.one w)) in
           let succ = Bitvec.add filled (Bitvec.one w) in
@@ -405,29 +280,23 @@ let eval_pcall env name args =
             && Bitvec.is_zero
                  (Bitvec.logand succ (Bitvec.sub succ (Bitvec.one w))))
       | None -> Unknown)
-  | "MaskedValueIsZero", [ kv; km ] ->
-      if
-        Bitvec.is_zero
-          (Bitvec.logand
-             (Bitvec.lognot km.Analysis.zeros)
-             (Bitvec.lognot kv.Analysis.zeros))
-      then True
-      else if
-        not (Bitvec.is_zero (Bitvec.logand km.Analysis.ones kv.Analysis.ones))
-      then False
-      else Unknown
+  | "MaskedValueIsZero", [ dv; dm ] ->
+      (* mask ∧ v = 0 for every concretization *)
+      Dom.tri_eq
+        (Dom.binop Ir.And w dv dm)
+        (Dom.singleton (Bitvec.zero w))
   | "WillNotOverflowSignedAdd", [ a; b ] ->
-      tri_will_not_overflow ~w `Add ~signed:true a b
+      Dom.tri_will_not_overflow `Add ~signed:true a b
   | "WillNotOverflowUnsignedAdd", [ a; b ] ->
-      tri_will_not_overflow ~w `Add ~signed:false a b
+      Dom.tri_will_not_overflow `Add ~signed:false a b
   | "WillNotOverflowSignedSub", [ a; b ] ->
-      tri_will_not_overflow ~w `Sub ~signed:true a b
+      Dom.tri_will_not_overflow `Sub ~signed:true a b
   | "WillNotOverflowUnsignedSub", [ a; b ] ->
-      tri_will_not_overflow ~w `Sub ~signed:false a b
+      Dom.tri_will_not_overflow `Sub ~signed:false a b
   | "WillNotOverflowSignedMul", [ a; b ] ->
-      tri_will_not_overflow ~w `Mul ~signed:true a b
+      Dom.tri_will_not_overflow `Mul ~signed:true a b
   | "WillNotOverflowUnsignedMul", [ a; b ] ->
-      tri_will_not_overflow ~w `Mul ~signed:false a b
+      Dom.tri_will_not_overflow `Mul ~signed:false a b
   | _ -> Unknown (* hasOneUse and friends are dynamic facts *)
 
 let rec eval_pred env p =
@@ -443,15 +312,15 @@ let rec eval_pred env p =
         | Some w -> w
         | None -> Option.value ~default:env.width (cexpr_width env b)
       in
-      let ka = eval_cexpr env ~w a and kb = eval_cexpr env ~w b in
+      let da = eval_cexpr env ~w a and db = eval_cexpr env ~w b in
       match op with
-      | Peq -> tri_eq ka kb
-      | Pne -> tri_not (tri_eq ka kb)
-      | Pult -> tri_ult ka kb
-      | Pule -> tri_not (tri_ult kb ka)
-      | Pugt -> tri_ult kb ka
-      | Puge -> tri_not (tri_ult ka kb)
-      | Pslt -> tri_slt ~w ka kb
-      | Psle -> tri_not (tri_slt ~w kb ka)
-      | Psgt -> tri_slt ~w kb ka
-      | Psge -> tri_not (tri_slt ~w ka kb))
+      | Peq -> Dom.tri_eq da db
+      | Pne -> tri_not (Dom.tri_eq da db)
+      | Pult -> Dom.tri_ult da db
+      | Pule -> tri_not (Dom.tri_ult db da)
+      | Pugt -> Dom.tri_ult db da
+      | Puge -> tri_not (Dom.tri_ult da db)
+      | Pslt -> Dom.tri_slt da db
+      | Psle -> tri_not (Dom.tri_slt db da)
+      | Psgt -> Dom.tri_slt db da
+      | Psge -> tri_not (Dom.tri_slt da db))

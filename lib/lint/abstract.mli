@@ -1,28 +1,52 @@
-(** Known-bits abstract interpretation over Alive templates (the lint twin
-    of {!Analysis}, which works on concrete IR). Inputs and abstract
-    constants are ⊤; evaluation happens at a caller-chosen analysis width.
-    The DSL is width-polymorphic, so sound conclusions require agreement
-    across several analysis widths — see {!Rules.analysis_widths}. *)
+(** Abstract interpretation over Alive templates (the lint twin of
+    {!Alive_absint.Query}, which works on concrete IR). Inputs and abstract
+    constants are ⊤; evaluation happens at a caller-chosen analysis width
+    over the reduced product of known bits × ranges × congruence
+    ({!Alive_absint.Domain}). The DSL is width-polymorphic, so sound
+    conclusions require agreement across several analysis widths — see
+    {!Rules.analysis_widths}. *)
 
-type kb = Analysis.known_bits
+type av = Alive_absint.Domain.t
 
-(** Kleene three-valued truth. *)
-type tribool = True | False | Unknown
+(** Kleene three-valued truth (re-exported from the domain). *)
+type tribool = Alive_absint.Domain.tribool = True | False | Unknown
 
 val tri_not : tribool -> tribool
 val tri_and : tribool -> tribool -> tribool
 val tri_or : tribool -> tribool -> tribool
 
-val fully_known : kb -> bool
-val known_value : kb -> Bitvec.t option
+val fully_known : av -> bool
+val known_value : av -> Bitvec.t option
 
 type env
 
-val env_of_source : width:int -> Alive.Ast.stmt list -> env
-(** Abstractly execute a source pattern: each definition's known bits are
-    derived from its operands via the {!Analysis} transfer functions. *)
+val env_of_source : ?kb_only:bool -> width:int -> Alive.Ast.stmt list -> env
+(** Abstractly execute a source pattern: each definition's value is derived
+    from its operands via the {!Alive_absint.Domain} transfer functions.
+    [~kb_only:true] collapses every value to its known-bits component —
+    the precision of the pre-range linter — so a rule can attribute a
+    verdict to the range/congruence domains by comparing modes. *)
 
-val eval_cexpr : env -> w:int -> Alive.Ast.cexpr -> kb
+val eval_cexpr : env -> w:int -> Alive.Ast.cexpr -> av
+
+val eval_inst : env -> w:int -> Alive.Ast.inst -> av
+(** Transfer of one template instruction under [env]'s bindings. *)
+
+val inst_always_poison : env -> w:int -> Alive.Ast.inst -> tribool
+(** [True] when every concretization of the operands makes the instruction
+    immediately undefined or poison (division/remainder by zero, shift by
+    at least the width). Powers the [static-poison.target] lint rule. *)
+
+val target_poison :
+  width:int ->
+  Alive.Ast.stmt list ->
+  Alive.Ast.stmt list ->
+  (int * tribool) list
+(** [target_poison ~width src tgt]: interpret [src], then walk [tgt]
+    definition by definition, reporting for each statement index whether
+    the instruction is {!inst_always_poison} under everything matched so
+    far. *)
+
 val eval_pred : env -> Alive.Ast.pred -> tribool
 (** Three-valued evaluation of a precondition under the abstract
     environment: [True]/[False] only when every concretization of the

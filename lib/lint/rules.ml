@@ -87,12 +87,28 @@ let check_precondition ~file (t : transform) =
       let envs =
         List.map (fun w -> Abstract.env_of_source ~width:w t.src) analysis_widths
       in
+      (* Known-bits-only twin environments: a clause the full product
+         decides but these do not is attributed to the range/congruence
+         domains (separate rule names, so the report says which analysis
+         earned the verdict). *)
+      let kb_envs =
+        List.map
+          (fun w -> Abstract.env_of_source ~kb_only:true ~width:w t.src)
+          analysis_widths
+      in
       let where = D.span ?file (Alive.Ast.pre_line t.locs) in
-      let verdict c =
-        let vs = List.map (fun env -> Abstract.eval_pred env c) envs in
+      let decided es c =
+        let vs = List.map (fun env -> Abstract.eval_pred env c) es in
         if List.for_all (fun v -> v = Abstract.True) vs then `True
         else if List.for_all (fun v -> v = Abstract.False) vs then `False
         else `Unknown
+      in
+      let verdict c =
+        match decided envs c with
+        | `Unknown -> `Unknown
+        | `True -> if decided kb_envs c = `True then `True else `Range `True
+        | `False ->
+            if decided kb_envs c = `False then `False else `Range `False
       in
       let _, diags =
         List.fold_left
@@ -118,8 +134,8 @@ let check_precondition ~file (t : transform) =
                          or constant; it is trivially %s"
                         txt
                         (match verdict c with
-                        | `True -> "true"
-                        | `False -> "false"
+                        | `True | `Range `True -> "true"
+                        | `False | `Range `False -> "false"
                         | `Unknown -> "constant")))
               else
                 match verdict c with
@@ -132,6 +148,18 @@ let check_precondition ~file (t : transform) =
                             "precondition clause `%s` is already implied by \
                              the source pattern"
                             txt))
+                | `Range `True ->
+                    Some
+                      (D.make ~rule:"dead-precondition.range-implied"
+                         ~severity:D.Warning ~where
+                         ~hint:
+                           "the clause can be removed (proved by the \
+                            range/congruence domains; known bits alone \
+                            cannot decide it)"
+                         (Printf.sprintf
+                            "precondition clause `%s` is already implied by \
+                             the source pattern's value ranges"
+                            txt))
                 | `False ->
                     Some
                       (D.make ~rule:"dead-precondition.contradiction"
@@ -142,6 +170,19 @@ let check_precondition ~file (t : transform) =
                          (Printf.sprintf
                             "precondition clause `%s` contradicts the source \
                              pattern; the transformation is unmatchable"
+                            txt))
+                | `Range `False ->
+                    Some
+                      (D.make ~rule:"dead-precondition.range-contradiction"
+                         ~severity:D.Error ~where
+                         ~hint:
+                           "no concrete code can satisfy both the pattern \
+                            and this clause (proved by the range/congruence \
+                            domains; known bits alone cannot decide it)"
+                         (Printf.sprintf
+                            "precondition clause `%s` contradicts the source \
+                             pattern's value ranges; the transformation is \
+                             unmatchable"
                             txt))
                 | `Unknown -> None
             in
@@ -363,6 +404,43 @@ let check_literal_widths ~file (t : transform) =
   |> check_stmts t.tgt (Alive.Ast.tgt_line t.locs)
   |> List.rev
 
+(* ---- Statically poisonous targets ---- *)
+
+(* A target instruction that is immediately undefined or poison for every
+   input the source pattern can match — division or remainder by a divisor
+   the abstract domains pin to zero, or a shift by at least the bit width.
+   Such a rewrite can never improve the program: either the transformation
+   is wrong, or it only fires on inputs that were already undefined. As
+   with the precondition rules, a verdict must hold at every analysis
+   width to be reported. *)
+let check_static_poison ~file (t : transform) =
+  match
+    List.map
+      (fun w -> Abstract.target_poison ~width:w t.src t.tgt)
+      analysis_widths
+  with
+  | [] -> []
+  | first :: rest ->
+      List.filter_map
+        (fun (i, v) ->
+          if
+            v = Abstract.True
+            && List.for_all
+                 (fun per_width -> List.assoc i per_width = Abstract.True)
+                 rest
+          then
+            Some
+              (D.make ~rule:"static-poison.target" ~severity:D.Error
+                 ~where:(D.span ?file (Alive.Ast.tgt_line t.locs i))
+                 ~hint:
+                   "the instruction is division by zero or an over-wide \
+                    shift for every matched input; the rewrite can never \
+                    produce a defined value"
+                 "target instruction is statically poison or undefined for \
+                  every input the source pattern matches")
+          else None)
+        first
+
 (* ---- Vacuous preconditions ---- *)
 
 (* Transformations proven correct with their precondition dropped
@@ -392,6 +470,7 @@ let check ?file ?(canonical = true) (t : transform) =
       check_constants ~file t;
       check_literal_widths ~file t;
       check_precondition ~file t;
+      check_static_poison ~file t;
       check_vacuous ~file t;
       check_cost ~file ~canonical t;
     ]

@@ -104,6 +104,20 @@ let arg_value env e =
           | Some c -> Some (Ir.Const c)
           | None -> None))
 
+(* One [Query.analyze] forward pass per function, memoized by physical
+   identity: the matcher evaluates many predicates against the same
+   (immutable) function while scanning its rules. The product is strictly
+   at least as precise as the known-bits [Analysis] calls it replaces. *)
+let query_cache : (Ir.func * Alive_absint.Query.env) option ref = ref None
+
+let query_env f =
+  match !query_cache with
+  | Some (g, q) when g == f -> q
+  | _ ->
+      let q = Alive_absint.Query.analyze f in
+      query_cache := Some (f, q);
+      q
+
 let rec pred env p =
   match p with
   | Ptrue -> true
@@ -137,12 +151,19 @@ let rec pred env p =
           | _ -> false))
   | Pcall (name, args) -> (
       let f = env.func in
+      let q = query_env f in
+      let module Q = Alive_absint.Query in
+      let module Dom = Alive_absint.Domain in
       match (name, List.map (arg_value env) args) with
-      | "isPowerOf2", [ Some v ] -> Analysis.is_known_power_of_two f v
-      | "isPowerOf2OrZero", [ Some (Ir.Const c) ] ->
-          Bitvec.is_zero (Bitvec.logand c (Bitvec.sub c (Bitvec.one (Bitvec.width c))))
-      | "isSignBit", [ Some (Ir.Const c) ] ->
-          Bitvec.equal c (Bitvec.min_signed (Bitvec.width c))
+      | "isPowerOf2", [ Some v ] -> Q.is_known_power_of_two q v
+      | "isPowerOf2OrZero", [ Some v ] ->
+          Dom.tri_is_power_of_two ~or_zero:true (Q.value_domain q v)
+          = Dom.True
+      | "isSignBit", [ Some v ] ->
+          let w = Ir.value_width f v in
+          Dom.tri_eq (Q.value_domain q v)
+            (Dom.singleton (Bitvec.min_signed w))
+          = Dom.True
       | "isShiftedMask", [ Some (Ir.Const c) ] ->
           let w = Bitvec.width c in
           let filled = Bitvec.logor c (Bitvec.sub c (Bitvec.one w)) in
@@ -150,25 +171,25 @@ let rec pred env p =
           (not (Bitvec.is_zero c))
           && Bitvec.is_zero (Bitvec.logand succ (Bitvec.sub succ (Bitvec.one w)))
       | "MaskedValueIsZero", [ Some v; Some (Ir.Const mask) ] ->
-          Analysis.masked_value_is_zero f v mask
+          Q.masked_value_is_zero q v mask
       | ("hasOneUse" | "OneUse"), [ Some (Ir.Var n) ] ->
           Option.value ~default:0 (Hashtbl.find_opt (Ir.uses_of f) n) = 1
       | ("hasOneUse" | "OneUse"), [ Some _ ] -> true
       | "WillNotOverflowSignedAdd", [ Some a; Some b ] ->
-          Analysis.will_not_overflow f `Add ~signed:true a b
+          Q.will_not_overflow q `Add ~signed:true a b
       | "WillNotOverflowUnsignedAdd", [ Some a; Some b ] ->
-          Analysis.will_not_overflow f `Add ~signed:false a b
+          Q.will_not_overflow q `Add ~signed:false a b
       | "WillNotOverflowSignedSub", [ Some a; Some b ] ->
-          Analysis.will_not_overflow f `Sub ~signed:true a b
+          Q.will_not_overflow q `Sub ~signed:true a b
       | "WillNotOverflowUnsignedSub", [ Some a; Some b ] ->
-          Analysis.will_not_overflow f `Sub ~signed:false a b
+          Q.will_not_overflow q `Sub ~signed:false a b
       | "WillNotOverflowSignedMul", [ Some (Ir.Const a); Some (Ir.Const b) ] ->
           not (Bitvec.mul_overflows_signed a b)
       | "WillNotOverflowSignedMul", [ Some a; Some b ] ->
-          Analysis.will_not_overflow f `Mul ~signed:true a b
+          Q.will_not_overflow q `Mul ~signed:true a b
       | "WillNotOverflowUnsignedMul", [ Some (Ir.Const a); Some (Ir.Const b) ]
         ->
           not (Bitvec.mul_overflows_unsigned a b)
       | "WillNotOverflowUnsignedMul", [ Some a; Some b ] ->
-          Analysis.will_not_overflow f `Mul ~signed:false a b
+          Q.will_not_overflow q `Mul ~signed:false a b
       | _ -> false)

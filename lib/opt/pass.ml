@@ -33,7 +33,13 @@ let run_guarded ~rules ?(max_rewrites = 1000) (f : Ir.func) =
     end
     else
       (* First (rule, def) pair that fires wins; restart after a rewrite so
-         newly created instructions are themselves candidates. *)
+         newly created instructions are themselves candidates. A rewrite
+         whose DCE'd result costs more than the current function is
+         rejected: a rule's target is only cheaper than its source when the
+         matched interior instructions die, which shared subexpressions can
+         prevent. The guard keeps every accepted step non-increasing, which
+         is also what makes the baseline never costlier than this pass. *)
+      let base_cost = Cost.func_cost f in
       let fired =
         List.find_map
           (fun (d : Ir.def) ->
@@ -44,7 +50,10 @@ let run_guarded ~rules ?(max_rewrites = 1000) (f : Ir.func) =
                 | Some m -> (
                     match Matcher.rewrite rule f m with
                     | None -> None
-                    | Some f' -> Some (rule.Matcher.rule_name, f')))
+                    | Some f' ->
+                        let f' = dce f' in
+                        if Cost.func_cost f' > base_cost then None
+                        else Some (rule.Matcher.rule_name, f')))
               rules)
           f.Ir.body
       in
@@ -52,7 +61,7 @@ let run_guarded ~rules ?(max_rewrites = 1000) (f : Ir.func) =
       | None -> f
       | Some (name, f') ->
           stats := bump !stats name;
-          loop (dce f') (budget - 1)
+          loop f' (budget - 1)
   in
   let f' = loop f max_rewrites in
   {

@@ -146,6 +146,7 @@ let verdict_json (r : Alive.Refine.result) =
       ("cache_misses", Json.Int s.telemetry.cache_misses);
       ("store_hits", Json.Int s.telemetry.store_hits);
       ("store_misses", Json.Int s.telemetry.store_misses);
+      ("static_proved", Json.Int s.telemetry.static_proved);
       ("conflicts", Json.Int s.telemetry.conflicts);
       ("cegar", Json.Int s.telemetry.cegar_iterations);
       ("sat_s", Json.Float s.telemetry.sat_time);

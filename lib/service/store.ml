@@ -145,6 +145,7 @@ let entry_json digest (e : entry) =
                 ("sat_s", Json.Float c.sat_s);
                 ("conflicts", Json.Int c.conflicts);
                 ("cegar", Json.Int c.cegar_iterations);
+                ("static", Json.Bool c.static);
               ] );
         ]
   in
@@ -166,7 +167,12 @@ let entry_of_json j =
             Option.bind (Json.member "cegar" c) Json.to_int )
         with
         | Some sat_s, Some conflicts, Some cegar_iterations ->
-            Some { Alive_smt.Vc_cache.sat_s; conflicts; cegar_iterations }
+            let static =
+              match Json.member "static" c with
+              | Some (Json.Bool b) -> b
+              | _ -> false
+            in
+            Some { Alive_smt.Vc_cache.sat_s; conflicts; cegar_iterations; static }
         | _ -> None)
   in
   let finish digest verdict =

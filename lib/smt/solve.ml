@@ -50,6 +50,7 @@ type telemetry = {
   mutable cache_evictions : int;
   mutable store_hits : int;
   mutable store_misses : int;
+  mutable static_proved : int;
 }
 
 let telemetry () =
@@ -70,6 +71,7 @@ let telemetry () =
     cache_evictions = 0;
     store_hits = 0;
     store_misses = 0;
+    static_proved = 0;
   }
 
 let add_telemetry ~into (t : telemetry) =
@@ -88,7 +90,8 @@ let add_telemetry ~into (t : telemetry) =
   into.cache_misses <- into.cache_misses + t.cache_misses;
   into.cache_evictions <- into.cache_evictions + t.cache_evictions;
   into.store_hits <- into.store_hits + t.store_hits;
-  into.store_misses <- into.store_misses + t.store_misses
+  into.store_misses <- into.store_misses + t.store_misses;
+  into.static_proved <- into.static_proved + t.static_proved
 
 (* A meter tracks what one logical query has consumed: the deadline is fixed
    at query start, the conflict allowance is drawn down across every solver

@@ -63,6 +63,9 @@ type telemetry = {
       (** persistent verdict-store hits/misses, counted only while a store
           backing is installed (see {!Vc_cache.set_backing}) *)
   mutable store_misses : int;
+  mutable static_proved : int;
+      (** verification conditions discharged by the tier-0 static prover
+          (see [Alive_absint.Prover]) without reaching the SAT solver *)
 }
 
 val telemetry : unit -> telemetry

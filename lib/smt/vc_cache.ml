@@ -167,7 +167,12 @@ let digest k =
    lib/smt does not depend on the service layer. Models cross the boundary
    in the canonical namespace. *)
 
-type query_cost = { sat_s : float; conflicts : int; cegar_iterations : int }
+type query_cost = {
+  sat_s : float;
+  conflicts : int;
+  cegar_iterations : int;
+  static : bool;
+}
 
 type backing = {
   lookup : string -> [ `Valid | `Invalid of Model.t ] option;

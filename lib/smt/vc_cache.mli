@@ -47,7 +47,12 @@ val find : keyed -> ([ `Valid | `Invalid of Model.t ] * hit_source) option
     [`Invalid] the model is already renamed back to the query's own
     variable names. Bumps hit/miss and store hit/miss counters. *)
 
-type query_cost = { sat_s : float; conflicts : int; cegar_iterations : int }
+type query_cost = {
+  sat_s : float;
+  conflicts : int;
+  cegar_iterations : int;
+  static : bool;  (** decided by the tier-0 static prover, no SAT solving *)
+}
 (** What one query cost to decide — provenance for the persistent store. *)
 
 val store :

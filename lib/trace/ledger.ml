@@ -33,11 +33,12 @@ type record = {
   requests : int;  (* daemon/service fields (schema >= 4; 0 before) *)
   store_hits : int;  (* persistent verdict store *)
   store_misses : int;
+  static_proved : int;  (* tier-0 static prover (schema >= 5; 0 before) *)
   verdicts : (string * int) list;  (* verdict name -> count *)
   phases : phase_total list;
 }
 
-let schema_version = 4
+let schema_version = 5
 
 let iso8601 t =
   let tm = Unix.gmtime t in
@@ -72,7 +73,7 @@ let make ~label ~jobs ~tasks ?(budget_timeout_s = 0.0) ?(budget_conflicts = 0)
     ?(cache_hits = 0)
     ?(cache_misses = 0) ?(cache_evictions = 0) ?(peak_clauses = 0)
     ?(peak_vars = 0) ?(requests = 0) ?(store_hits = 0) ?(store_misses = 0)
-    ~verdicts ?(phases = phases_of_metrics ()) () =
+    ?(static_proved = 0) ~verdicts ?(phases = phases_of_metrics ()) () =
   {
     schema = schema_version;
     timestamp = iso8601 (Unix.gettimeofday ());
@@ -96,6 +97,7 @@ let make ~label ~jobs ~tasks ?(budget_timeout_s = 0.0) ?(budget_conflicts = 0)
     requests;
     store_hits;
     store_misses;
+    static_proved;
     verdicts;
     phases;
   }
@@ -139,6 +141,7 @@ let to_json r =
             ("hits", Json.Int r.store_hits);
             ("misses", Json.Int r.store_misses);
           ] );
+      ("static_proved", Json.Int r.static_proved);
       ("verdicts", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) r.verdicts));
       ( "phases",
         Json.Obj
@@ -235,6 +238,9 @@ let of_json j =
           store_misses =
             Option.value ~default:0
               (Option.bind (Json.member "misses" store) Json.to_int);
+          (* "static_proved" is a schema-5 key; older records read back as
+             zero and the schema field flags them as not comparable. *)
+          static_proved = int "static_proved" 0;
           verdicts;
           phases;
         }
@@ -335,6 +341,9 @@ let diff ?(threshold_pct = 15.0) ~baseline ~latest () =
     :: info "store_hits"
          (float_of_int baseline.store_hits)
          (float_of_int latest.store_hits)
+    :: info "static_proved"
+         (float_of_int baseline.static_proved)
+         (float_of_int latest.static_proved)
     :: info "peak_clauses"
          (float_of_int baseline.peak_clauses)
          (float_of_int latest.peak_clauses)

@@ -37,6 +37,9 @@ type record = {
           when reading older records) *)
   store_hits : int;  (** persistent verdict-store hits *)
   store_misses : int;
+  static_proved : int;
+      (** verification conditions discharged by the tier-0 static prover
+          (schema >= 5; zero when reading older records) *)
   verdicts : (string * int) list;
   phases : phase_total list;
 }
@@ -71,6 +74,7 @@ val make :
   ?requests:int ->
   ?store_hits:int ->
   ?store_misses:int ->
+  ?static_proved:int ->
   verdicts:(string * int) list ->
   ?phases:phase_total list ->
   unit ->

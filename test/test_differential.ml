@@ -142,8 +142,13 @@ let dump_tests =
         (try Unix.mkdir dir 0o755
          with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
         Solve.set_dump_dir (Some dir);
+        (* The tier-0 static prover discharges this transform without any SAT
+           query; disable it so the solver actually runs and dumps CNF. *)
+        Alive_absint.Prover.set_enabled false;
         Fun.protect
-          ~finally:(fun () -> Solve.set_dump_dir None)
+          ~finally:(fun () ->
+            Alive_absint.Prover.set_enabled true;
+            Solve.set_dump_dir None)
           (fun () ->
             ignore
               (with_solve_path ~cache:false ~incremental:true (fun () ->

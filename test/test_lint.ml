@@ -199,6 +199,28 @@ let rule_tests =
     expect_clean "width() clause stays unknown"
       "Pre: width(%x) == 4\n%r = add %x, C\n=>\n%r = sub %x, -C\n"
       "dead-precondition.contradiction";
+    (* range-domain attribution: urem by 3 bounds %a to [0,2], which known
+       bits cannot express (3 is not a power of two) *)
+    expect_rule "range-implied precondition attributed to ranges"
+      "Pre: %a u< 3\n%a = urem %x, 3\n%r = add %a, C\n=>\n%r = or %a, C\n"
+      "dead-precondition.range-implied";
+    expect_clean "range-implied does not fire when known bits suffice"
+      "Pre: MaskedValueIsZero(%a, -4)\n%a = and %x, 3\n%r = add %a, C\n=>\n%r = or %a, C\n"
+      "dead-precondition.range-implied";
+    expect_rule "range-contradiction attributed to ranges"
+      "Pre: %a u> 4\n%a = urem %x, 3\n%r = add %a, 1\n=>\n%r = or %a, 1\n"
+      "dead-precondition.range-contradiction";
+    expect_clean "satisfiable range clause not a range-contradiction"
+      "Pre: %a u> 1\n%a = urem %x, 3\n%r = add %a, 1\n=>\n%r = or %a, 1\n"
+      "dead-precondition.range-contradiction";
+    (* static-poison *)
+    expect_rule "target division by zero flagged"
+      "%r = or %x, %x\n=>\n%r = udiv %x, 0\n" "static-poison.target";
+    (* -1 is all-ones, which is ≥ the width at every width *)
+    expect_rule "target shift past width flagged"
+      "%r = or %x, %x\n=>\n%r = lshr %x, -1\n" "static-poison.target";
+    expect_clean "defined target division accepted"
+      "%r = or %x, %x\n=>\n%r = udiv %x, 2\n" "static-poison.target";
     (* cost-regression *)
     expect_rule "slower target flagged (latency)"
       "%r = add %x, %x\n=>\n%m = mul %x, 3\n%r = sub %m, %x\n"

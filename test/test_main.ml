@@ -20,6 +20,7 @@ let () =
       Test_smt.suite;
       Test_alive.suite;
       Test_ir.suite;
+      Test_absint.suite;
       Test_opt.suite;
       Test_suite.suite;
       Test_engine.suite;

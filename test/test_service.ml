@@ -169,7 +169,7 @@ let store_tests =
             Store.publish
               ~cost:
                 { Alive_smt.Vc_cache.sat_s = 0.25; conflicts = 42;
-                  cegar_iterations = 3 }
+                  cegar_iterations = 3; static = false }
               s "d-invalid" (`Invalid some_model);
             Store.close s;
             let s = open_rw dir in
@@ -455,11 +455,30 @@ let daemon_tests =
             (match Client.verify c ~text () with
             | Ok (Json.List [ j ]) ->
                 check_string "verdict" "valid"
+                  (get (Option.bind (Json.member "verdict" j) Json.to_str));
+                (* add %a, 0 => %a falls to the tier-0 static prover; the
+                   daemon must surface that in its response. *)
+                check_bool "static proved" true
+                  (get
+                     (Option.bind (Json.member "static_proved" j) Json.to_int)
+                  > 0)
+            | Ok _ -> Alcotest.fail "verify shape"
+            | Error e -> Alcotest.fail ("verify: " ^ e));
+            (* Store round-trip needs a transform the static tier cannot
+               discharge (the (a&b)+(a|b) = a+b identity is beyond the
+               linear normalizer): first verify solves and files it, the
+               second is answered from the store. *)
+            let hard =
+              "Name: t2\n%t1 = and %a, %b\n%t2 = or %a, %b\n\
+               %r = add %t1, %t2\n=>\n%r = add %a, %b\n"
+            in
+            (match Client.verify c ~text:hard () with
+            | Ok (Json.List [ j ]) ->
+                check_string "verdict" "valid"
                   (get (Option.bind (Json.member "verdict" j) Json.to_str))
             | Ok _ -> Alcotest.fail "verify shape"
             | Error e -> Alcotest.fail ("verify: " ^ e));
-            (* Second verify of the same text: answered from the store. *)
-            (match Client.verify c ~text () with
+            (match Client.verify c ~text:hard () with
             | Ok (Json.List [ j ]) ->
                 check_bool "store hits" true
                   (get (Option.bind (Json.member "store_hits" j) Json.to_int)
