@@ -9,12 +9,13 @@ let section title =
   Printf.printf "%s\n" title;
   Printf.printf "=====================================================\n%!"
 
-(* --- JSON archiving (--json): targets record machine-readable results,
-   written as BENCH_<target>.json so CI can diff perf across PRs --- *)
+(* --- JSON archiving: targets record machine-readable results, written as
+   BENCH_<target>.json so CI can diff perf across PRs. Emitted by default;
+   --json is accepted as a no-op for compatibility with older drivers. --- *)
 
 module Json = Alive_engine.Json
 
-let json_enabled = ref false
+let json_enabled = ref true
 let record_json name (j : Json.t) =
   if !json_enabled then begin
     let path = Printf.sprintf "BENCH_%s.json" name in
@@ -270,6 +271,71 @@ let verify_time () =
            Json.Obj (List.map (fun (name, t) -> (name, Json.Float t)) timed) );
        ])
 
+(* --- Daemon throughput: requests/sec against a warm store ---
+
+   Spin the service up in-process on a temp socket backed by a temp store,
+   verify the corpus once to warm the store, then measure a second pass in
+   which every request is answered from it. One client, one connection:
+   this measures the service path (framing, dispatch, pool hop, store
+   lookup), not solver throughput. *)
+
+let daemon_throughput () =
+  let module Daemon = Alive_service.Daemon in
+  let module Client = Alive_service.Client in
+  let pid = Unix.getpid () in
+  let tmp = Filename.get_temp_dir_name () in
+  let socket = Filename.concat tmp (Printf.sprintf "alive-bench-%d.sock" pid) in
+  let store_dir =
+    Filename.concat tmp (Printf.sprintf "alive-bench-%d.store" pid)
+  in
+  (try Sys.remove socket with Sys_error _ -> ());
+  let config =
+    {
+      (Daemon.default_config ~socket_path:socket) with
+      store_dir = Some store_dir;
+    }
+  in
+  let th = Thread.create (fun () -> ignore (Daemon.serve config)) () in
+  let rec connect tries =
+    match Client.connect socket with
+    | Ok c -> Some c
+    | Error _ when tries > 0 ->
+        Unix.sleepf 0.05;
+        connect (tries - 1)
+    | Error _ -> None
+  in
+  let cleanup_store () =
+    if Sys.file_exists store_dir && Sys.is_directory store_dir then begin
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat store_dir f) with Sys_error _ -> ())
+        (Sys.readdir store_dir);
+      try Unix.rmdir store_dir with Unix.Unix_error _ -> ()
+    end
+  in
+  match connect 100 with
+  | None ->
+      Thread.join th;
+      cleanup_store ();
+      None
+  | Some c ->
+      let pass () =
+        let t0 = Unix.gettimeofday () in
+        let n = ref 0 in
+        List.iter
+          (fun (e : Alive_suite.Entry.t) ->
+            incr n;
+            ignore (Client.verify c ?widths:e.widths ~text:e.text ()))
+          corpus;
+        (!n, Unix.gettimeofday () -. t0)
+      in
+      ignore (pass ());
+      let requests, wall = pass () in
+      ignore (Client.shutdown c);
+      Client.close c;
+      Thread.join th;
+      cleanup_store ();
+      Some (requests, wall, float requests /. Float.max 1e-9 wall)
+
 (* --- Parallel engine scaling --- *)
 
 let parallel () =
@@ -326,25 +392,43 @@ let parallel () =
     (r1.wall /. Float.max 1e-9 rn.wall);
   if n = 1 then
     Printf.printf "  (single-core host: run on a multi-core machine to see scaling)\n";
-  (* BENCH_parallel.json keeps its original keys; the A/B leg and the cache
-     counters are additions, so downstream consumers don't break. *)
+  let daemon = daemon_throughput () in
+  (match daemon with
+  | Some (reqs, wall, rps) ->
+      Printf.printf
+        "  daemon (warm store): %d requests in %.2fs = %.0f req/s\n" reqs wall
+        rps
+  | None ->
+      Printf.printf "  daemon (warm store): could not start the daemon\n");
+  (* BENCH_parallel.json keeps its original keys; the A/B leg, the cache
+     counters and the daemon leg are additions, so downstream consumers
+     don't break. *)
   record_json "parallel"
     (Json.Obj
-       [
-         ("tasks", Json.Int (List.length r1.results));
-         ("jobs_max", Json.Int n);
-         ("wall_1_s", Json.Float r1.wall);
-         ("wall_n_s", Json.Float rn.wall);
-         ("speedup", Json.Float (r1.wall /. Float.max 1e-9 rn.wall));
-         ("queries", Json.Int r1.total.queries);
-         ("conflicts", Json.Int r1.total.telemetry.conflicts);
-         ("wall_1_nocache_s", Json.Float r_off.wall);
-         ("conflicts_nocache", Json.Int r_off.total.telemetry.conflicts);
-         ("cache_hits", Json.Int r1.total.telemetry.cache_hits);
-         ("cache_misses", Json.Int r1.total.telemetry.cache_misses);
-         ("peak_clauses", Json.Int r1.total.telemetry.peak_clauses);
-         ("peak_vars", Json.Int r1.total.telemetry.peak_vars);
-       ]);
+       ([
+          ("tasks", Json.Int (List.length r1.results));
+          ("jobs_max", Json.Int n);
+          ("wall_1_s", Json.Float r1.wall);
+          ("wall_n_s", Json.Float rn.wall);
+          ("speedup", Json.Float (r1.wall /. Float.max 1e-9 rn.wall));
+          ("queries", Json.Int r1.total.queries);
+          ("conflicts", Json.Int r1.total.telemetry.conflicts);
+          ("wall_1_nocache_s", Json.Float r_off.wall);
+          ("conflicts_nocache", Json.Int r_off.total.telemetry.conflicts);
+          ("cache_hits", Json.Int r1.total.telemetry.cache_hits);
+          ("cache_misses", Json.Int r1.total.telemetry.cache_misses);
+          ("peak_clauses", Json.Int r1.total.telemetry.peak_clauses);
+          ("peak_vars", Json.Int r1.total.telemetry.peak_vars);
+        ]
+       @
+       match daemon with
+       | Some (reqs, wall, rps) ->
+           [
+             ("daemon_requests", Json.Int reqs);
+             ("daemon_wall_s", Json.Float wall);
+             ("daemon_rps", Json.Float rps);
+           ]
+       | None -> []));
   if !json_enabled then begin
     record_json "trace"
       (Json.Obj
@@ -549,7 +633,8 @@ let () =
       (fun a ->
         match a with
         | "--json" ->
-            json_enabled := true;
+            (* JSON artifacts are the default now; kept as a no-op so older
+               invocations keep working. *)
             false
         | "--no-cache" ->
             Alive_smt.Vc_cache.set_enabled false;

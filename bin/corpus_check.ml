@@ -192,7 +192,12 @@ let run_via ~socket ~jobs ~mismatches ~undecided
           match client with
           | None -> Error ("cannot connect to daemon at " ^ socket)
           | Some c ->
-              Client.verify c ?widths:e.widths
+              (* One request id per corpus entry, so every daemon-side
+                 span and log line of this entry's verification is
+                 greppable by "cc-<index>". *)
+              Client.verify c
+                ~rid:(Printf.sprintf "cc-%d" i)
+                ?widths:e.widths
                 ?timeout:(if !timeout > 0.0 then Some !timeout else None)
                 ?conflict_limit:
                   (if !conflicts > 0 then Some !conflicts else None)
@@ -814,6 +819,56 @@ let () =
         if !category = "" then "corpus_check.via"
         else "corpus_check.via:" ^ !category
       in
+      (* Scrape the daemon's telemetry for the schema-6 fields: structured
+         log volume, slow-query count, and per-op latency stats. Best
+         effort — a daemon that went away leaves them at their zero
+         defaults rather than failing the run. *)
+      let log_lines, slow_queries, ops =
+        let module Client = Alive_service.Client in
+        match Client.connect !via with
+        | Error _ -> (0, 0, [])
+        | Ok c ->
+            Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+            (match Client.metrics c with
+            | Error _ -> (0, 0, [])
+            | Ok m ->
+                let counter k =
+                  Option.value ~default:0
+                    (Option.bind
+                       (Option.bind (Json.member "counters" m)
+                          (Json.member k))
+                       Json.to_int)
+                in
+                let ops =
+                  match Json.member "histograms" m with
+                  | Some (Json.Obj hs) ->
+                      let prefix = "service.request_s." in
+                      let plen = String.length prefix in
+                      List.filter_map
+                        (fun (name, h) ->
+                          if
+                            String.length name > plen
+                            && String.sub name 0 plen = prefix
+                          then
+                            let fld k =
+                              Option.value ~default:0.0
+                                (Option.bind (Json.member k h) Json.to_float)
+                            in
+                            Some
+                              {
+                                Alive_trace.Ledger.op =
+                                  String.sub name plen
+                                    (String.length name - plen);
+                                op_count = int_of_float (fld "count");
+                                op_total_s = fld "total_s";
+                                op_p99_s = fld "p99_s";
+                              }
+                          else None)
+                        hs
+                  | _ -> []
+                in
+                (counter "log.lines", counter "service.slow_queries", ops))
+      in
       let record =
         Alive_trace.Ledger.make ~label ~jobs
           ~tasks:(List.length results)
@@ -822,7 +877,7 @@ let () =
           ~cegar_iterations:tv.vcegar ~cache_hits:tv.vch ~cache_misses:tv.vcm
           ~requests:(List.length results)
           ~store_hits:tv.vsh ~store_misses:tv.vsm ~static_proved:tv.vst
-          ~verdicts ()
+          ~log_lines ~slow_queries ~ops ~verdicts ()
       in
       Alive_trace.Ledger.append ~path:!ledger_path record;
       Printf.printf "ledger record appended to %s\n" !ledger_path

@@ -211,6 +211,13 @@ let check_typing ?budget ?(stats = empty_stats ()) ?share_memory_reads
          and the remaining criteria still run — a later query may produce a
          definite counterexample, which outranks Unknown. *)
       let solve_query formula =
+        let module Trace = Alive_trace.Trace in
+        let sp = Trace.begin_span "solve_query" in
+        let tier = ref "smt" in
+        Fun.protect ~finally:(fun () ->
+            Trace.add_meta sp [ ("tier", Trace.Str !tier) ];
+            Trace.end_span sp)
+        @@ fun () ->
         (* Tier 0: try to discharge the query statically — abstract
            interpretation plus algebraic normalization on the exact
            encoded term, so a static `Valid is a verdict on the same
@@ -223,8 +230,11 @@ let check_typing ?budget ?(stats = empty_stats ()) ?share_memory_reads
              | exception _ -> false)
         in
         if static_proved then begin
+          tier := "static";
           let tl = stats.telemetry in
           tl.static_proved <- tl.static_proved + 1;
+          Alive_trace.Metrics.incr
+            (Alive_trace.Metrics.counter "refine.static_proved");
           (* Publish to the cache/store so replay paths (and other
              processes sharing the backing) see the same verdict with
              static provenance. *)
@@ -255,10 +265,12 @@ let check_typing ?budget ?(stats = empty_stats ()) ?share_memory_reads
           let keyed = Alive_smt.Vc_cache.canon ~exists formula in
           match Alive_smt.Vc_cache.find keyed with
           | Some (r, Alive_smt.Vc_cache.Memory) ->
+              tier := "cache";
               tl.cache_hits <- tl.cache_hits + 1;
               (r :> [ `Valid | `Invalid of Alive_smt.Model.t
                     | `Unknown of Solve.reason ])
           | Some (r, Alive_smt.Vc_cache.Backing) ->
+              tier := "store";
               tl.store_hits <- tl.store_hits + 1;
               (r :> [ `Valid | `Invalid of Alive_smt.Model.t
                     | `Unknown of Solve.reason ])
@@ -413,6 +425,58 @@ let query_digests ?widths ?max_typings ?share_memory_reads ?precise_pre
                      (fun (_, _, formula) ->
                        Alive_smt.Vc_cache.digest
                          (Alive_smt.Vc_cache.canon ~exists formula))
+                     (typing_queries vc)
+               | exception Vcgen.Unsupported msg ->
+                   raise (Unsupported_here msg))
+             typings)
+      with Unsupported_here msg -> Error msg)
+
+type query_probe = {
+  probe_at : string;
+  probe_kind : string;
+  probe_digest : string;
+  probe_static : bool;
+  probe_cached : bool;
+}
+
+let kind_slug = function
+  | Counterexample.Not_defined -> "defined"
+  | Counterexample.More_poison -> "poison"
+  | Counterexample.Value_mismatch -> "value"
+
+let probe_queries ?widths ?max_typings ?share_memory_reads ?precise_pre
+    (t : Ast.transform) =
+  let exception Unsupported_here of string in
+  match Typing.enumerate ?widths ?max_typings t with
+  | Error e -> Error (Format.asprintf "%a" Typing.pp_error e)
+  | Ok typings -> (
+      try
+        Ok
+          (List.map
+             (fun typing ->
+               match Vcgen.run ?share_memory_reads ?precise_pre typing t with
+               | vc ->
+                   let exists = vc.src.undefs in
+                   List.map
+                     (fun (name, kind, formula) ->
+                       let keyed =
+                         Alive_smt.Vc_cache.canon ~exists formula
+                       in
+                       let static =
+                         Alive_absint.Prover.enabled ()
+                         && (match
+                               Alive_absint.Prover.prove_valid ~exists formula
+                             with
+                            | r -> r
+                            | exception _ -> false)
+                       in
+                       {
+                         probe_at = name;
+                         probe_kind = kind_slug kind;
+                         probe_digest = Alive_smt.Vc_cache.digest keyed;
+                         probe_static = static;
+                         probe_cached = Alive_smt.Vc_cache.mem_local keyed;
+                       })
                      (typing_queries vc)
                | exception Vcgen.Unsupported msg ->
                    raise (Unsupported_here msg))

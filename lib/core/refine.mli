@@ -149,6 +149,29 @@ val query_digests :
     on a type error or an unsupported construct (such entries are always
     re-verified). *)
 
+type query_probe = {
+  probe_at : string;  (** instruction name, or ["memory"] for criterion 4 *)
+  probe_kind : string;  (** ["defined"], ["poison"], or ["value"] *)
+  probe_digest : string;  (** the store key ({!Alive_smt.Vc_cache.digest}) *)
+  probe_static : bool;  (** the tier-0 prover discharges it right now *)
+  probe_cached : bool;
+      (** present in the calling domain's in-memory verdict cache *)
+}
+
+val probe_queries :
+  ?widths:int list ->
+  ?max_typings:int ->
+  ?share_memory_reads:bool ->
+  ?precise_pre:bool ->
+  Ast.transform ->
+  (query_probe list list, string) Stdlib.result
+(** Verdict provenance for the daemon's [explain] op: the same queries
+    {!query_digests} fingerprints, each additionally probed against the
+    static prover and this domain's cache — without invoking the solver
+    or disturbing any counters. Run it on the same engine pool that
+    solves to see the caches solving actually warmed. [Error] on a type
+    error or an unsupported construct. *)
+
 type static_summary = {
   static_typings : int;  (** feasible typings examined *)
   static_queries : int;  (** refinement queries examined *)

@@ -166,8 +166,15 @@ module Pool = struct
     pool.domains <- Array.init pool_jobs (fun _ -> Domain.spawn (worker pool));
     pool
 
-  let submit pool f =
+  let submit ?ctx pool f =
     let fut = { flock = Mutex.create (); fcond = Condition.create (); cell = None } in
+    (* Bind the submitting request's trace context on the worker domain, so
+       the task's spans and logs carry the request id across the pool hop. *)
+    let f =
+      match ctx with
+      | None -> f
+      | Some c -> fun () -> Trace.with_context c f
+    in
     let job () =
       let result =
         try Ok (f ())
@@ -204,7 +211,7 @@ module Pool = struct
     Mutex.unlock fut.flock;
     r
 
-  let run pool f = await (submit pool f)
+  let run ?ctx pool f = await (submit ?ctx pool f)
 
   let shutdown pool =
     Mutex.lock pool.lock;

@@ -65,17 +65,19 @@ module Pool : sig
   (** Spawn [jobs] (default {!default_jobs}) worker domains, idle until
       work arrives. *)
 
-  val submit : t -> (unit -> 'a) -> 'a future
+  val submit : ?ctx:Alive_trace.Trace.Context.t -> t -> (unit -> 'a) -> 'a future
   (** Enqueue a thunk; returns immediately. The thunk runs on some worker
       domain; if it raises, the future resolves to [Error] (same
       {!task_error} shape as {!map}) and the worker survives. Raises
-      [Invalid_argument] after {!shutdown}. *)
+      [Invalid_argument] after {!shutdown}. [ctx] is bound
+      ({!Alive_trace.Trace.with_context}) around the thunk on the worker,
+      so a daemon request's spans keep its id across the pool hop. *)
 
   val await : 'a future -> ('a, task_error) result
   (** Block (condition-variable wait, no spinning) until resolved. Safe
       from any thread or domain, and from several at once. *)
 
-  val run : t -> (unit -> 'a) -> ('a, task_error) result
+  val run : ?ctx:Alive_trace.Trace.Context.t -> t -> (unit -> 'a) -> ('a, task_error) result
   (** [await (submit t f)]. *)
 
   val depth : t -> int

@@ -22,129 +22,131 @@ let run ?(policy = Zero) f args =
     match validate f with
     | Error e -> Error e
     | Ok () ->
-        let env : (string, scalar) Hashtbl.t = Hashtbl.create 16 in
+        (* Internally every SSA value is a concrete carrier bit pattern
+           plus a poison flag, mirroring the SMT encoding's value /
+           poison_free pair (vcgen): Table-1 definedness is a property
+           of the carrier values alone, so e.g. division by a zero
+           divisor is UB no matter how poisoned the dividend is. A
+           Poison | Val sum (checking UB only on non-poison operands)
+           under-reports source UB and manufactures false refinement
+           counterexamples against the verifier. *)
+        let env : (string, Bitvec.t * bool) Hashtbl.t = Hashtbl.create 16 in
         List.iter2
-          (fun (n, _) a -> Hashtbl.replace env n (Val a))
+          (fun (n, _) a -> Hashtbl.replace env n (a, false))
           f.params args;
         let value v =
           match v with
-          | Const c -> Val c
-          | Undef w -> Val (resolve_undef policy w)
+          | Const c -> (c, false)
+          | Undef w -> (resolve_undef policy w, false)
           | Var n -> Hashtbl.find env n
         in
-        let bv v = match value v with Poison -> None | Val c -> Some c in
         let eval_def d =
           match d.inst with
-          | Binop (op, attrs, a, b) -> (
-              match (bv a, bv b) with
-              | Some x, Some y ->
-                  let w = d.width in
-                  (* True UB per Table 1. *)
-                  (match op with
-                  | Udiv | Urem -> if Bitvec.is_zero y then raise Hit_ub
-                  | Sdiv | Srem ->
-                      if
-                        Bitvec.is_zero y
-                        || Bitvec.equal x (Bitvec.min_signed w)
-                           && Bitvec.is_all_ones y
-                      then raise Hit_ub
-                  | Shl | Lshr | Ashr ->
-                      if not (Bitvec.ult y (Bitvec.of_int ~width:w w)) then
-                        raise Hit_ub
-                  | Add | Sub | Mul | And | Or | Xor -> ());
-                  (* Poison per Table 2. *)
-                  let poisoned =
-                    List.exists
-                      (fun attr ->
-                        match (op, attr) with
-                        | Add, Nsw -> Bitvec.add_overflows_signed x y
-                        | Add, Nuw -> Bitvec.add_overflows_unsigned x y
-                        | Sub, Nsw -> Bitvec.sub_overflows_signed x y
-                        | Sub, Nuw -> Bitvec.sub_overflows_unsigned x y
-                        | Mul, Nsw -> Bitvec.mul_overflows_signed x y
-                        | Mul, Nuw -> Bitvec.mul_overflows_unsigned x y
-                        | Shl, Nsw ->
-                            not
-                              (Bitvec.equal (Bitvec.ashr (Bitvec.shl x y) y) x)
-                        | Shl, Nuw ->
-                            not
-                              (Bitvec.equal (Bitvec.lshr (Bitvec.shl x y) y) x)
-                        | (Sdiv | Udiv), Exact ->
-                            let q =
-                              if op = Sdiv then Bitvec.sdiv x y
-                              else Bitvec.udiv x y
-                            in
-                            not (Bitvec.equal (Bitvec.mul q y) x)
-                        | Ashr, Exact ->
-                            not
-                              (Bitvec.equal (Bitvec.shl (Bitvec.ashr x y) y) x)
-                        | Lshr, Exact ->
-                            not
-                              (Bitvec.equal (Bitvec.shl (Bitvec.lshr x y) y) x)
-                        | _ -> false)
-                      attrs
-                  in
-                  if poisoned then Poison
-                  else
-                    let op_fn =
-                      match op with
-                      | Add -> Bitvec.add
-                      | Sub -> Bitvec.sub
-                      | Mul -> Bitvec.mul
-                      | Udiv -> Bitvec.udiv
-                      | Sdiv -> Bitvec.sdiv
-                      | Urem -> Bitvec.urem
-                      | Srem -> Bitvec.srem
-                      | Shl -> Bitvec.shl
-                      | Lshr -> Bitvec.lshr
-                      | Ashr -> Bitvec.ashr
-                      | And -> Bitvec.logand
-                      | Or -> Bitvec.logor
-                      | Xor -> Bitvec.logxor
-                    in
-                    Val (op_fn x y)
-              | _ -> Poison)
-          | Icmp (c, a, b) -> (
-              match (bv a, bv b) with
-              | Some x, Some y ->
-                  let r =
-                    match c with
-                    | Eq -> Bitvec.equal x y
-                    | Ne -> not (Bitvec.equal x y)
-                    | Ugt -> Bitvec.ult y x
-                    | Uge -> Bitvec.ule y x
-                    | Ult -> Bitvec.ult x y
-                    | Ule -> Bitvec.ule x y
-                    | Sgt -> Bitvec.slt y x
-                    | Sge -> Bitvec.sle y x
-                    | Slt -> Bitvec.slt x y
-                    | Sle -> Bitvec.sle x y
-                  in
-                  Val (Bitvec.of_bool r)
-              | _ -> Poison)
-          | Select (c, a, b) -> (
-              match bv c with
-              | None -> Poison
-              | Some cv -> (
-                  let chosen = if Bitvec.is_true cv then a else b in
-                  match value chosen with Poison -> Poison | v -> v))
-          | Conv (conv, a) -> (
-              match bv a with
-              | None -> Poison
-              | Some x ->
-                  Val
-                    (match conv with
-                    | Zext -> Bitvec.zext x d.width
-                    | Sext -> Bitvec.sext x d.width
-                    | Trunc -> Bitvec.trunc x d.width))
-          | Freeze a -> (
-              match value a with
-              | Poison -> Val (Bitvec.zero d.width)
-              | v -> v)
+          | Binop (op, attrs, a, b) ->
+              let x, px = value a and y, py = value b in
+              let w = d.width in
+              (* True UB per Table 1, on carrier values. *)
+              (match op with
+              | Udiv | Urem -> if Bitvec.is_zero y then raise Hit_ub
+              | Sdiv | Srem ->
+                  if
+                    Bitvec.is_zero y
+                    || Bitvec.equal x (Bitvec.min_signed w)
+                       && Bitvec.is_all_ones y
+                  then raise Hit_ub
+              | Shl | Lshr | Ashr ->
+                  if not (Bitvec.ult y (Bitvec.of_int ~width:w w)) then
+                    raise Hit_ub
+              | Add | Sub | Mul | And | Or | Xor -> ());
+              (* Poison per Table 2. *)
+              let poisoned =
+                px || py
+                || List.exists
+                     (fun attr ->
+                       match (op, attr) with
+                       | Add, Nsw -> Bitvec.add_overflows_signed x y
+                       | Add, Nuw -> Bitvec.add_overflows_unsigned x y
+                       | Sub, Nsw -> Bitvec.sub_overflows_signed x y
+                       | Sub, Nuw -> Bitvec.sub_overflows_unsigned x y
+                       | Mul, Nsw -> Bitvec.mul_overflows_signed x y
+                       | Mul, Nuw -> Bitvec.mul_overflows_unsigned x y
+                       | Shl, Nsw ->
+                           not
+                             (Bitvec.equal (Bitvec.ashr (Bitvec.shl x y) y) x)
+                       | Shl, Nuw ->
+                           not
+                             (Bitvec.equal (Bitvec.lshr (Bitvec.shl x y) y) x)
+                       | (Sdiv | Udiv), Exact ->
+                           let q =
+                             if op = Sdiv then Bitvec.sdiv x y
+                             else Bitvec.udiv x y
+                           in
+                           not (Bitvec.equal (Bitvec.mul q y) x)
+                       | Ashr, Exact ->
+                           not
+                             (Bitvec.equal (Bitvec.shl (Bitvec.ashr x y) y) x)
+                       | Lshr, Exact ->
+                           not
+                             (Bitvec.equal (Bitvec.shl (Bitvec.lshr x y) y) x)
+                       | _ -> false)
+                     attrs
+              in
+              let op_fn =
+                match op with
+                | Add -> Bitvec.add
+                | Sub -> Bitvec.sub
+                | Mul -> Bitvec.mul
+                | Udiv -> Bitvec.udiv
+                | Sdiv -> Bitvec.sdiv
+                | Urem -> Bitvec.urem
+                | Srem -> Bitvec.srem
+                | Shl -> Bitvec.shl
+                | Lshr -> Bitvec.lshr
+                | Ashr -> Bitvec.ashr
+                | And -> Bitvec.logand
+                | Or -> Bitvec.logor
+                | Xor -> Bitvec.logxor
+              in
+              (op_fn x y, poisoned)
+          | Icmp (c, a, b) ->
+              let x, px = value a and y, py = value b in
+              let r =
+                match c with
+                | Eq -> Bitvec.equal x y
+                | Ne -> not (Bitvec.equal x y)
+                | Ugt -> Bitvec.ult y x
+                | Uge -> Bitvec.ule y x
+                | Ult -> Bitvec.ult x y
+                | Ule -> Bitvec.ule x y
+                | Sgt -> Bitvec.slt y x
+                | Sge -> Bitvec.sle y x
+                | Slt -> Bitvec.slt x y
+                | Sle -> Bitvec.sle x y
+              in
+              (Bitvec.of_bool r, px || py)
+          | Select (c, a, b) ->
+              (* Only the chosen arm's poison flows through; a poison
+                 condition poisons the result but still selects by the
+                 condition's carrier. *)
+              let cv, pc = value c in
+              let chosen = if Bitvec.is_true cv then a else b in
+              let v, pv = value chosen in
+              (v, pc || pv)
+          | Conv (conv, a) ->
+              let x, p = value a in
+              ( (match conv with
+                | Zext -> Bitvec.zext x d.width
+                | Sext -> Bitvec.sext x d.width
+                | Trunc -> Bitvec.trunc x d.width),
+                p )
+          | Freeze a ->
+              let v, p = value a in
+              if p then (Bitvec.zero d.width, false) else (v, false)
         in
         (try
            List.iter (fun d -> Hashtbl.replace env d.name (eval_def d)) f.body;
-           Ok (Ret (value f.ret))
+           let v, p = value f.ret in
+           Ok (Ret (if p then Poison else Val v))
          with Hit_ub -> Ok Ub)
 
 let refines src tgt =

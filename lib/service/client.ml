@@ -38,12 +38,14 @@ let close t =
     try Unix.close t.fd with Unix.Unix_error _ -> ()
   end
 
-let call t ~op ?args () =
+let call t ~op ?rid ?args () =
   if t.closed then Error "connection is closed"
   else begin
     let id = t.next_id in
     t.next_id <- id + 1;
-    match Protocol.write_frame t.oc (Protocol.request ~id ~op ?args ()) with
+    match
+      Protocol.write_frame t.oc (Protocol.request ~id ~op ?rid ?args ())
+    with
     | exception Sys_error e -> Error ("write failed: " ^ e)
     | () -> (
         match Protocol.read_frame t.ic with
@@ -67,9 +69,36 @@ let shutdown t = call t ~op:"shutdown" ()
 
 let metrics t = call t ~op:"metrics" ()
 
+let metrics_prom t =
+  match call t ~op:"metrics-prom" () with
+  | Error _ as e -> e
+  | Ok j -> (
+      match Option.bind (Json.member "text" j) Json.to_str with
+      | Some text -> Ok text
+      | None -> Error "malformed metrics-prom response: no text field")
+
 let store_stats t = call t ~op:"store-stats" ()
 
-let verify t ?name ?widths ?timeout ?conflict_limit ~text () =
+let explain t ?rid ?name ?widths ~text () =
+  let args =
+    [ ("text", Json.String text) ]
+    @ (match name with Some n -> [ ("name", Json.String n) ] | None -> [])
+    @
+    match widths with
+    | Some ws -> [ ("widths", Json.List (List.map (fun w -> Json.Int w) ws)) ]
+    | None -> []
+  in
+  call t ~op:"explain" ?rid ~args:(Json.Obj args) ()
+
+let explain_digest t ?rid digest =
+  call t ~op:"explain" ?rid
+    ~args:(Json.Obj [ ("digest", Json.String digest) ])
+    ()
+
+let trace_dump t = call t ~op:"trace" ()
+
+let verify t ?rid ?name ?widths ?timeout ?conflict_limit ?(spans = false)
+    ~text () =
   let args =
     [ ("text", Json.String text) ]
     @ (match name with Some n -> [ ("name", Json.String n) ] | None -> [])
@@ -79,12 +108,13 @@ let verify t ?name ?widths ?timeout ?conflict_limit ~text () =
     @ (match timeout with
       | Some s -> [ ("timeout", Json.Float s) ]
       | None -> [])
+    @ (if spans then [ ("spans", Json.Bool true) ] else [])
     @
     match conflict_limit with
     | Some c -> [ ("conflicts", Json.Int c) ]
     | None -> []
   in
-  call t ~op:"verify" ~args:(Json.Obj args) ()
+  call t ~op:"verify" ?rid ~args:(Json.Obj args) ()
 
 let parse t ~text =
   call t ~op:"parse" ~args:(Json.Obj [ ("text", Json.String text) ]) ()

@@ -20,6 +20,8 @@
 
 module Json = Alive_trace.Json
 module Metrics = Alive_trace.Metrics
+module Trace = Alive_trace.Trace
+module Log = Alive_trace.Log
 module Engine = Alive_engine.Engine
 
 type config = {
@@ -27,7 +29,11 @@ type config = {
   store_dir : string option;
   jobs : int option;
   compact_on_exit : bool;
-  log : out_channel option;  (* request log; None = quiet *)
+  log : out_channel option;  (* human request log; None = quiet *)
+  structured_log : out_channel option;  (* JSONL log (Alive_trace.Log) *)
+  log_level : Log.level;
+  slow_log : out_channel option;  (* JSONL slow-query log *)
+  slow_query_ms : float;  (* threshold; 0 disables slow-query accounting *)
 }
 
 let default_config ~socket_path =
@@ -37,14 +43,20 @@ let default_config ~socket_path =
     jobs = None;
     compact_on_exit = true;
     log = None;
+    structured_log = None;
+    log_level = Log.Info;
+    slow_log = None;
+    slow_query_ms = 500.0;
   }
 
 (* --- Metrics --- *)
 
 let m_requests = Metrics.counter "service.requests"
 let m_errors = Metrics.counter "service.errors"
+let m_slow = Metrics.counter "service.slow_queries"
 let g_queue = Metrics.gauge "service.queue_depth"
 let g_connections = Metrics.gauge "service.connections"
+let g_inflight = Metrics.gauge "service.inflight"
 let h_request = Metrics.histogram "service.request_s"
 
 let op_counter =
@@ -63,6 +75,24 @@ let op_counter =
     in
     Mutex.unlock lock;
     c
+
+(* Per-op latency histograms, found-or-created in the registry (one mutexed
+   lookup per request — same cost class as op_counter). *)
+let op_histogram op = Metrics.histogram ("service.request_s." ^ op)
+
+(* Satellite fix: the engine aggregates unknown-reason breakdowns in its
+   stats, but a live service only exposes the metrics registry — surface
+   the histogram per op so budget saturation is observable on a scrape. *)
+let count_unknown_reasons op (s : Alive.Refine.stats) =
+  let bump slug n =
+    if n > 0 then
+      Metrics.add
+        (Metrics.counter (Printf.sprintf "service.unknown.%s.%s" op slug))
+        n
+  in
+  bump "timeout" s.unknown_reasons.by_timeout;
+  bump "conflicts" s.unknown_reasons.by_conflicts;
+  bump "cegar" s.unknown_reasons.by_cegar
 
 (* --- Shared daemon state --- *)
 
@@ -185,35 +215,48 @@ let handle_lint args =
   | Error e -> Error e
   | Ok ts -> Ok (Alive_lint.Driver.to_json (Alive_lint.Driver.lint_transforms ts))
 
-(* Awaiting the pool future blocks only this connection's thread. *)
-let on_pool t f =
-  match Engine.Pool.run t.pool f with
+(* Awaiting the pool future blocks only this connection's thread. [ctx]
+   rides along so the task's spans carry the request id. *)
+let on_pool ?ctx t f =
+  match Engine.Pool.run ?ctx t.pool f with
   | Ok v -> v
   | Error (e : Engine.task_error) -> Error ("task crashed: " ^ e.message)
 
-let handle_verify t args =
+let handle_verify ?ctx t args =
   match parse_transforms args with
   | Error e -> Error e
-  | Ok ts ->
+  | Ok ts -> (
       let budget = arg_budget args and widths = arg_widths args in
-      on_pool t (fun () ->
+      match
+        on_pool ?ctx t (fun () ->
+            Ok
+              (List.map
+                 (fun (tr : Alive.Ast.transform) ->
+                   (tr, Alive.Refine.run ?widths ?budget tr))
+                 ts))
+      with
+      | Error e -> Error e
+      | Ok results ->
+          List.iter
+            (fun (_, (r : Alive.Refine.result)) ->
+              count_unknown_reasons "verify" r.stats)
+            results;
           Ok
             (Json.List
                (List.map
-                  (fun (tr : Alive.Ast.transform) ->
-                    let r = Alive.Refine.run ?widths ?budget tr in
+                  (fun ((tr : Alive.Ast.transform), r) ->
                     match verdict_json r with
                     | Json.Obj fields ->
                         Json.Obj (("name", Json.String tr.name) :: fields)
                     | j -> j)
-                  ts)))
+                  results)))
 
-let handle_infer_pre t args =
+let handle_infer_pre ?ctx t args =
   match parse_transforms args with
   | Error e -> Error e
   | Ok ts ->
       let budget = arg_budget args and widths = arg_widths args in
-      on_pool t (fun () ->
+      on_pool ?ctx t (fun () ->
           Ok
             (Json.List
                (List.map
@@ -270,20 +313,238 @@ let handle_store_stats t =
   | None -> Error "daemon is running without a store"
   | Some s -> Ok (Store.stats_json s)
 
-let dispatch t op args =
+(* Point-in-time levels refreshed at scrape time, so a scrape always sees
+   current uptime/queue/store sizes rather than whatever the last request
+   happened to leave behind. *)
+let refresh_gauges t =
+  Metrics.set_gauge
+    (Metrics.gauge "service.uptime_s")
+    (int_of_float (Unix.gettimeofday () -. t.started_at));
+  Metrics.set_gauge g_queue (Engine.Pool.depth t.pool);
+  match t.store with
+  | None -> ()
+  | Some s ->
+      let st = Store.stats s in
+      Metrics.set_gauge (Metrics.gauge "store.segments") st.segments;
+      Metrics.set_gauge (Metrics.gauge "store.bytes") st.bytes;
+      Metrics.set_gauge (Metrics.gauge "store.live") st.live
+
+let handle_metrics_prom t =
+  refresh_gauges t;
+  Ok
+    (Json.Obj
+       [
+         ("content_type", Json.String "text/plain; version=0.0.4");
+         ("text", Json.String (Metrics.render_prometheus ()));
+       ])
+
+(* --- Verdict provenance (the explain op) --- *)
+
+(* What originally decided a stored verdict, from its cost record. *)
+let origin_of (e : Store.entry) =
+  match e.cost with Some c when c.static -> "static" | _ -> "smt"
+
+let tier_rank = function
+  | "static" -> 0
+  | "cache" -> 1
+  | "store" -> 2
+  | _ -> 3
+
+let handle_explain ?ctx t args =
+  match arg_str args "digest" with
+  | Some digest -> (
+      (* Digest form: provenance straight from the store. *)
+      match t.store with
+      | None -> Error "daemon is running without a store"
+      | Some s -> (
+          match Store.lookup s digest with
+          | None ->
+              Ok
+                (Json.Obj
+                   [ ("digest", Json.String digest); ("found", Json.Bool false) ])
+          | Some e ->
+              Ok
+                (Json.Obj
+                   [
+                     ("digest", Json.String digest);
+                     ("found", Json.Bool true);
+                     ("origin", Json.String (origin_of e));
+                     ("store", Store.entry_json digest e);
+                   ])))
+  | None -> (
+      (* Entry form: probe every refinement query the transform would
+         solve. The probe runs on the engine pool so it sees the same
+         domain-local caches that solving warmed (exact with one worker;
+         with more, a cache-tier answer may be attributed to a sibling
+         worker's tier). *)
+      match parse_transforms args with
+      | Error e -> Error e
+      | Ok ts -> (
+          let widths = arg_widths args in
+          match
+            on_pool ?ctx t (fun () ->
+                Ok
+                  (List.map
+                     (fun (tr : Alive.Ast.transform) ->
+                       (tr, Alive.Refine.probe_queries ?widths tr))
+                     ts))
+          with
+          | Error e -> Error e
+          | Ok probes ->
+              let query_json (q : Alive.Refine.query_probe) =
+                let stored =
+                  Option.bind t.store (fun s -> Store.lookup s q.probe_digest)
+                in
+                let tier =
+                  if q.probe_static then "static"
+                  else if q.probe_cached then "cache"
+                  else if stored <> None then "store"
+                  else "smt"
+                in
+                let provenance =
+                  match stored with
+                  | None -> [ ("origin", Json.Null) ]
+                  | Some e ->
+                      [
+                        ("origin", Json.String (origin_of e));
+                        ("store", Store.entry_json q.probe_digest e);
+                      ]
+                in
+                ( tier,
+                  Json.Obj
+                    ([
+                       ("at", Json.String q.probe_at);
+                       ("kind", Json.String q.probe_kind);
+                       ("digest", Json.String q.probe_digest);
+                       ("tier", Json.String tier);
+                     ]
+                    @ provenance) )
+              in
+              Ok
+                (Json.List
+                   (List.map
+                      (fun ((tr : Alive.Ast.transform), pr) ->
+                        match pr with
+                        | Error e ->
+                            Json.Obj
+                              [
+                                ("name", Json.String tr.name);
+                                ("error", Json.String e);
+                              ]
+                        | Ok typings ->
+                            let per_typing =
+                              List.map (List.map query_json) typings
+                            in
+                            (* The headline tier is the slowest tier any
+                               query needs: a transform is only as cheap
+                               as its least-covered query. *)
+                            let overall =
+                              List.fold_left
+                                (fun acc (tier, _) ->
+                                  if tier_rank tier > tier_rank acc then tier
+                                  else acc)
+                                "static"
+                                (List.concat per_typing)
+                            in
+                            Json.Obj
+                              [
+                                ("name", Json.String tr.name);
+                                ("tier", Json.String overall);
+                                ( "typings",
+                                  Json.List
+                                    (List.map
+                                       (fun qs ->
+                                         Json.List (List.map snd qs))
+                                       per_typing) );
+                              ])
+                      probes))))
+
+let handle_trace () =
+  Ok (Trace.chrome_json ~events:(Trace.Ring.contents ()) ())
+
+let dispatch ?ctx t op args =
   match op with
   | "ping" -> handle_ping t
   | "parse" -> handle_parse args
   | "lint" -> handle_lint args
-  | "verify" -> handle_verify t args
-  | "infer-pre" -> handle_infer_pre t args
+  | "verify" -> handle_verify ?ctx t args
+  | "infer-pre" -> handle_infer_pre ?ctx t args
   | "digests" -> handle_digests args
-  | "metrics" -> Ok (Metrics.to_json ())
+  | "metrics" ->
+      refresh_gauges t;
+      Ok (Metrics.to_json ())
+  | "metrics-prom" -> handle_metrics_prom t
+  | "explain" -> handle_explain ?ctx t args
+  | "trace" -> handle_trace ()
   | "store-stats" -> handle_store_stats t
   | "shutdown" ->
       Atomic.set t.stop true;
       Ok (Json.Obj [ ("stopping", Json.Bool true) ])
   | other -> Error (Printf.sprintf "unknown operation %S" other)
+
+(* --- Slow-query log --- *)
+
+let slow_lock = Mutex.create ()
+
+(* Record outlier requests: request id, op, duration, the VC digests of the
+   entry (recomputed — no solving — and only for requests already past the
+   threshold), and the result, which for verify carries the tier outcome
+   and solver stats. *)
+let slow_query t ~rid ~op ~args ~dt result =
+  if t.config.slow_query_ms > 0.0 && dt *. 1000.0 >= t.config.slow_query_ms
+  then begin
+    Metrics.incr m_slow;
+    Log.warn ~rid
+      ~fields:[ ("op", Json.String op); ("dur_s", Json.Float dt) ]
+      "slow query";
+    match t.config.slow_log with
+    | None -> ()
+    | Some oc ->
+        let digests =
+          match op with
+          | "verify" | "infer-pre" | "explain" -> (
+              match parse_transforms args with
+              | Error _ -> []
+              | Ok ts ->
+                  let widths = arg_widths args in
+                  List.filter_map
+                    (fun (tr : Alive.Ast.transform) ->
+                      match Alive.Refine.query_digests ?widths tr with
+                      | Ok dss ->
+                          Some
+                            ( tr.name,
+                              Json.List
+                                (List.map
+                                   (fun d -> Json.String d)
+                                   (List.concat dss)) )
+                      | Error _ -> None)
+                    ts)
+          | _ -> []
+        in
+        let line =
+          Json.Obj
+            ([
+               ( "ts",
+                 Json.String
+                   (Alive_trace.Ledger.iso8601 (Unix.gettimeofday ())) );
+               ("rid", Json.String rid);
+               ("op", Json.String op);
+               ("dur_s", Json.Float dt);
+             ]
+            @ (if digests = [] then []
+               else [ ("digests", Json.Obj digests) ])
+            @ [
+                (match result with
+                | Ok r -> ("result", r)
+                | Error e -> ("error", Json.String e));
+              ])
+        in
+        Mutex.lock slow_lock;
+        output_string oc (Json.to_string line);
+        output_char oc '\n';
+        flush oc;
+        Mutex.unlock slow_lock
+  end
 
 (* --- Connections --- *)
 
@@ -308,23 +569,68 @@ let serve_connection t fd =
             Metrics.incr m_errors;
             respond (Protocol.error_response ~id:(Protocol.response_id req) e);
             loop ()
-        | Ok (id, op, args) ->
+        | Ok (id, op, rid, args) ->
+            (* One context per request: client-supplied id or generated.
+               Everything the request does — inline handling on this
+               thread, pool tasks on worker domains — runs under it, and
+               its captured spans feed the response (on request) and the
+               rolling trace ring. *)
+            let ctx = Trace.Context.make ?rid () in
+            let rid = Trace.Context.rid_of ctx in
             Metrics.incr m_requests;
             Metrics.incr (op_counter op);
+            Metrics.add_gauge g_inflight 1;
             let t0 = Unix.gettimeofday () in
-            let result =
-              try dispatch t op args
-              with e -> Error ("internal error: " ^ Printexc.to_string e)
+            let result, spans =
+              Trace.with_capture ctx (fun () ->
+                  try dispatch ~ctx t op args
+                  with e -> Error ("internal error: " ^ Printexc.to_string e))
             in
-            Metrics.observe h_request (Unix.gettimeofday () -. t0);
+            let dt = Unix.gettimeofday () -. t0 in
+            Metrics.add_gauge g_inflight (-1);
+            Metrics.observe h_request dt;
+            Metrics.observe (op_histogram op) dt;
+            Trace.Ring.append spans;
             (match result with
-            | Ok r -> respond (Protocol.ok_response ~id r)
+            | Ok _ ->
+                Log.info ~rid
+                  ~fields:
+                    [ ("op", Json.String op); ("dur_s", Json.Float dt) ]
+                  "request"
+            | Error e ->
+                Log.warn ~rid
+                  ~fields:
+                    [
+                      ("op", Json.String op);
+                      ("dur_s", Json.Float dt);
+                      ("error", Json.String e);
+                    ]
+                  "request failed");
+            slow_query t ~rid ~op ~args ~dt result;
+            let want_spans =
+              match Json.member "spans" args with
+              | Some (Json.Bool true) -> true
+              | _ -> false
+            in
+            let result =
+              match result with
+              | Ok r when want_spans ->
+                  Ok
+                    (Json.Obj
+                       [
+                         ("results", r);
+                         ("spans", Trace.events_json spans);
+                       ])
+              | r -> r
+            in
+            (match result with
+            | Ok r -> respond (Protocol.ok_response ~id ~rid r)
             | Error e ->
                 Metrics.incr m_errors;
-                respond (Protocol.error_response ~id e));
-            logf t "%s -> %s (%.3fs)" op
+                respond (Protocol.error_response ~id ~rid e));
+            logf t "%s [%s] -> %s (%.3fs)" op rid
               (match result with Ok _ -> "ok" | Error e -> "error: " ^ e)
-              (Unix.gettimeofday () -. t0);
+              dt;
             if Atomic.get t.stop then () else loop ())
   in
   Fun.protect
@@ -369,8 +675,14 @@ let claim_socket socket_path =
 
 let serve config =
   let socket_path = config.socket_path in
+  Log.set_sink ~level:config.log_level config.structured_log;
+  let fail e =
+    Log.error ~fields:[ ("error", Json.String e) ] "daemon startup failed";
+    Log.set_sink None;
+    Error e
+  in
   match claim_socket socket_path with
-  | Error _ as e -> e
+  | Error e -> fail e
   | Ok () -> (
       let store_r =
         match config.store_dir with
@@ -378,7 +690,7 @@ let serve config =
         | Some dir -> Result.map Option.some (Store.open_store dir)
       in
       match store_r with
-      | Error _ as e -> e
+      | Error e -> fail e
       | Ok store -> (
           let pool = Engine.Pool.create ?jobs:config.jobs () in
           let t =
@@ -403,13 +715,24 @@ let serve config =
               Unix.close listen_fd;
               Engine.Pool.shutdown pool;
               Option.iter Store.close store;
-              Error
+              fail
                 (Printf.sprintf "cannot listen on %s: %s" socket_path
                    (Unix.error_message e))
           | () ->
               logf t "listening on %s (%d worker domains, store: %s)"
                 socket_path (Engine.Pool.jobs pool)
                 (match config.store_dir with Some d -> d | None -> "none");
+              Log.info
+                ~fields:
+                  [
+                    ("socket", Json.String socket_path);
+                    ("jobs", Json.Int (Engine.Pool.jobs pool));
+                    ( "store",
+                      match config.store_dir with
+                      | Some d -> Json.String d
+                      | None -> Json.Null );
+                  ]
+                "daemon listening";
               (* Accept loop: select with a short timeout so the stop flag
                  (set by a signal handler or the shutdown op) is honored
                  within a quarter second. *)
@@ -461,4 +784,12 @@ let serve config =
               Store.remove_backing ();
               (try Sys.remove socket_path with Sys_error _ -> ());
               logf t "stopped";
+              Log.info
+                ~fields:
+                  [
+                    ( "uptime_s",
+                      Json.Float (Unix.gettimeofday () -. t.started_at) );
+                  ]
+                "daemon stopped";
+              Log.set_sink None;
               Ok ()))

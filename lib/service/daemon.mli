@@ -1,23 +1,42 @@
-(** The [alive serve] daemon: parse / lint / verify / infer-pre requests
-    over a Unix-domain socket ({!Protocol}), dispatched onto a persistent
-    {!Alive_engine.Engine.Pool} of worker domains, with verdicts read from
-    and written through a disk-persistent {!Store}.
+(** The [alive serve] daemon: parse / lint / verify / infer-pre /
+    explain / metrics requests over a Unix-domain socket ({!Protocol}),
+    dispatched onto a persistent {!Alive_engine.Engine.Pool} of worker
+    domains, with verdicts read from and written through a disk-persistent
+    {!Store}.
 
     Connection handling runs on systhreads (cheap, blocking); solving runs
-    on the domain pool (parallel). Request counts, per-op counters, error
-    counts, queue depth, connection count, and request latency feed the
-    ["service.*"] instruments of {!Alive_trace.Metrics}, which the
-    ["metrics"] operation exposes to clients. *)
+    on the domain pool (parallel). Every request runs under a
+    {!Alive_trace.Trace.Context} — client-supplied [rid] or generated — so
+    its spans, log lines and slow-query records share one id across the
+    connection thread and the pool hop. Request counts, per-op counters
+    and latency histograms, error counts, in-flight and queue-depth
+    gauges, store size, and the unknown-reason breakdown feed the
+    ["service.*"] instruments of {!Alive_trace.Metrics}, exposed as JSON
+    by the ["metrics"] op and as Prometheus text exposition by
+    ["metrics-prom"]. The ["explain"] op attributes verdicts to the tier
+    that decided them (static prover, in-memory cache, persistent store,
+    or SMT) with the stored provenance record; ["trace"] dumps the
+    rolling Chrome-trace ring of recent requests. *)
 
 type config = {
   socket_path : string;
   store_dir : string option;  (** [None]: serve without persistence *)
   jobs : int option;  (** worker domains; default {!Alive_engine.Engine.default_jobs} *)
   compact_on_exit : bool;
-  log : out_channel option;  (** request log; [None] = quiet *)
+  log : out_channel option;  (** human-readable request log; [None] = quiet *)
+  structured_log : out_channel option;
+      (** JSONL sink for {!Alive_trace.Log}; [None] = no structured log *)
+  log_level : Alive_trace.Log.level;  (** minimum severity for the sink *)
+  slow_log : out_channel option;
+      (** JSONL record per slow request: rid, op, duration, VC digests,
+          result (tier outcome and solver stats) *)
+  slow_query_ms : float;
+      (** threshold for the slow log and the ["service.slow_queries"]
+          counter; [<= 0.] disables *)
 }
 
 val default_config : socket_path:string -> config
+(** No logs, [log_level = Info], [slow_query_ms = 500.]. *)
 
 val serve : config -> (unit, string) result
 (** Run until SIGINT/SIGTERM or a client's ["shutdown"] request. Returns

@@ -61,25 +61,37 @@ let read_frame ic =
 
 (* --- Request/response shapes --- *)
 
-let request ~id ~op ?(args = Json.Obj []) () =
-  Json.Obj [ ("id", Json.Int id); ("op", Json.String op); ("args", args) ]
+let request ~id ~op ?rid ?(args = Json.Obj []) () =
+  Json.Obj
+    ([ ("id", Json.Int id); ("op", Json.String op) ]
+    @ (match rid with Some r -> [ ("rid", Json.String r) ] | None -> [])
+    @ [ ("args", args) ])
 
-let ok_response ~id result =
-  Json.Obj [ ("id", id); ("ok", Json.Bool true); ("result", result) ]
+let rid_field = function
+  | Some r -> [ ("rid", Json.String r) ]
+  | None -> []
 
-let error_response ~id msg =
-  Json.Obj [ ("id", id); ("ok", Json.Bool false); ("error", Json.String msg) ]
+let ok_response ~id ?rid result =
+  Json.Obj
+    ([ ("id", id); ("ok", Json.Bool true) ]
+    @ rid_field rid
+    @ [ ("result", result) ])
+
+let error_response ~id ?rid msg =
+  Json.Obj
+    ([ ("id", id); ("ok", Json.Bool false) ]
+    @ rid_field rid
+    @ [ ("error", Json.String msg) ])
 
 let response_id j = Option.value (Json.member "id" j) ~default:Json.Null
 
+let rid j = Option.bind (Json.member "rid" j) Json.to_str
+
 let parse_request j =
-  match
-    ( Option.bind (Json.member "op" j) Json.to_str,
-      Json.member "id" j )
-  with
-  | Some op, Some id ->
-      Ok (id, op, Option.value (Json.member "args" j) ~default:(Json.Obj []))
-  | Some op, None -> Ok (Json.Null, op, Option.value (Json.member "args" j) ~default:(Json.Obj []))
+  let args () = Option.value (Json.member "args" j) ~default:(Json.Obj []) in
+  match (Option.bind (Json.member "op" j) Json.to_str, Json.member "id" j) with
+  | Some op, Some id -> Ok (id, op, rid j, args ())
+  | Some op, None -> Ok (Json.Null, op, rid j, args ())
   | None, _ -> Error "request has no \"op\" field"
 
 let parse_response j =

@@ -29,16 +29,23 @@ val read_frame : in_channel -> (Json.t, read_error) result
 
 (** {1 Request/response shapes} *)
 
-val request : id:int -> op:string -> ?args:Json.t -> unit -> Json.t
-val ok_response : id:Json.t -> Json.t -> Json.t
-val error_response : id:Json.t -> string -> Json.t
+val request : id:int -> op:string -> ?rid:string -> ?args:Json.t -> unit -> Json.t
+(** [rid] is an optional client-supplied request id, propagated through the
+    daemon's spans, logs and metrics and echoed on the response; the daemon
+    generates one when absent. *)
+
+val ok_response : id:Json.t -> ?rid:string -> Json.t -> Json.t
+val error_response : id:Json.t -> ?rid:string -> string -> Json.t
 
 val response_id : Json.t -> Json.t
 (** The [id] member, or [Null]. *)
 
-val parse_request : Json.t -> (Json.t * string * Json.t, string) result
-(** [(id, op, args)]; a missing id becomes [Null], missing args an empty
-    object. *)
+val rid : Json.t -> string option
+(** The [rid] member of a request or response frame, when present. *)
+
+val parse_request : Json.t -> (Json.t * string * string option * Json.t, string) result
+(** [(id, op, rid, args)]; a missing id becomes [Null], missing args an
+    empty object. *)
 
 val parse_response : Json.t -> (Json.t, string) result
 (** The [result] on success, the daemon's error message otherwise. *)

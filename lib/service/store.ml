@@ -48,6 +48,7 @@ type entry = {
 
 type stats = {
   segments : int;
+  bytes : int;  (* on-disk size of all segments *)
   live : int;  (* distinct digests in the table *)
   replayed : int;  (* records read on open, before newest-wins collapse *)
   corrupt : int;  (* non-final lines dropped by checksum/parse *)
@@ -434,9 +435,19 @@ let publish ?cost t digest verdict =
 
 let stats t =
   Mutex.lock t.lock;
+  let ids = segment_ids t.dir in
+  let bytes =
+    List.fold_left
+      (fun acc id ->
+        match (Unix.stat (segment_path t id)).Unix.st_size with
+        | n -> acc + n
+        | exception Unix.Unix_error _ -> acc)
+      0 ids
+  in
   let s =
     {
-      segments = List.length (segment_ids t.dir);
+      segments = List.length ids;
+      bytes;
       live = Hashtbl.length t.table;
       replayed = t.replayed;
       corrupt = t.corrupt;
@@ -452,6 +463,7 @@ let stats_json t =
   Json.Obj
     [
       ("segments", Json.Int s.segments);
+      ("bytes", Json.Int s.bytes);
       ("live", Json.Int s.live);
       ("replayed", Json.Int s.replayed);
       ("corrupt", Json.Int s.corrupt);

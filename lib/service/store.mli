@@ -27,6 +27,7 @@ type entry = {
 
 type stats = {
   segments : int;
+  bytes : int;  (** on-disk size of all segments *)
   live : int;  (** distinct digests *)
   replayed : int;  (** records read on open, before newest-wins collapse *)
   corrupt : int;  (** non-final lines dropped by checksum or parse *)
@@ -72,6 +73,11 @@ val compact : t -> unit
 
 val stats : t -> stats
 val stats_json : t -> Alive_trace.Json.t
+
+val entry_json : string -> entry -> Alive_trace.Json.t
+(** The on-disk JSON of one record under its digest — verdict, model (for
+    invalid), solver cost, and provenance (git rev, budget string,
+    timestamp). The daemon's [explain] op returns this verbatim. *)
 
 val close : t -> unit
 (** Flush, close the active segment, release the write lock. *)

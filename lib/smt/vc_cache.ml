@@ -213,6 +213,11 @@ let to_requester k = function
       let from_canon = List.map (fun (a, b) -> (b, a)) k.to_canon in
       `Invalid (rename_model from_canon m)
 
+(* Counter-free membership probe of this domain's table only — used by the
+   daemon's [explain] op to attribute a verdict to the cache tier without
+   disturbing hit/miss statistics or consulting the backing store. *)
+let mem_local k = Hashtbl.mem (state ()).table k.key
+
 let find k =
   let st = state () in
   match Hashtbl.find_opt st.table k.key with

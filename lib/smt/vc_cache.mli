@@ -47,6 +47,11 @@ val find : keyed -> ([ `Valid | `Invalid of Model.t ] * hit_source) option
     [`Invalid] the model is already renamed back to the query's own
     variable names. Bumps hit/miss and store hit/miss counters. *)
 
+val mem_local : keyed -> bool
+(** Is the key present in {e this} domain's table? Consults neither the
+    backing nor the counters — a side-effect-free probe for verdict
+    provenance ([explain]). *)
+
 type query_cost = {
   sat_s : float;
   conflicts : int;

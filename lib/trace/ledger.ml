@@ -10,6 +10,8 @@
 
 type phase_total = { phase : string; count : int; total_s : float }
 
+type op_stat = { op : string; op_count : int; op_total_s : float; op_p99_s : float }
+
 type record = {
   schema : int;
   timestamp : string;  (* ISO-8601 UTC *)
@@ -34,11 +36,14 @@ type record = {
   store_hits : int;  (* persistent verdict store *)
   store_misses : int;
   static_proved : int;  (* tier-0 static prover (schema >= 5; 0 before) *)
+  log_lines : int;  (* telemetry fields (schema >= 6; 0/[] before) *)
+  slow_queries : int;
+  ops : op_stat list;  (* per-op daemon latency totals *)
   verdicts : (string * int) list;  (* verdict name -> count *)
   phases : phase_total list;
 }
 
-let schema_version = 5
+let schema_version = 6
 
 let iso8601 t =
   let tm = Unix.gmtime t in
@@ -73,7 +78,8 @@ let make ~label ~jobs ~tasks ?(budget_timeout_s = 0.0) ?(budget_conflicts = 0)
     ?(cache_hits = 0)
     ?(cache_misses = 0) ?(cache_evictions = 0) ?(peak_clauses = 0)
     ?(peak_vars = 0) ?(requests = 0) ?(store_hits = 0) ?(store_misses = 0)
-    ?(static_proved = 0) ~verdicts ?(phases = phases_of_metrics ()) () =
+    ?(static_proved = 0) ?(log_lines = 0) ?(slow_queries = 0) ?(ops = [])
+    ~verdicts ?(phases = phases_of_metrics ()) () =
   {
     schema = schema_version;
     timestamp = iso8601 (Unix.gettimeofday ());
@@ -98,6 +104,9 @@ let make ~label ~jobs ~tasks ?(budget_timeout_s = 0.0) ?(budget_conflicts = 0)
     store_hits;
     store_misses;
     static_proved;
+    log_lines;
+    slow_queries;
+    ops;
     verdicts;
     phases;
   }
@@ -142,6 +151,20 @@ let to_json r =
             ("misses", Json.Int r.store_misses);
           ] );
       ("static_proved", Json.Int r.static_proved);
+      ("log_lines", Json.Int r.log_lines);
+      ("slow_queries", Json.Int r.slow_queries);
+      ( "ops",
+        Json.Obj
+          (List.map
+             (fun o ->
+               ( o.op,
+                 Json.Obj
+                   [
+                     ("count", Json.Int o.op_count);
+                     ("total_s", Json.Float o.op_total_s);
+                     ("p99_s", Json.Float o.op_p99_s);
+                   ] ))
+             r.ops) );
       ("verdicts", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) r.verdicts));
       ( "phases",
         Json.Obj
@@ -241,6 +264,28 @@ let of_json j =
           (* "static_proved" is a schema-5 key; older records read back as
              zero and the schema field flags them as not comparable. *)
           static_proved = int "static_proved" 0;
+          (* telemetry keys are schema-6; older records read back empty. *)
+          log_lines = int "log_lines" 0;
+          slow_queries = int "slow_queries" 0;
+          ops =
+            (match Option.bind (Json.member "ops" j) Json.to_obj with
+            | None -> []
+            | Some fields ->
+                List.map
+                  (fun (op, v) ->
+                    {
+                      op;
+                      op_count =
+                        Option.value ~default:0
+                          (Option.bind (Json.member "count" v) Json.to_int);
+                      op_total_s =
+                        Option.value ~default:0.0
+                          (Option.bind (Json.member "total_s" v) Json.to_float);
+                      op_p99_s =
+                        Option.value ~default:0.0
+                          (Option.bind (Json.member "p99_s" v) Json.to_float);
+                    })
+                  fields);
           verdicts;
           phases;
         }
@@ -293,19 +338,21 @@ type diff = {
   regressions : delta list;
 }
 
-(* Records from different schema versions are not comparable: fields the
-   older schema lacks read back as zeros, so a diff would report phantom
-   regressions (or, worse, silently compare zeros and pass). PR 4's
-   schema-1 records exhibited exactly that. *)
+(* Records from different schema versions only share the older schema's
+   fields: keys the older schema lacks read back as zeros, so comparing
+   them would report phantom regressions (or, worse, silently compare
+   zeros and pass — PR 4's schema-1 records exhibited exactly that).
+   [diff] therefore restricts itself to the shared field prefix, and
+   callers surface [schema_mismatch] as a warning rather than refusing
+   outright, so a schema bump does not invalidate every old baseline. *)
 let schema_mismatch ~baseline ~latest =
   if baseline.schema = latest.schema then None
   else
     Some
       (Printf.sprintf
          "schema mismatch: baseline record is schema %d, latest is schema \
-          %d; fields missing from the older schema read back as zeros, so \
-          the records are not comparable. Re-seed the baseline with a \
-          schema-%d record."
+          %d; comparing only the fields both schemas define. Re-seed the \
+          baseline with a schema-%d record for a full diff."
          baseline.schema latest.schema schema_version)
 
 let pct_change base now =
@@ -327,34 +374,69 @@ let diff ?(threshold_pct = 15.0) ~baseline ~latest () =
         (float_of_int latest.conflicts);
     ]
   in
+  (* Informational rows only for fields both schemas define, so a
+     cross-schema diff never compares a real value against a phantom
+     zero. *)
+  let shared = min baseline.schema latest.schema in
+  let since v rows = if shared >= v then rows () else [] in
   let informational =
-    info "sat_s" baseline.sat_s latest.sat_s
-    :: info "infer_s" baseline.infer_s latest.infer_s
-    :: info "queries" (float_of_int baseline.queries)
-         (float_of_int latest.queries)
-    :: info "cegar_iterations"
-         (float_of_int baseline.cegar_iterations)
-         (float_of_int latest.cegar_iterations)
-    :: info "cache_hits"
-         (float_of_int baseline.cache_hits)
-         (float_of_int latest.cache_hits)
-    :: info "store_hits"
-         (float_of_int baseline.store_hits)
-         (float_of_int latest.store_hits)
-    :: info "static_proved"
-         (float_of_int baseline.static_proved)
-         (float_of_int latest.static_proved)
-    :: info "peak_clauses"
-         (float_of_int baseline.peak_clauses)
-         (float_of_int latest.peak_clauses)
-    :: List.filter_map
-         (fun p ->
-           match
-             List.find_opt (fun b -> b.phase = p.phase) baseline.phases
-           with
-           | Some b -> Some (info ("phase:" ^ p.phase) b.total_s p.total_s)
-           | None -> None)
-         latest.phases
+    List.concat
+      [
+        [
+          info "sat_s" baseline.sat_s latest.sat_s;
+          info "queries" (float_of_int baseline.queries)
+            (float_of_int latest.queries);
+          info "cegar_iterations"
+            (float_of_int baseline.cegar_iterations)
+            (float_of_int latest.cegar_iterations);
+        ];
+        since 2 (fun () ->
+            [
+              info "cache_hits"
+                (float_of_int baseline.cache_hits)
+                (float_of_int latest.cache_hits);
+              info "peak_clauses"
+                (float_of_int baseline.peak_clauses)
+                (float_of_int latest.peak_clauses);
+            ]);
+        since 3 (fun () -> [ info "infer_s" baseline.infer_s latest.infer_s ]);
+        since 4 (fun () ->
+            [
+              info "store_hits"
+                (float_of_int baseline.store_hits)
+                (float_of_int latest.store_hits);
+            ]);
+        since 5 (fun () ->
+            [
+              info "static_proved"
+                (float_of_int baseline.static_proved)
+                (float_of_int latest.static_proved);
+            ]);
+        since 6 (fun () ->
+            info "log_lines"
+              (float_of_int baseline.log_lines)
+              (float_of_int latest.log_lines)
+            :: info "slow_queries"
+                 (float_of_int baseline.slow_queries)
+                 (float_of_int latest.slow_queries)
+            :: List.filter_map
+                 (fun o ->
+                   match
+                     List.find_opt (fun b -> b.op = o.op) baseline.ops
+                   with
+                   | Some b ->
+                       Some (info ("op:" ^ o.op) b.op_total_s o.op_total_s)
+                   | None -> None)
+                 latest.ops);
+        List.filter_map
+          (fun p ->
+            match
+              List.find_opt (fun b -> b.phase = p.phase) baseline.phases
+            with
+            | Some b -> Some (info ("phase:" ^ p.phase) b.total_s p.total_s)
+            | None -> None)
+          latest.phases;
+      ]
   in
   let deltas = gating @ informational in
   {

@@ -8,6 +8,14 @@
 
 type phase_total = { phase : string; count : int; total_s : float }
 
+type op_stat = {
+  op : string;
+  op_count : int;
+  op_total_s : float;
+  op_p99_s : float;
+}
+(** Per-op daemon latency totals (schema >= 6). *)
+
 type record = {
   schema : int;
   timestamp : string;  (** ISO-8601 UTC *)
@@ -40,6 +48,11 @@ type record = {
   static_proved : int;
       (** verification conditions discharged by the tier-0 static prover
           (schema >= 5; zero when reading older records) *)
+  log_lines : int;
+      (** structured log lines emitted during the run (schema >= 6; zero
+          when reading older records) *)
+  slow_queries : int;  (** requests past the slow-query threshold *)
+  ops : op_stat list;  (** per-op daemon latencies (schema >= 6) *)
   verdicts : (string * int) list;
   phases : phase_total list;
 }
@@ -75,6 +88,9 @@ val make :
   ?store_hits:int ->
   ?store_misses:int ->
   ?static_proved:int ->
+  ?log_lines:int ->
+  ?slow_queries:int ->
+  ?ops:op_stat list ->
   verdicts:(string * int) list ->
   ?phases:phase_total list ->
   unit ->
@@ -111,13 +127,15 @@ type diff = {
 
 val schema_mismatch : baseline:record -> latest:record -> string option
 (** [Some message] when the two records carry different schema versions.
-    Such records are not comparable — fields missing from the older schema
-    read back as zeros — so callers must refuse to diff them rather than
-    silently compare zeros ([alive_cli perf diff] exits 3). *)
+    {!diff} still works on such pairs — it compares only the shared field
+    prefix — but callers should surface this as a warning so the missing
+    rows are explained ([alive_cli perf diff] prints it to stderr). *)
 
 val diff : ?threshold_pct:float -> baseline:record -> latest:record -> unit -> diff
 (** Gating metrics are wall time and SAT conflicts: either growing more
     than [threshold_pct] (default 15%) counts as a regression. SAT time,
-    query/CEGAR counts and per-phase totals are reported informationally. *)
+    query/CEGAR counts, per-op latencies and per-phase totals are reported
+    informationally — restricted to fields defined by {e both} records'
+    schemas, so cross-schema diffs never compare against phantom zeros. *)
 
 val render_diff : ?oc:out_channel -> diff -> unit

@@ -1,0 +1,74 @@
+(* Leveled JSONL logging for the live service.
+
+   One JSON object per line: {"ts", "level", "msg", "rid"?, ...fields}.
+   A single process-wide sink guarded by a mutex keeps lines whole when
+   connection systhreads and pool domains log concurrently; the request
+   id defaults to the calling thread's bound Trace.Context, so handlers
+   rarely need to pass it explicitly. Emitted lines are counted in the
+   "log.lines" metrics counter (surfaced by the ledger's log_lines
+   field). *)
+
+type level = Debug | Info | Warn | Error
+
+let level_to_string = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string = function
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+let severity = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+let sink : out_channel option ref = ref None
+let min_level = ref Info
+let sink_lock = Mutex.create ()
+let m_lines = Metrics.counter "log.lines"
+
+let set_sink ?(level = Info) oc =
+  Mutex.lock sink_lock;
+  sink := oc;
+  min_level := level;
+  Mutex.unlock sink_lock
+
+let set_level level =
+  Mutex.lock sink_lock;
+  min_level := level;
+  Mutex.unlock sink_lock
+
+let enabled level =
+  Option.is_some !sink && severity level >= severity !min_level
+
+let emit ?rid ?(fields = []) level msg =
+  if enabled level then begin
+    let rid = match rid with Some _ as r -> r | None -> Trace.Context.rid () in
+    let line =
+      Json.Obj
+        ([
+           ("ts", Json.String (Ledger.iso8601 (Unix.gettimeofday ())));
+           ("level", Json.String (level_to_string level));
+           ("msg", Json.String msg);
+         ]
+        @ (match rid with Some r -> [ ("rid", Json.String r) ] | None -> [])
+        @ fields)
+    in
+    Mutex.lock sink_lock;
+    (match !sink with
+    | Some oc ->
+        output_string oc (Json.to_string line);
+        output_char oc '\n';
+        flush oc;
+        Metrics.incr m_lines
+    | None -> ());
+    Mutex.unlock sink_lock
+  end
+
+let debug ?rid ?fields msg = emit ?rid ?fields Debug msg
+let info ?rid ?fields msg = emit ?rid ?fields Info msg
+let warn ?rid ?fields msg = emit ?rid ?fields Warn msg
+let error ?rid ?fields msg = emit ?rid ?fields Error msg

@@ -1,0 +1,32 @@
+(** Leveled JSONL logging for the live service.
+
+    One JSON object per line — [{"ts": <ISO-8601>, "level": "info",
+    "msg": ..., "rid": ...?, <fields>...}] — written to a single
+    process-wide sink under a mutex, so lines from concurrent connection
+    threads and pool domains never interleave. When no [rid] is passed,
+    the calling thread's bound {!Trace.Context} id is used, so code
+    running under a request context is attributed automatically.
+
+    Every emitted line bumps the ["log.lines"] metrics counter. *)
+
+type level = Debug | Info | Warn | Error
+
+val level_to_string : level -> string
+val level_of_string : string -> level option
+
+val set_sink : ?level:level -> out_channel option -> unit
+(** Install (or, with [None], remove) the sink. [level] (default [Info])
+    is the minimum severity emitted. The channel is flushed per line but
+    not closed by this module. *)
+
+val set_level : level -> unit
+
+val enabled : level -> bool
+(** A sink is installed and [level] clears its threshold. *)
+
+val emit : ?rid:string -> ?fields:(string * Json.t) list -> level -> string -> unit
+
+val debug : ?rid:string -> ?fields:(string * Json.t) list -> string -> unit
+val info : ?rid:string -> ?fields:(string * Json.t) list -> string -> unit
+val warn : ?rid:string -> ?fields:(string * Json.t) list -> string -> unit
+val error : ?rid:string -> ?fields:(string * Json.t) list -> string -> unit

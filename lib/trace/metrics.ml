@@ -266,6 +266,69 @@ let hist_json h =
       ("p99_s", Json.Float h.p99_s);
     ]
 
+(* --- Prometheus text exposition ---
+
+   Rendered here because the raw bucket array and bounds are private to
+   this module. Bucket lines are sparse (only buckets that hold samples),
+   cumulative as the format requires, and closed by the mandatory +Inf
+   bucket; instrument names map to [alive_<name with '.' -> '_'>], with
+   the conventional [_total] suffix on counters. *)
+
+let prom_sanitize name =
+  String.map
+    (fun c ->
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c | _ -> '_')
+    name
+
+let prom_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let render_prometheus () =
+  let buf = Buffer.create 4096 in
+  let counters = ref [] and gauges = ref [] and hists = ref [] in
+  with_registry (fun () ->
+      Hashtbl.iter
+        (fun _ -> function
+          | Counter c -> counters := c :: !counters
+          | Gauge g -> gauges := g :: !gauges
+          | Histogram h -> hists := h :: !hists)
+        registry);
+  let by_name f = List.sort (fun a b -> compare (f a) (f b)) in
+  List.iter
+    (fun c ->
+      let n = "alive_" ^ prom_sanitize c.cname ^ "_total" in
+      Printf.bprintf buf "# TYPE %s counter\n%s %d\n" n n (Atomic.get c.cell))
+    (by_name (fun c -> c.cname) !counters);
+  List.iter
+    (fun g ->
+      let n = "alive_" ^ prom_sanitize g.gname in
+      Printf.bprintf buf "# TYPE %s gauge\n%s %d\n" n n (Atomic.get g.glevel))
+    (by_name (fun g -> g.gname) !gauges);
+  List.iter
+    (fun h ->
+      Mutex.lock h.hlock;
+      let counts = Array.copy h.counts in
+      let sum = h.sum and count = h.count in
+      Mutex.unlock h.hlock;
+      let n = "alive_" ^ prom_sanitize h.hname in
+      Printf.bprintf buf "# TYPE %s histogram\n" n;
+      let acc = ref 0 in
+      Array.iteri
+        (fun i c ->
+          if c > 0 then begin
+            acc := !acc + c;
+            Printf.bprintf buf "%s_bucket{le=\"%s\"} %d\n" n
+              (prom_float (upper_bound i))
+              !acc
+          end)
+        counts;
+      Printf.bprintf buf "%s_bucket{le=\"+Inf\"} %d\n" n count;
+      Printf.bprintf buf "%s_sum %s\n" n (prom_float sum);
+      Printf.bprintf buf "%s_count %d\n" n count)
+    (by_name (fun h -> h.hname) !hists);
+  Buffer.contents buf
+
 let to_json () =
   let snap = snapshot () in
   Json.Obj

@@ -97,3 +97,10 @@ val to_json : unit -> Json.t
 (** [{"histograms": {phase: {count, total_s, p50_s, ...}}, "counters":
     {...}, "gauges": {...}}] — only histograms with observations are
     included. *)
+
+val render_prometheus : unit -> string
+(** The whole registry in Prometheus text exposition format. Counters
+    become [alive_<name>_total], gauges [alive_<name>], histograms emit
+    sparse cumulative [_bucket{le="..."}] lines (one per occupied
+    log-scale bucket, closed by [+Inf]) plus [_sum]/[_count]. Dots in
+    instrument names map to underscores. *)

@@ -35,9 +35,15 @@ let tracing = Atomic.make false
 
 let enabled () = Atomic.get tracing
 
-(* A span must run its timing when either consumer (event buffer or phase
-   histograms) is live. *)
-let active () = Atomic.get tracing || Metrics.phase_timing_on ()
+(* Number of request contexts currently capturing spans (see [with_capture]
+   below). Kept as a counter rather than a flag so overlapping daemon
+   requests compose. *)
+let captures = Atomic.make 0
+
+(* A span must run its timing when any consumer (event buffer, phase
+   histograms, or a capturing request context) is live. *)
+let active () =
+  Atomic.get tracing || Metrics.phase_timing_on () || Atomic.get captures > 0
 
 (* --- Per-domain state --- *)
 
@@ -64,6 +70,89 @@ let dstate () = Domain.DLS.get dls_key
 
 let set_enabled b = Atomic.set tracing b
 
+(* --- Request contexts ---
+
+   A context carries a request id across the layers that serve one daemon
+   request (connection systhread, engine pool task, refinement tiers) and,
+   while capturing, collects the request's finished spans in its own buffer.
+
+   Bindings are keyed by (domain id, systhread id): the daemon's connection
+   threads all share domain 0, so DLS alone would bleed one request's id
+   into another. The buffer is only ever appended from the thread the
+   context is currently bound on, and read after that work has been joined,
+   so it needs no lock of its own. *)
+
+module Context = struct
+  type t = {
+    rid : string;
+    mutable buf : event list;  (* captured events, most recent first *)
+    mutable capture : bool;
+  }
+
+  let counter = Atomic.make 0
+
+  let make ?rid () =
+    let rid =
+      match rid with
+      | Some r -> r
+      | None ->
+          Printf.sprintf "r%d-%d" (Unix.getpid ())
+            (Atomic.fetch_and_add counter 1)
+    in
+    { rid; buf = []; capture = false }
+
+  let rid_of c = c.rid
+
+  let table : (int * int, t) Hashtbl.t = Hashtbl.create 64
+  let table_lock = Mutex.create ()
+  let slot () = ((Domain.self () :> int), Thread.id (Thread.self ()))
+
+  let current () =
+    Mutex.lock table_lock;
+    let c = Hashtbl.find_opt table (slot ()) in
+    Mutex.unlock table_lock;
+    c
+
+  let rid () =
+    match current () with Some c -> Some c.rid | None -> None
+
+  (* Swap the binding of the current slot; returns the previous one. *)
+  let bind c =
+    Mutex.lock table_lock;
+    let s = slot () in
+    let prev = Hashtbl.find_opt table s in
+    (match c with
+    | Some c -> Hashtbl.replace table s c
+    | None -> Hashtbl.remove table s);
+    Mutex.unlock table_lock;
+    prev
+end
+
+let with_context c f =
+  let prev = Context.bind (Some c) in
+  Fun.protect ~finally:(fun () -> ignore (Context.bind prev)) f
+
+let with_capture c f =
+  let was = c.Context.capture in
+  c.Context.capture <- true;
+  if not was then Atomic.incr captures;
+  let finish () =
+    c.Context.capture <- was;
+    if not was then Atomic.decr captures
+  in
+  let v =
+    match with_context c f with
+    | v -> v
+    | exception e ->
+        finish ();
+        raise e
+  in
+  finish ();
+  let events =
+    List.sort (fun a b -> compare a.start b.start) (List.rev c.Context.buf)
+  in
+  (v, events)
+
 (* --- Spans --- *)
 
 let begin_span ?(meta = []) phase : span =
@@ -74,6 +163,13 @@ let begin_span ?(meta = []) phase : span =
       match d.stack with
       | [] -> phase
       | parent :: _ -> parent.path ^ ";" ^ phase
+    in
+    let meta =
+      if Atomic.get captures = 0 then meta
+      else
+        match Context.rid () with
+        | Some r -> ("rid", Str r) :: meta
+        | None -> meta
     in
     let ev =
       { phase; path; start = Clock.now (); dur = 0.0; domain = d.dom; meta }
@@ -99,6 +195,11 @@ let end_span (sp : span) =
       in
       d.stack <- pop d.stack;
       if Atomic.get tracing then d.events <- ev :: d.events;
+      if Atomic.get captures > 0 then begin
+        match Context.current () with
+        | Some c when c.Context.capture -> c.Context.buf <- ev :: c.Context.buf
+        | _ -> ()
+      end;
       if Metrics.phase_timing_on () then Metrics.observe_phase ev.phase ev.dur
 
 let with_span ?meta phase f =
@@ -109,16 +210,27 @@ let with_span ?meta phase f =
   end
 
 let instant ?(meta = []) phase =
-  if Atomic.get tracing then begin
+  let capturing = Atomic.get captures > 0 in
+  if Atomic.get tracing || capturing then begin
     let d = dstate () in
     let path =
       match d.stack with
       | [] -> phase
       | parent :: _ -> parent.path ^ ";" ^ phase
     in
-    d.events <-
+    let ctx = if capturing then Context.current () else None in
+    let meta =
+      match ctx with
+      | Some c -> ("rid", Str c.Context.rid) :: meta
+      | None -> meta
+    in
+    let ev =
       { phase; path; start = Clock.now (); dur = 0.0; domain = d.dom; meta }
-      :: d.events
+    in
+    if Atomic.get tracing then d.events <- ev :: d.events;
+    match ctx with
+    | Some c when c.Context.capture -> c.Context.buf <- ev :: c.Context.buf
+    | _ -> ()
   end
 
 (* --- Collection --- *)
@@ -243,3 +355,70 @@ let collapsed ?(events = drain ()) () =
 let write_collapsed path =
   Out_channel.with_open_text path (fun oc ->
       Out_channel.output_string oc (collapsed ()))
+
+(* --- Plain event JSON (per-request span trees in daemon responses) --- *)
+
+let event_json ev =
+  let meta =
+    if ev.meta = [] then []
+    else [ ("meta", Json.Obj (List.map (fun (k, v) -> (k, arg_json v)) ev.meta)) ]
+  in
+  Json.Obj
+    ([
+       ("phase", Json.String ev.phase);
+       ("path", Json.String ev.path);
+       ("start", Json.Float ev.start);
+       ("dur_s", Json.Float ev.dur);
+       ("domain", Json.Int ev.domain);
+     ]
+    @ meta)
+
+let events_json events = Json.List (List.map event_json events)
+
+(* --- Rolling request ring ---
+
+   The daemon appends each request's captured spans as one batch; the
+   [trace] op dumps the surviving batches as a Chrome trace. Bounded by
+   batch count, so a long-lived daemon holds the last N requests only. *)
+
+module Ring = struct
+  let lock = Mutex.create ()
+  let batches : event list Queue.t = Queue.create ()
+  let capacity = ref 256
+
+  let trim () =
+    while Queue.length batches > !capacity do
+      ignore (Queue.pop batches)
+    done
+
+  let set_capacity n =
+    Mutex.lock lock;
+    capacity := max 0 n;
+    trim ();
+    Mutex.unlock lock
+
+  let append events =
+    if events <> [] then begin
+      Mutex.lock lock;
+      Queue.add events batches;
+      trim ();
+      Mutex.unlock lock
+    end
+
+  let contents () =
+    Mutex.lock lock;
+    let all = List.concat (List.of_seq (Queue.to_seq batches)) in
+    Mutex.unlock lock;
+    all
+
+  let length () =
+    Mutex.lock lock;
+    let n = Queue.length batches in
+    Mutex.unlock lock;
+    n
+
+  let clear () =
+    Mutex.lock lock;
+    Queue.clear batches;
+    Mutex.unlock lock
+end

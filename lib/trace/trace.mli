@@ -30,6 +30,42 @@ val set_enabled : bool -> unit
 
 val enabled : unit -> bool
 
+(** {1 Request contexts}
+
+    A context carries a request id across the layers serving one daemon
+    request. Bindings are keyed by (domain, systhread), so the daemon's
+    connection threads — which share domain 0 — never see each other's
+    ids. While a context is capturing ({!with_capture}), every span and
+    instant recorded under it is tagged with a ["rid"] meta entry and
+    collected into the context's private buffer, independent of the
+    global tracing switch. *)
+
+module Context : sig
+  type t
+
+  val make : ?rid:string -> unit -> t
+  (** A fresh context; [rid] defaults to a process-unique generated id. *)
+
+  val rid_of : t -> string
+
+  val current : unit -> t option
+  (** The context bound on the calling (domain, thread), if any. *)
+
+  val rid : unit -> string option
+  (** [rid_of] of {!current}. *)
+end
+
+val with_context : Context.t -> (unit -> 'a) -> 'a
+(** Bind [c] on the calling (domain, thread) for the duration of [f],
+    restoring the previous binding (if any) afterwards. *)
+
+val with_capture : Context.t -> (unit -> 'a) -> 'a * event list
+(** [with_capture c f] runs [f] with [c] bound as {!with_context} does,
+    additionally collecting every span finished under [c] — including
+    spans produced on another domain that bound [c] around delegated work
+    (e.g. an engine pool task) — sorted by start time. Capturing makes
+    span sites live even when global tracing is off. *)
+
 (** {1 Spans} *)
 
 val with_span : ?meta:(string * arg) list -> string -> (unit -> 'a) -> 'a
@@ -72,3 +108,32 @@ val collapsed : ?events:event list -> unit -> string
 (** Collapsed-stack flamegraph lines: ["path;to;phase <self-time-µs>"]. *)
 
 val write_collapsed : string -> unit
+
+val event_json : event -> Json.t
+(** One event as a plain JSON object ([phase], [path], [start], [dur_s],
+    [domain], optional [meta]) — the span-tree encoding of verbose daemon
+    responses. *)
+
+val events_json : event list -> Json.t
+
+(** {1 Rolling request ring}
+
+    A bounded queue of per-request span batches. The daemon appends each
+    request's captured spans; the [trace] op exports the surviving batches
+    via {!chrome_json}. *)
+
+module Ring : sig
+  val set_capacity : int -> unit
+  (** Maximum batches retained (default 256); oldest dropped first. *)
+
+  val append : event list -> unit
+  (** Add one request's spans as a batch; empty lists are ignored. *)
+
+  val contents : unit -> event list
+  (** Every retained event, oldest batch first. *)
+
+  val length : unit -> int
+  (** Number of retained batches. *)
+
+  val clear : unit -> unit
+end

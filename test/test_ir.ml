@@ -87,6 +87,21 @@ let interp_tests =
             (Ir.Var "a")
         in
         check_bool "ub" true (run_ok f [ bv 8 1; bv 8 0 ] = Interp.Ub));
+    Alcotest.test_case "poison dividend does not mask div-by-zero UB" `Quick
+      (fun () ->
+        (* Definedness (Table 1) is over carrier values, as in vcgen's
+           encoding: udiv (poison), 0 is UB, not poison. A rule that
+           rewrites the dividend away (e.g. udiv (shl nuw x, C), 0 ->
+           udiv x, 0) is valid and must not trip differential testing. *)
+        let f =
+          func
+            [
+              def "p" 8 (Ir.Binop (Ir.Shl, [ Ir.Nuw ], Ir.Var "x", Ir.Const (bv 8 4)));
+              def "a" 8 (Ir.Binop (Ir.Udiv, [], Ir.Var "p", Ir.Const (bv 8 0)));
+            ]
+            (Ir.Var "a")
+        in
+        check_bool "ub" true (run_ok f [ bv 8 255; bv 8 0 ] = Interp.Ub));
     Alcotest.test_case "INT_MIN sdiv -1 is UB" `Quick (fun () ->
         let f =
           func

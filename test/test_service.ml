@@ -141,11 +141,18 @@ let protocol_tests =
             ()
         in
         (match Protocol.parse_request req with
-        | Ok (id, op, args) ->
+        | Ok (id, op, rid, args) ->
             check_int "id" 3 (get (Json.to_int id));
             check_string "op" "lint" op;
+            check_bool "no rid" true (rid = None);
             check_string "args" "t"
               (get (Option.bind (Json.member "text" args) Json.to_str))
+        | Error e -> Alcotest.fail e);
+        (match
+           Protocol.parse_request
+             (Protocol.request ~id:4 ~op:"ping" ~rid:"r-77" ())
+         with
+        | Ok (_, _, rid, _) -> check_bool "rid" true (rid = Some "r-77")
         | Error e -> Alcotest.fail e);
         let id = Json.Int 3 in
         (match Protocol.parse_response (Protocol.ok_response ~id Json.Null) with
@@ -515,5 +522,323 @@ let daemon_tests =
             check_bool "socket removed" false (Sys.file_exists socket)));
   ]
 
+(* --- Live telemetry: request tracing, structured logs, Prometheus,
+   explain ---
+
+   One daemon with a single worker domain (so the probe behind [explain]
+   sees exactly the caches solving warmed), hammered by parallel clients
+   with distinct request ids, then restarted on the same store to observe
+   the store tier with a cold cache. *)
+
+let start_daemon config =
+  let outcome = ref (Error "daemon did not run") in
+  let th = Thread.create (fun () -> outcome := Daemon.serve config) () in
+  let rec connect tries =
+    match Client.connect config.Daemon.socket_path with
+    | Ok c -> c
+    | Error e ->
+        if tries = 0 then Alcotest.fail ("connect: " ^ e)
+        else begin
+          Thread.delay 0.05;
+          connect (tries - 1)
+        end
+  in
+  let c = connect 100 in
+  (c, th, outcome)
+
+let stop_daemon (c, th, outcome) =
+  (match Client.shutdown c with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("shutdown: " ^ e));
+  Client.close c;
+  Thread.join th;
+  match !outcome with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("serve: " ^ e)
+
+let jstr j k = Option.bind (Json.member k j) Json.to_str
+let jint j k = Option.bind (Json.member k j) Json.to_int
+
+let read_jsonl path =
+  In_channel.with_open_text path In_channel.input_all
+  |> String.split_on_char '\n'
+  |> List.filter (fun l -> l <> "")
+  |> List.map (fun l -> Result.get_ok (Json.parse l))
+
+(* The static tier proves x+0 = x; the (a&b)+(a|b) = a+b identities are
+   beyond it, so they exercise the solver, the cache, and the store. *)
+let static_text = "Name: st\n%r = add %a, 0\n=>\n%r = %a\n"
+
+let hard_text name op1 op2 =
+  Printf.sprintf
+    "Name: %s\n%%t1 = %s %%a, %%b\n%%t2 = %s %%a, %%b\n%%r = add %%t1, \
+     %%t2\n=>\n%%r = add %%a, %%b\n"
+    name op1 op2
+
+let prom_value text name =
+  List.find_map
+    (fun l ->
+      match String.index_opt l ' ' with
+      | Some i when String.sub l 0 i = name ->
+          float_of_string_opt (String.sub l (i + 1) (String.length l - i - 1))
+      | _ -> None)
+    (String.split_on_char '\n' text)
+
+let telemetry_tests =
+  [
+    Alcotest.test_case "parallel requests keep their ids across telemetry"
+      `Quick (fun () ->
+        with_temp_dir (fun dir ->
+            let socket = Filename.concat dir "t.sock" in
+            let log_path = Filename.concat dir "log.jsonl" in
+            let slow_path = Filename.concat dir "slow.jsonl" in
+            let log_oc = open_out log_path in
+            let slow_oc = open_out slow_path in
+            let config =
+              {
+                (Daemon.default_config ~socket_path:socket) with
+                Daemon.store_dir = Some (Filename.concat dir "store");
+                jobs = Some 1;
+                structured_log = Some log_oc;
+                slow_log = Some slow_oc;
+                (* Everything is a slow query at 1ns, so every request
+                   leaves a slow-log record to check. *)
+                slow_query_ms = 0.000001;
+              }
+            in
+            let d = start_daemon config in
+            let c0, _, _ = d in
+            let n = 6 in
+            let rids = List.init n (Printf.sprintf "par-%d") in
+            let failures = ref [] in
+            let fail_lock = Mutex.create () in
+            let worker i () =
+              let rid = Printf.sprintf "par-%d" i in
+              let record msg =
+                Mutex.lock fail_lock;
+                failures := msg :: !failures;
+                Mutex.unlock fail_lock
+              in
+              match Client.connect socket with
+              | Error e -> record ("connect: " ^ e)
+              | Ok c -> (
+                  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+                  let text =
+                    Printf.sprintf "Name: p%d\n%%r = add %%a, %d\n=>\n%%r = \
+                                    add %%a, %d\n"
+                      i i i
+                  in
+                  match Client.verify c ~rid ~spans:true ~text () with
+                  | Error e -> record (rid ^ ": " ^ e)
+                  | Ok j -> (
+                      match Json.member "spans" j with
+                      | Some (Json.List (_ :: _ as spans)) ->
+                          List.iter
+                            (fun sp ->
+                              let meta =
+                                Option.value ~default:Json.Null
+                                  (Json.member "meta" sp)
+                              in
+                              if jstr meta "rid" <> Some rid then
+                                record
+                                  (rid ^ ": span tagged "
+                                  ^ Option.value ~default:"<none>"
+                                      (jstr meta "rid")))
+                            spans
+                      | _ -> record (rid ^ ": no spans attached")))
+            in
+            let threads =
+              List.init n (fun i -> Thread.create (worker i) ())
+            in
+            List.iter Thread.join threads;
+            check_bool
+              (String.concat "; " !failures)
+              true (!failures = []);
+            (* Scrape before shutdown: counters vs histograms must agree.
+               The in-flight scrape itself is counted in requests but not
+               yet observed in the latency histogram, hence the gauge. *)
+            (match Client.metrics_prom c0 with
+            | Error e -> Alcotest.fail ("metrics-prom: " ^ e)
+            | Ok text ->
+                let v name =
+                  match prom_value text name with
+                  | Some v -> v
+                  | None -> Alcotest.fail (name ^ " missing from exposition")
+                in
+                check_bool "requests = observed + in-flight" true
+                  (v "alive_service_requests_total"
+                  = v "alive_service_request_s_count"
+                    +. v "alive_service_inflight");
+                check_bool "verify op histogram counted all clients" true
+                  (v "alive_service_request_s_verify_count" >= float_of_int n);
+                check_bool "verify +Inf bucket closes at its count" true
+                  (v "alive_service_request_s_verify_count"
+                  = Option.value ~default:(-1.0)
+                      (List.find_map
+                         (fun l ->
+                           if
+                             Astring.String.is_prefix
+                               ~affix:
+                                 "alive_service_request_s_verify_bucket{le=\"+Inf\"}"
+                               l
+                           then
+                             float_of_string_opt
+                               (String.sub l
+                                  (String.rindex l ' ' + 1)
+                                  (String.length l - String.rindex l ' ' - 1))
+                           else None)
+                         (String.split_on_char '\n' text)));
+                check_bool "slow queries counted" true
+                  (v "alive_service_slow_queries_total" >= float_of_int n));
+            stop_daemon d;
+            close_out_noerr log_oc;
+            close_out_noerr slow_oc;
+            (* Every parallel request logged exactly once, under its own
+               rid — no cross-request bleed between connection threads. *)
+            let log = read_jsonl log_path in
+            let logged_rids =
+              List.filter_map
+                (fun l ->
+                  (* Each request logs one "request" completion line; the
+                     slow-query warning reuses the rid, so key on msg. *)
+                  match (jstr l "msg", jstr l "rid") with
+                  | Some "request", Some r
+                    when String.length r >= 4 && String.sub r 0 4 = "par-" ->
+                      check_bool (r ^ " is a verify line") true
+                        (jstr l "op" = Some "verify");
+                      Some r
+                  | _ -> None)
+                log
+            in
+            check_bool "each rid logged exactly once" true
+              (List.sort compare logged_rids = List.sort compare rids);
+            check_bool "lifecycle lines present" true
+              (List.exists (fun l -> jstr l "msg" = Some "daemon listening") log);
+            (* The slow log carries the same rids with digests. *)
+            let slow = read_jsonl slow_path in
+            let slow_rids =
+              List.filter_map
+                (fun l ->
+                  match jstr l "rid" with
+                  | Some r
+                    when String.length r >= 4 && String.sub r 0 4 = "par-" ->
+                      check_bool (r ^ " has digests") true
+                        (Json.member "digests" l <> None);
+                      Some r
+                  | _ -> None)
+                slow
+            in
+            check_bool "slow log covers every parallel request" true
+              (List.sort compare slow_rids = List.sort compare rids)));
+    Alcotest.test_case "explain attributes verdicts to their tier" `Quick
+      (fun () ->
+        with_temp_dir (fun dir ->
+            let socket = Filename.concat dir "e.sock" in
+            let store_dir = Filename.concat dir "store" in
+            let config =
+              {
+                (Daemon.default_config ~socket_path:socket) with
+                Daemon.store_dir = Some store_dir;
+                jobs = Some 1;
+              }
+            in
+            let hard = hard_text "e1" "and" "or" in
+            let overall_tier c text =
+              match Client.explain c ~text () with
+              | Ok (Json.List [ j ]) -> get (jstr j "tier")
+              | Ok _ -> Alcotest.fail "explain shape"
+              | Error e -> Alcotest.fail ("explain: " ^ e)
+            in
+            let d = start_daemon config in
+            let c, _, _ = d in
+            (* Static tier: the tier-0 prover discharges every query. *)
+            check_string "static tier" "static" (overall_tier c static_text);
+            (* SMT tier: never solved, not cached, not stored. *)
+            check_string "smt tier before solving" "smt"
+              (overall_tier c hard);
+            (* Cache tier: solve it, then probe on the same single worker. *)
+            (match Client.verify c ~text:hard () with
+            | Ok (Json.List [ j ]) ->
+                check_string "solved valid" "valid" (get (jstr j "verdict"))
+            | Ok _ -> Alcotest.fail "verify shape"
+            | Error e -> Alcotest.fail ("verify: " ^ e));
+            check_string "cache tier after solving" "cache"
+              (overall_tier c hard);
+            (* The unknown:* breakdown surfaces per op in metrics after a
+               budget-exhausted verify. *)
+            (match
+               Client.verify c ~timeout:1e-6
+                 ~text:(hard_text "e2" "xor" "or")
+                 ()
+             with
+            | Ok _ -> ()
+            | Error e -> Alcotest.fail ("verify timeout: " ^ e));
+            (match Client.metrics c with
+            | Ok m ->
+                let counters =
+                  Option.value ~default:Json.Null (Json.member "counters" m)
+                in
+                check_bool "unknown-reason counter per op" true
+                  (List.exists
+                     (fun slug ->
+                       match
+                         jint counters ("service.unknown.verify." ^ slug)
+                       with
+                       | Some n -> n > 0
+                       | None -> false)
+                     [ "timeout"; "conflicts"; "cegar" ])
+            | Error e -> Alcotest.fail ("metrics: " ^ e));
+            stop_daemon d;
+            (* Store tier: a fresh daemon on the same store has a cold
+               in-memory cache, so the stored verdict is the live answer. *)
+            let d2 = start_daemon config in
+            let c2, _, _ = d2 in
+            check_string "store tier after restart" "store"
+              (overall_tier c2 hard);
+            (* Digest form: the store-tier query's record round-trips with
+               its provenance. *)
+            let digest =
+              match Client.explain c2 ~text:hard () with
+              | Ok (Json.List [ j ]) -> (
+                  match Json.member "typings" j with
+                  | Some (Json.List typings) ->
+                      let qs =
+                        List.concat_map
+                          (function Json.List qs -> qs | _ -> [])
+                          typings
+                      in
+                      get
+                        (List.find_map
+                           (fun q ->
+                             if jstr q "tier" = Some "store" then
+                               jstr q "digest"
+                             else None)
+                           qs)
+                  | _ -> Alcotest.fail "explain typings shape")
+              | _ -> Alcotest.fail "explain failed"
+            in
+            (match Client.explain_digest c2 digest with
+            | Ok j ->
+                check_bool "found" true
+                  (Json.member "found" j = Some (Json.Bool true));
+                check_string "origin" "smt" (get (jstr j "origin"));
+                let store = get (Json.member "store" j) in
+                check_bool "provenance rev" true
+                  (jstr store "rev" <> None);
+                check_bool "provenance ts" true (jstr store "ts" <> None)
+            | Error e -> Alcotest.fail ("explain digest: " ^ e));
+            (* The trace ring kept span batches from recent requests. *)
+            (match Client.trace_dump c2 with
+            | Ok j ->
+                check_bool "chrome trace shape" true
+                  (match Json.member "traceEvents" j with
+                  | Some (Json.List _) -> true
+                  | _ -> false)
+            | Error e -> Alcotest.fail ("trace: " ^ e));
+            stop_daemon d2));
+  ]
+
 let suite =
-  ("service", protocol_tests @ store_tests @ determinism_tests @ daemon_tests)
+  ( "service",
+    protocol_tests @ store_tests @ determinism_tests @ daemon_tests
+    @ telemetry_tests )

@@ -448,6 +448,229 @@ let ledger_tests =
         check_int "improvement passes" 0 (List.length d_down.regressions))
   ]
 
+(* --- Live-service telemetry: context capture, Prometheus, logs,
+   cross-schema ledger diffs --- *)
+
+module Log = Alive_trace.Log
+
+let prom_lines text = String.split_on_char '\n' text
+
+let prom_value lines name =
+  List.find_map
+    (fun l ->
+      match String.index_opt l ' ' with
+      | Some i when String.sub l 0 i = name ->
+          float_of_string_opt (String.sub l (i + 1) (String.length l - i - 1))
+      | _ -> None)
+    lines
+
+let telemetry_tests =
+  [
+    Alcotest.test_case "request context captures spans with its rid" `Quick
+      (fun () ->
+        let ctx = Trace.Context.make ~rid:"req-1" () in
+        check_string "client rid wins" "req-1" (Trace.Context.rid_of ctx);
+        let v, events =
+          Trace.with_capture ctx (fun () ->
+              check_bool "context bound" true
+                (Trace.Context.rid () = Some "req-1");
+              let sp = Trace.begin_span "outer" in
+              let inner = Trace.begin_span "inner" in
+              Trace.end_span inner;
+              Trace.end_span sp;
+              17)
+        in
+        check_int "value through" 17 v;
+        check_bool "context unbound after" true (Trace.Context.current () = None);
+        check_int "both spans captured" 2 (List.length events);
+        List.iter
+          (fun (e : Trace.event) ->
+            check_bool (e.path ^ " tagged") true
+              (List.assoc_opt "rid" e.meta = Some (Trace.Str "req-1")))
+          events;
+        (* Capture off again: spans vanish without cost. *)
+        let sp = Trace.begin_span "after" in
+        Trace.end_span sp;
+        check_int "nothing buffered" 0 (List.length (Trace.drain ()));
+        (* Generated rids are distinct. *)
+        check_bool "generated rids differ" true
+          (Trace.Context.rid_of (Trace.Context.make ())
+          <> Trace.Context.rid_of (Trace.Context.make ())));
+    Alcotest.test_case "ring keeps the newest batches within capacity" `Quick
+      (fun () ->
+        Trace.Ring.clear ();
+        Trace.Ring.set_capacity 3;
+        Fun.protect ~finally:(fun () ->
+            Trace.Ring.clear ();
+            Trace.Ring.set_capacity 256)
+        @@ fun () ->
+        for i = 1 to 5 do
+          let ctx = Trace.Context.make ~rid:(Printf.sprintf "r%d" i) () in
+          let (), events =
+            Trace.with_capture ctx (fun () ->
+                let sp = Trace.begin_span "work" in
+                Trace.end_span sp)
+          in
+          Trace.Ring.append events
+        done;
+        check_int "capacity bounds batches" 3 (Trace.Ring.length ());
+        let rids =
+          List.filter_map
+            (fun (e : Trace.event) ->
+              match List.assoc_opt "rid" e.meta with
+              | Some (Trace.Str r) -> Some r
+              | _ -> None)
+            (Trace.Ring.contents ())
+        in
+        check_bool "oldest evicted, newest kept" true
+          (rids = [ "r3"; "r4"; "r5" ]));
+    Alcotest.test_case "Prometheus exposition renders all instrument kinds"
+      `Quick (fun () ->
+        Metrics.reset ();
+        Fun.protect ~finally:Metrics.reset @@ fun () ->
+        let c = Metrics.counter "promtest.reqs" in
+        Metrics.incr c;
+        Metrics.incr c;
+        Metrics.incr c;
+        Metrics.set_gauge (Metrics.gauge "promtest.depth") 7;
+        let h = Metrics.histogram "promtest.lat" in
+        List.iter (Metrics.observe h) [ 0.001; 0.004; 0.004; 2.0 ];
+        let text = Metrics.render_prometheus () in
+        let lines = prom_lines text in
+        check_bool "counter" true
+          (prom_value lines "alive_promtest_reqs_total" = Some 3.0);
+        check_bool "gauge" true
+          (prom_value lines "alive_promtest_depth" = Some 7.0);
+        check_bool "hist count" true
+          (prom_value lines "alive_promtest_lat_count" = Some 4.0);
+        check_bool "hist sum" true
+          (match prom_value lines "alive_promtest_lat_sum" with
+          | Some s -> Float.abs (s -. 2.009) < 1e-6
+          | None -> false);
+        (* Bucket lines are cumulative and closed by +Inf = count. *)
+        let buckets =
+          List.filter_map
+            (fun l ->
+              if
+                String.length l > 26
+                && String.sub l 0 26 = "alive_promtest_lat_bucket{"
+              then
+                match String.index_opt l ' ' with
+                | Some i ->
+                    Some
+                      (float_of_string
+                         (String.sub l (i + 1) (String.length l - i - 1)))
+                | None -> None
+              else None)
+            lines
+        in
+        check_bool "has buckets" true (List.length buckets >= 2);
+        check_bool "cumulative nondecreasing" true
+          (List.for_all2 ( <= )
+             (List.filteri (fun i _ -> i < List.length buckets - 1) buckets)
+             (List.tl buckets));
+        check_bool "+Inf closes at count" true
+          (List.nth buckets (List.length buckets - 1) = 4.0);
+        check_bool "+Inf literal present" true
+          (List.exists
+             (fun l ->
+               Astring.String.is_infix ~affix:"{le=\"+Inf\"}" l
+               && String.length l > 18
+               && String.sub l 0 18 = "alive_promtest_lat")
+             lines));
+    Alcotest.test_case "structured log writes leveled JSONL with rids" `Quick
+      (fun () ->
+        Metrics.reset ();
+        let path = Filename.temp_file "alive-log" ".jsonl" in
+        Fun.protect ~finally:(fun () ->
+            Log.set_sink None;
+            Metrics.reset ();
+            Sys.remove path)
+        @@ fun () ->
+        let oc = open_out path in
+        Log.set_sink ~level:Log.Info (Some oc);
+        check_bool "debug filtered" false (Log.enabled Log.Debug);
+        Log.debug "invisible";
+        Log.info ~rid:"r-9" ~fields:[ ("op", Json.String "verify") ] "request";
+        let ctx = Trace.Context.make ~rid:"r-ctx" () in
+        Trace.with_context ctx (fun () -> Log.warn "ambient rid");
+        Log.set_sink None;
+        close_out_noerr oc;
+        let lines =
+          In_channel.with_open_text path In_channel.input_all
+          |> String.split_on_char '\n'
+          |> List.filter (fun l -> l <> "")
+        in
+        check_int "two lines (debug filtered)" 2 (List.length lines);
+        let l1 = parse_ok (List.nth lines 0) in
+        check_bool "level" true
+          (Option.bind (Json.member "level" l1) Json.to_str = Some "info");
+        check_bool "msg" true
+          (Option.bind (Json.member "msg" l1) Json.to_str = Some "request");
+        check_bool "explicit rid" true
+          (Option.bind (Json.member "rid" l1) Json.to_str = Some "r-9");
+        check_bool "field" true
+          (Option.bind (Json.member "op" l1) Json.to_str = Some "verify");
+        check_bool "timestamp present" true (Json.member "ts" l1 <> None);
+        let l2 = parse_ok (List.nth lines 1) in
+        check_bool "rid from bound context" true
+          (Option.bind (Json.member "rid" l2) Json.to_str = Some "r-ctx"));
+    Alcotest.test_case "cross-schema ledger diff warns and compares prefix"
+      `Quick (fun () ->
+        let latest =
+          Ledger.make ~label:"svc" ~jobs:2 ~tasks:10 ~wall_s:1.0 ~sat_s:0.5
+            ~queries:100 ~conflicts:1000 ~cegar_iterations:2 ~log_lines:42
+            ~slow_queries:1
+            ~ops:
+              [
+                { Ledger.op = "verify"; op_count = 9; op_total_s = 0.9;
+                  op_p99_s = 0.3 };
+              ]
+            ~verdicts:[ ("valid", 10) ] ()
+        in
+        (* A baseline written by the previous schema: strip the new fields
+           and decrement the version, as an old ledger line would read. *)
+        let old_json =
+          match Ledger.to_json latest with
+          | Json.Obj fields ->
+              Json.Obj
+                (List.filter_map
+                   (fun (k, v) ->
+                     match k with
+                     | "schema" -> Some (k, Json.Int (Ledger.schema_version - 1))
+                     | "log_lines" | "slow_queries" | "ops" -> None
+                     | _ -> Some (k, v))
+                   fields)
+          | _ -> Alcotest.fail "record JSON shape"
+        in
+        let baseline = Result.get_ok (Ledger.of_json old_json) in
+        check_bool "mismatch detected" true
+          (Ledger.schema_mismatch ~baseline ~latest <> None);
+        let d = Ledger.diff ~baseline ~latest () in
+        check_bool "no schema-6 rows against a schema-5 baseline" true
+          (not
+             (List.exists
+                (fun (dl : Ledger.delta) ->
+                  dl.metric = "log_lines" || dl.metric = "slow_queries"
+                  || dl.metric = "op:verify")
+                d.deltas));
+        check_bool "gating metrics still diffed" true
+          (List.exists (fun (dl : Ledger.delta) -> dl.metric = "wall_s")
+             d.deltas);
+        check_int "equal records: no regressions" 0
+          (List.length d.regressions);
+        (* Same-schema pairs do carry the new rows. *)
+        let d6 = Ledger.diff ~baseline:latest ~latest () in
+        check_bool "schema-6 pair has op rows" true
+          (List.exists
+             (fun (dl : Ledger.delta) -> dl.metric = "op:verify")
+             d6.deltas);
+        check_bool "schema-6 pair has log_lines" true
+          (List.exists
+             (fun (dl : Ledger.delta) -> dl.metric = "log_lines")
+             d6.deltas))
+  ]
+
 (* --- Whole-pipeline smoke: instrumented corpus slice --- *)
 
 let smoke_tests =
@@ -513,4 +736,4 @@ let smoke_tests =
 let suite =
   ( "trace",
     span_tests @ chrome_tests @ metrics_tests @ json_tests @ ledger_tests
-    @ smoke_tests )
+    @ telemetry_tests @ smoke_tests )
