@@ -392,6 +392,34 @@ let parallel () =
     (r1.wall /. Float.max 1e-9 rn.wall);
   if n = 1 then
     Printf.printf "  (single-core host: run on a multi-core machine to see scaling)\n";
+  (* Wide-width leg: the entries without a justified width cap, verified
+     at exactly w=16 and w=32. This is the surface the AIG simplifier and
+     the cube splitter exist for; tracking its wall time per width keeps
+     the wide-width wall from silently creeping back. *)
+  let sweep w =
+    let tasks =
+      List.filter_map
+        (fun (e : Alive_suite.Entry.t) ->
+          match e.widths with
+          | Some _ -> None (* capped entries opt out of wide widths *)
+          | None ->
+              Some
+                {
+                  Alive_engine.Engine.task_name = e.name;
+                  widths = Some [ w ];
+                  prepare = (fun () -> Alive_suite.Entry.parse e);
+                })
+        corpus
+    in
+    Alive_smt.Vc_cache.clear ();
+    Alive_engine.Engine.verify_corpus ~jobs:n tasks
+  in
+  let r16 = sweep 16 and r32 = sweep 32 in
+  Printf.printf
+    "  wide-width leg (uncapped entries): w=16 wall %.2fs (%d conflicts), \
+     w=32 wall %.2fs (%d conflicts)\n"
+    r16.wall r16.total.telemetry.conflicts r32.wall
+    r32.total.telemetry.conflicts;
   let daemon = daemon_throughput () in
   (match daemon with
   | Some (reqs, wall, rps) ->
@@ -419,6 +447,13 @@ let parallel () =
           ("cache_misses", Json.Int r1.total.telemetry.cache_misses);
           ("peak_clauses", Json.Int r1.total.telemetry.peak_clauses);
           ("peak_vars", Json.Int r1.total.telemetry.peak_vars);
+          ("wall_w16_s", Json.Float r16.wall);
+          ("conflicts_w16", Json.Int r16.total.telemetry.conflicts);
+          ("wall_w32_s", Json.Float r32.wall);
+          ("conflicts_w32", Json.Int r32.total.telemetry.conflicts);
+          ("cubes", Json.Int r1.total.telemetry.cubes_spawned);
+          ("aig_nodes_in", Json.Int r1.total.telemetry.aig_nodes_in);
+          ("aig_nodes_out", Json.Int r1.total.telemetry.aig_nodes_out);
         ]
        @
        match daemon with
@@ -458,7 +493,11 @@ let parallel () =
         ~cache_misses:rn.total.telemetry.cache_misses
         ~cache_evictions:rn.total.telemetry.cache_evictions
         ~peak_clauses:rn.total.telemetry.peak_clauses
-        ~peak_vars:rn.total.telemetry.peak_vars ~verdicts ()
+        ~peak_vars:rn.total.telemetry.peak_vars
+        ~cubes:rn.total.telemetry.cubes_spawned
+        ~cubes_pruned:rn.total.telemetry.cubes_pruned
+        ~aig_nodes_in:rn.total.telemetry.aig_nodes_in
+        ~aig_nodes_out:rn.total.telemetry.aig_nodes_out ~verdicts ()
     in
     if Sys.file_exists "bench" && Sys.is_directory "bench" then begin
       Alive_trace.Ledger.append ~path:"bench/ledger.jsonl" record;

@@ -8,15 +8,27 @@ let read_input = function
   | "-" -> In_channel.input_all stdin
   | path -> In_channel.with_open_text path In_channel.input_all
 
+(* Width specs are comma-separated items, each a single width or an
+   inclusive range: "4,8", "1..32", "1..8,16,32". *)
 let parse_widths = function
   | None -> None
   | Some s ->
       Some
         (String.split_on_char ',' s
-        |> List.map (fun w ->
-               match int_of_string_opt (String.trim w) with
-               | Some w when w >= 1 && w <= 64 -> w
-               | _ -> failwith ("bad width: " ^ w)))
+        |> List.concat_map (fun part ->
+               let part = String.trim part in
+               let range =
+                 try Some (Scanf.sscanf part "%d..%d%!" (fun a b -> (a, b)))
+                 with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+               in
+               match range with
+               | Some (a, b) when 1 <= a && a <= b && b <= 64 ->
+                   List.init (b - a + 1) (fun i -> a + i)
+               | Some _ -> failwith ("bad width range: " ^ part)
+               | None -> (
+                   match int_of_string_opt part with
+                   | Some w when w >= 1 && w <= 64 -> [ w ]
+                   | _ -> failwith ("bad width: " ^ part))))
 
 let file_arg =
   Arg.(
@@ -30,8 +42,9 @@ let widths_arg =
     & opt (some string) None
     & info [ "widths" ] ~docv:"W1,W2,..."
         ~doc:
-          "Comma-separated width domain for type enumeration (default: all \
-           of 1-8, preferring 4 and 8).")
+          "Width domain for type enumeration: comma-separated widths and \
+           inclusive ranges, e.g. $(b,4,8) or $(b,1..32) (default: all of \
+           1-8, preferring 4 and 8).")
 
 let jobs_arg =
   Arg.(
@@ -131,6 +144,44 @@ let encoding_arg =
            (Plaisted-Greenbaum polarity-aware, fewer clauses per query; see \
            docs/PERFORMANCE.md).")
 
+let no_aig_arg =
+  Arg.(
+    value & flag
+    & info [ "no-aig" ]
+        ~doc:
+          "Disable the AIG structural-simplification pass: blast gates \
+           directly to CNF instead of building, rewriting and \
+           structurally hashing an and-inverter graph first (see \
+           docs/PERFORMANCE.md).")
+
+let no_cubes_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cubes" ]
+        ~doc:
+          "Disable cube-and-conquer: never split a hard query on the high \
+           bits of its heaviest operand (divisors first); solve every \
+           query whole.")
+
+let cube_threshold_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "cube-threshold" ] ~docv:"N"
+        ~doc:
+          "Conflicts a query may burn whole before being split into cubes \
+           (default 2000; 0 keeps the default).")
+
+let dump_aig_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dump-aig" ] ~docv:"DIR"
+        ~doc:
+          "Write every solved query's reduced and-inverter graph to \
+           $(docv) in AIGER ASCII (qNNNNNN-RESULT.aag), creating the \
+           directory if needed. No effect with $(b,--no-aig).")
+
 (* Flip the observability switches before any pipeline work runs. *)
 let setup_observability ~trace ~collapsed ~metrics =
   if trace <> None || collapsed <> None then Alive_trace.Trace.set_enabled true;
@@ -138,18 +189,29 @@ let setup_observability ~trace ~collapsed ~metrics =
 
 (* Flip the solve-path switches (cache, incremental CEGAR, CNF dumping,
    encoding) before any query runs. *)
-let setup_solve_path ?(no_static = false) ~no_cache ~no_incremental ~dump_cnf
-    ~encoding () =
+let setup_solve_path ?(no_static = false) ?(no_aig = false) ?(no_cubes = false)
+    ?(cube_threshold = 0) ?(dump_aig = None) ~no_cache ~no_incremental
+    ~dump_cnf ~encoding () =
   if no_cache then Alive_smt.Vc_cache.set_enabled false;
   if no_static then Alive_absint.Prover.set_enabled false;
   if no_incremental then Alive_smt.Solve.set_incremental false;
+  if no_aig then Alive_smt.Bitblast.set_simplify false;
+  if no_cubes then Alive_smt.Solve.set_cubes false;
+  if cube_threshold > 0 then Alive_smt.Solve.set_cube_threshold cube_threshold;
   Alive_smt.Bitblast.set_encoding encoding;
+  let mkdir dir =
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  in
   Option.iter
     (fun dir ->
-      (try Unix.mkdir dir 0o755
-       with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      mkdir dir;
       Alive_smt.Solve.set_dump_dir (Some dir))
-    dump_cnf
+    dump_cnf;
+  Option.iter
+    (fun dir ->
+      mkdir dir;
+      Alive_smt.Solve.set_dump_aig_dir (Some dir))
+    dump_aig
 
 let emit_observability ~trace ~collapsed ~metrics =
   Option.iter
@@ -193,13 +255,14 @@ let with_transforms file f =
 
 let verify_cmd =
   let run file widths quiet jobs timeout conflict_limit show_stats trace
-      collapsed metrics no_cache no_static no_incremental dump_cnf encoding =
+      collapsed metrics no_cache no_static no_incremental dump_cnf encoding
+      no_aig no_cubes cube_threshold dump_aig =
     let widths = parse_widths widths in
     let jobs = resolve_jobs jobs in
     let budget = budget_of ~timeout ~conflict_limit in
     setup_observability ~trace ~collapsed ~metrics;
-    setup_solve_path ~no_static ~no_cache ~no_incremental ~dump_cnf ~encoding
-      ();
+    setup_solve_path ~no_static ~no_aig ~no_cubes ~cube_threshold ~dump_aig
+      ~no_cache ~no_incremental ~dump_cnf ~encoding ();
     let code =
       with_transforms file (fun transforms ->
           let invalid = ref 0 and unknown = ref 0 in
@@ -258,7 +321,8 @@ let verify_cmd =
       const run $ file_arg $ widths_arg $ quiet $ jobs_arg $ timeout_arg
       $ conflict_limit_arg $ stats $ trace_arg $ collapsed_arg $ metrics_arg
       $ no_cache_arg $ no_static_arg $ no_incremental_arg $ dump_cnf_arg
-      $ encoding_arg)
+      $ encoding_arg $ no_aig_arg $ no_cubes_arg $ cube_threshold_arg
+      $ dump_aig_arg)
 
 let infer_cmd =
   let run file widths =

@@ -40,9 +40,41 @@ let no_static = ref false
 let static_report_path = ref ""
 let no_incremental = ref false
 let dump_cnf = ref ""
+let no_aig = ref false
+let no_cubes = ref false
+let cube_threshold = ref 0
+let dump_aig = ref ""
+let widths_spec = ref ""
+
+(* Width specs are comma-separated items, each a single width or an
+   inclusive range: "4,8", "1..32", "1..8,16,32". *)
+let parse_widths s =
+  String.split_on_char ',' s
+  |> List.concat_map (fun part ->
+         let part = String.trim part in
+         let range =
+           try Some (Scanf.sscanf part "%d..%d%!" (fun a b -> (a, b)))
+           with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+         in
+         match range with
+         | Some (a, b) when 1 <= a && a <= b && b <= 64 ->
+             List.init (b - a + 1) (fun i -> a + i)
+         | Some _ -> raise (Arg.Bad ("bad width range: " ^ part))
+         | None -> (
+             match int_of_string_opt part with
+             | Some w when w >= 1 && w <= 64 -> [ w ]
+             | _ -> raise (Arg.Bad ("bad width: " ^ part))))
 let via = ref "" (* daemon socket; "" = solve in-process *)
 let store_dir = ref "" (* persistent verdict store; "" = none *)
 let changed_since = ref "" (* baseline rev label; "" = full run *)
+
+(* Resolved --widths, applied only to entries without an explicit cap: a
+   capped entry's comment justifies its cap (division circuits), so a
+   width sweep must not blow it open. *)
+let width_domain : int list option ref = ref None
+
+let entry_widths (e : Alive_suite.Entry.t) =
+  match e.widths with Some w -> Some w | None -> !width_domain
 
 let set_encoding_arg = function
   | "pg" -> Alive_smt.Bitblast.set_encoding `Plaisted_greenbaum
@@ -101,6 +133,27 @@ let speclist =
       Arg.Set_string dump_cnf,
       "DIR  write every solved SAT query to DIR as DIMACS \
        (qNNNNNN-RESULT.cnf)" );
+    ( "--dump-aig",
+      Arg.Set_string dump_aig,
+      "DIR  write every solved query's reduced and-inverter graph to DIR \
+       in AIGER ASCII (qNNNNNN-RESULT.aag); no effect with --no-aig" );
+    ( "--no-aig",
+      Arg.Set no_aig,
+      " disable the AIG structural-simplification pass (direct \
+       gate-by-gate CNF encoding) — the parity baseline for the AIG path" );
+    ( "--no-cubes",
+      Arg.Set no_cubes,
+      " disable cube-and-conquer: solve every query whole instead of \
+       splitting hard ones on their heaviest operand" );
+    ( "--cube-threshold",
+      Arg.Set_int cube_threshold,
+      "N  conflicts a query may burn whole before being split into cubes \
+       (default 2000)" );
+    ( "--widths",
+      Arg.Set_string widths_spec,
+      "SPEC  width domain for entries without an explicit cap: \
+       comma-separated widths and inclusive ranges (e.g. 16,32 or 1..32); \
+       capped entries keep their caps" );
     ( "--encoding",
       Arg.Symbol ([ "tseitin"; "pg" ], set_encoding_arg),
       "  CNF encoding: tseitin (default) or pg (Plaisted-Greenbaum)" );
@@ -197,7 +250,7 @@ let run_via ~socket ~jobs ~mismatches ~undecided
                  greppable by "cc-<index>". *)
               Client.verify c
                 ~rid:(Printf.sprintf "cc-%d" i)
-                ?widths:e.widths
+                ?widths:(entry_widths e)
                 ?timeout:(if !timeout > 0.0 then Some !timeout else None)
                 ?conflict_limit:
                   (if !conflicts > 0 then Some !conflicts else None)
@@ -585,9 +638,17 @@ let () =
   if !no_cache then Alive_smt.Vc_cache.set_enabled false;
   if !no_static then Alive_absint.Prover.set_enabled false;
   if !no_incremental then Alive_smt.Solve.set_incremental false;
+  if !no_aig then Alive_smt.Bitblast.set_simplify false;
+  if !no_cubes then Alive_smt.Solve.set_cubes false;
+  if !cube_threshold > 0 then Alive_smt.Solve.set_cube_threshold !cube_threshold;
+  if !widths_spec <> "" then width_domain := Some (parse_widths !widths_spec);
   if !dump_cnf <> "" then begin
     (try Unix.mkdir !dump_cnf 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
     Alive_smt.Solve.set_dump_dir (Some !dump_cnf)
+  end;
+  if !dump_aig <> "" then begin
+    (try Unix.mkdir !dump_aig 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    Alive_smt.Solve.set_dump_aig_dir (Some !dump_aig)
   end;
   if !static_report_path <> "" then
     run_static_report ~path:!static_report_path entries;
@@ -664,7 +725,7 @@ let () =
     with
     | Error _ -> `Changed
     | Ok t -> (
-        match Alive.Refine.query_digests ?widths:e.widths t with
+        match Alive.Refine.query_digests ?widths:(entry_widths e) t with
         | Error _ -> `Changed
         | Ok typings ->
             let rec scan_typings = function
@@ -714,7 +775,7 @@ let () =
         Hashtbl.replace expected e.name e.expected;
         {
           Engine.task_name = e.name;
-          widths = e.widths;
+          widths = entry_widths e;
           prepare = (fun () -> Alive_suite.Entry.parse e);
         })
       entries
@@ -819,18 +880,21 @@ let () =
         if !category = "" then "corpus_check.via"
         else "corpus_check.via:" ^ !category
       in
-      (* Scrape the daemon's telemetry for the schema-6 fields: structured
-         log volume, slow-query count, and per-op latency stats. Best
-         effort — a daemon that went away leaves them at their zero
-         defaults rather than failing the run. *)
-      let log_lines, slow_queries, ops =
+      (* Scrape the daemon's telemetry for the schema-6/7 fields:
+         structured log volume, slow-query count, per-op latency stats,
+         and the cube/AIG solver counters. Best effort — a daemon that
+         went away leaves them at their zero defaults rather than failing
+         the run. *)
+      let log_lines, slow_queries, ops, (cubes, cubes_pruned, aig_in, aig_out)
+          =
+        let zero = (0, 0, [], (0, 0, 0, 0)) in
         let module Client = Alive_service.Client in
         match Client.connect !via with
-        | Error _ -> (0, 0, [])
+        | Error _ -> zero
         | Ok c ->
             Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
             (match Client.metrics c with
-            | Error _ -> (0, 0, [])
+            | Error _ -> zero
             | Ok m ->
                 let counter k =
                   Option.value ~default:0
@@ -867,7 +931,13 @@ let () =
                         hs
                   | _ -> []
                 in
-                (counter "log.lines", counter "service.slow_queries", ops))
+                ( counter "log.lines",
+                  counter "service.slow_queries",
+                  ops,
+                  ( counter "solve.cubes_spawned",
+                    counter "solve.cubes_pruned",
+                    counter "solve.aig_nodes_in",
+                    counter "solve.aig_nodes_out" ) ))
       in
       let record =
         Alive_trace.Ledger.make ~label ~jobs
@@ -877,7 +947,8 @@ let () =
           ~cegar_iterations:tv.vcegar ~cache_hits:tv.vch ~cache_misses:tv.vcm
           ~requests:(List.length results)
           ~store_hits:tv.vsh ~store_misses:tv.vsm ~static_proved:tv.vst
-          ~log_lines ~slow_queries ~ops ~verdicts ()
+          ~log_lines ~slow_queries ~ops ~cubes ~cubes_pruned
+          ~aig_nodes_in:aig_in ~aig_nodes_out:aig_out ~verdicts ()
       in
       Alive_trace.Ledger.append ~path:!ledger_path record;
       Printf.printf "ledger record appended to %s\n" !ledger_path
@@ -935,7 +1006,11 @@ let () =
           ~peak_vars:report.total.telemetry.peak_vars
           ~store_hits:report.total.telemetry.store_hits
           ~store_misses:report.total.telemetry.store_misses
-          ~static_proved:report.total.telemetry.static_proved ~verdicts ()
+          ~static_proved:report.total.telemetry.static_proved
+          ~cubes:report.total.telemetry.cubes_spawned
+          ~cubes_pruned:report.total.telemetry.cubes_pruned
+          ~aig_nodes_in:report.total.telemetry.aig_nodes_in
+          ~aig_nodes_out:report.total.telemetry.aig_nodes_out ~verdicts ()
       in
       Alive_trace.Ledger.append ~path:!ledger_path record;
       Printf.printf "ledger record appended to %s\n" !ledger_path

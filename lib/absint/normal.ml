@@ -1,43 +1,60 @@
-(* Algebraic normalization of bitvector terms into canonical linear sums
+(* Algebraic normalization of bitvector terms into canonical polynomial sums
 
-     c0 + Σ ci · ai   (mod 2^w)
+     c0 + Σ ci · mi   (mod 2^w)
 
-   where the atoms [ai] are hash-consed terms the normalizer cannot
-   decompose further (variables, non-constant products, divisions, ...)
-   and the coefficients are nonzero width-w constants. Subtraction,
-   bitwise-not (~x = -1 - x), multiplication by constants, shifts by
-   constants (x << k = x · 2^k) and — given a disjointness oracle —
+   where each monomial [mi] is a sorted multiset of hash-consed atom
+   factors the normalizer cannot decompose further (variables, divisions,
+   ...) and the coefficients are nonzero width-w constants. Subtraction,
+   bitwise-not (~x = -1 - x), full products (distributed up to a size
+   bound), shifts (x << s = x · (1 << s), valid for every s because both
+   sides vanish mod 2^w once s ≥ w) and — given a disjointness oracle —
    [or]/[xor] of bit-disjoint operands all collapse into sum arithmetic,
-   so syntactically different spellings of the same linear function
+   so syntactically different spellings of the same ring expression
    normalize to the same sum. All arithmetic is mod 2^w, which is exactly
-   the machine semantics, so no overflow side conditions are needed. *)
+   the machine semantics, so no overflow side conditions are needed:
+   identities like (-x)·(-y) = x·y or (x+y)·z = x·z + y·z hold at every
+   width, which is what lets the static tier discharge them without
+   touching a 32-bit multiplier circuit. *)
 
 module T = Alive_smt.Term
+
+type monomial = T.t list
+(* sorted by [T.content_compare], nonempty, duplicates = powers *)
 
 type sum = {
   width : int;
   const : Bitvec.t;
-  terms : (T.t * Bitvec.t) list;
-      (* sorted by [T.content_compare] on the atom, coefficients nonzero *)
+  terms : (monomial * Bitvec.t) list;
+      (* sorted by [mono_compare], coefficients nonzero *)
 }
 
+(* Distribution bounds: a product whose expansion would exceed these is
+   kept as an opaque atom instead. Small on purpose — the corpus
+   identities are low-degree, and the prover budget assumes cheap
+   normal forms. *)
+let max_terms = 64
+let max_degree = 8
+
+let mono_compare = List.compare T.content_compare
+let mono_equal m1 m2 = List.equal T.equal m1 m2
+let mono_mul m1 m2 = List.merge T.content_compare m1 m2
 let of_const c = { width = Bitvec.width c; const = c; terms = [] }
 
 let of_atom t =
   let w = T.width t in
-  { width = w; const = Bitvec.zero w; terms = [ (t, Bitvec.one w) ] }
+  { width = w; const = Bitvec.zero w; terms = [ ([ t ], Bitvec.one w) ] }
 
 let merge s1 s2 =
   let rec go l1 l2 =
     match (l1, l2) with
     | [], l | l, [] -> l
-    | (a1, c1) :: r1, (a2, c2) :: r2 ->
-        let cmp = T.content_compare a1 a2 in
+    | (m1, c1) :: r1, (m2, c2) :: r2 ->
+        let cmp = mono_compare m1 m2 in
         if cmp = 0 then
           let c = Bitvec.add c1 c2 in
-          if Bitvec.is_zero c then go r1 r2 else (a1, c) :: go r1 r2
-        else if cmp < 0 then (a1, c1) :: go r1 l2
-        else (a2, c2) :: go l1 r2
+          if Bitvec.is_zero c then go r1 r2 else (m1, c) :: go r1 r2
+        else if cmp < 0 then (m1, c1) :: go r1 l2
+        else (m2, c2) :: go l1 r2
   in
   {
     width = s1.width;
@@ -53,14 +70,45 @@ let scale k s =
       const = Bitvec.mul k s.const;
       terms =
         List.filter_map
-          (fun (a, c) ->
+          (fun (m, c) ->
             let c = Bitvec.mul k c in
-            if Bitvec.is_zero c then None else Some (a, c))
+            if Bitvec.is_zero c then None else Some (m, c))
           s.terms;
     }
 
 let neg s = scale (Bitvec.all_ones s.width) s
 let sub s1 s2 = merge s1 (neg s2)
+
+(* Full product, distributing monomials pairwise. [None] when the
+   expansion would blow past the size bounds. *)
+let mul s1 s2 =
+  let w = s1.width in
+  if (1 + List.length s1.terms) * (1 + List.length s2.terms) - 1 > max_terms
+  then None
+  else if
+    List.exists
+      (fun (m1, _) ->
+        List.exists
+          (fun (m2, _) -> List.length m1 + List.length m2 > max_degree)
+          s2.terms)
+      s1.terms
+  then None
+  else begin
+    let acc = ref (of_const (Bitvec.mul s1.const s2.const)) in
+    let add_term m c =
+      if not (Bitvec.is_zero c) then
+        acc := merge !acc { width = w; const = Bitvec.zero w; terms = [ (m, c) ] }
+    in
+    List.iter (fun (m2, c2) -> add_term m2 (Bitvec.mul s1.const c2)) s2.terms;
+    List.iter (fun (m1, c1) -> add_term m1 (Bitvec.mul c1 s2.const)) s1.terms;
+    List.iter
+      (fun (m1, c1) ->
+        List.iter
+          (fun (m2, c2) -> add_term (mono_mul m1 m2) (Bitvec.mul c1 c2))
+          s2.terms)
+      s1.terms;
+    if List.length !acc.terms > max_terms then None else Some !acc
+  end
 
 let as_const s = if s.terms = [] then Some s.const else None
 
@@ -68,14 +116,21 @@ let equal s1 s2 =
   Bitvec.equal s1.const s2.const
   && List.length s1.terms = List.length s2.terms
   && List.for_all2
-       (fun (a1, c1) (a2, c2) -> T.equal a1 a2 && Bitvec.equal c1 c2)
+       (fun (m1, c1) (m2, c2) -> mono_equal m1 m2 && Bitvec.equal c1 c2)
        s1.terms s2.terms
 
 (* Rebuild a term from a sum (through the smart constructors, so the
    result is hash-consed and folded). *)
 let to_term s =
   let w = s.width in
-  let prod (a, c) = if Bitvec.equal c (Bitvec.one w) then a else T.mul (T.const c) a in
+  let prod (m, c) =
+    let body =
+      match m with
+      | f :: fs -> List.fold_left T.mul f fs
+      | [] -> T.const (Bitvec.one w)
+    in
+    if Bitvec.equal c (Bitvec.one w) then body else T.mul (T.const c) body
+  in
   let body =
     match s.terms with
     | [] -> None
@@ -104,15 +159,17 @@ let normalize ?(disjoint = fun _ _ -> false) (t : T.t) =
     | T.Bbin (T.Sub, a, b) -> sub (go a) (go b)
     | T.Bnot a -> merge (of_const (Bitvec.all_ones w)) (neg (go a))
     | T.Bbin (T.Mul, a, b) -> (
-        let na = go a and nb = go b in
-        match (as_const na, as_const nb) with
-        | Some c, _ -> scale c nb
-        | _, Some c -> scale c na
-        | None, None -> of_atom t)
+        match mul (go a) (go b) with Some s -> s | None -> of_atom t)
     | T.Bbin (T.Shl, a, { T.node = T.BvConst k; _ }) ->
         let ki = if Bitvec.ult k (Bitvec.of_int ~width:w w) then Bitvec.to_int k else w in
         if ki >= w then of_const (Bitvec.zero w)
         else scale (Bitvec.shl (Bitvec.one w) (Bitvec.of_int ~width:w ki)) (go a)
+    | T.Bbin (T.Shl, a, b) -> (
+        (* x << s = x · (1 << s): when s ≥ w the shift overshoots to zero
+           and so does the power factor, so the identity needs no guard. *)
+        match mul (go a) (of_atom (T.shl (T.one w) b)) with
+        | Some s -> s
+        | None -> of_atom t)
     | T.Bbin ((T.Bor | T.Bxor), a, b) when disjoint a b -> merge (go a) (go b)
     | _ -> of_atom t
   in

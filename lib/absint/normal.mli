@@ -1,14 +1,20 @@
-(** Algebraic normalization of bitvector terms into canonical linear sums
-    [c0 + Σ ci·ai] (mod 2^w). Subtraction, bitwise-not, constant
-    multiplication, constant shifts and (given a disjointness oracle)
-    bit-disjoint [or]/[xor] all collapse into sum arithmetic, so different
-    spellings of the same linear function normalize identically. *)
+(** Algebraic normalization of bitvector terms into canonical polynomial
+    sums [c0 + Σ ci·mi] (mod 2^w), where each monomial [mi] is a sorted
+    multiset of atom factors. Subtraction, bitwise-not, full products
+    (distributed up to a size bound), shifts — [x << s = x·(1 << s)],
+    valid at every [s] since both sides vanish once [s ≥ w] — and (given
+    a disjointness oracle) bit-disjoint [or]/[xor] all collapse into sum
+    arithmetic, so different spellings of the same ring expression
+    normalize identically at any width. *)
+
+type monomial = Alive_smt.Term.t list
+(** sorted by content, nonempty; duplicate factors encode powers *)
 
 type sum = {
   width : int;
   const : Bitvec.t;
-  terms : (Alive_smt.Term.t * Bitvec.t) list;
-      (** atoms sorted by content, coefficients nonzero *)
+  terms : (monomial * Bitvec.t) list;
+      (** monomials sorted by content, coefficients nonzero *)
 }
 
 val of_const : Bitvec.t -> sum
@@ -17,6 +23,11 @@ val merge : sum -> sum -> sum
 val scale : Bitvec.t -> sum -> sum
 val neg : sum -> sum
 val sub : sum -> sum -> sum
+
+val mul : sum -> sum -> sum option
+(** Full product with pairwise monomial distribution; [None] when the
+    expansion would exceed the internal size/degree bounds. *)
+
 val as_const : sum -> Bitvec.t option
 val equal : sum -> sum -> bool
 val to_term : sum -> Alive_smt.Term.t

@@ -337,7 +337,7 @@ let process_eq st (a, b) =
         (Normal.normalize ~disjoint:(disjoint st) b')
     in
     match d.Normal.terms with
-    | [ (atom, k) ] when representable atom ->
+    | [ ([ atom ], k) ] when representable atom ->
         let w = d.Normal.width in
         if Bitvec.equal k (Bitvec.one w) then
           backward st backward_depth atom

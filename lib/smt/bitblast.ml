@@ -38,22 +38,65 @@ let encoding () =
   | Tseitin -> `Tseitin
   | Plaisted_greenbaum -> `Plaisted_greenbaum
 
+(* AIG simplification selector: route the circuit through a hash-consed
+   AND-inverter graph with structural rewriting before CNF emission. The
+   default is on; [--no-aig] restores the direct gate-by-gate encoding. *)
+let simplify_flag = Atomic.make true
+let set_simplify b = Atomic.set simplify_flag b
+let simplify () = Atomic.get simplify_flag
+
+(* AIG-mode state: the graph plus memo tables over graph literals. The
+   polarity dimension disappears here — the graph is polarity-free, and
+   one-sidedness is applied per cone at CNF emission time. *)
+type aig_state = {
+  g : Aig.t;
+  abool_memo : (int, Aig.lit) Hashtbl.t;
+  abv_memo : (int, Aig.lit array) Hashtbl.t;
+  avar_bits : (string, Aig.lit array) Hashtbl.t;
+  avar_bools : (string, Aig.lit) Hashtbl.t;
+  mutable roots : Aig.lit list; (* asserted/assumed outputs, newest first *)
+}
+
 type t = {
   sat : S.t;
   true_lit : S.lit;
+  enc : encoding;
+  aig : aig_state option;
   bool_memo : (int * int, S.lit) Hashtbl.t; (* (term id, polarity) -> literal *)
   bv_memo : (int, S.lit array) Hashtbl.t; (* term id -> bit literals *)
   var_bits : (string, S.lit array) Hashtbl.t;
   var_bools : (string, S.lit) Hashtbl.t;
 }
 
-let create () =
+let create ?simplify ?encoding () =
   let sat = S.create () in
   let true_lit = S.mk_lit (S.new_var sat) true in
   S.add_clause sat [ true_lit ];
+  let enc =
+    match encoding with
+    | Some `Tseitin -> Tseitin
+    | Some `Plaisted_greenbaum -> Plaisted_greenbaum
+    | None -> Atomic.get encoding_flag
+  in
+  let simplify =
+    match simplify with Some b -> b | None -> Atomic.get simplify_flag
+  in
   {
     sat;
     true_lit;
+    enc;
+    aig =
+      (if simplify then
+         Some
+           {
+             g = Aig.create ();
+             abool_memo = Hashtbl.create 256;
+             abv_memo = Hashtbl.create 256;
+             avar_bits = Hashtbl.create 16;
+             avar_bools = Hashtbl.create 16;
+             roots = [];
+           }
+       else None);
     bool_memo = Hashtbl.create 256;
     bv_memo = Hashtbl.create 256;
     var_bits = Hashtbl.create 16;
@@ -234,7 +277,7 @@ open Term
    old output stays partially constrained) at the cost of a few variables,
    and rare in practice. *)
 let rec blast_bool ?(pol = Both) t (term : Term.t) : S.lit =
-  let pol = if Atomic.get encoding_flag = Tseitin then Both else pol in
+  let pol = if t.enc = Tseitin then Both else pol in
   let hit =
     match Hashtbl.find_opt t.bool_memo (term.id, 3) with
     | Some _ as h -> h
@@ -363,6 +406,178 @@ and blast_bvop t op a b =
       (* Removed by Lower. *)
       assert false
 
+(* --- AIG-backed circuit layer ---
+
+   Same circuits as the direct gates above, expressed over [Aig] literals.
+   Rewriting and structural hashing happen inside [Aig.and_]; polarity is
+   applied later, at CNF emission, so nothing here tracks it. *)
+
+let axor3 g a b c = Aig.xor_ g (Aig.xor_ g a b) c
+
+let aadder g a b cin =
+  let n = Array.length a in
+  let out = Array.make n Aig.false_ in
+  let carry = ref cin in
+  for i = 0 to n - 1 do
+    out.(i) <- axor3 g a.(i) b.(i) !carry;
+    if i < n - 1 then carry := Aig.maj3 g a.(i) b.(i) !carry
+  done;
+  out
+
+let ault_bits g a b =
+  let n = Array.length a in
+  let lt = ref Aig.false_ in
+  for i = 0 to n - 1 do
+    lt :=
+      Aig.ite_ g (Aig.iff_ g a.(i) b.(i)) !lt
+        (Aig.and_ g (Aig.not_ a.(i)) b.(i))
+  done;
+  !lt
+
+let aeq_bits g a b =
+  Array.fold_left (Aig.and_ g) Aig.true_ (Array.map2 (Aig.iff_ g) a b)
+
+let amul_bits g a b =
+  let n = Array.length a in
+  let acc = ref (Array.map (fun ai -> Aig.and_ g ai b.(0)) a) in
+  for i = 1 to n - 1 do
+    let addend =
+      Array.init n (fun j ->
+          if j < i then Aig.false_ else Aig.and_ g a.(j - i) b.(i))
+    in
+    acc := aadder g !acc addend Aig.false_
+  done;
+  !acc
+
+let abits_of_const c =
+  Array.init (Bitvec.width c) (fun i ->
+      if Bitvec.bit c i then Aig.true_ else Aig.false_)
+
+let rec ablast_bool st (term : Term.t) : Aig.lit =
+  match Hashtbl.find_opt st.abool_memo term.id with
+  | Some l -> l
+  | None ->
+      let g = st.g in
+      let l =
+        match term.node with
+        | True -> Aig.true_
+        | False -> Aig.false_
+        | Var (name, Bool) -> (
+            match Hashtbl.find_opt st.avar_bools name with
+            | Some l -> l
+            | None ->
+                let l = Aig.input g in
+                Hashtbl.add st.avar_bools name l;
+                l)
+        | Var (_, Bv _) -> assert false
+        | Not a -> Aig.not_ (ablast_bool st a)
+        | And l ->
+            List.fold_left
+              (fun acc x -> Aig.and_ g acc (ablast_bool st x))
+              Aig.true_ l
+        | Or l ->
+            List.fold_left
+              (fun acc x -> Aig.or_ g acc (ablast_bool st x))
+              Aig.false_ l
+        | Eq (a, b) when equal_sort (Term.sort a) Bool ->
+            Aig.iff_ g (ablast_bool st a) (ablast_bool st b)
+        | Eq (a, b) -> aeq_bits g (ablast_bv st a) (ablast_bv st b)
+        | Ult (a, b) -> ault_bits g (ablast_bv st a) (ablast_bv st b)
+        | Slt (a, b) ->
+            let flip_sign bits =
+              let bits = Array.copy bits in
+              let n = Array.length bits in
+              bits.(n - 1) <- Aig.not_ bits.(n - 1);
+              bits
+            in
+            ault_bits g (flip_sign (ablast_bv st a)) (flip_sign (ablast_bv st b))
+        | Ite _ -> assert false
+        | BvConst _ | Bnot _ | Bbin _ | Extract _ | Concat _ | Zext _ | Sext _
+          ->
+            assert false
+      in
+      Hashtbl.replace st.abool_memo term.id l;
+      l
+
+and ablast_bv st (term : Term.t) : Aig.lit array =
+  match Hashtbl.find_opt st.abv_memo term.id with
+  | Some bits -> bits
+  | None ->
+      let g = st.g in
+      let bits =
+        match term.node with
+        | BvConst c -> abits_of_const c
+        | Var (name, Bv n) -> (
+            match Hashtbl.find_opt st.avar_bits name with
+            | Some bits -> bits
+            | None ->
+                let bits = Array.init n (fun _ -> Aig.input g) in
+                Hashtbl.add st.avar_bits name bits;
+                bits)
+        | Var (_, Bool) -> assert false
+        | Bnot a -> Array.map Aig.not_ (ablast_bv st a)
+        | Ite (c, a, b) ->
+            let c = ablast_bool st c in
+            Array.map2 (Aig.ite_ g c) (ablast_bv st a) (ablast_bv st b)
+        | Bbin (op, a, b) -> ablast_bvop st op a b
+        | Extract (hi, lo, a) ->
+            let bits = ablast_bv st a in
+            Array.sub bits lo (hi - lo + 1)
+        | Concat (a, b) ->
+            let hi = ablast_bv st a and lo = ablast_bv st b in
+            Array.append lo hi
+        | Zext (n, a) ->
+            let bits = ablast_bv st a in
+            Array.append bits (Array.make n Aig.false_)
+        | Sext (n, a) ->
+            let bits = ablast_bv st a in
+            let sign = bits.(Array.length bits - 1) in
+            Array.append bits (Array.make n sign)
+        | True | False | Not _ | And _ | Or _ | Eq _ | Ult _ | Slt _ ->
+            assert false
+      in
+      Hashtbl.add st.abv_memo term.id bits;
+      bits
+
+and ablast_bvop st op a b =
+  let g = st.g in
+  match op with
+  | Add -> aadder g (ablast_bv st a) (ablast_bv st b) Aig.false_
+  | Sub ->
+      aadder g (ablast_bv st a) (Array.map Aig.not_ (ablast_bv st b)) Aig.true_
+  | Mul -> amul_bits g (ablast_bv st a) (ablast_bv st b)
+  | Band -> Array.map2 (Aig.and_ g) (ablast_bv st a) (ablast_bv st b)
+  | Bor -> Array.map2 (Aig.or_ g) (ablast_bv st a) (ablast_bv st b)
+  | Bxor -> Array.map2 (Aig.xor_ g) (ablast_bv st a) (ablast_bv st b)
+  | Shl | Lshr | Ashr -> (
+      match b.node with
+      | BvConst c ->
+          let bits = ablast_bv st a in
+          let n = Array.length bits in
+          let k =
+            if Bitvec.ult c (Bitvec.of_int ~width:(Bitvec.width c) n) then
+              Bitvec.to_int c
+            else n
+          in
+          let fill = if op = Ashr then bits.(n - 1) else Aig.false_ in
+          if k >= n then Array.make n fill
+          else shift_const_bits bits k ~left:(op = Shl) ~fill
+      | _ ->
+          (* Variable shifts are removed by Lower. *)
+          assert false)
+  | Udiv | Sdiv | Urem | Srem ->
+      (* Removed by Lower. *)
+      assert false
+
+(* Emit the CNF cone of a root from the reduced graph into this context's
+   SAT solver, and remember the root for AIGER export. *)
+let aig_emit t st root =
+  st.roots <- root :: st.roots;
+  Aig.emit st.g ~false_lit:(lit_false t)
+    ~fresh:(fun () -> fresh t)
+    ~clause:(fun c -> S.add_clause t.sat c)
+    ~two_sided:(t.enc = Tseitin) root
+
 module Trace = Alive_trace.Trace
 
 (* [lower] rewrites to the core fragment, [bitblast] runs the polarity-aware
@@ -371,7 +586,10 @@ module Trace = Alive_trace.Trace
 let lower_traced term = Trace.with_span "lower" (fun () -> Lower.lower term)
 
 let blast_bool_traced t term =
-  Trace.with_span "bitblast" (fun () -> blast_bool ~pol:Pos t term)
+  Trace.with_span "bitblast" (fun () ->
+      match t.aig with
+      | Some st -> aig_emit t st (ablast_bool st term)
+      | None -> blast_bool ~pol:Pos t term)
 
 let assert_formula t term =
   if not (equal_sort (Term.sort term) Bool) then
@@ -387,18 +605,40 @@ let check ?(assumptions = []) ?conflict_limit ?deadline t =
   else `Unsat
 
 let model_value t name sort =
+  let bool_lit name =
+    match t.aig with
+    | Some st ->
+        Option.bind
+          (Hashtbl.find_opt st.avar_bools name)
+          (Aig.sat_lit_opt st.g)
+    | None -> Hashtbl.find_opt t.var_bools name
+  in
+  let bv_lits name =
+    match t.aig with
+    | Some st ->
+        Option.map
+          (Array.map (Aig.sat_lit_opt st.g))
+          (Hashtbl.find_opt st.avar_bits name)
+    | None ->
+        Option.map (Array.map Option.some) (Hashtbl.find_opt t.var_bits name)
+  in
   match sort with
   | Bool -> (
-      match Hashtbl.find_opt t.var_bools name with
+      match bool_lit name with
       | Some l -> Vbool (S.value t.sat l)
       | None -> Vbool false)
   | Bv n -> (
-      match Hashtbl.find_opt t.var_bits name with
+      match bv_lits name with
       | Some bits ->
           let v = ref 0L in
           Array.iteri
             (fun i l ->
-              if S.value t.sat l then v := Int64.logor !v (Int64.shift_left 1L i))
+              (* Bits whose cone was never emitted are unconstrained;
+                 any value satisfies the model, zero is the convention. *)
+              match l with
+              | Some l when S.value t.sat l ->
+                  v := Int64.logor !v (Int64.shift_left 1L i)
+              | _ -> ())
             bits;
           Vbv (Bitvec.make ~width:n !v)
       | None -> Vbv (Bitvec.zero n))
@@ -406,3 +646,8 @@ let model_value t name sort =
 let stats t = S.stats t.sat
 
 let export t = S.export t.sat
+
+let aig_stats t = Option.map (fun st -> Aig.stats st.g) t.aig
+
+let export_aiger t =
+  Option.map (fun st -> Aig.to_aiger st.g ~outputs:(List.rev st.roots)) t.aig

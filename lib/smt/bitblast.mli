@@ -19,7 +19,12 @@
 
 type t
 
-val create : unit -> t
+val create :
+  ?simplify:bool -> ?encoding:[ `Tseitin | `Plaisted_greenbaum ] -> unit -> t
+(** Both options default to the process-wide atomics ({!set_simplify},
+    {!set_encoding}); the per-context overrides exist so parallel racers
+    (the encoding portfolio, cube workers) can pick their own path without
+    touching global state. *)
 
 val set_encoding : [ `Tseitin | `Plaisted_greenbaum ] -> unit
 (** Select the CNF encoding for subsequent blasting (a process-wide atomic).
@@ -29,6 +34,14 @@ val set_encoding : [ `Tseitin | `Plaisted_greenbaum ] -> unit
     chosen by benchmark (see docs/PERFORMANCE.md). *)
 
 val encoding : unit -> [ `Tseitin | `Plaisted_greenbaum ]
+
+val set_simplify : bool -> unit
+(** Process-wide default for AIG structural simplification: when on (the
+    default), circuits are built as a hash-consed AND-inverter graph with
+    two-level rewriting and CNF is emitted from the reduced graph; when
+    off ([--no-aig]), the direct gate-by-gate encoding is used. *)
+
+val simplify : unit -> bool
 
 val assert_formula : t -> Term.t -> unit
 (** Assert a Bool-sorted term. @raise Invalid_argument on bitvector sorts. *)
@@ -53,3 +66,11 @@ val stats : t -> Alive_sat.Solver.stats
 val export : t -> int * Alive_sat.Solver.lit list list
 (** Snapshot of the underlying SAT instance (level-0 facts plus problem
     clauses) for DIMACS dumping; see {!Alive_sat.Solver.export}. *)
+
+val aig_stats : t -> Aig.stats option
+(** AIG node counts for this context ([None] in direct mode): raw gate
+    requests vs distinct nodes after rewriting/structural hashing. *)
+
+val export_aiger : t -> string option
+(** AIGER ASCII rendering of this context's reduced graph, with every
+    asserted/assumed root as an output ([None] in direct mode). *)

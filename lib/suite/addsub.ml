@@ -51,7 +51,10 @@ let entries =
        %d = add %b, C2\n\
        =>\n\
        %d = add %a, C1 ^ C2\n";
-    e "AddSub:PR20186-fixed"
+    e ~widths:[ 4; 8; 1; 2; 3; 5; 6; 7 ] "AddSub:PR20186-fixed"
+      (* divider cap: two signed-divider circuits per VC; solving past
+         w=8 costs seconds per width, so the cap pins the default 1-8
+         domain instead of joining --widths sweeps *)
       "Pre: C != 1 && !isSignBit(C)\n\
        %a = sdiv %X, C\n\
        %r = sub 0, %a\n\

@@ -14,13 +14,16 @@ let entries =
       "%B = sub 0, %A\n%C = sub nsw %x, %B\n=>\n%C = add nsw %x, %A\n";
     e ~file:"MulDivRem" "PR21242"
       "Pre: isPowerOf2(C1)\n%r = mul nsw %x, C1\n=>\n%r = shl nsw %x, log2(C1)\n";
+    (* divider cap: counterexample search inside chained signed dividers *)
     e ~file:"MulDivRem" ~widths:[ 4; 1; 2; 3; 5 ] "PR21243"
       "Pre: !WillNotOverflowSignedMul(C1, C2)\n\
        %Op0 = sdiv %X, C1\n\
        %r = sdiv %Op0, C2\n\
        =>\n\
        %r = 0\n";
-    e ~file:"MulDivRem" "PR21245"
+    (* divider cap: the sdiv countermodel search stops converging fast
+       past w=8 *)
+    e ~file:"MulDivRem" ~widths:[ 4; 8; 1; 2; 3; 5; 6; 7 ] "PR21245"
       "Pre: C2 % (1 << C1) == 0\n\
        %s = shl nsw %X, C1\n\
        %r = sdiv %s, C2\n\

@@ -11,38 +11,53 @@ let entries =
     e "MulDivRem:mul-neg-one" "%r = mul %x, -1\n=>\n%r = sub 0, %x\n";
     e "MulDivRem:PR21242-fixed (mul-pow2-is-shl)"
       "Pre: isPowerOf2(C1)\n%r = mul %x, C1\n=>\n%r = shl %x, log2(C1)\n";
-    e ~widths:[ 4; 1; 2; 3; 5 ] "MulDivRem:mul-const-reassoc"
+    (* Ring identities (products, shl-as-mul, distribution) are discharged
+       by the static tier's polynomial normalizer at every width — no cap
+       needed. *)
+    e "MulDivRem:mul-const-reassoc"
       "%a = mul %x, C1\n%r = mul %a, C2\n=>\n%r = mul %x, C1*C2\n";
-    e ~widths:[ 4; 1; 2; 3; 5 ] "MulDivRem:mul-shl-reassoc"
+    e "MulDivRem:mul-shl-reassoc"
       "%a = shl %x, C1\n%r = mul %a, C2\n=>\n%r = mul %x, C2 << C1\n";
     e "MulDivRem:udiv-one" "%r = udiv %x, 1\n=>\n%r = %x\n";
     e "MulDivRem:sdiv-one" "%r = sdiv %x, 1\n=>\n%r = %x\n";
-    e "MulDivRem:udiv-self" "%r = udiv %x, %x\n=>\n%r = 1\n";
+    (* divider cap: udiv by a fully symbolic variable *)
+    e ~widths:[ 4; 8; 1; 2; 3; 5; 6; 7 ] "MulDivRem:udiv-self"
+      "%r = udiv %x, %x\n=>\n%r = 1\n";
     e "MulDivRem:sdiv-neg-one"
       "%r = sdiv %x, -1\n=>\n%r = sub 0, %x\n";
-    e "MulDivRem:udiv-pow2-is-lshr"
+    (* Width caps below mark entries whose VCs contain a restoring-divider
+       circuit over a symbolic divisor: solving one costs seconds per width
+       past w=8, so they pin the default 1-8 domain instead of joining
+       --widths sweeps (the paper's §6.1 workaround). *)
+    e ~widths:[ 4; 8; 1; 2; 3; 5; 6; 7 ] "MulDivRem:udiv-pow2-is-lshr"
       "Pre: isPowerOf2(C1)\n%r = udiv %x, C1\n=>\n%r = lshr %x, log2(C1)\n";
-    e "MulDivRem:urem-pow2-is-and"
+    e ~widths:[ 4; 8; 1; 2; 3; 5; 6; 7 ] "MulDivRem:urem-pow2-is-and"
       "Pre: isPowerOf2(C1)\n%r = urem %x, C1\n=>\n%r = and %x, C1-1\n";
     e "MulDivRem:urem-one" "%r = urem %x, 1\n=>\n%r = 0\n";
     e "MulDivRem:srem-one" "%r = srem %x, 1\n=>\n%r = 0\n";
-    e "MulDivRem:urem-self" "%r = urem %x, %x\n=>\n%r = 0\n";
-    e "MulDivRem:srem-neg-const"
+    (* divider cap: urem by a fully symbolic variable *)
+    e ~widths:[ 4; 8; 1; 2; 3; 5; 6; 7 ] "MulDivRem:urem-self"
+      "%r = urem %x, %x\n=>\n%r = 0\n";
+    e ~widths:[ 4; 8; 1; 2; 3; 5; 6; 7 ] "MulDivRem:srem-neg-const"
+      (* divider cap: two signed-remainder circuits per VC *)
       "Pre: C != 1 && !isSignBit(C)\n%r = srem %X, C\n=>\n%r = srem %X, -C\n";
+    (* divider cap: chained udiv of symbolic constants *)
     e ~widths:[ 4; 1; 2; 3; 5 ] "MulDivRem:udiv-const-fold-chain"
       "Pre: !WillNotOverflowUnsignedMul(C1, C2)\n\
        %a = udiv %x, C1\n\
        %r = udiv %a, C2\n\
        =>\n\
        %r = 0\n";
+    (* divider cap: chained udiv of symbolic constants *)
     e ~widths:[ 4; 1; 2; 3; 5 ] "MulDivRem:udiv-udiv-reassoc"
       "Pre: WillNotOverflowUnsignedMul(C1, C2)\n\
        %a = udiv %x, C1\n\
        %r = udiv %a, C2\n\
        =>\n\
        %r = udiv %x, C1*C2\n";
-    e ~widths:[ 4; 1; 2; 3; 5 ] "MulDivRem:mul-sub-mul"
+    e "MulDivRem:mul-sub-mul" (* ring identity: static at every width *)
       "%a = mul %x, %z\n%b = mul %y, %z\n%r = sub %a, %b\n=>\n%s = sub %x, %y\n%r = mul %s, %z\n";
+    (* divider cap: udiv under a shifted-divisibility precondition *)
     e ~widths:[ 4; 1; 2; 3; 5; 6 ] "MulDivRem:PR21245-fixed"
       "Pre: C2 %u (1 << C1) == 0\n\
        %s = shl nuw %X, C1\n\
@@ -50,21 +65,25 @@ let entries =
        =>\n\
        %r = udiv %X, C2 u>> C1\n";
   
-    e ~widths:[ 4; 1; 2; 3; 5; 6 ] "MulDivRem:mul-nuw-pow2-is-shl-nuw"
+    e "MulDivRem:mul-nuw-pow2-is-shl-nuw"
       "Pre: isPowerOf2(C1)\n%r = mul nuw %x, C1\n=>\n%r = shl nuw %x, log2(C1)\n";
-    e "MulDivRem:sdiv-exact-pow2-is-ashr"
+    e ~widths:[ 4; 8; 1; 2; 3; 5; 6; 7 ] "MulDivRem:sdiv-exact-pow2-is-ashr"
+      (* divider cap: signed divider under an exactness side condition *)
       "Pre: isPowerOf2(C1) && !isSignBit(C1)\n%r = sdiv exact %x, C1\n=>\n%r = ashr exact %x, log2(C1)\n";
-    e "MulDivRem:udiv-exact-pow2-is-lshr"
+    e ~widths:[ 4; 8; 1; 2; 3; 5; 6; 7 ] "MulDivRem:udiv-exact-pow2-is-lshr"
+      (* divider cap: unsigned divider under an exactness side condition *)
       "Pre: isPowerOf2(C1)\n%r = udiv exact %x, C1\n=>\n%r = lshr exact %x, log2(C1)\n";
-    e ~widths:[ 4; 1; 2; 3; 5 ] "MulDivRem:neg-times-neg"
+    e "MulDivRem:neg-times-neg" (* ring identity: static at every width *)
       "%nx = sub 0, %x\n%ny = sub 0, %y\n%r = mul %nx, %ny\n=>\n%r = mul %x, %y\n";
-    e ~widths:[ 4; 1; 2; 3; 5 ] "MulDivRem:neg-times-pos"
+    e "MulDivRem:neg-times-pos" (* ring identity: static at every width *)
       "%nx = sub 0, %x\n%r = mul %nx, %y\n=>\n%m = mul %x, %y\n%r = sub 0, %m\n";
-    e ~widths:[ 4; 1; 2; 3; 5 ] "MulDivRem:mul-distribute-add"
+    e "MulDivRem:mul-distribute-add" (* ring identity: static at every width *)
       "%a = mul %x, %z\n%b = mul %y, %z\n%r = add %a, %b\n=>\n%s = add %x, %y\n%r = mul %s, %z\n";
+    (* divider cap: udiv by a shifted symbolic variable *)
     e ~widths:[ 4; 1; 2; 3 ] "MulDivRem:udiv-of-shl-nuw"
       "%s = shl nuw %y, C\n%r = udiv %x, %s\n=>\n%d = udiv %x, %y\n%r = lshr %d, C\n";
-    e "MulDivRem:urem-pow2-shifted"
+    e ~widths:[ 4; 8; 1; 2; 3; 5; 6; 7 ] "MulDivRem:urem-pow2-shifted"
+      (* divider cap: urem by a symbolic power-of-two variable *)
       "Pre: isPowerOf2(%p)\n%r = urem %x, %p\n=>\n%m = sub %p, 1\n%r = and %x, %m\n";
 
     e "MulDivRem:udiv-all-ones"

@@ -13,9 +13,13 @@ let entries =
       "%s = shl %x, C\n%r = lshr %s, C\n=>\n%r = and %x, -1 u>> C\n";
     e "Shifts:lshr-shl-mask"
       "%s = lshr %x, C\n%r = shl %s, C\n=>\n%r = and %x, -1 << C\n";
-    e "Shifts:shl-shl-accumulate"
+    (* Barrel-shifter caps: these VCs shift by *symbolic* constants, so
+       every shift lowers to a full barrel shifter; past w=8 each width
+       costs hundreds of milliseconds, so they pin the default 1-8 domain
+       instead of joining --widths sweeps (the paper's §6.1 workaround). *)
+    e ~widths:[ 4; 8; 1; 2; 3; 5; 6; 7 ] "Shifts:shl-shl-accumulate"
       "Pre: C1+C2 u< width(%x)\n%a = shl %x, C1\n%r = shl %a, C2\n=>\n%r = shl %x, C1+C2\n";
-    e "Shifts:lshr-lshr-accumulate"
+    e ~widths:[ 4; 8; 1; 2; 3; 5; 6; 7 ] "Shifts:lshr-lshr-accumulate"
       "Pre: C1+C2 u< width(%x)\n%a = lshr %x, C1\n%r = lshr %a, C2\n=>\n%r = lshr %x, C1+C2\n";
     e "Shifts:shl-nuw-lshr-roundtrip"
       "%s = shl nuw %x, C\n%r = lshr %s, C\n=>\n%r = %x\n";
@@ -32,7 +36,8 @@ let entries =
        %r = lshr %x, C\n";
     e "Shifts:shl-and-merge"
       "%a = shl %x, C1\n%r = and %a, C2\n=>\n%m = and %x, C2 u>> C1\n%r = shl %m, C1\n";
-    e "Shifts:PR21245-corrected-shl-ashr"
+    (* barrel-shifter cap: three shifts by symbolic constants per VC *)
+    e ~widths:[ 4; 8; 1; 2; 3; 5; 6; 7 ] "Shifts:PR21245-corrected-shl-ashr"
       "Pre: C1 u>= C2\n\
        %0 = shl nsw %a, C1\n\
        %1 = ashr %0, C2\n\
@@ -43,14 +48,17 @@ let entries =
       "%r = ashr -1, %x\n=>\n%r = -1\n";
     e "Shifts:lshr-then-and"
       "%s = lshr %x, C1\n%r = and %s, C2\n=>\n%m = and %x, C2 << C1\n%r = lshr %m, C1\n";
-    e ~widths:[ 4; 1; 2; 3; 5; 6 ] ~canonical:false "Shifts:shl-nuw-is-mul"
+    (* shl-as-mul identities normalize away in the static tier's
+       polynomial sums at every width — no cap needed. *)
+    e ~canonical:false "Shifts:shl-nuw-is-mul"
       "%r = shl nuw %x, C\n=>\n%r = mul nuw %x, 1 << C\n";
-    e ~widths:[ 4; 1; 2; 3; 5; 6 ] ~canonical:false "Shifts:shl-is-mul-pow2"
+    e ~canonical:false "Shifts:shl-is-mul-pow2"
       "%r = shl %x, C\n=>\n%r = mul %x, 1 << C\n";
     e "Shifts:lshr-of-all-ones-mask"
       "%r = lshr -1, C\n=>\n%r = -1 u>> C\n";
     e "Shifts:ashr-sign-compare"
       "%s = ashr %x, width(%x)-1\n%r = icmp ne %s, 0\n=>\n%r = icmp slt %x, 0\n";
+    (* divider cap: udiv of a shifted dividend by a symbolic constant *)
     e ~widths:[ 4; 1; 2; 3; 5 ] "Shifts:shl-one-udiv"
       "Pre: isPowerOf2(C1)\n%s = shl %x, C2\n%r = udiv %s, C1\n=>\n%s = shl %x, C2\n%r = lshr %s, log2(C1)\n";
 
@@ -67,8 +75,10 @@ let entries =
     e "Shifts:shl-distributes-and"
       "%a = shl %x, C\n%b = shl %y, C\n%r = and %a, %b\n=>\n%s = and %x, %y\n%r = shl %s, C\n";
 
-    e "Shifts:udiv-pow2-drops-exact"
+    (* divider cap: udiv by a symbolic power of two *)
+    e ~widths:[ 4; 8; 1; 2; 3; 5; 6; 7 ] "Shifts:udiv-pow2-drops-exact"
       "Pre: isPowerOf2(C1)\n%r = udiv exact %x, C1\n=>\n%r = lshr %x, log2(C1)\n";
-    e "Shifts:shl-sum-drops-nuw"
+    (* barrel-shifter cap: nuw overflow conditions on symbolic shifts *)
+    e ~widths:[ 4; 8; 1; 2; 3; 5; 6; 7 ] "Shifts:shl-sum-drops-nuw"
       "Pre: C1+C2 u< width(%x)\n%a = shl nuw %x, C1\n%r = shl nuw %a, C2\n=>\n%r = shl %x, C1+C2\n";
 ]

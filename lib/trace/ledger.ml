@@ -39,11 +39,15 @@ type record = {
   log_lines : int;  (* telemetry fields (schema >= 6; 0/[] before) *)
   slow_queries : int;
   ops : op_stat list;  (* per-op daemon latency totals *)
+  cubes : int;  (* cube-and-conquer fields (schema >= 7; 0 before) *)
+  cubes_pruned : int;
+  aig_nodes_in : int;  (* AIG simplifier gate counts (schema >= 7) *)
+  aig_nodes_out : int;
   verdicts : (string * int) list;  (* verdict name -> count *)
   phases : phase_total list;
 }
 
-let schema_version = 6
+let schema_version = 7
 
 let iso8601 t =
   let tm = Unix.gmtime t in
@@ -79,6 +83,7 @@ let make ~label ~jobs ~tasks ?(budget_timeout_s = 0.0) ?(budget_conflicts = 0)
     ?(cache_misses = 0) ?(cache_evictions = 0) ?(peak_clauses = 0)
     ?(peak_vars = 0) ?(requests = 0) ?(store_hits = 0) ?(store_misses = 0)
     ?(static_proved = 0) ?(log_lines = 0) ?(slow_queries = 0) ?(ops = [])
+    ?(cubes = 0) ?(cubes_pruned = 0) ?(aig_nodes_in = 0) ?(aig_nodes_out = 0)
     ~verdicts ?(phases = phases_of_metrics ()) () =
   {
     schema = schema_version;
@@ -107,6 +112,10 @@ let make ~label ~jobs ~tasks ?(budget_timeout_s = 0.0) ?(budget_conflicts = 0)
     log_lines;
     slow_queries;
     ops;
+    cubes;
+    cubes_pruned;
+    aig_nodes_in;
+    aig_nodes_out;
     verdicts;
     phases;
   }
@@ -165,6 +174,18 @@ let to_json r =
                      ("p99_s", Json.Float o.op_p99_s);
                    ] ))
              r.ops) );
+      ( "cubes",
+        Json.Obj
+          [
+            ("spawned", Json.Int r.cubes);
+            ("pruned", Json.Int r.cubes_pruned);
+          ] );
+      ( "aig",
+        Json.Obj
+          [
+            ("nodes_in", Json.Int r.aig_nodes_in);
+            ("nodes_out", Json.Int r.aig_nodes_out);
+          ] );
       ("verdicts", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) r.verdicts));
       ( "phases",
         Json.Obj
@@ -286,6 +307,24 @@ let of_json j =
                           (Option.bind (Json.member "p99_s" v) Json.to_float);
                     })
                   fields);
+          (* "cubes" and "aig" are schema-7 keys; older records read back
+             as zeros and the schema field flags them as not comparable. *)
+          cubes =
+            (let c = Option.value ~default:(Json.Obj []) (Json.member "cubes" j) in
+             Option.value ~default:0
+               (Option.bind (Json.member "spawned" c) Json.to_int));
+          cubes_pruned =
+            (let c = Option.value ~default:(Json.Obj []) (Json.member "cubes" j) in
+             Option.value ~default:0
+               (Option.bind (Json.member "pruned" c) Json.to_int));
+          aig_nodes_in =
+            (let a = Option.value ~default:(Json.Obj []) (Json.member "aig" j) in
+             Option.value ~default:0
+               (Option.bind (Json.member "nodes_in" a) Json.to_int));
+          aig_nodes_out =
+            (let a = Option.value ~default:(Json.Obj []) (Json.member "aig" j) in
+             Option.value ~default:0
+               (Option.bind (Json.member "nodes_out" a) Json.to_int));
           verdicts;
           phases;
         }
@@ -428,6 +467,20 @@ let diff ?(threshold_pct = 15.0) ~baseline ~latest () =
                        Some (info ("op:" ^ o.op) b.op_total_s o.op_total_s)
                    | None -> None)
                  latest.ops);
+        since 7 (fun () ->
+            [
+              info "cubes" (float_of_int baseline.cubes)
+                (float_of_int latest.cubes);
+              info "cubes_pruned"
+                (float_of_int baseline.cubes_pruned)
+                (float_of_int latest.cubes_pruned);
+              info "aig_nodes_in"
+                (float_of_int baseline.aig_nodes_in)
+                (float_of_int latest.aig_nodes_in);
+              info "aig_nodes_out"
+                (float_of_int baseline.aig_nodes_out)
+                (float_of_int latest.aig_nodes_out);
+            ]);
         List.filter_map
           (fun p ->
             match

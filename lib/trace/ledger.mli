@@ -53,6 +53,14 @@ type record = {
           when reading older records) *)
   slow_queries : int;  (** requests past the slow-query threshold *)
   ops : op_stat list;  (** per-op daemon latencies (schema >= 6) *)
+  cubes : int;
+      (** cubes spawned by the cube-and-conquer splitter (schema >= 7;
+          zero when reading older records) *)
+  cubes_pruned : int;  (** cube tasks cancelled by an early winner *)
+  aig_nodes_in : int;
+      (** gate requests into the AIG simplifier, before structural
+          hashing (schema >= 7) *)
+  aig_nodes_out : int;  (** distinct AIG nodes after simplification *)
   verdicts : (string * int) list;
   phases : phase_total list;
 }
@@ -91,6 +99,10 @@ val make :
   ?log_lines:int ->
   ?slow_queries:int ->
   ?ops:op_stat list ->
+  ?cubes:int ->
+  ?cubes_pruned:int ->
+  ?aig_nodes_in:int ->
+  ?aig_nodes_out:int ->
   verdicts:(string * int) list ->
   ?phases:phase_total list ->
   unit ->

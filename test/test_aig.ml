@@ -1,0 +1,392 @@
+(* Tests for the wide-width solve path: the AIG simplification pass, the
+   cube-and-conquer splitter, and the encoding portfolio. The pass and the
+   splitter are both meant to be invisible in verdicts — the differential
+   tests here run real corpus slices through both configurations and
+   demand identical answers — while the QCheck properties pin down the
+   structural-hashing algebra the AIG layer relies on. Every test saves
+   and restores the global switches it flips. *)
+
+module Solve = Alive_smt.Solve
+module Bitblast = Alive_smt.Bitblast
+module Aig = Alive_smt.Aig
+module Term = Alive_smt.Term
+module Model = Alive_smt.Model
+module Refine = Alive.Refine
+module Entry = Alive_suite.Entry
+
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+let parse = Alive.Parser.parse_transform
+
+let with_aig on f =
+  let was = Bitblast.simplify () in
+  Bitblast.set_simplify on;
+  Alive_smt.Vc_cache.clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      Bitblast.set_simplify was;
+      Alive_smt.Vc_cache.clear ())
+    f
+
+let with_cubes ~on ~threshold ?runner f =
+  let on_was = Solve.cubes_enabled () in
+  let thr_was = Solve.cube_threshold () in
+  let runner_was = Solve.cube_runner () in
+  Solve.set_cubes on;
+  Solve.set_cube_threshold threshold;
+  (match runner with Some _ -> Solve.set_cube_runner runner | None -> ());
+  Alive_smt.Vc_cache.clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      Solve.set_cubes on_was;
+      Solve.set_cube_threshold thr_was;
+      Solve.set_cube_runner runner_was;
+      Alive_smt.Vc_cache.clear ())
+    f
+
+(* Fingerprint: verdict constructor, failing instruction/criterion, and
+   unknown reason. Counterexample models are deliberately NOT compared:
+   the AIG pass renumbers CNF variables, so the SAT solver may pick a
+   different (equally genuine — Refine validates it against the concrete
+   semantics) witness for the same Invalid verdict. *)
+let fingerprint v = Format.asprintf "%a" Refine.pp_verdict v
+
+(* Verdict-only fingerprint: the cube join is exact on verdicts, but a Sat
+   answer's witness may come from whichever cube answered, so cube
+   differentials must not compare models. *)
+let verdict_fingerprint = function
+  | Refine.Invalid _ -> "invalid"
+  | v -> Format.asprintf "%a" Refine.pp_verdict v
+
+let check_parity base off =
+  List.iter2
+    (fun (name, f_on) (name', f_off) ->
+      check_string "same entry order" name name';
+      check_string name f_on f_off)
+    base off
+
+(* --- AIG on/off differential --- *)
+
+let aig_differential_tests =
+  [
+    Alcotest.test_case "AIG on/off: verdict parity at widths 1-6" `Slow
+      (fun () ->
+        (* The whole corpus, every entry forced through widths 1..6
+           (within any declared cap so expected verdicts still hold),
+           solved with the AIG pass on and off. Verdicts, failing
+           instructions and unknown reasons must be identical: the pass
+           must only reshape the CNF, never the answer. *)
+        let widths_of (e : Entry.t) =
+          match e.widths with
+          | None -> Some [ 1; 2; 3; 4; 5; 6 ]
+          | Some ws ->
+              let ws = List.filter (fun w -> w <= 6) ws in
+              if ws = [] then None else Some ws
+        in
+        let run () =
+          List.filter_map
+            (fun (e : Entry.t) ->
+              match widths_of e with
+              | None -> None
+              | Some widths ->
+                  let v = Refine.check ~widths (Entry.parse e) in
+                  Some (e.name, fingerprint v))
+            Alive_suite.Registry.all
+        in
+        let on = with_aig true run in
+        let off = with_aig false run in
+        check_bool "corpus slice is non-trivial" true (List.length on > 150);
+        check_parity on off);
+    Alcotest.test_case "AIG pass actually reduces gates" `Quick (fun () ->
+        (* Distribution over multiplication circuits has plenty of
+           reconvergent structure; the pass must strictly shrink it.
+           (Term-level hash-consing would collapse a plain commutativity
+           check before it ever reached the gate level.) *)
+        let w = 4 in
+        let x = Term.var "x" (Term.Bv w)
+        and y = Term.var "y" (Term.Bv w)
+        and z = Term.var "z" (Term.Bv w) in
+        let t =
+          Term.not_
+            (Term.eq
+               (Term.bbin Term.Mul x (Term.bbin Term.Add y z))
+               (Term.bbin Term.Add (Term.bbin Term.Mul x y)
+                  (Term.bbin Term.Mul x z)))
+        in
+        with_aig true (fun () ->
+            let ctx = Bitblast.create () in
+            Bitblast.assert_formula ctx t;
+            (match Bitblast.check ctx with
+            | `Unsat -> ()
+            | _ -> Alcotest.fail "mul distribution should be UNSAT");
+            match Bitblast.aig_stats ctx with
+            | None -> Alcotest.fail "AIG stats missing with simplify on"
+            | Some s ->
+                check_bool "gates were requested" true (s.n_requests > 0);
+                check_bool
+                  (Printf.sprintf "strashing reduced %d requests to %d nodes"
+                     s.n_requests s.n_ands)
+                  true
+                  (s.n_ands < s.n_requests)));
+  ]
+
+(* --- QCheck: structural-hashing algebra --- *)
+
+let lit = QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 1000)
+
+(* A fresh graph with [n] inputs plus a pile of random internal nodes to
+   make the rewrite rules reachable, then a random existing literal. *)
+let random_graph_and_lits =
+  QCheck.make
+    ~print:(fun (seeds, _) ->
+      Printf.sprintf "[%s]" (String.concat ";" (List.map string_of_int seeds)))
+    QCheck.Gen.(
+      let* seeds = list_size (int_range 2 30) (int_bound 10_000) in
+      return (seeds, ()))
+
+let build_graph seeds =
+  let g = Aig.create () in
+  let inputs = Array.init 4 (fun _ -> Aig.input g) in
+  let pool = ref (Array.to_list inputs @ [ Aig.false_; Aig.true_ ]) in
+  let pick s =
+    let l = !pool in
+    List.nth l (abs s mod List.length l)
+  in
+  List.iter
+    (fun s ->
+      let a = pick s and b = pick (s / 7) in
+      let l =
+        match s mod 3 with
+        | 0 -> Aig.and_ g a b
+        | 1 -> Aig.or_ g a b
+        | _ -> Aig.xor_ g a b
+      in
+      pool := l :: !pool)
+    seeds;
+  (g, !pool)
+
+let strash_props =
+  [
+    QCheck.Test.make ~name:"and_ is deterministic and commutative" ~count:200
+      random_graph_and_lits (fun (seeds, ()) ->
+        let g, pool = build_graph seeds in
+        List.for_all
+          (fun a ->
+            List.for_all
+              (fun b ->
+                let ab = Aig.and_ g a b in
+                ab = Aig.and_ g a b && ab = Aig.and_ g b a)
+              pool)
+          pool);
+    QCheck.Test.make ~name:"local rewrite identities hold" ~count:200
+      random_graph_and_lits (fun (seeds, ()) ->
+        let g, pool = build_graph seeds in
+        List.for_all
+          (fun a ->
+            Aig.not_ (Aig.not_ a) = a
+            && Aig.and_ g a Aig.false_ = Aig.false_
+            && Aig.and_ g a Aig.true_ = a
+            && Aig.and_ g a a = a
+            && Aig.and_ g a (Aig.not_ a) = Aig.false_
+            && Aig.xor_ g a a = Aig.false_
+            && Aig.xor_ g a Aig.false_ = a)
+          pool);
+    QCheck.Test.make ~name:"strashing is contractive (nodes <= requests)"
+      ~count:100 random_graph_and_lits (fun (seeds, ()) ->
+        let g, _ = build_graph seeds in
+        let s = Aig.stats g in
+        s.Aig.n_ands <= s.Aig.n_requests);
+  ]
+
+(* Soundness through the solver: random width-4 formulas must get the same
+   answer with and without the pass, and Sat models must actually satisfy
+   the formula (so the reduced graph still encodes it). *)
+let random_formula =
+  let open QCheck.Gen in
+  let bv_ops = [| Term.Add; Term.Sub; Term.Mul; Term.Band; Term.Bor; Term.Bxor |] in
+  let rec bv depth =
+    if depth = 0 then
+      oneof
+        [
+          return (Term.var "a" (Term.Bv 4));
+          return (Term.var "b" (Term.Bv 4));
+          map (fun n -> Term.const (Bitvec.of_int ~width:4 n)) (int_bound 15);
+        ]
+    else
+      let* op = map (fun i -> bv_ops.(i)) (int_bound (Array.length bv_ops - 1)) in
+      let* l = bv (depth - 1) and* r = bv (depth - 1) in
+      return (Term.bbin op l r)
+  in
+  let* d1 = int_range 1 3 and* d2 = int_range 1 3 in
+  let* l = bv d1 and* r = bv d2 in
+  let* cmp = int_bound 2 in
+  return
+    (match cmp with
+    | 0 -> Term.eq l r
+    | 1 -> Term.ult l r
+    | _ -> Term.not_ (Term.eq l r))
+
+let formula_print t = Format.asprintf "%a" Term.pp t
+
+let solver_soundness_props =
+  [
+    QCheck.Test.make
+      ~name:"random formulas: AIG on/off answer parity + model soundness"
+      ~count:150
+      (QCheck.make ~print:formula_print random_formula)
+      (fun t ->
+        let solve on =
+          with_aig on (fun () -> Solve.check_sat [ t ])
+        in
+        match (solve true, solve false) with
+        | Solve.Sat m, Solve.Sat m' ->
+            Model.holds m t && Model.holds m' t
+        | Solve.Unsat, Solve.Unsat -> true
+        | _ -> false);
+  ]
+
+(* --- Cube-and-conquer differentials --- *)
+
+(* Slices with division/shift structure so [Lower.split_candidates] finds
+   something to split on; a threshold of 1 conflict forces the splitter on
+   every non-trivial query. *)
+let cube_slice () =
+  List.filter
+    (fun (e : Entry.t) ->
+      String.equal e.file "MulDivRem" || String.equal e.file "Shifts")
+    Alive_suite.Registry.all
+
+let run_slice_verdicts entries =
+  List.map
+    (fun (e : Entry.t) ->
+      let v = Refine.check ?widths:e.widths (Entry.parse e) in
+      (e.name, verdict_fingerprint v))
+    entries
+
+let inline_runner thunks = List.iter (fun t -> t ()) thunks
+
+let cube_tests =
+  [
+    Alcotest.test_case "cube join parity: sequential scan vs no cubes" `Slow
+      (fun () ->
+        let slice = cube_slice () in
+        check_bool "slice has enough entries" true (List.length slice >= 50);
+        let cubed =
+          with_cubes ~on:true ~threshold:1 (fun () ->
+              run_slice_verdicts slice)
+        in
+        let plain =
+          with_cubes ~on:false ~threshold:1 (fun () ->
+              run_slice_verdicts slice)
+        in
+        check_parity cubed plain);
+    Alcotest.test_case
+      "cube join parity: parallel runner + portfolio vs no cubes" `Slow
+      (fun () ->
+        (* Installing an inline runner takes the [race_cubes] path — fresh
+           contexts per cube plus the whole-query Plaisted-Greenbaum
+           portfolio racer — even on a single-core host. *)
+        let slice = cube_slice () in
+        let raced =
+          with_cubes ~on:true ~threshold:1 ~runner:inline_runner
+            (fun () -> run_slice_verdicts slice)
+        in
+        let plain =
+          with_cubes ~on:false ~threshold:1 (fun () ->
+              run_slice_verdicts slice)
+        in
+        check_parity raced plain);
+    Alcotest.test_case "forced threshold actually spawns cubes" `Quick
+      (fun () ->
+        (* A variable-divisor query exceeds one conflict immediately; the
+           splitter must fire and record it in telemetry. *)
+        let t =
+          parse "%r = udiv %x, %x\n=>\n%r = 1\n"
+        in
+        Alive_absint.Prover.set_enabled false;
+        Fun.protect
+          ~finally:(fun () -> Alive_absint.Prover.set_enabled true)
+          (fun () ->
+            with_cubes ~on:true ~threshold:1 (fun () ->
+                let r = Refine.run ~widths:[ 8 ] t in
+                check_bool "still valid" true
+                  (match r.verdict with Refine.Valid _ -> true | _ -> false);
+                check_bool "cubes were spawned" true
+                  (r.stats.Refine.telemetry.Solve.cubes_spawned > 0))));
+    Alcotest.test_case "telemetry folds cube and AIG counters" `Quick
+      (fun () ->
+        let a = Solve.telemetry () and b = Solve.telemetry () in
+        a.Solve.cubes_spawned <- 3;
+        a.Solve.cubes_pruned <- 1;
+        a.Solve.aig_nodes_in <- 100;
+        a.Solve.aig_nodes_out <- 40;
+        b.Solve.cubes_spawned <- 2;
+        b.Solve.aig_nodes_in <- 10;
+        Solve.add_telemetry ~into:b a;
+        check_int "cubes_spawned sums" 5 b.Solve.cubes_spawned;
+        check_int "cubes_pruned sums" 1 b.Solve.cubes_pruned;
+        check_int "aig_nodes_in sums" 110 b.Solve.aig_nodes_in;
+        check_int "aig_nodes_out sums" 40 b.Solve.aig_nodes_out);
+  ]
+
+(* --- AIGER dump --- *)
+
+let dump_tests =
+  [
+    Alcotest.test_case "dump-aig writes AIGER ASCII files" `Quick (fun () ->
+        let dir =
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "alive-aig-%d" (Unix.getpid ()))
+        in
+        (try Unix.mkdir dir 0o755
+         with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+        Solve.set_dump_aig_dir (Some dir);
+        (* Disable the static tier so the solver actually runs. *)
+        Alive_absint.Prover.set_enabled false;
+        Fun.protect
+          ~finally:(fun () ->
+            Alive_absint.Prover.set_enabled true;
+            Solve.set_dump_aig_dir None)
+          (fun () ->
+            ignore
+              (with_aig true (fun () ->
+                   Refine.check
+                     (parse "%r = add %x, %x\n=>\n%r = shl %x, 1\n"))));
+        let dumped =
+          Sys.readdir dir |> Array.to_list
+          |> List.filter (fun f -> Filename.check_suffix f ".aag")
+        in
+        check_bool "at least one .aag dumped" true (dumped <> []);
+        List.iter
+          (fun f ->
+            let path = Filename.concat dir f in
+            let lines = In_channel.with_open_text path In_channel.input_lines in
+            (match lines with
+            | header :: _ ->
+                check_bool (f ^ " starts with an aag header") true
+                  (Astring.String.is_prefix ~affix:"aag " header);
+                (* "aag M I L O A": M >= I + A, L = 0 (combinational). *)
+                (match
+                   String.split_on_char ' ' header |> List.tl
+                   |> List.map int_of_string
+                 with
+                | [ m; i; l; o; a ] ->
+                    check_int (f ^ " is combinational") 0 l;
+                    check_bool (f ^ " has outputs") true (o > 0);
+                    check_bool (f ^ " node count covers inputs+ands") true
+                      (m >= i + a)
+                | _ -> Alcotest.fail (f ^ ": malformed aag header"))
+            | [] -> Alcotest.fail (f ^ ": empty file"));
+            Sys.remove path)
+          dumped;
+        Unix.rmdir dir);
+  ]
+
+let suite =
+  ( "aig-cubes",
+    aig_differential_tests
+    @ List.map QCheck_alcotest.to_alcotest
+        (strash_props @ solver_soundness_props)
+    @ cube_tests @ dump_tests )

@@ -15,16 +15,15 @@ let check_string = Alcotest.(check string)
 
 let parse = Alive.Parser.parse_transform
 
-(* Distributing a multiply over an add is a ring identity the CDCL solver
-   has to genuinely search for — reliable fuel for budget exhaustion. *)
+(* A division identity: the static tier's polynomial normalizer cannot
+   touch udiv, so the CDCL solver must genuinely search through the
+   divider circuit — reliable fuel for budget exhaustion. *)
 let hard_text =
-  "Name: hard-distribute\n\
-   %t = add %a, %b\n\
-   %r = mul %t, %c\n\
+  "Name: hard-udiv\n\
+   Pre: isPowerOf2(C1)\n\
+   %r = udiv %x, C1\n\
    =>\n\
-   %x = mul %a, %c\n\
-   %y = mul %b, %c\n\
-   %r = add %x, %y\n"
+   %r = lshr %x, log2(C1)\n"
 
 let easy_text = "Name: easy-add-zero\n%r = add %a, 0\n=>\n%r = %a\n"
 

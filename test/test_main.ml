@@ -25,6 +25,7 @@ let () =
       Test_suite.suite;
       Test_engine.suite;
       Test_differential.suite;
+      Test_aig.suite;
       Test_lint.suite;
       Test_infer.suite;
       Test_trace.suite;

@@ -765,10 +765,19 @@ let telemetry_tests =
             check_string "cache tier after solving" "cache"
               (overall_tier c hard);
             (* The unknown:* breakdown surfaces per op in metrics after a
-               budget-exhausted verify. *)
+               budget-exhausted verify. A valid division identity cannot be
+               answered without searching the divider circuit (the static
+               tier has no division rules, and an early SAT answer is
+               impossible on a valid transform), so the expired deadline is
+               guaranteed to be observed at a restart boundary. *)
             (match
                Client.verify c ~timeout:1e-6
-                 ~text:(hard_text "e2" "xor" "or")
+                 ~text:
+                   "Name: e2\n\
+                    Pre: isPowerOf2(C1)\n\
+                    %r = udiv %x, C1\n\
+                    =>\n\
+                    %r = lshr %x, log2(C1)\n"
                  ()
              with
             | Ok _ -> ()

@@ -626,6 +626,7 @@ let telemetry_tests =
                 { Ledger.op = "verify"; op_count = 9; op_total_s = 0.9;
                   op_p99_s = 0.3 };
               ]
+            ~cubes:4 ~cubes_pruned:1 ~aig_nodes_in:500 ~aig_nodes_out:200
             ~verdicts:[ ("valid", 10) ] ()
         in
         (* A baseline written by the previous schema: strip the new fields
@@ -638,7 +639,7 @@ let telemetry_tests =
                    (fun (k, v) ->
                      match k with
                      | "schema" -> Some (k, Json.Int (Ledger.schema_version - 1))
-                     | "log_lines" | "slow_queries" | "ops" -> None
+                     | "cubes" | "aig" -> None
                      | _ -> Some (k, v))
                    fields)
           | _ -> Alcotest.fail "record JSON shape"
@@ -647,12 +648,13 @@ let telemetry_tests =
         check_bool "mismatch detected" true
           (Ledger.schema_mismatch ~baseline ~latest <> None);
         let d = Ledger.diff ~baseline ~latest () in
-        check_bool "no schema-6 rows against a schema-5 baseline" true
+        check_bool "no schema-7 rows against a schema-6 baseline" true
           (not
              (List.exists
                 (fun (dl : Ledger.delta) ->
-                  dl.metric = "log_lines" || dl.metric = "slow_queries"
-                  || dl.metric = "op:verify")
+                  dl.metric = "cubes" || dl.metric = "cubes_pruned"
+                  || dl.metric = "aig_nodes_in"
+                  || dl.metric = "aig_nodes_out")
                 d.deltas));
         check_bool "gating metrics still diffed" true
           (List.exists (fun (dl : Ledger.delta) -> dl.metric = "wall_s")
@@ -660,15 +662,21 @@ let telemetry_tests =
         check_int "equal records: no regressions" 0
           (List.length d.regressions);
         (* Same-schema pairs do carry the new rows. *)
-        let d6 = Ledger.diff ~baseline:latest ~latest () in
-        check_bool "schema-6 pair has op rows" true
+        let d7 = Ledger.diff ~baseline:latest ~latest () in
+        check_bool "schema-7 pair has op rows" true
           (List.exists
              (fun (dl : Ledger.delta) -> dl.metric = "op:verify")
-             d6.deltas);
-        check_bool "schema-6 pair has log_lines" true
+             d7.deltas);
+        check_bool "schema-7 pair has log_lines" true
           (List.exists
              (fun (dl : Ledger.delta) -> dl.metric = "log_lines")
-             d6.deltas))
+             d7.deltas);
+        check_bool "schema-7 pair has cube and AIG rows" true
+          (List.exists (fun (dl : Ledger.delta) -> dl.metric = "cubes")
+             d7.deltas
+          && List.exists
+               (fun (dl : Ledger.delta) -> dl.metric = "aig_nodes_out")
+               d7.deltas))
   ]
 
 (* --- Whole-pipeline smoke: instrumented corpus slice --- *)
