@@ -107,30 +107,87 @@ let arg_value env e =
 (* One [Query.analyze] forward pass per function, memoized by physical
    identity: the matcher evaluates many predicates against the same
    (immutable) function while scanning its rules. The product is strictly
-   at least as precise as the known-bits [Analysis] calls it replaces. *)
-let query_cache : (Ir.func * Alive_absint.Query.env) option ref = ref None
+   at least as precise as the known-bits [Analysis] calls it replaces.
+   Domain-local so Engine.map workers never share the cell. *)
+let query_cache :
+    (Ir.func * Alive_absint.Query.env) option ref Stdlib.Domain.DLS.key =
+  Stdlib.Domain.DLS.new_key (fun () -> ref None)
 
 let query_env f =
-  match !query_cache with
+  let cache = Stdlib.Domain.DLS.get query_cache in
+  match !cache with
   | Some (g, q) when g == f -> q
   | _ ->
       let q = Alive_absint.Query.analyze f in
-      query_cache := Some (f, q);
+      cache := Some (f, q);
       q
 
-let rec pred env p =
+module Dom = Alive_absint.Domain
+
+(* Abstract evaluation of a constant expression whose leaves may be
+   symbolic: bound constants stay singletons, bound values fall back to
+   the forward analysis's known-bits × range domain. This is what lets a
+   precondition like `isPowerOf2(%x)` or `C & %m == 0` hold at an
+   application site where %x is an instruction, not a literal. *)
+let rec adomain env ~width e =
+  let ( let* ) = Option.bind in
+  match e with
+  | Cint n -> Some (Dom.singleton (Bitvec.make ~width n))
+  | Cbool b -> Some (Dom.singleton (Bitvec.of_int ~width (if b then 1 else 0)))
+  | Cabs name ->
+      let* c = List.assoc_opt name env.consts in
+      Some (Dom.singleton c)
+  | Cval name ->
+      let* v = List.assoc_opt name env.values in
+      Some (Alive_absint.Query.value_domain (query_env env.func) v)
+  | Cun (Cneg, a) ->
+      let* a = adomain env ~width a in
+      Some (Dom.neg a)
+  | Cun (Cnot, a) ->
+      let* a = adomain env ~width a in
+      Some (Dom.bnot a)
+  | Cbin (op, a, b) ->
+      let* a = adomain env ~width a in
+      let* b = adomain env ~width b in
+      let ir_op =
+        match op with
+        | Cadd -> Ir.Add
+        | Csub -> Ir.Sub
+        | Cmul -> Ir.Mul
+        | Csdiv -> Ir.Sdiv
+        | Cudiv -> Ir.Udiv
+        | Csrem -> Ir.Srem
+        | Curem -> Ir.Urem
+        | Cshl -> Ir.Shl
+        | Clshr -> Ir.Lshr
+        | Cashr -> Ir.Ashr
+        | Cand -> Ir.And
+        | Cor -> Ir.Or
+        | Cxor -> Ir.Xor
+      in
+      Some (Dom.binop ir_op width a b)
+  | Cfun (_, _) -> None
+
+(* Tri-valued precondition evaluation. [True]/[False] are proofs; a fact
+   the analyses cannot decide is [Unknown], NOT [False] — the previous
+   boolean evaluator conflated the two, so [Pnot p] with undecidable [p]
+   evaluated to [true] and could fire a rule whose precondition had not
+   been established. Comparisons first evaluate concretely; if either
+   side is symbolic they fall back to the abstract domain, which is what
+   allows conditionally-valid rules to fire on non-literal operands. *)
+let rec tri_pred env p =
   match p with
-  | Ptrue -> true
-  | Pand (a, b) -> pred env a && pred env b
-  | Por (a, b) -> pred env a || pred env b
-  | Pnot a -> not (pred env a)
+  | Ptrue -> Dom.True
+  | Pand (a, b) -> Dom.tri_and (tri_pred env a) (tri_pred env b)
+  | Por (a, b) -> Dom.tri_or (tri_pred env a) (tri_pred env b)
+  | Pnot a -> Dom.tri_not (tri_pred env a)
   | Pcmp (op, a, b) -> (
       match
         match cexpr_width env a with
         | Some w -> Some w
         | None -> cexpr_width env b
       with
-      | None -> false
+      | None -> Dom.Unknown
       | Some w -> (
           match (cexpr env ~width:w a, cexpr env ~width:w b) with
           | Some x, Some y ->
@@ -147,49 +204,70 @@ let rec pred env p =
                 | Pugt -> fun a b -> Bitvec.ult b a
                 | Puge -> fun a b -> Bitvec.ule b a
               in
-              f x y
-          | _ -> false))
+              Dom.tri_of_bool (f x y)
+          | _ -> (
+              match (adomain env ~width:w a, adomain env ~width:w b) with
+              | Some da, Some db -> (
+                  match op with
+                  | Peq -> Dom.tri_eq da db
+                  | Pne -> Dom.tri_not (Dom.tri_eq da db)
+                  | Pult -> Dom.tri_ult da db
+                  | Pule -> Dom.tri_not (Dom.tri_ult db da)
+                  | Pugt -> Dom.tri_ult db da
+                  | Puge -> Dom.tri_not (Dom.tri_ult da db)
+                  | Pslt -> Dom.tri_slt da db
+                  | Psle -> Dom.tri_not (Dom.tri_slt db da)
+                  | Psgt -> Dom.tri_slt db da
+                  | Psge -> Dom.tri_not (Dom.tri_slt da db))
+              | _ -> Dom.Unknown)))
   | Pcall (name, args) -> (
       let f = env.func in
       let q = query_env f in
       let module Q = Alive_absint.Query in
-      let module Dom = Alive_absint.Domain in
+      (* Must-analysis calls: an affirmative answer is a proof, a negative
+         one usually just means "not provable here" — except where the
+         query is decidable (concrete constants, use counts), which may
+         answer [False] outright. *)
+      let proof b = if b then Dom.True else Dom.Unknown in
       match (name, List.map (arg_value env) args) with
-      | "isPowerOf2", [ Some v ] -> Q.is_known_power_of_two q v
+      | "isPowerOf2", [ Some v ] ->
+          Dom.tri_is_power_of_two ~or_zero:false (Q.value_domain q v)
       | "isPowerOf2OrZero", [ Some v ] ->
           Dom.tri_is_power_of_two ~or_zero:true (Q.value_domain q v)
-          = Dom.True
       | "isSignBit", [ Some v ] ->
           let w = Ir.value_width f v in
-          Dom.tri_eq (Q.value_domain q v)
-            (Dom.singleton (Bitvec.min_signed w))
-          = Dom.True
+          Dom.tri_eq (Q.value_domain q v) (Dom.singleton (Bitvec.min_signed w))
       | "isShiftedMask", [ Some (Ir.Const c) ] ->
           let w = Bitvec.width c in
           let filled = Bitvec.logor c (Bitvec.sub c (Bitvec.one w)) in
           let succ = Bitvec.add filled (Bitvec.one w) in
-          (not (Bitvec.is_zero c))
-          && Bitvec.is_zero (Bitvec.logand succ (Bitvec.sub succ (Bitvec.one w)))
+          Dom.tri_of_bool
+            ((not (Bitvec.is_zero c))
+            && Bitvec.is_zero
+                 (Bitvec.logand succ (Bitvec.sub succ (Bitvec.one w))))
       | "MaskedValueIsZero", [ Some v; Some (Ir.Const mask) ] ->
-          Q.masked_value_is_zero q v mask
+          proof (Q.masked_value_is_zero q v mask)
       | ("hasOneUse" | "OneUse"), [ Some (Ir.Var n) ] ->
-          Option.value ~default:0 (Hashtbl.find_opt (Ir.uses_of f) n) = 1
-      | ("hasOneUse" | "OneUse"), [ Some _ ] -> true
+          Dom.tri_of_bool
+            (Option.value ~default:0 (Hashtbl.find_opt (Ir.uses_of f) n) = 1)
+      | ("hasOneUse" | "OneUse"), [ Some _ ] -> Dom.True
       | "WillNotOverflowSignedAdd", [ Some a; Some b ] ->
-          Q.will_not_overflow q `Add ~signed:true a b
+          proof (Q.will_not_overflow q `Add ~signed:true a b)
       | "WillNotOverflowUnsignedAdd", [ Some a; Some b ] ->
-          Q.will_not_overflow q `Add ~signed:false a b
+          proof (Q.will_not_overflow q `Add ~signed:false a b)
       | "WillNotOverflowSignedSub", [ Some a; Some b ] ->
-          Q.will_not_overflow q `Sub ~signed:true a b
+          proof (Q.will_not_overflow q `Sub ~signed:true a b)
       | "WillNotOverflowUnsignedSub", [ Some a; Some b ] ->
-          Q.will_not_overflow q `Sub ~signed:false a b
+          proof (Q.will_not_overflow q `Sub ~signed:false a b)
       | "WillNotOverflowSignedMul", [ Some (Ir.Const a); Some (Ir.Const b) ] ->
-          not (Bitvec.mul_overflows_signed a b)
+          Dom.tri_of_bool (not (Bitvec.mul_overflows_signed a b))
       | "WillNotOverflowSignedMul", [ Some a; Some b ] ->
-          Q.will_not_overflow q `Mul ~signed:true a b
+          proof (Q.will_not_overflow q `Mul ~signed:true a b)
       | "WillNotOverflowUnsignedMul", [ Some (Ir.Const a); Some (Ir.Const b) ]
         ->
-          not (Bitvec.mul_overflows_unsigned a b)
+          Dom.tri_of_bool (not (Bitvec.mul_overflows_unsigned a b))
       | "WillNotOverflowUnsignedMul", [ Some a; Some b ] ->
-          Q.will_not_overflow q `Mul ~signed:false a b
-      | _ -> false)
+          proof (Q.will_not_overflow q `Mul ~signed:false a b)
+      | _ -> Dom.Unknown)
+
+let pred env p = tri_pred env p = Dom.True

@@ -16,6 +16,20 @@ val cexpr : env -> width:int -> Alive.Ast.cexpr -> Bitvec.t option
 val cexpr_width : env -> Alive.Ast.cexpr -> int option
 (** Width of an expression, resolved through its bound named leaves. *)
 
+val adomain :
+  env -> width:int -> Alive.Ast.cexpr -> Alive_absint.Domain.t option
+(** Abstract evaluation: bound constants are singletons, bound values fall
+    back to the known-bits × range forward analysis of the matched
+    function. [None] when a leaf is unbound or a function is unsupported. *)
+
+val tri_pred : env -> Alive.Ast.pred -> Alive_absint.Domain.tribool
+(** Tri-valued precondition evaluation: [True]/[False] are proofs,
+    undecidable facts are [Unknown] (so negation stays sound). Comparisons
+    evaluate concretely when both sides reduce to constants and through
+    {!adomain} otherwise, which is what lets conditionally-valid rules
+    fire on symbolic operands whose analysis facts discharge the
+    precondition. *)
+
 val pred : env -> Alive.Ast.pred -> bool
-(** Conservative: unknown facts evaluate to [false] (the rewrite simply
-    does not fire), mirroring how generated C++ calls must-analyses. *)
+(** [tri_pred env p = True]: the rewrite fires only on a proof, mirroring
+    how the paper's generated C++ calls must-analyses. *)

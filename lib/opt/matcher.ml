@@ -102,6 +102,30 @@ let rec deref_subject st name =
       deref_subject st n
   | d -> (name, d)
 
+(* Commutativity at the template level: `C + %x` must cover `%x + C`.
+   Without this, [source_covers] and [target_feeds] judged commuted pairs
+   asymmetrically — rule A shadowed rule B but not vice versa — which
+   PR 6's symmetric [content_compare] fingerprint puts in the same
+   equivalence class. Matching only one operand order under-reports
+   shadowing and misses rewrite-cycle edges. *)
+let commutative_binop = function
+  | Add | Mul | And | Or | Xor -> true
+  | Sub | UDiv | SDiv | URem | SRem | Shl | LShr | AShr -> false
+
+let commutative_cond = function
+  | Ceq | Cne -> true
+  | Cugt | Cuge | Cult | Cule | Csgt | Csge | Cslt | Csle -> false
+
+(* Bindings are mutable; to try a second operand order after the first
+   partially bound, snapshot and restore. *)
+let with_backtrack st attempt =
+  let vbind = st.vbind and cbind = st.cbind in
+  attempt ()
+  ||
+  (st.vbind <- vbind;
+   st.cbind <- cbind;
+   false)
+
 let rec tmatch_operand st (pat : toperand) (subj : toperand) =
   (* The pattern's type annotation must be at most as constraining. *)
   (match pat.ty with
@@ -159,9 +183,18 @@ and tmatch_def st pat_name subj_name =
           | Binop (op, attrs, a, b), Binop (op', attrs', x, y) ->
               op = op'
               && List.for_all (fun at -> List.mem at attrs') attrs
-              && tmatch_operand st a x && tmatch_operand st b y
+              && (with_backtrack st (fun () ->
+                      tmatch_operand st a x && tmatch_operand st b y)
+                 || commutative_binop op
+                    && with_backtrack st (fun () ->
+                           tmatch_operand st a y && tmatch_operand st b x))
           | Icmp (c, a, b), Icmp (c', x, y) ->
-              c = c' && tmatch_operand st a x && tmatch_operand st b y
+              c = c'
+              && (with_backtrack st (fun () ->
+                      tmatch_operand st a x && tmatch_operand st b y)
+                 || commutative_cond c
+                    && with_backtrack st (fun () ->
+                           tmatch_operand st a y && tmatch_operand st b x))
           | Select (c, a, b), Select (cx, x, y) ->
               tmatch_operand st c cx && tmatch_operand st a x
               && tmatch_operand st b y

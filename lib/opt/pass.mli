@@ -1,6 +1,7 @@
-(** The optimization pass driver: applies a rule list to a function until no
-    rule fires (first match wins, as in the generated C++ pass of §4),
-    then removes dead code. Firing counts feed the Fig. 9 experiment. *)
+(** The optimization pass driver: a worklist rebuild-and-rescan fixpoint
+    over the {!Compiled} decision tree (first match wins in registry
+    order, as in the generated C++ pass of §4), then dead-code removal.
+    Firing counts feed the Fig. 9 experiment. *)
 
 type stats = (string * int) list
 (** Rule name → number of firings, descending. *)
@@ -18,20 +19,36 @@ type outcome = {
           rewrite cycle in the rule set (§4's non-termination loops) *)
 }
 
+type engine = [ `Compiled | `Linear ]
+(** [`Compiled] walks the shared discrimination tree per definition;
+    [`Linear] scans every rule per definition — the pre-compilation
+    behaviour, kept for differential testing and throughput baselines. *)
+
 val run_guarded :
-  rules:Matcher.rule list -> ?max_rewrites:int -> Ir.func -> outcome
+  rules:Matcher.rule list ->
+  ?max_rewrites:int ->
+  ?engine:engine ->
+  Ir.func ->
+  outcome
 (** Like {!run}, but reports whether the fixpoint was actually reached or
-    the budget cut a (probable) rewrite cycle short. *)
+    the budget cut a (probable) rewrite cycle short. After a rewrite only
+    the changed definitions and their users within the compiled pattern
+    depth are re-examined; a final full sweep re-validates the fixpoint,
+    so a body-shrinking rewrite can never skip its successor. Rules in a
+    cyclic SCC of the rewrite graph are additionally capped per
+    (definition, rule) site. *)
 
 val run :
   rules:Matcher.rule list ->
   ?max_rewrites:int ->
+  ?engine:engine ->
   Ir.func ->
   Ir.func * stats
 
 val run_module :
   rules:Matcher.rule list ->
   ?max_rewrites:int ->
+  ?engine:engine ->
   Ir.func list ->
   Ir.func list * stats
 (** Accumulated firing statistics over many functions. *)

@@ -19,19 +19,29 @@ let default =
     widths = [ 8; 16; 32 ];
   }
 
-(* Zipf sampling over ranks 0..n-1: rank k with probability ∝ 1/(k+1)^s. *)
+(* Zipf sampling over ranks 0..n-1: rank k with probability ∝ 1/(k+1)^s.
+   Precomputed cumulative table + binary search: O(log n) per draw where
+   the old linear scan was O(n). Both pick the least k with
+   x < cum.(k) (clamped to n-1), and the table is built by the same
+   left-to-right float summation the scan performed, so the fix is
+   bit-identical to the scan for the same random stream — seeded
+   workloads are unchanged. *)
 let zipf_sampler st ~n ~s =
-  let weights = Array.init n (fun k -> 1.0 /. Float.pow (float_of_int (k + 1)) s) in
-  let total = Array.fold_left ( +. ) 0.0 weights in
+  let cum = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for k = 0 to n - 1 do
+    acc := !acc +. (1.0 /. Float.pow (float_of_int (k + 1)) s);
+    cum.(k) <- !acc
+  done;
+  let total = cum.(n - 1) in
   fun () ->
     let x = Random.State.float st total in
-    let rec go k acc =
-      if k = n - 1 then k
-      else
-        let acc = acc +. weights.(k) in
-        if x < acc then k else go (k + 1) acc
-    in
-    go 0 0.0
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if x < cum.(mid) then hi := mid else lo := mid + 1
+    done;
+    !lo
 
 type gen = {
   st : Random.State.t;
@@ -227,12 +237,13 @@ let try_inject g rule w =
   in
   attempt 8
 
-let generate config rules =
+let generate ?(offset = 0) config rules =
   let st = Random.State.make [| config.seed |] in
   let n_rules = List.length rules in
   let sample_rule = zipf_sampler st ~n:(max 1 n_rules) ~s:config.zipf_exponent in
   let rules_arr = Array.of_list rules in
   List.init config.functions (fun i ->
+      let i = i + offset in
       let w = List.nth config.widths (Random.State.int st (List.length config.widths)) in
       let params = List.init 4 (fun k -> (Printf.sprintf "p%d" k, w)) in
       let g =
@@ -270,3 +281,16 @@ let generate config rules =
       match Ir.validate f with
       | Ok () -> f
       | Error e -> invalid_arg ("Workload.generate produced invalid IR: " ^ e))
+
+(* Split a large workload into independently-seeded batch configs so the
+   Domain pool can generate and optimize millions of functions without
+   materializing them all: batch i reuses the base config with
+   seed + i and a name offset, keeping the whole stream deterministic
+   regardless of scheduling order. *)
+let batches config ~batch_size =
+  if batch_size <= 0 then invalid_arg "Workload.batches: batch_size <= 0";
+  let n = (config.functions + batch_size - 1) / batch_size in
+  List.init n (fun i ->
+      let offset = i * batch_size in
+      let functions = min batch_size (config.functions - offset) in
+      (offset, { config with seed = config.seed + i; functions }))

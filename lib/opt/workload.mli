@@ -20,8 +20,20 @@ type config = {
 
 val default : config
 
-val generate : config -> Matcher.rule list -> Ir.func list
+val zipf_sampler : Random.State.t -> n:int -> s:float -> unit -> int
+(** Sample ranks 0..n-1 with probability ∝ 1/(rank+1)^s, by binary search
+    over a precomputed cumulative table (O(log n) per draw). Exposed for
+    the distribution sanity test. *)
+
+val generate : ?offset:int -> config -> Matcher.rule list -> Ir.func list
 (** Every generated function passes [Ir.validate]. The rule list supplies
     the injectable source templates (rules whose templates need multiple
     widths are skipped for injection but still participate as filler
-    opcodes). *)
+    opcodes). [offset] shifts generated function names ([f0], [f1], …)
+    for batched generation. *)
+
+val batches : config -> batch_size:int -> (int * config) list
+(** Split [config] into [(offset, batch_config)] pairs covering
+    [config.functions] functions in deterministic, independently seeded
+    batches of at most [batch_size], for streaming across the
+    [Engine] Domain pool: run [generate ~offset batch_config] per pair. *)

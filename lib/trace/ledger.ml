@@ -43,11 +43,16 @@ type record = {
   cubes_pruned : int;
   aig_nodes_in : int;  (* AIG simplifier gate counts (schema >= 7) *)
   aig_nodes_out : int;
+  opt_firings : int;  (* optimizer fields (schema >= 8; 0 before) *)
+  opt_firings_per_s : float;  (* whole-pass rewrite throughput *)
+  opt_match_per_s : float;  (* compiled single-match throughput *)
+  opt_match_linear_per_s : float;  (* per-rule-scan baseline throughput *)
+  opt_top10_share : float;  (* firing share of the top ten rules (Fig. 9) *)
   verdicts : (string * int) list;  (* verdict name -> count *)
   phases : phase_total list;
 }
 
-let schema_version = 7
+let schema_version = 8
 
 let iso8601 t =
   let tm = Unix.gmtime t in
@@ -84,6 +89,8 @@ let make ~label ~jobs ~tasks ?(budget_timeout_s = 0.0) ?(budget_conflicts = 0)
     ?(peak_vars = 0) ?(requests = 0) ?(store_hits = 0) ?(store_misses = 0)
     ?(static_proved = 0) ?(log_lines = 0) ?(slow_queries = 0) ?(ops = [])
     ?(cubes = 0) ?(cubes_pruned = 0) ?(aig_nodes_in = 0) ?(aig_nodes_out = 0)
+    ?(opt_firings = 0) ?(opt_firings_per_s = 0.0) ?(opt_match_per_s = 0.0)
+    ?(opt_match_linear_per_s = 0.0) ?(opt_top10_share = 0.0)
     ~verdicts ?(phases = phases_of_metrics ()) () =
   {
     schema = schema_version;
@@ -116,6 +123,11 @@ let make ~label ~jobs ~tasks ?(budget_timeout_s = 0.0) ?(budget_conflicts = 0)
     cubes_pruned;
     aig_nodes_in;
     aig_nodes_out;
+    opt_firings;
+    opt_firings_per_s;
+    opt_match_per_s;
+    opt_match_linear_per_s;
+    opt_top10_share;
     verdicts;
     phases;
   }
@@ -185,6 +197,15 @@ let to_json r =
           [
             ("nodes_in", Json.Int r.aig_nodes_in);
             ("nodes_out", Json.Int r.aig_nodes_out);
+          ] );
+      ( "opt",
+        Json.Obj
+          [
+            ("firings", Json.Int r.opt_firings);
+            ("firings_per_s", Json.Float r.opt_firings_per_s);
+            ("match_per_s", Json.Float r.opt_match_per_s);
+            ("match_linear_per_s", Json.Float r.opt_match_linear_per_s);
+            ("top10_share", Json.Float r.opt_top10_share);
           ] );
       ("verdicts", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) r.verdicts));
       ( "phases",
@@ -325,6 +346,28 @@ let of_json j =
             (let a = Option.value ~default:(Json.Obj []) (Json.member "aig" j) in
              Option.value ~default:0
                (Option.bind (Json.member "nodes_out" a) Json.to_int));
+          (* "opt" is a schema-8 key; older records read back as zeros and
+             the schema field flags them as not comparable. *)
+          opt_firings =
+            (let o = Option.value ~default:(Json.Obj []) (Json.member "opt" j) in
+             Option.value ~default:0
+               (Option.bind (Json.member "firings" o) Json.to_int));
+          opt_firings_per_s =
+            (let o = Option.value ~default:(Json.Obj []) (Json.member "opt" j) in
+             Option.value ~default:0.0
+               (Option.bind (Json.member "firings_per_s" o) Json.to_float));
+          opt_match_per_s =
+            (let o = Option.value ~default:(Json.Obj []) (Json.member "opt" j) in
+             Option.value ~default:0.0
+               (Option.bind (Json.member "match_per_s" o) Json.to_float));
+          opt_match_linear_per_s =
+            (let o = Option.value ~default:(Json.Obj []) (Json.member "opt" j) in
+             Option.value ~default:0.0
+               (Option.bind (Json.member "match_linear_per_s" o) Json.to_float));
+          opt_top10_share =
+            (let o = Option.value ~default:(Json.Obj []) (Json.member "opt" j) in
+             Option.value ~default:0.0
+               (Option.bind (Json.member "top10_share" o) Json.to_float));
           verdicts;
           phases;
         }
@@ -403,21 +446,33 @@ let diff ?(threshold_pct = 15.0) ~baseline ~latest () =
     let pct = pct_change base now in
     { metric; base; now; pct; regressed = pct > threshold_pct }
   in
+  (* Throughput gate: a regression is a *drop* beyond the threshold. Only
+     meaningful against a baseline that measured the metric at all. *)
+  let gate_drop metric base now =
+    let pct = pct_change base now in
+    { metric; base; now; pct; regressed = base > 0.0 && pct < -.threshold_pct }
+  in
   let info metric base now =
     { metric; base; now; pct = pct_change base now; regressed = false }
   in
+  (* Rows only for fields both schemas define, so a cross-schema diff
+     never compares a real value against a phantom zero. *)
+  let shared = min baseline.schema latest.schema in
+  let since v rows = if shared >= v then rows () else [] in
   let gating =
     [
       gate "wall_s" baseline.wall_s latest.wall_s;
       gate "conflicts" (float_of_int baseline.conflicts)
         (float_of_int latest.conflicts);
     ]
+    @ since 8 (fun () ->
+          [
+            gate_drop "opt_match_per_s" baseline.opt_match_per_s
+              latest.opt_match_per_s;
+            gate_drop "opt_firings_per_s" baseline.opt_firings_per_s
+              latest.opt_firings_per_s;
+          ])
   in
-  (* Informational rows only for fields both schemas define, so a
-     cross-schema diff never compares a real value against a phantom
-     zero. *)
-  let shared = min baseline.schema latest.schema in
-  let since v rows = if shared >= v then rows () else [] in
   let informational =
     List.concat
       [
@@ -480,6 +535,16 @@ let diff ?(threshold_pct = 15.0) ~baseline ~latest () =
               info "aig_nodes_out"
                 (float_of_int baseline.aig_nodes_out)
                 (float_of_int latest.aig_nodes_out);
+            ]);
+        since 8 (fun () ->
+            [
+              info "opt_firings"
+                (float_of_int baseline.opt_firings)
+                (float_of_int latest.opt_firings);
+              info "opt_match_linear_per_s" baseline.opt_match_linear_per_s
+                latest.opt_match_linear_per_s;
+              info "opt_top10_share" baseline.opt_top10_share
+                latest.opt_top10_share;
             ]);
         List.filter_map
           (fun p ->

@@ -61,6 +61,16 @@ type record = {
       (** gate requests into the AIG simplifier, before structural
           hashing (schema >= 7) *)
   aig_nodes_out : int;  (** distinct AIG nodes after simplification *)
+  opt_firings : int;
+      (** rewrites applied by the fused optimizer (schema >= 8; zero when
+          reading older records) *)
+  opt_firings_per_s : float;  (** whole-pass rewrite throughput *)
+  opt_match_per_s : float;
+      (** compiled decision-tree single-match throughput *)
+  opt_match_linear_per_s : float;
+      (** per-rule-scan baseline throughput for the same matches *)
+  opt_top10_share : float;
+      (** fraction of firings from the ten most-fired rules (Fig. 9) *)
   verdicts : (string * int) list;
   phases : phase_total list;
 }
@@ -103,6 +113,11 @@ val make :
   ?cubes_pruned:int ->
   ?aig_nodes_in:int ->
   ?aig_nodes_out:int ->
+  ?opt_firings:int ->
+  ?opt_firings_per_s:float ->
+  ?opt_match_per_s:float ->
+  ?opt_match_linear_per_s:float ->
+  ?opt_top10_share:float ->
   verdicts:(string * int) list ->
   ?phases:phase_total list ->
   unit ->
@@ -144,10 +159,13 @@ val schema_mismatch : baseline:record -> latest:record -> string option
     rows are explained ([alive_cli perf diff] prints it to stderr). *)
 
 val diff : ?threshold_pct:float -> baseline:record -> latest:record -> unit -> diff
-(** Gating metrics are wall time and SAT conflicts: either growing more
-    than [threshold_pct] (default 15%) counts as a regression. SAT time,
-    query/CEGAR counts, per-op latencies and per-phase totals are reported
-    informationally — restricted to fields defined by {e both} records'
-    schemas, so cross-schema diffs never compare against phantom zeros. *)
+(** Gating metrics are wall time and SAT conflicts (growing more than
+    [threshold_pct], default 15%, counts as a regression) plus — when both
+    records are schema >= 8 — the optimizer's matcher and firing
+    throughputs, which regress by {e dropping} more than the threshold
+    against a non-zero baseline. SAT time, query/CEGAR counts, per-op
+    latencies and per-phase totals are reported informationally —
+    restricted to fields defined by {e both} records' schemas, so
+    cross-schema diffs never compare against phantom zeros. *)
 
 val render_diff : ?oc:out_channel -> diff -> unit

@@ -22,6 +22,7 @@ let () =
       Test_ir.suite;
       Test_absint.suite;
       Test_opt.suite;
+      Test_compiled.suite;
       Test_suite.suite;
       Test_engine.suite;
       Test_differential.suite;

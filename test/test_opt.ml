@@ -210,6 +210,199 @@ let pass_tests =
         check_int "no folds" 0 n);
   ]
 
+(* Satellite regressions for the fused-optimizer PR: worklist rescan
+   discipline, commutation-aware template unification, abstract
+   precondition discharge, and the zipf sampler's distribution. *)
+let rescan_tests =
+  [
+    Alcotest.test_case "adjacent rewrite sites both fire" `Quick (fun () ->
+        (* A copy-root rewrite at %a shrinks the body and rewrites %r's
+           operand list in place; the old positional scan then skipped the
+           next site. The worklist must still fire %b. *)
+        let r = rule "%r = add %a, 0\n=>\n%r = %a\n" in
+        let f =
+          func
+            [
+              def "a" 8 (Ir.Binop (Ir.Add, [], Ir.Var "x", Ir.Const (bv 8 0)));
+              def "b" 8 (Ir.Binop (Ir.Add, [], Ir.Var "y", Ir.Const (bv 8 0)));
+              def "r" 8 (Ir.Binop (Ir.Mul, [], Ir.Var "a", Ir.Var "b"));
+            ]
+            (Ir.Var "r")
+        in
+        let f', stats = Alive_opt.Pass.run ~rules:[ r ] f in
+        check_int "both adds fired" 2
+          (List.fold_left (fun a (_, n) -> a + n) 0 stats);
+        match Ir.def_of f' "r" with
+        | Some { Ir.inst = Ir.Binop (Ir.Mul, [], Ir.Var "x", Ir.Var "y"); _ } ->
+            ()
+        | _ -> Alcotest.fail "successor site skipped");
+    Alcotest.test_case "body-shrinking rewrite rescans the successor" `Quick
+      (fun () ->
+        (* The chain version: folding %a exposes nothing new, but the def
+           after the shrunk position (%b, one past where %a used to sit)
+           must still be examined. *)
+        let r = rule "%r = add %a, 0\n=>\n%r = %a\n" in
+        let f =
+          func
+            [
+              def "a" 8 (Ir.Binop (Ir.Add, [], Ir.Var "x", Ir.Const (bv 8 0)));
+              def "b" 8 (Ir.Binop (Ir.Add, [], Ir.Var "a", Ir.Const (bv 8 0)));
+              def "r" 8 (Ir.Binop (Ir.Sub, [], Ir.Var "b", Ir.Var "y"));
+            ]
+            (Ir.Var "r")
+        in
+        let f', _ = Alive_opt.Pass.run ~rules:[ r ] f in
+        match Ir.def_of f' "r" with
+        | Some { Ir.inst = Ir.Binop (Ir.Sub, [], Ir.Var "x", Ir.Var "y"); _ } ->
+            ()
+        | _ -> Alcotest.fail "chain not fully folded");
+  ]
+
+let commute_tests =
+  [
+    Alcotest.test_case "source_covers sees through commutation" `Quick
+      (fun () ->
+        let a = rule "%r = add %x, C\n=>\n%r = %x\n" in
+        let b = rule "%r = add C, %x\n=>\n%r = %x\n" in
+        check_bool "a covers commuted b" true
+          (Alive_opt.Matcher.source_covers a b);
+        check_bool "b covers commuted a" true
+          (Alive_opt.Matcher.source_covers b a));
+    Alcotest.test_case "non-commutative ops stay positional" `Quick (fun () ->
+        let a = rule "%r = sub %x, C\n=>\n%r = %x\n" in
+        let b = rule "%r = sub C, %x\n=>\n%r = %x\n" in
+        check_bool "sub not covered" false (Alive_opt.Matcher.source_covers a b);
+        check_bool "sub not covered (rev)" false
+          (Alive_opt.Matcher.source_covers b a));
+    Alcotest.test_case "icmp eq commutes, ult does not" `Quick (fun () ->
+        let a = rule "%r = icmp eq %x, C\n=>\n%r = icmp eq %x, C\n" in
+        let b = rule "%r = icmp eq C, %x\n=>\n%r = icmp eq C, %x\n" in
+        check_bool "eq covers commuted" true (Alive_opt.Matcher.source_covers a b);
+        let c = rule "%r = icmp ult %x, C\n=>\n%r = icmp ult %x, C\n" in
+        let d = rule "%r = icmp ult C, %x\n=>\n%r = icmp ult C, %x\n" in
+        check_bool "ult stays positional" false
+          (Alive_opt.Matcher.source_covers c d));
+    Alcotest.test_case "target_feeds sees through commutation" `Quick (fun () ->
+        (* a's target emits `or %x, 1`; b's source wants the constant
+           first. The rewrite-cycle graph must still record the edge. *)
+        let a = rule "%r = add %x, 1\n=>\n%r = or %x, 1\n" in
+        let b = rule "%r = or 1, %x\n=>\n%r = add %x, 1\n" in
+        check_bool "commuted edge found" true
+          (Alive_opt.Matcher.target_feeds a b));
+  ]
+
+let precondition_tests =
+  [
+    Alcotest.test_case "analysis discharges MaskedValueIsZero at a var" `Quick
+      (fun () ->
+        (* %s = shl %x, 4 has its low four bits provably zero, so the
+           add-becomes-or rule applies even though %s is not a literal —
+           the tri-valued precondition evaluator consults known bits. *)
+        let r = rule "Pre: MaskedValueIsZero(%a, C1)\n%r = add %a, C1\n=>\n%r = or %a, C1\n" in
+        let shifted =
+          func
+            [
+              def "s" 8 (Ir.Binop (Ir.Shl, [], Ir.Var "x", Ir.Const (bv 8 4)));
+              def "r" 8 (Ir.Binop (Ir.Add, [], Ir.Var "s", Ir.Const (bv 8 3)));
+            ]
+            (Ir.Var "r")
+        in
+        check_bool "provable mask fires" true
+          (Alive_opt.Matcher.match_at r shifted "r" <> None);
+        let unprovable =
+          func
+            [
+              def "s" 8 (Ir.Binop (Ir.Shl, [], Ir.Var "x", Ir.Const (bv 8 1)));
+              def "r" 8 (Ir.Binop (Ir.Add, [], Ir.Var "s", Ir.Const (bv 8 3)));
+            ]
+            (Ir.Var "r")
+        in
+        check_bool "unprovable mask rejected" true
+          (Alive_opt.Matcher.match_at r unprovable "r" = None));
+    Alcotest.test_case "analysis discharges isPowerOf2 at a var" `Quick
+      (fun () ->
+        (* or-with-8 of a value masked to bit 3 is the singleton 8:
+           known-bits alone proves the power-of-two side condition. *)
+        let r = rule "Pre: isPowerOf2(%a)\n%r = mul %x, %a\n=>\n%r = mul %x, %a\n" in
+        let pow2 =
+          func
+            ~params:[ ("x", 8); ("y", 8) ]
+            [
+              def "m" 8 (Ir.Binop (Ir.And, [], Ir.Var "y", Ir.Const (bv 8 8)));
+              def "p" 8 (Ir.Binop (Ir.Or, [], Ir.Var "m", Ir.Const (bv 8 8)));
+              def "r" 8 (Ir.Binop (Ir.Mul, [], Ir.Var "x", Ir.Var "p"));
+            ]
+            (Ir.Var "r")
+        in
+        check_bool "singleton 8 proved" true
+          (Alive_opt.Matcher.match_at r pow2 "r" <> None);
+        let maybe_zero =
+          func
+            ~params:[ ("x", 8); ("y", 8) ]
+            [
+              def "m" 8 (Ir.Binop (Ir.And, [], Ir.Var "y", Ir.Const (bv 8 8)));
+              def "r" 8 (Ir.Binop (Ir.Mul, [], Ir.Var "x", Ir.Var "m"));
+            ]
+            (Ir.Var "r")
+        in
+        check_bool "possibly-zero rejected" true
+          (Alive_opt.Matcher.match_at r maybe_zero "r" = None));
+    Alcotest.test_case "negated precondition stays sound" `Quick (fun () ->
+        (* !isPowerOf2(%a) must require a *proof* that %a is not a power
+           of two — an unknown operand proves neither polarity. *)
+        let r = rule "Pre: !isPowerOf2(%a)\n%r = mul %x, %a\n=>\n%r = mul %x, %a\n" in
+        let unknown =
+          func
+            ~params:[ ("x", 8); ("y", 8) ]
+            [ def "r" 8 (Ir.Binop (Ir.Mul, [], Ir.Var "x", Ir.Var "y")) ]
+            (Ir.Var "r")
+        in
+        check_bool "unknown operand rejected" true
+          (Alive_opt.Matcher.match_at r unknown "r" = None));
+  ]
+
+let zipf_tests =
+  [
+    Alcotest.test_case "zipf sampler follows the distribution" `Quick
+      (fun () ->
+        (* Chi-squared goodness of fit against p(k) = (1/(k+1)^s)/H over
+           200k draws; 19 degrees of freedom, the 99.9th percentile is
+           ~43.8, so 60 only trips on a genuinely wrong sampler. *)
+        let n = 20 and s = 1.5 and draws = 200_000 in
+        let st = Random.State.make [| 12345 |] in
+        let sample = Alive_opt.Workload.zipf_sampler st ~n ~s in
+        let counts = Array.make n 0 in
+        for _ = 1 to draws do
+          let k = sample () in
+          check_bool "in range" true (k >= 0 && k < n);
+          counts.(k) <- counts.(k) + 1
+        done;
+        let h = ref 0.0 in
+        for k = 1 to n do
+          h := !h +. (1.0 /. Float.pow (float_of_int k) s)
+        done;
+        let chi2 = ref 0.0 in
+        for k = 0 to n - 1 do
+          let expected =
+            float_of_int draws /. Float.pow (float_of_int (k + 1)) s /. !h
+          in
+          let d = float_of_int counts.(k) -. expected in
+          chi2 := !chi2 +. (d *. d /. expected)
+        done;
+        check_bool
+          (Printf.sprintf "chi2 %.1f < 60" !chi2)
+          true (!chi2 < 60.0);
+        check_bool "rank 0 dominates" true (counts.(0) > counts.(1)));
+    Alcotest.test_case "zipf sampler is total over its range" `Quick (fun () ->
+        (* The binary search must cope with x landing beyond the last
+           cumulative cell (floating-point edge) and with n = 1. *)
+        let st = Random.State.make [| 7 |] in
+        let one = Alive_opt.Workload.zipf_sampler st ~n:1 ~s:1.5 in
+        for _ = 1 to 100 do
+          check_int "n=1 always 0" 0 (one ())
+        done);
+  ]
+
 let workload_tests =
   [
     Alcotest.test_case "generation is deterministic" `Quick (fun () ->
@@ -305,5 +498,6 @@ let baseline_property =
 
 let suite =
   ( "opt",
-    matcher_tests @ pass_tests @ workload_tests
+    matcher_tests @ pass_tests @ rescan_tests @ commute_tests
+    @ precondition_tests @ zipf_tests @ workload_tests
     @ [ refinement_property; baseline_property ] )

@@ -445,7 +445,32 @@ let ledger_tests =
         let d_down =
           Ledger.diff ~baseline:bad ~latest:base ()
         in
-        check_int "improvement passes" 0 (List.length d_down.regressions))
+        check_int "improvement passes" 0 (List.length d_down.regressions));
+    Alcotest.test_case "optimizer throughput gates on drops (schema 8)" `Quick
+      (fun () ->
+        let opt_record ~match_per_s ~firings_per_s =
+          Ledger.make ~label:"optimize" ~jobs:1 ~tasks:100 ~wall_s:1.0
+            ~sat_s:0.0 ~queries:0 ~conflicts:0 ~cegar_iterations:0
+            ~opt_firings:1000 ~opt_firings_per_s:firings_per_s
+            ~opt_match_per_s:match_per_s ~opt_match_linear_per_s:10_000.0
+            ~opt_top10_share:0.7 ~verdicts:[] ~phases:[] ()
+        in
+        let base = opt_record ~match_per_s:100_000.0 ~firings_per_s:15_000.0 in
+        let dropped = opt_record ~match_per_s:30_000.0 ~firings_per_s:15_000.0 in
+        let d = Ledger.diff ~baseline:base ~latest:dropped () in
+        check_bool "70% match-rate drop regresses" true
+          (List.exists
+             (fun (dl : Ledger.delta) -> dl.metric = "opt_match_per_s")
+             d.regressions);
+        (* Growth is the good direction for a throughput metric. *)
+        let faster = opt_record ~match_per_s:250_000.0 ~firings_per_s:40_000.0 in
+        let d_up = Ledger.diff ~baseline:base ~latest:faster () in
+        check_int "throughput growth passes" 0 (List.length d_up.regressions);
+        (* A zero baseline (record from a run without the optimizer leg)
+           never gates. *)
+        let zero = opt_record ~match_per_s:0.0 ~firings_per_s:0.0 in
+        let d_zero = Ledger.diff ~baseline:zero ~latest:dropped () in
+        check_int "zero baseline never gates" 0 (List.length d_zero.regressions))
   ]
 
 (* --- Live-service telemetry: context capture, Prometheus, logs,
@@ -639,7 +664,7 @@ let telemetry_tests =
                    (fun (k, v) ->
                      match k with
                      | "schema" -> Some (k, Json.Int (Ledger.schema_version - 1))
-                     | "cubes" | "aig" -> None
+                     | "opt" -> None
                      | _ -> Some (k, v))
                    fields)
           | _ -> Alcotest.fail "record JSON shape"
@@ -648,13 +673,14 @@ let telemetry_tests =
         check_bool "mismatch detected" true
           (Ledger.schema_mismatch ~baseline ~latest <> None);
         let d = Ledger.diff ~baseline ~latest () in
-        check_bool "no schema-7 rows against a schema-6 baseline" true
+        check_bool "no schema-8 rows against a schema-7 baseline" true
           (not
              (List.exists
                 (fun (dl : Ledger.delta) ->
-                  dl.metric = "cubes" || dl.metric = "cubes_pruned"
-                  || dl.metric = "aig_nodes_in"
-                  || dl.metric = "aig_nodes_out")
+                  dl.metric = "opt_firings" || dl.metric = "opt_firings_per_s"
+                  || dl.metric = "opt_match_per_s"
+                  || dl.metric = "opt_match_linear_per_s"
+                  || dl.metric = "opt_top10_share")
                 d.deltas));
         check_bool "gating metrics still diffed" true
           (List.exists (fun (dl : Ledger.delta) -> dl.metric = "wall_s")
@@ -662,21 +688,25 @@ let telemetry_tests =
         check_int "equal records: no regressions" 0
           (List.length d.regressions);
         (* Same-schema pairs do carry the new rows. *)
-        let d7 = Ledger.diff ~baseline:latest ~latest () in
-        check_bool "schema-7 pair has op rows" true
+        let d8 = Ledger.diff ~baseline:latest ~latest () in
+        check_bool "same-schema pair has op rows" true
           (List.exists
              (fun (dl : Ledger.delta) -> dl.metric = "op:verify")
-             d7.deltas);
-        check_bool "schema-7 pair has log_lines" true
+             d8.deltas);
+        check_bool "same-schema pair has log_lines" true
           (List.exists
              (fun (dl : Ledger.delta) -> dl.metric = "log_lines")
-             d7.deltas);
-        check_bool "schema-7 pair has cube and AIG rows" true
+             d8.deltas);
+        check_bool "same-schema pair has cube and AIG rows" true
           (List.exists (fun (dl : Ledger.delta) -> dl.metric = "cubes")
-             d7.deltas
+             d8.deltas
           && List.exists
                (fun (dl : Ledger.delta) -> dl.metric = "aig_nodes_out")
-               d7.deltas))
+               d8.deltas);
+        check_bool "same-schema pair has optimizer rows" true
+          (List.exists
+             (fun (dl : Ledger.delta) -> dl.metric = "opt_firings")
+             d8.deltas))
   ]
 
 (* --- Whole-pipeline smoke: instrumented corpus slice --- *)
